@@ -1,0 +1,50 @@
+//! E5 — run-length compression columnwise vs rowwise, and segment
+//! encodings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdbms_columnar::segment::{decode_segment, encode_segment};
+use sdbms_columnar::{rle, Compression};
+use sdbms_data::census::{aggregate_census, CensusConfig};
+use sdbms_data::{encode_row, Value};
+
+fn bench(c: &mut Criterion) {
+    let ds = aggregate_census(&CensusConfig {
+        regions: 64,
+        ..Default::default()
+    })
+    .expect("generate");
+    let sex: Vec<Value> = ds.column("SEX").expect("col").cloned().collect();
+    let pop: Vec<Value> = ds.column("POPULATION").expect("col").cloned().collect();
+    let mut row_bytes = Vec::new();
+    for row in ds.rows() {
+        row_bytes.extend_from_slice(&encode_row(row));
+    }
+
+    let mut group = c.benchmark_group("e5_compression");
+    group.bench_function("rle_compress_category_column", |b| {
+        b.iter(|| rle::compress_values(&sex))
+    });
+    group.bench_function("rle_compress_measure_column", |b| {
+        b.iter(|| rle::compress_values(&pop))
+    });
+    group.bench_function("rle_compress_rowwise_bytes", |b| {
+        b.iter(|| rle::compress_bytes(&row_bytes))
+    });
+    let seg: Vec<Value> = sex.iter().take(256).cloned().collect();
+    for comp in [Compression::None, Compression::Rle, Compression::Dictionary] {
+        let encoded = encode_segment(&seg, comp);
+        group.bench_function(format!("segment_roundtrip_{comp:?}"), |b| {
+            b.iter(|| {
+                let buf = encode_segment(&seg, comp);
+                decode_segment(&buf).expect("decode");
+                buf.len()
+            })
+        });
+        let _ = encoded;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

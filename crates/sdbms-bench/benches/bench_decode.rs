@@ -1,0 +1,43 @@
+//! F2 — code book decode: join (hash and nested-loop) vs manual
+//! lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdbms_bench::clean_micro;
+use sdbms_data::CodeBook;
+use sdbms_relational::ops;
+
+fn bench(c: &mut Criterion) {
+    let cb = CodeBook::figure2_age_group();
+    let code_ds = cb.to_dataset();
+    let mut group = c.benchmark_group("f2_decode");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        let ds = clean_micro(rows, 42);
+        group.bench_with_input(BenchmarkId::new("hash_join", rows), &rows, |b, _| {
+            b.iter(|| ops::hash_join(&ds, &code_ds, "AGE_GROUP", "CATEGORY").expect("join"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("nested_loop_join", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    ops::nested_loop_join(&ds, &code_ds, "AGE_GROUP", "CATEGORY")
+                        .expect("join")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("manual_lookup", rows), &rows, |b, _| {
+            b.iter(|| {
+                ds.column("AGE_GROUP")
+                    .expect("col")
+                    .map(|v| cb.decode_value(v).expect("decode"))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E8 — derived-attribute rule cost: local vs regenerate per update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdbms_bench::dbms_with_view;
+use sdbms_core::{Expr, Predicate, ScalarFunc, StatDbms};
+use sdbms_data::DataType;
+
+fn with_local(rows: usize) -> StatDbms {
+    let mut dbms = dbms_with_view(rows, 512);
+    dbms.add_derived_column(
+        "v",
+        "LOG_INCOME",
+        DataType::Float,
+        Expr::col("INCOME").apply(ScalarFunc::Ln),
+    )
+    .expect("derived");
+    dbms
+}
+
+fn with_regen(rows: usize) -> StatDbms {
+    let mut dbms = dbms_with_view(rows, 512);
+    dbms.add_residuals_column("v", "RESID", "AGE", "INCOME")
+        .expect("resid");
+    dbms
+}
+
+fn one_update(dbms: &mut StatDbms, k: usize) {
+    dbms.update_where(
+        "v",
+        &Predicate::col_eq("PERSON_ID", (k % 500) as i64),
+        &[("INCOME", Expr::lit(30_000.0 + k as f64))],
+    )
+    .expect("update");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_derived");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000] {
+        let mut local = with_local(rows);
+        let mut k = 0usize;
+        group.bench_with_input(BenchmarkId::new("local_rule", rows), &rows, |b, _| {
+            b.iter(|| {
+                k += 1;
+                one_update(&mut local, k)
+            })
+        });
+        let mut regen = with_regen(rows);
+        let mut k = 0usize;
+        group.bench_with_input(BenchmarkId::new("regenerate_rule", rows), &rows, |b, _| {
+            b.iter(|| {
+                k += 1;
+                one_update(&mut regen, k)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! F5 — finite differencing: the Figure 5 loop, naive vs differenced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdbms_management::{differentiate, AggExpr};
+use sdbms_stats::descriptive;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_differencing");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let base: Vec<f64> = (0..n).map(|i| ((i * 31) % 9973) as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("figure5_naive_recompute", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut data = base.clone();
+                    let mut result = 0.0;
+                    for i in 0..20 {
+                        data[2] = (i * 7) as f64;
+                        result = descriptive::mean(&data).expect("mean");
+                    }
+                    result
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("figure5_differenced", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut program =
+                        differentiate(&AggExpr::mean()).expect("differentiable");
+                    program.initialize(&base);
+                    let mut prev = base[2];
+                    let mut result = 0.0;
+                    for i in 0..20 {
+                        let next = (i * 7) as f64;
+                        program.replace(prev, next);
+                        prev = next;
+                        result = program.evaluate().expect("eval");
+                    }
+                    result
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("variance_program", n), &n, |b, _| {
+            let mut program = differentiate(&AggExpr::variance()).expect("differentiable");
+            program.initialize(&base);
+            let mut k = 0usize;
+            b.iter(|| {
+                k += 1;
+                program.replace(base[k % n], (k % 977) as f64);
+                program.evaluate()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E11 — update-history rollback cost vs depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdbms_bench::dbms_with_view;
+use sdbms_core::{Expr, Predicate, StatDbms};
+
+const ROWS: usize = 2_000;
+
+fn edited_dbms(depth: usize) -> (StatDbms, u64) {
+    let mut dbms = dbms_with_view(ROWS, 512);
+    let cp = dbms.checkpoint("v", "start").expect("checkpoint");
+    for k in 0..depth {
+        dbms.update_where(
+            "v",
+            &Predicate::col_eq("PERSON_ID", (k % ROWS) as i64),
+            &[("HOURS_WORKED", Expr::lit((k % 90) as i64))],
+        )
+        .expect("update");
+    }
+    (dbms, cp)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_history");
+    group.sample_size(10);
+    for depth in [10usize, 100, 500] {
+        group.bench_with_input(
+            BenchmarkId::new("rollback", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || edited_dbms(depth),
+                    |(mut dbms, cp)| dbms.rollback_to("v", cp).expect("rollback"),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

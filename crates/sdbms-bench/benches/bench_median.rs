@@ -1,0 +1,61 @@
+//! E3 — median maintenance: §4.2 window vs recompute-per-update; window
+//! size ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdbms_stats::quantile;
+use sdbms_summary::MedianWindow;
+
+const N: usize = 20_000;
+const UPDATES: usize = 200;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let base: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..10_000.0)).collect();
+    let updates: Vec<(usize, f64)> = (0..UPDATES)
+        .map(|_| (rng.gen_range(0..N), rng.gen_range(0.0..10_000.0)))
+        .collect();
+
+    let mut group = c.benchmark_group("e3_median");
+    group.sample_size(10);
+    for window in [11usize, 101, 1001] {
+        group.bench_with_input(
+            BenchmarkId::new("window", window),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let mut data = base.clone();
+                    let mut w = MedianWindow::new(window);
+                    w.rebuild(&data);
+                    let mut med = 0.0;
+                    for &(i, new) in &updates {
+                        let old = data[i];
+                        data[i] = new;
+                        if !w.replace(old, new) || !w.is_usable() {
+                            w.rebuild(&data);
+                        }
+                        med = w.median().expect("median");
+                    }
+                    med
+                });
+            },
+        );
+    }
+    group.bench_function("recompute_per_update", |b| {
+        b.iter(|| {
+            let mut data = base.clone();
+            let mut med = 0.0;
+            for &(i, new) in &updates {
+                data[i] = new;
+                med = quantile::kth_smallest(&data, (N - 1) / 2).expect("kth");
+            }
+            med
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

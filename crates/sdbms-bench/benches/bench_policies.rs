@@ -1,0 +1,56 @@
+//! E6 — maintenance policy comparison under a mixed read/update
+//! workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdbms_bench::dbms_with_view;
+use sdbms_core::{AccuracyPolicy, Expr, MaintenancePolicy, Predicate, StatFunction};
+
+const ROWS: usize = 5_000;
+const OPS: usize = 40;
+
+fn run_mix(policy: MaintenancePolicy, update_frac: f64) {
+    let mut dbms = dbms_with_view(ROWS, 512);
+    dbms.set_policy("v", policy).expect("policy");
+    let fns = [StatFunction::Mean, StatFunction::Median, StatFunction::Variance];
+    let mut rng = StdRng::seed_from_u64(7);
+    for op in 0..OPS {
+        if rng.gen::<f64>() < update_frac {
+            let id = rng.gen_range(0..ROWS as i64);
+            dbms.update_where(
+                "v",
+                &Predicate::col_eq("PERSON_ID", id),
+                &[("INCOME", Expr::lit(1_000.0 + op as f64))],
+            )
+            .expect("update");
+        } else {
+            let f = &fns[rng.gen_range(0..fns.len())];
+            dbms.compute("v", "INCOME", f, AccuracyPolicy::Exact)
+                .expect("compute");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_policies");
+    group.sample_size(10);
+    for update_frac in [0.1f64, 0.5] {
+        for (name, policy) in [
+            ("incremental", MaintenancePolicy::Incremental),
+            ("invalidate_lazy", MaintenancePolicy::InvalidateLazy),
+            ("eager", MaintenancePolicy::EagerRecompute),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{:.0}%", update_frac * 100.0)),
+                &update_frac,
+                |b, &f| b.iter(|| run_mix(policy, f)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

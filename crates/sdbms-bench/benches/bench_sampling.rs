@@ -1,0 +1,51 @@
+//! E7 — sampling speed: SRS / reservoir / Bernoulli, and
+//! estimate-on-sample vs estimate-on-full.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdbms_bench::clean_micro;
+use sdbms_stats::{descriptive, quantile, sample};
+
+fn bench(c: &mut Criterion) {
+    let ds = clean_micro(50_000, 77);
+    let (incomes, _) = ds.column_f64("INCOME").expect("col");
+
+    let mut group = c.benchmark_group("e7_sampling");
+    for k in [500usize, 5_000] {
+        group.bench_with_input(BenchmarkId::new("srs_indices", k), &k, |b, &k| {
+            b.iter(|| sample::sample_indices(incomes.len(), k, 13).expect("srs"))
+        });
+        group.bench_with_input(BenchmarkId::new("reservoir", k), &k, |b, &k| {
+            b.iter(|| sample::reservoir_sample(incomes.iter().copied(), k, 13))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mean_median_on_sample", k),
+            &k,
+            |b, &k| {
+                let idx = sample::sample_indices(incomes.len(), k, 13).expect("srs");
+                let sampled: Vec<f64> = idx.iter().map(|&i| incomes[i]).collect();
+                b.iter(|| {
+                    (
+                        descriptive::mean(&sampled).expect("mean"),
+                        quantile::median(&sampled).expect("median"),
+                    )
+                })
+            },
+        );
+    }
+    group.bench_function("bernoulli_10pct", |b| {
+        b.iter(|| sample::bernoulli_indices(incomes.len(), 0.1, 13).expect("bernoulli"))
+    });
+    group.bench_function("mean_median_on_full", |b| {
+        b.iter(|| {
+            (
+                descriptive::mean(&incomes).expect("mean"),
+                quantile::median(&incomes).expect("median"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E10 — Summary Database secondary index vs full scan, plus the
+//! clustered per-attribute prefix access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdbms_storage::StorageEnv;
+use sdbms_summary::{Entry, Freshness, StatFunction, SummaryDb, SummaryValue};
+
+fn filled_db(entries: usize) -> SummaryDb {
+    let env = StorageEnv::new(128);
+    let db = SummaryDb::create(env.pool).expect("create");
+    for i in 0..entries {
+        db.put(&Entry {
+            attribute: format!("ATTR_{:04}", i / 8),
+            function: StatFunction::Quantile((i % 8 * 100) as u16),
+            result: SummaryValue::Scalar(i as f64),
+            freshness: Freshness::Fresh,
+            aux: None,
+            updates_since_refresh: 0,
+        })
+        .expect("put");
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_summary_index");
+    for entries in [64usize, 1024] {
+        let db = filled_db(entries);
+        let attr = format!("ATTR_{:04}", entries / 16);
+        let f = StatFunction::Quantile(300);
+        group.bench_with_input(
+            BenchmarkId::new("indexed_lookup", entries),
+            &entries,
+            |b, _| b.iter(|| db.lookup(&attr, &f).expect("lookup")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_scan_lookup", entries),
+            &entries,
+            |b, _| {
+                b.iter(|| {
+                    db.all_entries()
+                        .expect("scan")
+                        .into_iter()
+                        .find(|e| e.attribute == attr && e.function == f)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clustered_attribute_prefix", entries),
+            &entries,
+            |b, _| b.iter(|| db.entries_for_attribute(&attr).expect("prefix")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4 — transposed vs row layout for statistical and informational
+//! queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdbms_bench::clean_micro;
+use sdbms_columnar::{RowStore, TableStore, TransposedFile};
+use sdbms_storage::StorageEnv;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_transposed");
+    group.sample_size(10);
+    for rows in [2_000usize, 8_000] {
+        let ds = clean_micro(rows, 5);
+        let env_t = StorageEnv::new(8);
+        let t = TransposedFile::from_dataset(env_t.pool.clone(), &ds).expect("build");
+        let env_r = StorageEnv::new(8);
+        let r = RowStore::from_dataset(env_r.pool.clone(), &ds).expect("build");
+
+        group.bench_with_input(
+            BenchmarkId::new("column_scan_transposed", rows),
+            &rows,
+            |b, _| b.iter(|| t.read_column("INCOME").expect("col")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("column_scan_rowstore", rows),
+            &rows,
+            |b, _| b.iter(|| r.read_column("INCOME").expect("col")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("row_fetch_transposed", rows),
+            &rows,
+            |b, _| b.iter(|| t.read_row(rows / 2).expect("row")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("row_fetch_rowstore", rows),
+            &rows,
+            |b, _| b.iter(|| r.read_row(rows / 2).expect("row")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

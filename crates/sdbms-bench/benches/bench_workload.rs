@@ -1,0 +1,48 @@
+//! E12 — the full exploratory/confirmatory mixed workload, with and
+//! without the Summary Database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdbms_bench::dbms_with_view;
+use sdbms_core::{AccuracyPolicy, Expr, Predicate, StatFunction};
+
+const ROWS: usize = 2_000;
+const DAYS: usize = 5;
+
+fn workload(use_cache: bool) {
+    let mut dbms = dbms_with_view(ROWS, 512);
+    let queries = [
+        ("INCOME", StatFunction::Median),
+        ("INCOME", StatFunction::Mean),
+        ("AGE", StatFunction::Max),
+        ("HOURS_WORKED", StatFunction::Mean),
+    ];
+    for day in 0..DAYS {
+        for (attr, f) in &queries {
+            if use_cache {
+                dbms.compute("v", attr, f, AccuracyPolicy::Exact)
+                    .expect("compute");
+            } else {
+                let col = dbms.column("v", attr).expect("col");
+                let _ = f.compute(&col);
+            }
+        }
+        dbms.update_where(
+            "v",
+            &Predicate::col_eq("PERSON_ID", (day * 13 % ROWS) as i64),
+            &[("INCOME", Expr::lit(25_000.0 + day as f64))],
+        )
+        .expect("update");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_workload");
+    group.sample_size(10);
+    group.bench_function("with_summary_db", |b| b.iter(|| workload(true)));
+    group.bench_function("without_summary_db", |b| b.iter(|| workload(false)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! # sdbms-columnar — transposed files and compression
+//!
+//! §2.6 of the paper concludes that "the transposed file structure
+//! appears to be the best all-around storage structure for statistical
+//! data sets": exploratory/confirmatory operations read a few columns
+//! of every row, so storing each column contiguously minimizes page
+//! I/O, and run-length compression works *down* a column where category
+//! cross-products produce long runs. The cost is the "informational"
+//! query (one row, all columns), which must now touch one file per
+//! column.
+//!
+//! - [`store`] — the [`store::TableStore`] trait both layouts
+//!   implement, so the DBMS core can reorganize a live view.
+//! - [`rowstore`] — the conventional row layout (baseline of
+//!   experiment E4).
+//! - [`transposed`] — one segment-chain file per column.
+//! - [`segment`] — the segment encoding (raw / RLE / dictionary).
+//! - [`rle`] — run-length codecs and the column-vs-row compression
+//!   ratio measurements of experiment E5.
+
+#![warn(missing_docs)]
+
+pub mod rle;
+pub mod rowstore;
+pub mod segment;
+pub mod store;
+pub mod transposed;
+
+pub use rowstore::RowStore;
+pub use segment::{Compression, SEGMENT_ROWS};
+pub use store::{Layout, TableStore};
+pub use transposed::TransposedFile;

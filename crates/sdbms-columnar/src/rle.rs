@@ -1,0 +1,200 @@
+//! Run-length encoding of value sequences.
+//!
+//! §2.6: "run-length compression techniques are more likely to improve
+//! storage efficiency when they are applied down a column rather than
+//! across a row" — category columns (the cross-product key of a
+//! statistical data set) are long runs of identical values when the
+//! data is in cross-product order. Experiment E5 measures exactly this
+//! columnwise-vs-rowwise asymmetry, using [`compress_values`] for
+//! columns and [`compress_bytes`] for raw row images.
+
+use sdbms_data::{DataError, Value};
+
+/// Encode a sequence of values as `(run-length, value)` pairs.
+///
+/// Format: `u16 n_runs`, then per run `u16 len` + one encoded value.
+/// Runs group by [`Value::group_eq`], so NaN runs with NaN and Missing
+/// with Missing.
+#[must_use]
+pub fn compress_values(values: &[Value]) -> Vec<u8> {
+    let mut runs: Vec<(u16, &Value)> = Vec::new();
+    for v in values {
+        match runs.last_mut() {
+            Some((len, rv)) if *len < u16::MAX && rv.group_eq(v) => *len += 1,
+            _ => runs.push((1, v)),
+        }
+    }
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(runs.len() as u16).to_le_bytes());
+    for (len, v) in runs {
+        buf.extend_from_slice(&len.to_le_bytes());
+        v.encode(&mut buf);
+    }
+    buf
+}
+
+/// Decode [`compress_values`] output.
+pub fn decompress_values(buf: &[u8]) -> Result<Vec<Value>, DataError> {
+    let mut pos = 0usize;
+    let nb = buf
+        .get(0..2)
+        .ok_or(DataError::Decode("rle header truncated"))?;
+    pos += 2;
+    let n_runs = u16::from_le_bytes(nb.try_into().unwrap()) as usize;
+    let mut out = Vec::new();
+    for _ in 0..n_runs {
+        let lb = buf
+            .get(pos..pos + 2)
+            .ok_or(DataError::Decode("rle run truncated"))?;
+        pos += 2;
+        let len = u16::from_le_bytes(lb.try_into().unwrap()) as usize;
+        let v = Value::decode(buf, &mut pos)?;
+        out.extend(std::iter::repeat_with(|| v.clone()).take(len));
+    }
+    if pos != buf.len() {
+        return Err(DataError::Decode("trailing bytes after rle runs"));
+    }
+    Ok(out)
+}
+
+/// Byte-level RLE (used to measure rowwise compression of row images):
+/// `(u8 run_len, u8 byte)` pairs, runs capped at 255.
+#[must_use]
+pub fn compress_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let mut len = 1usize;
+        while i + len < bytes.len() && bytes[i + len] == b && len < 255 {
+            len += 1;
+        }
+        out.push(len as u8);
+        out.push(b);
+        i += len;
+    }
+    out
+}
+
+/// Decode [`compress_bytes`] output.
+pub fn decompress_bytes(buf: &[u8]) -> Result<Vec<u8>, DataError> {
+    if buf.len() % 2 != 0 {
+        return Err(DataError::Decode("byte-rle input has odd length"));
+    }
+    let mut out = Vec::new();
+    for pair in buf.chunks_exact(2) {
+        out.extend(std::iter::repeat(pair[1]).take(pair[0] as usize));
+    }
+    Ok(out)
+}
+
+/// `uncompressed_len / compressed_len` for a value sequence under
+/// [`compress_values`] (uncompressed = raw encoded values).
+#[must_use]
+pub fn column_compression_ratio(values: &[Value]) -> f64 {
+    let mut raw = Vec::new();
+    for v in values {
+        v.encode(&mut raw);
+    }
+    let compressed = compress_values(values);
+    if compressed.is_empty() {
+        return 1.0;
+    }
+    raw.len() as f64 / compressed.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_runs() {
+        let vals: Vec<Value> = std::iter::repeat(Value::Str("M".into()))
+            .take(500)
+            .chain(std::iter::repeat(Value::Str("F".into())).take(500))
+            .collect();
+        let buf = compress_values(&vals);
+        assert!(buf.len() < 40, "two runs should compress tiny: {}", buf.len());
+        assert_eq!(decompress_values(&buf).unwrap(), vals);
+    }
+
+    #[test]
+    fn roundtrip_no_runs() {
+        let vals: Vec<Value> = (0..100).map(|i| Value::Int(i)).collect();
+        let buf = compress_values(&vals);
+        assert_eq!(decompress_values(&buf).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let buf = compress_values(&[]);
+        assert_eq!(decompress_values(&buf).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn missing_and_nan_run_together() {
+        let vals = vec![
+            Value::Missing,
+            Value::Missing,
+            Value::Float(f64::NAN),
+            Value::Float(f64::NAN),
+        ];
+        let buf = compress_values(&vals);
+        let out = decompress_values(&buf).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out[0].is_missing() && out[1].is_missing());
+        assert!(matches!(out[2], Value::Float(x) if x.is_nan()));
+        // 2 runs only.
+        assert_eq!(u16::from_le_bytes([buf[0], buf[1]]), 2);
+    }
+
+    #[test]
+    fn long_runs_split_at_u16_max() {
+        let vals: Vec<Value> = std::iter::repeat(Value::Code(1)).take(70_000).collect();
+        let buf = compress_values(&vals);
+        assert_eq!(decompress_values(&buf).unwrap().len(), 70_000);
+    }
+
+    #[test]
+    fn byte_rle_roundtrip() {
+        let data = [0u8, 0, 0, 1, 2, 2, 2, 2, 2, 3];
+        let c = compress_bytes(&data);
+        assert_eq!(decompress_bytes(&c).unwrap(), data);
+        assert_eq!(compress_bytes(&[]), Vec::<u8>::new());
+        let long = vec![7u8; 1000];
+        assert_eq!(decompress_bytes(&compress_bytes(&long)).unwrap(), long);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decompress_values(&[5]).is_err());
+        assert!(decompress_values(&[1, 0, 2, 0]).is_err());
+        assert!(decompress_bytes(&[1]).is_err());
+        let mut ok = compress_values(&[Value::Int(1)]);
+        ok.push(9);
+        assert!(decompress_values(&ok).is_err());
+    }
+
+    #[test]
+    fn ratio_reflects_redundancy() {
+        let runs: Vec<Value> = std::iter::repeat(Value::Code(3)).take(1000).collect();
+        assert!(column_compression_ratio(&runs) > 100.0);
+        let unique: Vec<Value> = (0..1000).map(Value::Int).collect();
+        assert!(column_compression_ratio(&unique) < 1.0, "overhead on unique data");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_value_rle_roundtrip(codes in proptest::collection::vec(0u32..5, 0..400)) {
+            let vals: Vec<Value> = codes.into_iter().map(Value::Code).collect();
+            let buf = compress_values(&vals);
+            proptest::prop_assert_eq!(decompress_values(&buf).unwrap(), vals);
+        }
+
+        #[test]
+        fn prop_byte_rle_roundtrip(bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..600)) {
+            let c = compress_bytes(&bytes);
+            proptest::prop_assert_eq!(decompress_bytes(&c).unwrap(), bytes);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The common interface of view storage layouts.
+//!
+//! A concrete view lives on disk in either a row layout
+//! ([`crate::rowstore::RowStore`]) or a transposed layout
+//! ([`crate::transposed::TransposedFile`]). The DBMS core talks to both
+//! through [`TableStore`], which is also what lets the access-pattern
+//! tracker swap layouts under a live view (§2.3's "intelligent access
+//! methods that … dynamically reorganize the storage structures").
+
+use sdbms_data::{DataError, DataSet, Schema, Value};
+
+/// Result alias matching the data-layer error type.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// On-disk storage of one flat-file view.
+pub trait TableStore {
+    /// The view's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// True if the store holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read one full column (the *statistical* access pattern: a few
+    /// columns, every row).
+    fn read_column(&self, attribute: &str) -> Result<Vec<Value>>;
+
+    /// Read one full row (the *informational* access pattern: every
+    /// column, one row).
+    fn read_row(&self, row: usize) -> Result<Vec<Value>>;
+
+    /// Read one cell.
+    fn get_cell(&self, row: usize, attribute: &str) -> Result<Value>;
+
+    /// Overwrite one cell, returning the previous value.
+    fn set_cell(&mut self, row: usize, attribute: &str, value: Value) -> Result<Value>;
+
+    /// Append one row.
+    fn append_row(&mut self, row: Vec<Value>) -> Result<()>;
+
+    /// Append a whole new column (derived attributes, §3.2). `values`
+    /// must have exactly `len()` entries.
+    fn add_column(&mut self, attr: sdbms_data::Attribute, values: Vec<Value>) -> Result<()>;
+
+    /// Materialize the whole store as an in-memory data set.
+    fn to_dataset(&self, name: &str) -> Result<DataSet> {
+        let mut ds = DataSet::new(name, self.schema().clone());
+        for i in 0..self.len() {
+            ds.push_row(self.read_row(i)?)?;
+        }
+        Ok(ds)
+    }
+
+    /// One column as `(numeric values, skipped)` — the hot path for
+    /// statistical functions.
+    fn read_column_f64(&self, attribute: &str) -> Result<(Vec<f64>, usize)> {
+        let vals = self.read_column(attribute)?;
+        let mut out = Vec::with_capacity(vals.len());
+        let mut skipped = 0usize;
+        for v in &vals {
+            match v.as_f64() {
+                Some(x) => out.push(x),
+                None => skipped += 1,
+            }
+        }
+        Ok((out, skipped))
+    }
+}
+
+/// Which layout a store uses (reported by the core for diagnostics and
+/// reorganization decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Records hold whole rows (heap file of row images).
+    Row,
+    /// One file per column (transposed files, §2.6).
+    Transposed,
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Layout::Row => "row",
+            Layout::Transposed => "transposed",
+        })
+    }
+}

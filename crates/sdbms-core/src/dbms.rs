@@ -1,0 +1,987 @@
+//! The statistical DBMS façade — paper Figure 3 assembled.
+//!
+//! One [`StatDbms`] owns: the raw database on archive storage, any
+//! number of per-analyst concrete views on disk (row or transposed
+//! layout), one Summary Database per view, and the single Management
+//! Database (view catalog + histories + rules). Every byte of view and
+//! summary data moves through one simulated storage environment, so
+//! the shared tracker sees the whole system's I/O.
+
+use std::collections::HashMap;
+
+use sdbms_columnar::{Layout, RowStore, TableStore, TransposedFile};
+use sdbms_data::{
+    census, codebook::CodeBook, dataset::DataSet, metadata::MetadataGraph,
+    metadata::NodeKind, rawdb::RawDatabase, schema::Attribute, value::DataType, value::Value,
+};
+use sdbms_management::{
+    ChangeRecord, DerivedRule, ManagementError, RuleStore, VectorGenerator, Version,
+    ViewCatalog,
+};
+use sdbms_relational::{Expr, Predicate, ViewDefinition};
+use sdbms_stats::regression;
+use sdbms_storage::{IoSnapshot, StorageEnv};
+use sdbms_summary::{
+    apply_updates, get_or_compute, AccuracyPolicy, CacheStats, ComputeSource,
+    MaintenancePolicy, StatFunction, SummaryDb, SummaryValue, UpdateDelta,
+};
+
+use crate::error::{CoreError, Result};
+use crate::view::{ConcreteView, UpdateReport};
+
+/// The statistical database management system.
+pub struct StatDbms {
+    env: StorageEnv,
+    raw: RawDatabase,
+    codebooks: HashMap<String, CodeBook>,
+    metadata: MetadataGraph,
+    catalog: ViewCatalog,
+    rules: RuleStore,
+    views: HashMap<String, ConcreteView>,
+    /// Policy given to newly materialized views.
+    pub default_policy: MaintenancePolicy,
+    /// Layout given to newly materialized views (§2.6 recommends
+    /// transposed).
+    pub default_layout: Layout,
+}
+
+impl std::fmt::Debug for StatDbms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatDbms")
+            .field("raw_datasets", &self.raw.dataset_names().len())
+            .field("views", &self.views.len())
+            .finish()
+    }
+}
+
+impl StatDbms {
+    /// A DBMS over a fresh storage environment with `pool_pages`
+    /// buffer frames.
+    #[must_use]
+    pub fn new(pool_pages: usize) -> Self {
+        let env = StorageEnv::new(pool_pages);
+        let raw = RawDatabase::new(env.archive.clone());
+        StatDbms {
+            env,
+            raw,
+            codebooks: HashMap::new(),
+            metadata: MetadataGraph::new(),
+            catalog: ViewCatalog::new(),
+            rules: RuleStore::new(),
+            views: HashMap::new(),
+            default_policy: MaintenancePolicy::Incremental,
+            default_layout: Layout::Transposed,
+        }
+    }
+
+    /// The storage environment (for I/O accounting in experiments).
+    #[must_use]
+    pub fn env(&self) -> &StorageEnv {
+        &self.env
+    }
+
+    /// Snapshot of all I/O counters.
+    #[must_use]
+    pub fn io(&self) -> IoSnapshot {
+        self.env.tracker.snapshot()
+    }
+
+    // ---- raw database & metadata ---------------------------------------
+
+    /// Load a data set into the raw database (archive storage) and
+    /// register its structure in the metadata graph.
+    pub fn load_raw(&mut self, ds: &DataSet) -> Result<()> {
+        self.raw.store(ds)?;
+        let ds_node = ds.name().to_string();
+        self.metadata.add_node(
+            &ds_node,
+            NodeKind::DataSet {
+                dataset: ds_node.clone(),
+            },
+            &format!("raw data set ({} rows)", ds.len()),
+        );
+        for a in ds.schema().attributes() {
+            let node = format!("{}.{}", ds_node, a.name);
+            self.metadata.add_node(
+                &node,
+                NodeKind::Attribute {
+                    dataset: ds_node.clone(),
+                    attribute: a.name.clone(),
+                },
+                &format!("{} attribute ({})", a.role, a.name),
+            );
+            self.metadata.add_edge(&ds_node, &node)?;
+        }
+        Ok(())
+    }
+
+    /// Register a code book (usable as a join source named
+    /// `<attribute>_codes`).
+    pub fn register_codebook(&mut self, cb: CodeBook) {
+        self.codebooks.insert(format!("{}_codes", cb.attribute()), cb);
+    }
+
+    /// The code book registered under `name` (e.g. `AGE_GROUP_codes`).
+    #[must_use]
+    pub fn codebook(&self, name: &str) -> Option<&CodeBook> {
+        self.codebooks.get(name)
+    }
+
+    /// The raw database.
+    #[must_use]
+    pub fn raw(&self) -> &RawDatabase {
+        &self.raw
+    }
+
+    /// The metadata graph (SUBJECT-style navigation).
+    #[must_use]
+    pub fn metadata(&self) -> &MetadataGraph {
+        &self.metadata
+    }
+
+    /// Mutable metadata graph (topic nodes, generalizations).
+    pub fn metadata_mut(&mut self) -> &mut MetadataGraph {
+        &mut self.metadata
+    }
+
+    // ---- view materialization -------------------------------------------
+
+    fn resolve_source(&self, name: &str) -> std::result::Result<DataSet, sdbms_data::DataError> {
+        if let Some(cb) = self.codebooks.get(name) {
+            return Ok(cb.to_dataset());
+        }
+        self.raw.extract(name, None, None)
+    }
+
+    /// Materialize a concrete view with the default layout and policy.
+    ///
+    /// Enforces the §2.3 duplicate check: if an equivalent view is
+    /// visible to `owner`, returns
+    /// [`CoreError::EquivalentViewExists`] instead of re-reading the
+    /// archive.
+    pub fn materialize(&mut self, def: ViewDefinition, owner: &str) -> Result<()> {
+        let layout = self.default_layout;
+        self.materialize_with(def, owner, layout)
+    }
+
+    /// Materialize with an explicit layout.
+    pub fn materialize_with(
+        &mut self,
+        def: ViewDefinition,
+        owner: &str,
+        layout: Layout,
+    ) -> Result<()> {
+        if self.views.contains_key(&def.name) {
+            return Err(CoreError::ViewExists(def.name));
+        }
+        if let Some(existing) = self.catalog.find_equivalent(&def, owner) {
+            return Err(CoreError::EquivalentViewExists {
+                existing: existing.definition.name.clone(),
+                owner: existing.owner.clone(),
+            });
+        }
+        let mut resolve =
+            |name: &str| -> std::result::Result<DataSet, sdbms_data::DataError> {
+                self.resolve_source(name)
+            };
+        let ds = def.execute(&mut resolve)?;
+        let store: Box<dyn TableStore> = match layout {
+            Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
+            Layout::Transposed => {
+                Box::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
+            }
+        };
+        let summary = SummaryDb::create(self.env.pool.clone())?;
+        let name = def.name.clone();
+        self.catalog.register(def, owner)?;
+        self.views.insert(
+            name.clone(),
+            ConcreteView {
+                name: name.clone(),
+                owner: owner.to_string(),
+                store,
+                layout,
+                summary,
+                policy: self.default_policy,
+                tracker: Default::default(),
+                stale_columns: Default::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Names of all materialized views, sorted.
+    #[must_use]
+    pub fn view_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.views.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// A view handle.
+    pub fn view(&self, name: &str) -> Result<&ConcreteView> {
+        self.views
+            .get(name)
+            .ok_or_else(|| CoreError::NoSuchView(name.to_string()))
+    }
+
+    fn view_mut(&mut self, name: &str) -> Result<&mut ConcreteView> {
+        self.views
+            .get_mut(name)
+            .ok_or_else(|| CoreError::NoSuchView(name.to_string()))
+    }
+
+    /// Destroy a view (store, summary, catalog entry, rules).
+    pub fn drop_view(&mut self, name: &str, owner: &str) -> Result<()> {
+        let v = self.view(name)?;
+        if v.owner != owner {
+            return Err(CoreError::NotOwner {
+                view: name.to_string(),
+                owner: v.owner.clone(),
+            });
+        }
+        self.views.remove(name);
+        self.catalog.deregister(name)?;
+        self.rules.drop_view(name);
+        Ok(())
+    }
+
+    // ---- reading views ---------------------------------------------------
+
+    /// One column of a view (statistical access; tracked).
+    pub fn column(&mut self, view: &str, attribute: &str) -> Result<Vec<Value>> {
+        let v = self.view_mut(view)?;
+        v.tracker.column_reads += 1;
+        Ok(v.store.read_column(attribute)?)
+    }
+
+    /// One row of a view (informational access; tracked).
+    pub fn row(&mut self, view: &str, row: usize) -> Result<Vec<Value>> {
+        let v = self.view_mut(view)?;
+        v.tracker.row_reads += 1;
+        Ok(v.store.read_row(row)?)
+    }
+
+    /// The whole view as an in-memory data set.
+    pub fn dataset(&self, view: &str) -> Result<DataSet> {
+        let v = self.view(view)?;
+        Ok(v.store.to_dataset(view)?)
+    }
+
+    /// A simple random sample of the view's rows (§2.2 exploratory
+    /// sampling).
+    pub fn sample(&self, view: &str, k: usize, seed: u64) -> Result<DataSet> {
+        let v = self.view(view)?;
+        let ds = v.store.to_dataset(view)?;
+        Ok(sdbms_stats::sample::sample_dataset(&ds, k.min(ds.len()), seed)?)
+    }
+
+    /// Rows of `view` whose `attribute` value falls outside its
+    /// declared plausibility range (§2.2 data checking).
+    pub fn suspicious_rows(&mut self, view: &str, attribute: &str) -> Result<Vec<usize>> {
+        let v = self.view_mut(view)?;
+        let schema = v.store.schema();
+        let attr = schema.attribute(attribute)?;
+        let Some((lo, hi)) = attr.valid_range else {
+            return Ok(Vec::new());
+        };
+        v.tracker.column_reads += 1;
+        let col = v.store.read_column(attribute)?;
+        Ok(col
+            .iter()
+            .enumerate()
+            .filter(|(_, val)| match val.as_f64() {
+                Some(x) => !(lo..=hi).contains(&x),
+                None => false,
+            })
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    // ---- the Summary Database path ----------------------------------------
+
+    /// Compute `function(attribute)` on a view, through the view's
+    /// Summary Database (§3.2 search: serve from cache, else compute
+    /// and insert). Respects attribute metadata: numeric summaries of
+    /// encoded attributes are rejected.
+    pub fn compute(
+        &mut self,
+        view: &str,
+        attribute: &str,
+        function: &StatFunction,
+        accuracy: AccuracyPolicy,
+    ) -> Result<(SummaryValue, ComputeSource)> {
+        let v = self.view_mut(view)?;
+        let attr = v.store.schema().attribute(attribute)?.clone();
+        if function.needs_numeric() && !attr.is_summarizable() {
+            return Err(CoreError::NotSummarizable {
+                attribute: attribute.to_string(),
+            });
+        }
+        let store = &v.store;
+        let tracker = &mut v.tracker;
+        let mut column = || {
+            tracker.column_reads += 1;
+            store
+                .read_column(&attr.name)
+                .map_err(sdbms_summary::SummaryError::Data)
+        };
+        let (value, source) =
+            get_or_compute(&v.summary, attribute, function, accuracy, &mut column)?;
+        Ok((value, source))
+    }
+
+    /// Like [`StatDbms::compute`], but before touching data, try to
+    /// *infer* the answer from other cached entries (§5.1's Database
+    /// Abstract rules): exactly (mean from sum/count, std-dev from
+    /// variance, …) or as a histogram-based estimate. Exact inferences
+    /// are cached like computed results; estimates are returned but not
+    /// cached (they would poison exact reads).
+    pub fn compute_with_inference(
+        &mut self,
+        view: &str,
+        attribute: &str,
+        function: &StatFunction,
+        accuracy: AccuracyPolicy,
+    ) -> Result<(SummaryValue, ComputeSource, Option<String>)> {
+        {
+            let v = self.view(view)?;
+            if v.summary.lookup_fresh(attribute, function)?.is_none() {
+                match sdbms_summary::infer(&v.summary, attribute, function)? {
+                    Some(sdbms_summary::Inferred::Exact(value)) => {
+                        v.summary.put(&sdbms_summary::Entry {
+                            attribute: attribute.to_string(),
+                            function: function.clone(),
+                            result: value.clone(),
+                            freshness: sdbms_summary::Freshness::Fresh,
+                            // Inferred without data, so there is no
+                            // incremental state; updates invalidate it.
+                            aux: None,
+                            updates_since_refresh: 0,
+                        })?;
+                        return Ok((value, ComputeSource::Cache, Some("inferred".into())));
+                    }
+                    Some(sdbms_summary::Inferred::Estimate { value, basis }) => {
+                        return Ok((
+                            SummaryValue::Scalar(value),
+                            ComputeSource::Cache,
+                            Some(format!("estimate from {basis}")),
+                        ));
+                    }
+                    None => {}
+                }
+            }
+        }
+        let (value, source) = self.compute(view, attribute, function, accuracy)?;
+        Ok((value, source, None))
+    }
+
+    /// Pre-compute the §3.2 standing summary set for every
+    /// summarizable attribute of a view.
+    pub fn warm_standing_summaries(&mut self, view: &str) -> Result<usize> {
+        let names: Vec<String> = {
+            let v = self.view(view)?;
+            v.store
+                .schema()
+                .attributes()
+                .iter()
+                .filter(|a| a.is_summarizable())
+                .map(|a| a.name.clone())
+                .collect()
+        };
+        let mut warmed = 0;
+        for attr in names {
+            for f in sdbms_summary::standing_summary_functions() {
+                // Skip functions that fail on degenerate columns (all
+                // missing) rather than aborting the warm-up.
+                if self
+                    .compute(view, &attr, &f, AccuracyPolicy::Exact)
+                    .is_ok()
+                {
+                    warmed += 1;
+                }
+            }
+        }
+        Ok(warmed)
+    }
+
+    /// Cache-effectiveness counters of a view's Summary Database.
+    pub fn cache_stats(&self, view: &str) -> Result<CacheStats> {
+        Ok(self.view(view)?.summary.stats())
+    }
+
+    /// Set a view's maintenance policy.
+    pub fn set_policy(&mut self, view: &str, policy: MaintenancePolicy) -> Result<()> {
+        self.view_mut(view)?.policy = policy;
+        Ok(())
+    }
+
+    // ---- updates -----------------------------------------------------------
+
+    /// Update cells by predicate (§4.1): for every row satisfying
+    /// `predicate`, assign each `(attribute, expression)`. Records
+    /// history, maintains every affected Summary Database entry under
+    /// the view's policy, and fires derived-attribute rules.
+    pub fn update_where(
+        &mut self,
+        view: &str,
+        predicate: &Predicate,
+        assignments: &[(&str, Expr)],
+    ) -> Result<UpdateReport> {
+        let mut report = UpdateReport::default();
+        // Phase 1: locate matching rows and apply base assignments.
+        let mut deltas: HashMap<String, Vec<UpdateDelta>> = HashMap::new();
+        let matching: Vec<usize>;
+        {
+            let v = self.view_mut(view)?;
+            let schema = v.store.schema().clone();
+            let bound: Vec<(String, sdbms_relational::BoundExpr, DataType)> = assignments
+                .iter()
+                .map(|(attr, expr)| {
+                    let a = schema.attribute(attr)?;
+                    Ok((a.name.clone(), expr.bind(&schema)?, a.dtype))
+                })
+                .collect::<Result<_>>()?;
+            // Evaluate the predicate column-wise: read only the columns
+            // it references (the transposed layout's strength), then
+            // touch full rows only for the matches.
+            let ref_cols: Vec<String> = predicate.referenced_columns();
+            let ref_names: Vec<&str> = ref_cols.iter().map(String::as_str).collect();
+            let proj_schema = schema.project(&ref_names)?;
+            let bound_pred = predicate.bind(&proj_schema)?;
+            let columns: Vec<Vec<Value>> = ref_names
+                .iter()
+                .map(|c| {
+                    v.tracker.column_reads += 1;
+                    v.store.read_column(c)
+                })
+                .collect::<std::result::Result<_, _>>()?;
+            let mut proj_row: Vec<Value> = Vec::with_capacity(columns.len());
+            matching = (0..v.store.len())
+                .filter(|&i| {
+                    proj_row.clear();
+                    proj_row.extend(columns.iter().map(|col| col[i].clone()));
+                    bound_pred.eval(&proj_row)
+                })
+                .collect();
+            report.rows_matched = matching.len();
+            let mut records: Vec<ChangeRecord> = Vec::new();
+            for &i in &matching {
+                let row = v.store.read_row(i)?;
+                for (attr, bexpr, dtype) in &bound {
+                    let new = coerce(bexpr.eval(&row), *dtype);
+                    let old = v.store.set_cell(i, attr, new.clone())?;
+                    if old != new {
+                        report.cells_changed += 1;
+                        deltas.entry(attr.clone()).or_default().push(UpdateDelta {
+                            old: old.clone(),
+                            new: new.clone(),
+                        });
+                        records.push(ChangeRecord::CellUpdate {
+                            row: i,
+                            attribute: attr.clone(),
+                            old,
+                            new,
+                        });
+                    }
+                }
+            }
+            let history = &mut self.catalog.view_mut(view)?.history;
+            for r in records {
+                history.record(r);
+            }
+        }
+        // Phase 2: fire derived-attribute rules.
+        self.fire_derived_rules(view, &matching, &mut deltas, &mut report)?;
+        // Phase 3: Summary Database maintenance per affected attribute.
+        self.maintain_summaries(view, deltas, &mut report)?;
+        Ok(report)
+    }
+
+    /// Mark cells missing by predicate (§3.1 "marked as invalid").
+    pub fn invalidate_where(
+        &mut self,
+        view: &str,
+        predicate: &Predicate,
+        attribute: &str,
+    ) -> Result<UpdateReport> {
+        self.update_where(
+            view,
+            predicate,
+            &[(attribute, Expr::Literal(Value::Missing))],
+        )
+    }
+
+    fn fire_derived_rules(
+        &mut self,
+        view: &str,
+        affected_rows: &[usize],
+        deltas: &mut HashMap<String, Vec<UpdateDelta>>,
+        report: &mut UpdateReport,
+    ) -> Result<()> {
+        let updated_attrs: Vec<String> = deltas.keys().cloned().collect();
+        let mut fired: Vec<(String, DerivedRule)> = Vec::new();
+        for attr in &updated_attrs {
+            for (derived, rule) in self.rules.triggered_by(view, attr) {
+                if !fired.iter().any(|(d, _)| d == derived) {
+                    fired.push((derived.to_string(), rule.clone()));
+                }
+            }
+        }
+        for (derived, rule) in fired {
+            report.derived_updates.push((derived.clone(), rule.cost_class()));
+            match rule {
+                DerivedRule::Local { expr } => {
+                    let mut records: Vec<ChangeRecord> = Vec::new();
+                    {
+                        let v = self.view_mut(view)?;
+                        let schema = v.store.schema().clone();
+                        let bexpr = expr.bind(&schema)?;
+                        let dtype = schema.attribute(&derived)?.dtype;
+                        for &i in affected_rows {
+                            let row = v.store.read_row(i)?;
+                            let new = coerce(bexpr.eval(&row), dtype);
+                            let old = v.store.set_cell(i, &derived, new.clone())?;
+                            if old != new {
+                                deltas
+                                    .entry(derived.clone())
+                                    .or_default()
+                                    .push(UpdateDelta {
+                                        old: old.clone(),
+                                        new: new.clone(),
+                                    });
+                                records.push(ChangeRecord::CellUpdate {
+                                    row: i,
+                                    attribute: derived.clone(),
+                                    old,
+                                    new,
+                                });
+                            }
+                        }
+                    }
+                    let history = &mut self.catalog.view_mut(view)?.history;
+                    for r in records {
+                        history.record(r);
+                    }
+                }
+                DerivedRule::Regenerate { ref generator } => {
+                    self.regenerate_vector(view, &derived, generator)?;
+                    self.catalog
+                        .view_mut(view)?
+                        .history
+                        .record(ChangeRecord::Annotation {
+                            text: format!("regenerated derived column {derived}"),
+                        });
+                    // The whole column changed: invalidate its summaries.
+                    let v = self.view(view)?;
+                    v.summary.invalidate_attribute(&derived)?;
+                }
+                DerivedRule::MarkStale { .. } => {
+                    let v = self.view_mut(view)?;
+                    v.stale_columns.insert(derived.clone());
+                    v.summary.invalidate_attribute(&derived)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn regenerate_vector(
+        &mut self,
+        view: &str,
+        derived: &str,
+        generator: &VectorGenerator,
+    ) -> Result<()> {
+        let values: Vec<Value> = match generator {
+            VectorGenerator::Residuals { x, y } => {
+                let v = self.view_mut(view)?;
+                v.tracker.column_reads += 2;
+                let xs_raw = v.store.read_column(x)?;
+                let ys_raw = v.store.read_column(y)?;
+                residual_column(&xs_raw, &ys_raw)?
+            }
+            VectorGenerator::Expression(expr) => {
+                let v = self.view(view)?;
+                let schema = v.store.schema().clone();
+                let bexpr = expr.bind(&schema)?;
+                let dtype = schema.attribute(derived)?.dtype;
+                (0..v.store.len())
+                    .map(|i| {
+                        let row = v.store.read_row(i)?;
+                        Ok(coerce(bexpr.eval(&row), dtype))
+                    })
+                    .collect::<Result<_>>()?
+            }
+        };
+        let v = self.view_mut(view)?;
+        for (i, val) in values.into_iter().enumerate() {
+            v.store.set_cell(i, derived, val)?;
+        }
+        v.stale_columns.remove(derived);
+        Ok(())
+    }
+
+    /// Regenerate a derived column on demand (for
+    /// [`DerivedRule::MarkStale`] columns).
+    pub fn regenerate_column(&mut self, view: &str, derived: &str) -> Result<()> {
+        let rule = self.rules.rule(view, derived)?.clone();
+        match rule {
+            DerivedRule::Local { expr } => {
+                self.regenerate_vector(view, derived, &VectorGenerator::Expression(expr))
+            }
+            DerivedRule::Regenerate { generator } => {
+                self.regenerate_vector(view, derived, &generator)
+            }
+            DerivedRule::MarkStale { .. } => {
+                // MarkStale columns carry no generator; re-deriving is
+                // the analyst's job. Clear the flag only.
+                self.view_mut(view)?.stale_columns.remove(derived);
+                Ok(())
+            }
+        }
+    }
+
+    fn maintain_summaries(
+        &mut self,
+        view: &str,
+        deltas: HashMap<String, Vec<UpdateDelta>>,
+        report: &mut UpdateReport,
+    ) -> Result<()> {
+        let v = self.view_mut(view)?;
+        let policy = v.policy;
+        for (attr, ds) in deltas {
+            let store = &v.store;
+            let tracker = &mut v.tracker;
+            let mut column = || {
+                tracker.column_reads += 1;
+                store
+                    .read_column(&attr)
+                    .map_err(sdbms_summary::SummaryError::Data)
+            };
+            let r = apply_updates(&v.summary, &attr, &ds, policy, &mut column)?;
+            report.maintenance.incremental += r.incremental;
+            report.maintenance.recomputed += r.recomputed;
+            report.maintenance.invalidated += r.invalidated;
+        }
+        Ok(())
+    }
+
+    // ---- derived columns ----------------------------------------------------
+
+    /// Add a derived column defined by a row expression, with the
+    /// row-local maintenance rule (§3.2's log / row-sum example).
+    pub fn add_derived_column(
+        &mut self,
+        view: &str,
+        name: &str,
+        dtype: DataType,
+        expr: Expr,
+    ) -> Result<()> {
+        let values = {
+            let v = self.view(view)?;
+            let schema = v.store.schema().clone();
+            let bexpr = expr.bind(&schema)?;
+            (0..v.store.len())
+                .map(|i| {
+                    let row = v.store.read_row(i)?;
+                    Ok(coerce(bexpr.eval(&row), dtype))
+                })
+                .collect::<Result<Vec<Value>>>()?
+        };
+        let v = self.view_mut(view)?;
+        v.store.add_column(Attribute::derived(name, dtype), values)?;
+        self.rules
+            .register(view, name, DerivedRule::Local { expr });
+        self.catalog
+            .view_mut(view)?
+            .history
+            .record(ChangeRecord::ColumnAppended {
+                attribute: name.to_string(),
+            });
+        Ok(())
+    }
+
+    /// Add a regression-residual column `y ~ x` with the
+    /// regenerate-whole-vector rule (§3.2's residuals example).
+    pub fn add_residuals_column(
+        &mut self,
+        view: &str,
+        name: &str,
+        x: &str,
+        y: &str,
+    ) -> Result<()> {
+        let values = {
+            let v = self.view_mut(view)?;
+            v.tracker.column_reads += 2;
+            let xs_raw = v.store.read_column(x)?;
+            let ys_raw = v.store.read_column(y)?;
+            residual_column(&xs_raw, &ys_raw)?
+        };
+        let v = self.view_mut(view)?;
+        v.store
+            .add_column(Attribute::derived(name, DataType::Float), values)?;
+        self.rules.register(
+            view,
+            name,
+            DerivedRule::Regenerate {
+                generator: VectorGenerator::Residuals {
+                    x: x.to_string(),
+                    y: y.to_string(),
+                },
+            },
+        );
+        self.catalog
+            .view_mut(view)?
+            .history
+            .record(ChangeRecord::ColumnAppended {
+                attribute: name.to_string(),
+            });
+        Ok(())
+    }
+
+    /// Override the maintenance rule of an existing derived column
+    /// (§3.2 lets the analyst choose; e.g. demote an expensive
+    /// regenerate rule to mark-stale during heavy editing).
+    pub fn set_derived_rule(
+        &mut self,
+        view: &str,
+        attribute: &str,
+        rule: DerivedRule,
+    ) -> Result<()> {
+        // Both the view and the column must exist.
+        self.view(view)?.store.schema().require(attribute)?;
+        self.rules.rule(view, attribute)?; // must already be derived
+        self.rules.register(view, attribute, rule);
+        Ok(())
+    }
+
+    /// Derived columns of a view currently marked out-of-date.
+    pub fn stale_columns(&self, view: &str) -> Result<Vec<String>> {
+        Ok(self.view(view)?.stale_columns.iter().cloned().collect())
+    }
+
+    /// The rule store (Management Database rules).
+    #[must_use]
+    pub fn rules(&self) -> &RuleStore {
+        &self.rules
+    }
+
+    // ---- history: checkpoints, undo, publishing ------------------------------
+
+    /// Record a named checkpoint in a view's history.
+    pub fn checkpoint(&mut self, view: &str, label: &str) -> Result<Version> {
+        self.view(view)?; // existence check
+        Ok(self
+            .catalog
+            .view_mut(view)?
+            .history
+            .record(ChangeRecord::Checkpoint {
+                label: label.to_string(),
+            }))
+    }
+
+    /// Append a free-text annotation (data-checking notes).
+    pub fn annotate(&mut self, view: &str, text: &str) -> Result<Version> {
+        self.view(view)?;
+        Ok(self
+            .catalog
+            .view_mut(view)?
+            .history
+            .record(ChangeRecord::Annotation {
+                text: text.to_string(),
+            }))
+    }
+
+    /// Current history version of a view.
+    pub fn history_version(&self, view: &str) -> Result<Version> {
+        Ok(self.catalog.view(view)?.history.version())
+    }
+
+    /// Roll a view back to an earlier version (§3.2 "roll a view back
+    /// to a previous state"). The rollback itself is recorded, so the
+    /// history stays append-only and an undo can itself be undone.
+    pub fn rollback_to(&mut self, view: &str, version: Version) -> Result<usize> {
+        self.view(view)?;
+        let inverses = self.catalog.view(view)?.history.undo_to(version)?;
+        let mut deltas: HashMap<String, Vec<UpdateDelta>> = HashMap::new();
+        {
+            let v = self.view_mut(view)?;
+            for inv in &inverses {
+                if let ChangeRecord::CellUpdate {
+                    row,
+                    attribute,
+                    new,
+                    ..
+                } = inv
+                {
+                    let old = v.store.set_cell(*row, attribute, new.clone())?;
+                    deltas
+                        .entry(attribute.clone())
+                        .or_default()
+                        .push(UpdateDelta {
+                            old,
+                            new: new.clone(),
+                        });
+                }
+            }
+        }
+        let n = inverses.len();
+        // Rows whose base attributes changed, for derived-rule firing.
+        let affected_rows: Vec<usize> = {
+            let mut rows: Vec<usize> = inverses
+                .iter()
+                .filter_map(|inv| match inv {
+                    ChangeRecord::CellUpdate { row, .. } => Some(*row),
+                    _ => None,
+                })
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            rows
+        };
+        for inv in inverses {
+            self.catalog.view_mut(view)?.history.record(inv);
+        }
+        let mut report = UpdateReport::default();
+        // Restoring base attributes must also re-derive dependent
+        // columns (residuals etc.), exactly as a forward update would.
+        self.fire_derived_rules(view, &affected_rows, &mut deltas, &mut report)?;
+        self.maintain_summaries(view, deltas, &mut report)?;
+        Ok(n)
+    }
+
+    /// Roll back to the most recent checkpoint with this label.
+    pub fn rollback_to_checkpoint(&mut self, view: &str, label: &str) -> Result<usize> {
+        let version = self
+            .catalog
+            .view(view)?
+            .history
+            .checkpoint(label)
+            .ok_or_else(|| {
+                CoreError::Management(ManagementError::NoSuchVersion {
+                    version: 0,
+                    current: 0,
+                })
+            })?;
+        self.rollback_to(view, version)
+    }
+
+    /// Publish a view so other analysts can find it, use it, and read
+    /// its cleaning log (§2.3).
+    pub fn publish(&mut self, view: &str, owner: &str) -> Result<()> {
+        let v = self.view(view)?;
+        if v.owner != owner {
+            return Err(CoreError::NotOwner {
+                view: view.to_string(),
+                owner: v.owner.clone(),
+            });
+        }
+        self.catalog.publish(view, owner)?;
+        Ok(())
+    }
+
+    /// The data-cleaning actions of a view, if it is visible to
+    /// `analyst`.
+    pub fn cleaning_log(&self, view: &str, analyst: &str) -> Result<Vec<String>> {
+        let rec = self.catalog.view(view)?;
+        let visible = rec.owner == analyst
+            || rec.visibility == sdbms_management::Visibility::Published;
+        if !visible {
+            return Err(CoreError::NotOwner {
+                view: view.to_string(),
+                owner: rec.owner.clone(),
+            });
+        }
+        Ok(rec
+            .history
+            .cleaning_log()
+            .iter()
+            .map(ToString::to_string)
+            .collect())
+    }
+
+    /// The Management Database's view catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &ViewCatalog {
+        &self.catalog
+    }
+
+    // ---- reorganization --------------------------------------------------------
+
+    /// Rebuild a view's store in a different layout. Summary entries
+    /// stay valid (the data is unchanged); only the storage moves.
+    pub fn reorganize(&mut self, view: &str, layout: Layout) -> Result<()> {
+        let v = self.view(view)?;
+        if v.layout == layout {
+            return Ok(());
+        }
+        let ds = v.store.to_dataset(view)?;
+        let store: Box<dyn TableStore> = match layout {
+            Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
+            Layout::Transposed => {
+                Box::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
+            }
+        };
+        let v = self.view_mut(view)?;
+        v.store = store;
+        v.layout = layout;
+        v.tracker = Default::default();
+        Ok(())
+    }
+
+    /// Reorganize if the access pattern recommends a different layout
+    /// (the §2.3 "intelligent access method"). Returns the new layout
+    /// if a reorganization happened.
+    pub fn auto_reorganize(&mut self, view: &str) -> Result<Option<Layout>> {
+        let v = self.view(view)?;
+        match v.tracker.recommended_layout() {
+            Some(rec) if rec != v.layout => {
+                self.reorganize(view, rec)?;
+                Ok(Some(rec))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Coerce expression results to the column type where lossless
+/// (arithmetic yields floats; integer columns take integral floats).
+fn coerce(v: Value, dtype: DataType) -> Value {
+    match (&v, dtype) {
+        (Value::Float(x), DataType::Int) if x.fract() == 0.0 && x.is_finite() => {
+            Value::Int(*x as i64)
+        }
+        _ => v,
+    }
+}
+
+/// Residuals of `y ~ x` as a value column; rows where either input is
+/// missing get a missing residual.
+fn residual_column(xs_raw: &[Value], ys_raw: &[Value]) -> Result<Vec<Value>> {
+    let pairs: Vec<(f64, f64)> = xs_raw
+        .iter()
+        .zip(ys_raw)
+        .filter_map(|(x, y)| Some((x.as_f64()?, y.as_f64()?)))
+        .collect();
+    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let fit = regression::linear_fit(&xs, &ys)?;
+    Ok(xs_raw
+        .iter()
+        .zip(ys_raw)
+        .map(|(x, y)| match (x.as_f64(), y.as_f64()) {
+            (Some(xv), Some(yv)) => Value::Float(fit.residual(xv, yv)),
+            _ => Value::Missing,
+        })
+        .collect())
+}
+
+/// Convenience: build a DBMS pre-loaded with the paper's running
+/// example — Figure 1 in the raw database and the Figure 2 code book
+/// registered.
+pub fn paper_demo_dbms(pool_pages: usize) -> Result<StatDbms> {
+    let mut dbms = StatDbms::new(pool_pages);
+    dbms.load_raw(&census::figure1())?;
+    dbms.register_codebook(CodeBook::figure2_age_group());
+    Ok(dbms)
+}

@@ -1,0 +1,117 @@
+//! Error type for the DBMS core.
+
+use std::fmt;
+
+use sdbms_data::DataError;
+use sdbms_management::ManagementError;
+use sdbms_stats::StatsError;
+use sdbms_storage::StorageError;
+use sdbms_summary::SummaryError;
+
+/// Errors raised by the statistical DBMS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// No concrete view with this name.
+    NoSuchView(String),
+    /// A view with this name already exists.
+    ViewExists(String),
+    /// An equivalent view already exists (the §2.3 duplicate check);
+    /// the caller should use it instead of re-materializing.
+    EquivalentViewExists {
+        /// Name of the existing equivalent view.
+        existing: String,
+        /// Its owner.
+        owner: String,
+    },
+    /// The caller does not own the view.
+    NotOwner {
+        /// View name.
+        view: String,
+        /// Actual owner.
+        owner: String,
+    },
+    /// Summaries requested for an attribute whose metadata says they
+    /// are meaningless (§3.2's AGE_GROUP median example).
+    NotSummarizable {
+        /// The attribute.
+        attribute: String,
+    },
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Underlying data-model failure.
+    Data(DataError),
+    /// Underlying statistics failure.
+    Stats(StatsError),
+    /// Underlying Summary Database failure.
+    Summary(SummaryError),
+    /// Underlying Management Database failure.
+    Management(ManagementError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoSuchView(name) => write!(f, "no view named {name:?}"),
+            CoreError::ViewExists(name) => write!(f, "view {name:?} already exists"),
+            CoreError::EquivalentViewExists { existing, owner } => write!(
+                f,
+                "an equivalent view already exists: {existing:?} (owner {owner})"
+            ),
+            CoreError::NotOwner { view, owner } => {
+                write!(f, "view {view:?} is owned by {owner}")
+            }
+            CoreError::NotSummarizable { attribute } => write!(
+                f,
+                "summary statistics are not meaningful for attribute {attribute:?} \
+                 (encoded/categorical; see its metadata)"
+            ),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Stats(e) => write!(f, "stats error: {e}"),
+            CoreError::Summary(e) => write!(f, "summary error: {e}"),
+            CoreError::Management(e) => write!(f, "management error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Summary(e) => Some(e),
+            CoreError::Management(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+impl From<SummaryError> for CoreError {
+    fn from(e: SummaryError) -> Self {
+        CoreError::Summary(e)
+    }
+}
+impl From<ManagementError> for CoreError {
+    fn from(e: ManagementError) -> Self {
+        CoreError::Management(e)
+    }
+}
+
+/// Convenient result alias for DBMS operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,43 @@
+//! # sdbms-core — the statistical DBMS
+//!
+//! This crate assembles the architecture of paper Figure 3:
+//!
+//! ```text
+//!      raw database (tape)          Management Database
+//!            │                     (catalog · histories · rules)
+//!     materialize (relational ops)         │
+//!            ▼                             │ drives
+//!   concrete views (disk, row or transposed layout)
+//!            │                             │
+//!            ├── Summary Database per view ┘
+//!            ▼
+//!   statistical functions (cached, incrementally maintained)
+//! ```
+//!
+//! [`dbms::StatDbms`] is the façade: load raw data sets onto archive
+//! storage, materialize per-analyst views (with the §2.3 duplicate
+//! check), run statistical functions through each view's Summary
+//! Database, update by predicate with automatic cache maintenance and
+//! derived-column rules, checkpoint/rollback/publish through the
+//! Management Database, and reorganize storage when the observed
+//! access pattern favors the other layout.
+
+#![warn(missing_docs)]
+
+pub mod dbms;
+pub mod error;
+pub mod view;
+
+pub use dbms::{paper_demo_dbms, StatDbms};
+pub use error::{CoreError, Result};
+pub use view::{AccessTracker, ConcreteView, UpdateReport};
+
+// Re-export the vocabulary types callers need, so examples and tests
+// can depend on `sdbms-core` alone.
+pub use sdbms_columnar::Layout;
+pub use sdbms_relational::{
+    AggFunc, Aggregate, BinOp, CmpOp, Expr, Predicate, ScalarFunc, ViewDefinition, ViewStep,
+};
+pub use sdbms_summary::{
+    AccuracyPolicy, ComputeSource, MaintenancePolicy, StatFunction, SummaryValue,
+};

@@ -1,0 +1,114 @@
+//! Concrete views and their access-pattern bookkeeping.
+
+use std::collections::BTreeSet;
+
+use sdbms_columnar::{Layout, TableStore};
+use sdbms_summary::{MaintenancePolicy, SummaryDb};
+
+/// Counts of how a view has been accessed, driving the §2.3
+/// "intelligent access methods that interpret reference patterns to
+/// the view and dynamically reorganize the storage structures".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessTracker {
+    /// Whole-column (statistical) reads.
+    pub column_reads: u64,
+    /// Whole-row (informational) reads.
+    pub row_reads: u64,
+}
+
+impl AccessTracker {
+    /// The layout this access pattern favors, if the evidence is
+    /// strong (at least 10 accesses and a 3:1 skew); `None` = no
+    /// recommendation.
+    #[must_use]
+    pub fn recommended_layout(&self) -> Option<Layout> {
+        let total = self.column_reads + self.row_reads;
+        if total < 10 {
+            return None;
+        }
+        if self.column_reads >= 3 * self.row_reads.max(1) {
+            Some(Layout::Transposed)
+        } else if self.row_reads >= 3 * self.column_reads.max(1) {
+            Some(Layout::Row)
+        } else {
+            None
+        }
+    }
+}
+
+/// A materialized (concrete) view: on-disk data + its private Summary
+/// Database (§3.2: "Associated with each view is a Summary Database").
+pub struct ConcreteView {
+    /// View name (catalog key).
+    pub name: String,
+    /// Owning analyst.
+    pub owner: String,
+    /// The on-disk data in its current layout.
+    pub store: Box<dyn TableStore>,
+    /// Current layout.
+    pub layout: Layout,
+    /// The view's Summary Database.
+    pub summary: SummaryDb,
+    /// Maintenance policy for the Summary Database under updates.
+    pub policy: MaintenancePolicy,
+    /// Access-pattern counters.
+    pub tracker: AccessTracker,
+    /// Derived columns currently marked out-of-date (the
+    /// [`sdbms_management::DerivedRule::MarkStale`] rule).
+    pub stale_columns: BTreeSet<String>,
+}
+
+impl std::fmt::Debug for ConcreteView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcreteView")
+            .field("name", &self.name)
+            .field("owner", &self.owner)
+            .field("rows", &self.store.len())
+            .field("layout", &self.layout)
+            .field("cached", &self.summary.len())
+            .finish()
+    }
+}
+
+/// What an update statement did (returned by
+/// [`crate::dbms::StatDbms::update_where`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateReport {
+    /// Rows matching the predicate.
+    pub rows_matched: usize,
+    /// Cells actually changed (per assignment).
+    pub cells_changed: usize,
+    /// Summary Database maintenance work, summed over attributes.
+    pub maintenance: sdbms_summary::MaintenanceReport,
+    /// Derived columns touched, with the rule cost class applied.
+    pub derived_updates: Vec<(String, &'static str)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_recommendations() {
+        let mut t = AccessTracker::default();
+        assert_eq!(t.recommended_layout(), None, "no evidence yet");
+        t.column_reads = 30;
+        t.row_reads = 2;
+        assert_eq!(t.recommended_layout(), Some(Layout::Transposed));
+        let t = AccessTracker {
+            column_reads: 2,
+            row_reads: 40,
+        };
+        assert_eq!(t.recommended_layout(), Some(Layout::Row));
+        let t = AccessTracker {
+            column_reads: 10,
+            row_reads: 12,
+        };
+        assert_eq!(t.recommended_layout(), None, "mixed workload");
+        let t = AccessTracker {
+            column_reads: 12,
+            row_reads: 0,
+        };
+        assert_eq!(t.recommended_layout(), Some(Layout::Transposed));
+    }
+}

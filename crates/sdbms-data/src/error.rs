@@ -1,0 +1,95 @@
+//! Error type for the data model layer.
+
+use std::fmt;
+
+use sdbms_storage::StorageError;
+
+/// Errors raised by the data model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A row had the wrong number of values for its schema.
+    ArityMismatch {
+        /// Attribute count of the schema.
+        expected: usize,
+        /// Value count of the offending row.
+        got: usize,
+    },
+    /// A value's type did not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute whose type was violated.
+        attribute: String,
+        /// Declared type name.
+        expected: &'static str,
+        /// Runtime type name of the offending value.
+        got: &'static str,
+    },
+    /// No attribute with this name in the schema.
+    NoSuchAttribute(String),
+    /// An attribute name was declared twice in one schema.
+    DuplicateAttribute(String),
+    /// Row index out of bounds.
+    NoSuchRow(usize),
+    /// A code value had no entry in the code book.
+    UnknownCode {
+        /// Attribute the code book interprets.
+        attribute: String,
+        /// The undefined code.
+        code: u32,
+    },
+    /// Bytes could not be decoded as a row/value.
+    Decode(&'static str),
+    /// A metadata graph node was not found.
+    NoSuchNode(String),
+    /// A metadata graph edge would be invalid (e.g. cycle).
+    BadEdge(String),
+    /// Underlying storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values, schema has {expected} attributes")
+            }
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "attribute {attribute:?} expects {expected}, got {got}"
+            ),
+            DataError::NoSuchAttribute(name) => write!(f, "no attribute named {name:?}"),
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "attribute {name:?} declared twice")
+            }
+            DataError::NoSuchRow(i) => write!(f, "row index {i} out of bounds"),
+            DataError::UnknownCode { attribute, code } => {
+                write!(f, "code {code} of attribute {attribute:?} not in code book")
+            }
+            DataError::Decode(what) => write!(f, "decode error: {what}"),
+            DataError::NoSuchNode(name) => write!(f, "no metadata node named {name:?}"),
+            DataError::BadEdge(why) => write!(f, "invalid metadata edge: {why}"),
+            DataError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for DataError {
+    fn from(e: StorageError) -> Self {
+        DataError::Storage(e)
+    }
+}
+
+/// Convenient result alias for data-layer operations.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,40 @@
+//! # sdbms-data — the statistical data model
+//!
+//! The data structures §2.1 of the paper characterizes statistical
+//! databases by:
+//!
+//! - [`value`] — typed cell values with first-class missing values and
+//!   a binary row encoding used by every storage layer.
+//! - [`schema`] — attributes with *category* / *measured* / *derived*
+//!   roles (category attributes form the composite key), code book
+//!   references, and validation ranges for data checking.
+//! - [`dataset`] — the in-memory flat file ("much like a relation")
+//!   that statistical packages present, with column extraction,
+//!   derived-column appending, invalidation, and suspicion scans.
+//! - [`codebook`] — encoded-value interpretation tables (paper
+//!   Figure 2), convertible to data sets so decoding is a join.
+//! - [`census`] — deterministic census-style workload generators,
+//!   including an exact reproduction of paper Figure 1.
+//! - [`metadata`] — the SUBJECT-style meta-data navigation graph that
+//!   turns a browsing session into a view request.
+//! - [`rawdb`] — data sets on sequential archive ("tape") storage,
+//!   readable only by full scans.
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod codebook;
+pub mod dataset;
+pub mod error;
+pub mod metadata;
+pub mod rawdb;
+pub mod schema;
+pub mod value;
+
+pub use codebook::CodeBook;
+pub use dataset::DataSet;
+pub use error::{DataError, Result};
+pub use metadata::{MetadataGraph, NavigationSession, NodeKind, ViewRequest};
+pub use rawdb::RawDatabase;
+pub use schema::{Attribute, AttributeRole, Schema};
+pub use value::{decode_row, encode_row, DataType, Value};

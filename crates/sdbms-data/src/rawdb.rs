@@ -1,0 +1,409 @@
+//! The raw database: data sets on sequential archive storage.
+//!
+//! §2.3: "because of its enormous size, the raw database will almost
+//! always reside on slow secondary storage devices such as tapes. A
+//! typical analysis will require access to a small portion of the
+//! database, which for reasons of efficiency, must be migrated to disk
+//! storage while in use."
+//!
+//! A [`RawDatabase`] stores each data set as one archive reel: a schema
+//! block followed by row blocks ([`ROWS_PER_BLOCK`] rows each). The
+//! only way to get data out is a full sequential scan — exactly the
+//! access pattern that makes concrete views worth materializing
+//! (experiment E9).
+
+use std::sync::Arc;
+
+use sdbms_storage::ArchiveStore;
+
+use crate::dataset::DataSet;
+use crate::error::{DataError, Result};
+use crate::schema::{Attribute, AttributeRole, Schema};
+use crate::value::{decode_row, encode_row, DataType, Value};
+
+/// Rows packed into one archive block.
+pub const ROWS_PER_BLOCK: usize = 64;
+
+/// Serialize a schema into one archive block.
+fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(schema.len() as u16).to_le_bytes());
+    for a in schema.attributes() {
+        let name = a.name.as_bytes();
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.push(match a.dtype {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Str => 2,
+            DataType::Code => 3,
+        });
+        buf.push(match a.role {
+            AttributeRole::Category => 0,
+            AttributeRole::Measured => 1,
+            AttributeRole::Derived => 2,
+        });
+        match &a.codebook {
+            Some(cb) => {
+                let b = cb.as_bytes();
+                buf.extend_from_slice(&(b.len() as u16).to_le_bytes());
+                buf.extend_from_slice(b);
+            }
+            None => buf.extend_from_slice(&0u16.to_le_bytes()),
+        }
+        match a.valid_range {
+            Some((lo, hi)) => {
+                buf.push(1);
+                buf.extend_from_slice(&lo.to_le_bytes());
+                buf.extend_from_slice(&hi.to_le_bytes());
+            }
+            None => buf.push(0),
+        }
+    }
+    buf
+}
+
+fn decode_schema(buf: &[u8]) -> Result<Schema> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        let s = buf
+            .get(*pos..*pos + n)
+            .ok_or(DataError::Decode("schema block truncated"))?;
+        *pos += n;
+        Ok(s)
+    };
+    let n = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let nlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(take(&mut pos, nlen)?)
+            .map_err(|_| DataError::Decode("attribute name not UTF-8"))?
+            .to_string();
+        let dtype = match take(&mut pos, 1)?[0] {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Str,
+            3 => DataType::Code,
+            _ => return Err(DataError::Decode("bad dtype byte")),
+        };
+        let role = match take(&mut pos, 1)?[0] {
+            0 => AttributeRole::Category,
+            1 => AttributeRole::Measured,
+            2 => AttributeRole::Derived,
+            _ => return Err(DataError::Decode("bad role byte")),
+        };
+        let cblen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let codebook = if cblen > 0 {
+            Some(
+                std::str::from_utf8(take(&mut pos, cblen)?)
+                    .map_err(|_| DataError::Decode("codebook name not UTF-8"))?
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        let valid_range = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => {
+                let lo = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+                let hi = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+                Some((lo, hi))
+            }
+            _ => return Err(DataError::Decode("bad range flag")),
+        };
+        attrs.push(Attribute {
+            name,
+            dtype,
+            role,
+            codebook,
+            valid_range,
+        });
+    }
+    Schema::new(attrs)
+}
+
+/// Data sets stored on archive reels, readable only sequentially.
+pub struct RawDatabase {
+    archive: Arc<ArchiveStore>,
+}
+
+impl std::fmt::Debug for RawDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawDatabase")
+            .field("datasets", &self.archive.reel_names())
+            .finish()
+    }
+}
+
+impl RawDatabase {
+    /// Wrap an archive store.
+    #[must_use]
+    pub fn new(archive: Arc<ArchiveStore>) -> Self {
+        RawDatabase { archive }
+    }
+
+    /// The underlying archive.
+    #[must_use]
+    pub fn archive(&self) -> &Arc<ArchiveStore> {
+        &self.archive
+    }
+
+    /// Names of stored data sets, sorted.
+    #[must_use]
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.archive.reel_names()
+    }
+
+    /// Load a data set onto a new reel named after the data set.
+    /// (Loading is an offline bulk operation; it charges no read cost.)
+    pub fn store(&self, ds: &DataSet) -> Result<()> {
+        self.archive.create_reel(ds.name())?;
+        self.archive
+            .append_block(ds.name(), &encode_schema(ds.schema()))?;
+        for chunk in ds.rows().chunks(ROWS_PER_BLOCK) {
+            let mut block = Vec::new();
+            block.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
+            for row in chunk {
+                let rb = encode_row(row);
+                block.extend_from_slice(&(rb.len() as u32).to_le_bytes());
+                block.extend_from_slice(&rb);
+            }
+            self.archive.append_block(ds.name(), &block)?;
+        }
+        Ok(())
+    }
+
+    /// Read just the schema (one block read after mount).
+    pub fn schema_of(&self, name: &str) -> Result<Schema> {
+        let mut reel = self.archive.open(name)?;
+        let block = reel.read_next()?;
+        decode_schema(&block)
+    }
+
+    /// Sequentially scan a stored data set, calling `visit` for each
+    /// row. Returning `false` stops the scan (the tape still charged
+    /// for every block read so far). Returns the number of rows
+    /// visited.
+    pub fn scan(
+        &self,
+        name: &str,
+        mut visit: impl FnMut(&[Value]) -> bool,
+    ) -> Result<usize> {
+        let mut reel = self.archive.open(name)?;
+        let schema_block = reel.read_next()?;
+        let schema = decode_schema(&schema_block)?;
+        let width = schema.len();
+        let mut visited = 0usize;
+        while reel.position() < reel.len() {
+            let block = reel.read_next()?;
+            let mut pos = 0usize;
+            let nrows = u16::from_le_bytes(
+                block
+                    .get(0..2)
+                    .ok_or(DataError::Decode("row block truncated"))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            pos += 2;
+            for _ in 0..nrows {
+                let len = u32::from_le_bytes(
+                    block
+                        .get(pos..pos + 4)
+                        .ok_or(DataError::Decode("row length truncated"))?
+                        .try_into()
+                        .unwrap(),
+                ) as usize;
+                pos += 4;
+                let row = decode_row(
+                    block
+                        .get(pos..pos + len)
+                        .ok_or(DataError::Decode("row bytes truncated"))?,
+                )?;
+                pos += len;
+                if row.len() != width {
+                    return Err(DataError::ArityMismatch {
+                        expected: width,
+                        got: row.len(),
+                    });
+                }
+                visited += 1;
+                if !visit(&row) {
+                    return Ok(visited);
+                }
+            }
+        }
+        Ok(visited)
+    }
+
+    /// Extract a (possibly filtered, possibly projected) data set by a
+    /// full sequential pass — the expensive operation concrete views
+    /// amortize away.
+    ///
+    /// `attributes = None` keeps every column; `pred = None` keeps
+    /// every row.
+    #[allow(clippy::type_complexity)] // optional row filter is clearest inline
+    pub fn extract(
+        &self,
+        name: &str,
+        attributes: Option<&[&str]>,
+        mut pred: Option<&mut dyn FnMut(&Schema, &[Value]) -> bool>,
+    ) -> Result<DataSet> {
+        let schema = self.schema_of(name)?;
+        let (out_schema, keep): (Schema, Vec<usize>) = match attributes {
+            Some(names) => {
+                let keep: Vec<usize> = names
+                    .iter()
+                    .map(|n| schema.require(n))
+                    .collect::<Result<_>>()?;
+                (schema.project(names)?, keep)
+            }
+            None => (schema.clone(), (0..schema.len()).collect()),
+        };
+        let mut out = DataSet::new(&format!("{name}_extract"), out_schema);
+        self.scan(name, |row| {
+            let pass = match pred.as_deref_mut() {
+                Some(p) => p(&schema, row),
+                None => true,
+            };
+            if pass {
+                let projected: Vec<Value> = keep.iter().map(|&i| row[i].clone()).collect();
+                out.push_row(projected).expect("projected row conforms");
+            }
+            true
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::{figure1, microdata_census, CensusConfig};
+    use sdbms_storage::Tracker;
+
+    fn rawdb() -> RawDatabase {
+        RawDatabase::new(Arc::new(ArchiveStore::new(Tracker::new())))
+    }
+
+    #[test]
+    fn store_and_scan_roundtrip() {
+        let db = rawdb();
+        let ds = figure1();
+        db.store(&ds).unwrap();
+        let mut rows = Vec::new();
+        let n = db
+            .scan("figure1", |r| {
+                rows.push(r.to_vec());
+                true
+            })
+            .unwrap();
+        assert_eq!(n, 9);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows, ds.rows());
+    }
+
+    #[test]
+    fn schema_roundtrip_preserves_metadata() {
+        let db = rawdb();
+        let ds = microdata_census(&CensusConfig {
+            rows: 10,
+            ..Default::default()
+        })
+        .unwrap();
+        db.store(&ds).unwrap();
+        let schema = db.schema_of("census_microdata").unwrap();
+        assert_eq!(schema, *ds.schema());
+        assert_eq!(
+            schema.attribute("AGE").unwrap().valid_range,
+            Some((0.0, 110.0))
+        );
+        assert_eq!(
+            schema.attribute("REGION").unwrap().codebook.as_deref(),
+            Some("REGION")
+        );
+    }
+
+    #[test]
+    fn extract_with_projection_and_filter() {
+        let db = rawdb();
+        db.store(&figure1()).unwrap();
+        let mut only_male = |s: &Schema, r: &[Value]| {
+            r[s.position("SEX").unwrap()].as_str() == Some("M")
+        };
+        let out = db
+            .extract(
+                "figure1",
+                Some(&["POPULATION", "AVE_SALARY"]),
+                Some(&mut only_male),
+            )
+            .unwrap();
+        assert_eq!(out.schema().names(), vec!["POPULATION", "AVE_SALARY"]);
+        assert_eq!(out.len(), 5, "5 male rows in figure 1");
+    }
+
+    #[test]
+    fn scan_charges_archive_reads() {
+        let db = rawdb();
+        let ds = microdata_census(&CensusConfig {
+            rows: 1000,
+            ..Default::default()
+        })
+        .unwrap();
+        db.store(&ds).unwrap();
+        let tracker = db.archive().tracker().clone();
+        tracker.reset();
+        db.scan("census_microdata", |_| true).unwrap();
+        let s = tracker.snapshot();
+        // 1 schema block + ceil(1000/64) row blocks.
+        assert_eq!(s.archive_block_reads, 1 + 16);
+    }
+
+    #[test]
+    fn early_stop_reads_fewer_blocks() {
+        let db = rawdb();
+        let ds = microdata_census(&CensusConfig {
+            rows: 1000,
+            ..Default::default()
+        })
+        .unwrap();
+        db.store(&ds).unwrap();
+        let tracker = db.archive().tracker().clone();
+        tracker.reset();
+        let mut seen = 0;
+        db.scan("census_microdata", |_| {
+            seen += 1;
+            seen < 10
+        })
+        .unwrap();
+        assert!(tracker.snapshot().archive_block_reads <= 2);
+    }
+
+    #[test]
+    fn duplicate_store_rejected() {
+        let db = rawdb();
+        db.store(&figure1()).unwrap();
+        assert!(db.store(&figure1()).is_err());
+    }
+
+    #[test]
+    fn missing_dataset_errors() {
+        let db = rawdb();
+        assert!(db.schema_of("nope").is_err());
+        assert!(db.scan("nope", |_| true).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let db = rawdb();
+        let ds = DataSet::new(
+            "empty",
+            Schema::new(vec![Attribute::measured("X", DataType::Int)]).unwrap(),
+        );
+        db.store(&ds).unwrap();
+        let n = db.scan("empty", |_| true).unwrap();
+        assert_eq!(n, 0);
+        let out = db.extract("empty", None, None).unwrap();
+        assert_eq!(out.len(), 0);
+        assert_eq!(out.schema().len(), 1);
+    }
+}

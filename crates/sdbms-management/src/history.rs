@@ -1,0 +1,301 @@
+//! Per-view update histories with undo.
+//!
+//! §3.2: "Keeping a history of updates for each view will enable the
+//! DBMS to roll a view back to a previous state should such an action
+//! be desired by the analyst. The update history of a view may also be
+//! used by other analysts who wish to use some of the data in the view.
+//! Rather than repeating the mundane and time consuming data checking
+//! operations they can examine what actions were taken by their
+//! predecessors and use the 'clean' data for their needs."
+//!
+//! [`UpdateHistory`] is an append-only log of logical change records.
+//! Rolling back produces the *inverse* records for the view layer to
+//! apply (the history itself stays append-only, so a rollback is also
+//! in the history — nothing is ever lost).
+
+use std::fmt;
+
+use sdbms_data::Value;
+
+/// Monotone version counter; one per applied change record.
+pub type Version = u64;
+
+/// One logical change to a view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeRecord {
+    /// A cell was overwritten.
+    CellUpdate {
+        /// Row index in the view.
+        row: usize,
+        /// Attribute name.
+        attribute: String,
+        /// Value before.
+        old: Value,
+        /// Value after.
+        new: Value,
+    },
+    /// A derived column was appended.
+    ColumnAppended {
+        /// The new attribute's name.
+        attribute: String,
+    },
+    /// A free annotation (data-checking notes other analysts read).
+    Annotation {
+        /// The note text.
+        text: String,
+    },
+    /// A named checkpoint the analyst can roll back to.
+    Checkpoint {
+        /// Checkpoint label.
+        label: String,
+    },
+}
+
+impl ChangeRecord {
+    /// The inverse record, if the change is invertible. Annotations and
+    /// checkpoints have no effect to invert; column appends invert to
+    /// a drop, which the view layer handles by name.
+    #[must_use]
+    pub fn inverse(&self) -> Option<ChangeRecord> {
+        match self {
+            ChangeRecord::CellUpdate {
+                row,
+                attribute,
+                old,
+                new,
+            } => Some(ChangeRecord::CellUpdate {
+                row: *row,
+                attribute: attribute.clone(),
+                old: new.clone(),
+                new: old.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ChangeRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChangeRecord::CellUpdate {
+                row,
+                attribute,
+                old,
+                new,
+            } => write!(f, "row {row}: {attribute} {old} -> {new}"),
+            ChangeRecord::ColumnAppended { attribute } => {
+                write!(f, "appended column {attribute}")
+            }
+            ChangeRecord::Annotation { text } => write!(f, "note: {text}"),
+            ChangeRecord::Checkpoint { label } => write!(f, "checkpoint {label:?}"),
+        }
+    }
+}
+
+/// The append-only history of one view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateHistory {
+    records: Vec<(Version, ChangeRecord)>,
+    next_version: Version,
+}
+
+impl UpdateHistory {
+    /// An empty history at version 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current version (number of records applied).
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.next_version
+    }
+
+    /// Append a record, returning its version.
+    pub fn record(&mut self, change: ChangeRecord) -> Version {
+        self.next_version += 1;
+        self.records.push((self.next_version, change));
+        self.next_version
+    }
+
+    /// All records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> &[(Version, ChangeRecord)] {
+        &self.records
+    }
+
+    /// Records after `version` (exclusive), oldest first.
+    #[must_use]
+    pub fn records_since(&self, version: Version) -> &[(Version, ChangeRecord)] {
+        let start = self.records.partition_point(|(v, _)| *v <= version);
+        &self.records[start..]
+    }
+
+    /// Version of the most recent checkpoint named `label`, if any.
+    #[must_use]
+    pub fn checkpoint(&self, label: &str) -> Option<Version> {
+        self.records
+            .iter()
+            .rev()
+            .find(|(_, r)| matches!(r, ChangeRecord::Checkpoint { label: l } if l == label))
+            .map(|(v, _)| *v)
+    }
+
+    /// The inverse records needed to roll the view back to `version`,
+    /// newest change first (apply them in order). Errors if the
+    /// version never existed.
+    pub fn undo_to(&self, version: Version) -> crate::error::Result<Vec<ChangeRecord>> {
+        if version > self.next_version {
+            return Err(crate::error::ManagementError::NoSuchVersion {
+                version,
+                current: self.next_version,
+            });
+        }
+        Ok(self
+            .records_since(version)
+            .iter()
+            .rev()
+            .filter_map(|(_, r)| r.inverse())
+            .collect())
+    }
+
+    /// The data-cleaning actions a later analyst would replay (§3.2's
+    /// "use the clean data"): every cell update and annotation, in
+    /// order.
+    #[must_use]
+    pub fn cleaning_log(&self) -> Vec<&ChangeRecord> {
+        self.records
+            .iter()
+            .filter(|(_, r)| {
+                matches!(
+                    r,
+                    ChangeRecord::CellUpdate { .. } | ChangeRecord::Annotation { .. }
+                )
+            })
+            .map(|(_, r)| r)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(row: usize, old: i64, new: i64) -> ChangeRecord {
+        ChangeRecord::CellUpdate {
+            row,
+            attribute: "X".into(),
+            old: Value::Int(old),
+            new: Value::Int(new),
+        }
+    }
+
+    #[test]
+    fn versions_monotone() {
+        let mut h = UpdateHistory::new();
+        assert_eq!(h.version(), 0);
+        let v1 = h.record(upd(0, 1, 2));
+        let v2 = h.record(upd(1, 3, 4));
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(h.version(), 2);
+        assert_eq!(h.records().len(), 2);
+    }
+
+    #[test]
+    fn undo_produces_reversed_inverses() {
+        let mut h = UpdateHistory::new();
+        h.record(upd(0, 1, 2));
+        h.record(upd(0, 2, 3));
+        h.record(upd(5, 10, 20));
+        let undo = h.undo_to(1).unwrap();
+        assert_eq!(undo.len(), 2);
+        // Newest first: 5:20->10, then 0:3->2.
+        assert_eq!(
+            undo[0],
+            ChangeRecord::CellUpdate {
+                row: 5,
+                attribute: "X".into(),
+                old: Value::Int(20),
+                new: Value::Int(10),
+            }
+        );
+        assert_eq!(
+            undo[1],
+            ChangeRecord::CellUpdate {
+                row: 0,
+                attribute: "X".into(),
+                old: Value::Int(3),
+                new: Value::Int(2),
+            }
+        );
+        // Rolling back to the current version is a no-op.
+        assert!(h.undo_to(3).unwrap().is_empty());
+        assert!(h.undo_to(99).is_err());
+    }
+
+    #[test]
+    fn checkpoints_found_latest_first() {
+        let mut h = UpdateHistory::new();
+        h.record(ChangeRecord::Checkpoint {
+            label: "clean".into(),
+        });
+        h.record(upd(0, 1, 2));
+        h.record(ChangeRecord::Checkpoint {
+            label: "clean".into(),
+        });
+        assert_eq!(h.checkpoint("clean"), Some(3));
+        assert_eq!(h.checkpoint("nope"), None);
+        // Undo to the first checkpoint: inverse of the single update.
+        let undo = h.undo_to(1).unwrap();
+        assert_eq!(undo.len(), 1);
+    }
+
+    #[test]
+    fn annotations_not_invertible_but_logged() {
+        let mut h = UpdateHistory::new();
+        h.record(ChangeRecord::Annotation {
+            text: "row 17 income 999999 marked invalid: data-entry error".into(),
+        });
+        h.record(upd(17, 999_999, 0));
+        h.record(ChangeRecord::ColumnAppended {
+            attribute: "LOG_INCOME".into(),
+        });
+        let undo = h.undo_to(0).unwrap();
+        assert_eq!(undo.len(), 1, "only the cell update inverts");
+        let clean = h.cleaning_log();
+        assert_eq!(clean.len(), 2, "annotation + cell update");
+    }
+
+    #[test]
+    fn records_since_boundary() {
+        let mut h = UpdateHistory::new();
+        for i in 0..5 {
+            h.record(upd(i, 0, 1));
+        }
+        assert_eq!(h.records_since(0).len(), 5);
+        assert_eq!(h.records_since(3).len(), 2);
+        assert_eq!(h.records_since(5).len(), 0);
+    }
+
+    #[test]
+    fn missing_value_updates_invert() {
+        let mut h = UpdateHistory::new();
+        h.record(ChangeRecord::CellUpdate {
+            row: 2,
+            attribute: "AGE".into(),
+            old: Value::Int(1000),
+            new: Value::Missing,
+        });
+        let undo = h.undo_to(0).unwrap();
+        assert_eq!(
+            undo[0],
+            ChangeRecord::CellUpdate {
+                row: 2,
+                attribute: "AGE".into(),
+                old: Value::Missing,
+                new: Value::Int(1000),
+            }
+        );
+    }
+}

@@ -1,0 +1,595 @@
+//! Scalar expressions and predicates over rows.
+//!
+//! §4.1: "the analyst will specify an update to the data set by using a
+//! predicate in a similar manner to what is currently done in
+//! relational systems". [`Predicate`] is that language; [`Expr`] is the
+//! scalar expression language used for computed columns (the "sum of
+//! three attributes, or the logarithm of some attribute" derived
+//! columns of §3.2) and for update right-hand sides.
+//!
+//! Semantics are deliberately simple and two-valued: any comparison or
+//! arithmetic involving a missing value yields missing/false, except
+//! the explicit [`Predicate::IsMissing`] test. This matches how
+//! statistical packages treat missing data (drop it), not SQL's
+//! three-valued logic.
+
+use std::fmt;
+
+use sdbms_data::{DataError, Schema, Value};
+
+/// Result alias matching the data-layer error type.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (division by zero yields missing).
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// Unary scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// Natural logarithm (non-positive input yields missing).
+    Ln,
+    /// Base-10 logarithm.
+    Log10,
+    /// Absolute value.
+    Abs,
+    /// Square root (negative input yields missing).
+    Sqrt,
+    /// Negation.
+    Neg,
+}
+
+impl fmt::Display for ScalarFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScalarFunc::Ln => "ln",
+            ScalarFunc::Log10 => "log10",
+            ScalarFunc::Abs => "abs",
+            ScalarFunc::Sqrt => "sqrt",
+            ScalarFunc::Neg => "neg",
+        })
+    }
+}
+
+/// A scalar expression evaluated per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An attribute reference.
+    Column(String),
+    /// A constant.
+    Literal(Value),
+    /// Arithmetic on two subexpressions (numeric; missing propagates).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary function application.
+    Func {
+        /// Function.
+        f: ScalarFunc,
+        /// Argument.
+        arg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    #[must_use]
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_string())
+    }
+
+    /// Shorthand for a literal.
+    #[must_use]
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self op other`.
+    #[must_use]
+    pub fn binary(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `f(self)`.
+    #[must_use]
+    pub fn apply(self, f: ScalarFunc) -> Expr {
+        Expr::Func {
+            f,
+            arg: Box::new(self),
+        }
+    }
+
+    /// Resolve column names to positions for fast repeated evaluation.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr> {
+        Ok(match self {
+            Expr::Column(name) => BoundExpr::Column(schema.require(name)?),
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::Func { f, arg } => BoundExpr::Func {
+                f: *f,
+                arg: Box::new(arg.bind(schema)?),
+            },
+        })
+    }
+
+    /// Names of all columns the expression reads.
+    #[must_use]
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(n) => out.push(n.clone()),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Func { arg, .. } => arg.collect_columns(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c:?}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Func { f: func, arg } => write!(f, "{func}({arg})"),
+        }
+    }
+}
+
+/// An [`Expr`] with column references resolved to row positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Resolved column position.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// Arithmetic node.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Function node.
+    Func {
+        /// Function.
+        f: ScalarFunc,
+        /// Argument.
+        arg: Box<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    /// Evaluate against one row. Missing operands, domain errors
+    /// (log of a negative, division by zero), and non-numeric operands
+    /// to arithmetic all yield [`Value::Missing`].
+    #[must_use]
+    pub fn eval(&self, row: &[Value]) -> Value {
+        match self {
+            BoundExpr::Column(i) => row[*i].clone(),
+            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Binary { op, left, right } => {
+                let (Some(l), Some(r)) = (left.eval(row).as_f64(), right.eval(row).as_f64())
+                else {
+                    return Value::Missing;
+                };
+                let x = match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => {
+                        if r == 0.0 {
+                            return Value::Missing;
+                        }
+                        l / r
+                    }
+                };
+                Value::Float(x)
+            }
+            BoundExpr::Func { f, arg } => {
+                let Some(x) = arg.eval(row).as_f64() else {
+                    return Value::Missing;
+                };
+                let y = match f {
+                    ScalarFunc::Ln => {
+                        if x <= 0.0 {
+                            return Value::Missing;
+                        }
+                        x.ln()
+                    }
+                    ScalarFunc::Log10 => {
+                        if x <= 0.0 {
+                            return Value::Missing;
+                        }
+                        x.log10()
+                    }
+                    ScalarFunc::Abs => x.abs(),
+                    ScalarFunc::Sqrt => {
+                        if x < 0.0 {
+                            return Value::Missing;
+                        }
+                        x.sqrt()
+                    }
+                    ScalarFunc::Neg => -x,
+                };
+                Value::Float(y)
+            }
+        }
+    }
+}
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A row predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the whole data set).
+    True,
+    /// Compare two expressions. Comparisons involving missing are
+    /// false (except `Ne`, which is also false: missing is
+    /// incomparable).
+    Cmp {
+        /// Left expression.
+        left: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right expression.
+        right: Expr,
+    },
+    /// Both subpredicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either subpredicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The subpredicate does not hold.
+    Not(Box<Predicate>),
+    /// The named attribute is missing in this row.
+    IsMissing(String),
+}
+
+impl Predicate {
+    /// `left op right` shorthand.
+    #[must_use]
+    pub fn cmp(left: Expr, op: CmpOp, right: Expr) -> Predicate {
+        Predicate::Cmp { left, op, right }
+    }
+
+    /// `column = literal` shorthand.
+    #[must_use]
+    pub fn col_eq(column: &str, v: impl Into<Value>) -> Predicate {
+        Predicate::cmp(Expr::col(column), CmpOp::Eq, Expr::lit(v))
+    }
+
+    /// Conjunction shorthand.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction shorthand.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation shorthand.
+    #[must_use]
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Resolve column references for fast repeated evaluation.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate> {
+        Ok(match self {
+            Predicate::True => BoundPredicate::True,
+            Predicate::Cmp { left, op, right } => BoundPredicate::Cmp {
+                left: left.bind(schema)?,
+                op: *op,
+                right: right.bind(schema)?,
+            },
+            Predicate::And(a, b) => {
+                BoundPredicate::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Predicate::Or(a, b) => {
+                BoundPredicate::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Predicate::Not(p) => BoundPredicate::Not(Box::new(p.bind(schema)?)),
+            Predicate::IsMissing(name) => BoundPredicate::IsMissing(schema.require(name)?),
+        })
+    }
+
+    /// Names of all columns the predicate reads.
+    #[must_use]
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::IsMissing(n) => out.push(n.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+            Predicate::IsMissing(c) => write!(f, "{c:?} IS MISSING"),
+        }
+    }
+}
+
+/// A [`Predicate`] with columns resolved to row positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundPredicate {
+    /// Always true.
+    True,
+    /// Comparison node.
+    Cmp {
+        /// Left expression.
+        left: BoundExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Right expression.
+        right: BoundExpr,
+    },
+    /// Conjunction.
+    And(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Disjunction.
+    Or(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Negation.
+    Not(Box<BoundPredicate>),
+    /// Missing test on a resolved column.
+    IsMissing(usize),
+}
+
+impl BoundPredicate {
+    /// Evaluate against one row.
+    #[must_use]
+    pub fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            BoundPredicate::True => true,
+            BoundPredicate::Cmp { left, op, right } => {
+                let (l, r) = (left.eval(row), right.eval(row));
+                if l.is_missing() || r.is_missing() {
+                    return false;
+                }
+                let ord = l.total_cmp(&r);
+                match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                }
+            }
+            BoundPredicate::And(a, b) => a.eval(row) && b.eval(row),
+            BoundPredicate::Or(a, b) => a.eval(row) || b.eval(row),
+            BoundPredicate::Not(p) => !p.eval(row),
+            BoundPredicate::IsMissing(i) => row[*i].is_missing(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbms_data::{Attribute, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::category("SEX", DataType::Str),
+            Attribute::measured("AGE", DataType::Int),
+            Attribute::measured("INCOME", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn row(sex: &str, age: i64, income: f64) -> Vec<Value> {
+        vec![Value::Str(sex.into()), Value::Int(age), Value::Float(income)]
+    }
+
+    #[test]
+    fn arithmetic_and_functions() {
+        let s = schema();
+        let e = Expr::col("INCOME")
+            .binary(BinOp::Div, Expr::lit(1000.0))
+            .bind(&s)
+            .unwrap();
+        assert_eq!(e.eval(&row("M", 30, 42_000.0)), Value::Float(42.0));
+        let ln = Expr::col("INCOME").apply(ScalarFunc::Ln).bind(&s).unwrap();
+        assert_eq!(
+            ln.eval(&row("M", 30, 1.0)),
+            Value::Float(0.0)
+        );
+        assert_eq!(ln.eval(&row("M", 30, -5.0)), Value::Missing);
+        let neg = Expr::col("AGE").apply(ScalarFunc::Neg).bind(&s).unwrap();
+        assert_eq!(neg.eval(&row("M", 30, 0.0)), Value::Float(-30.0));
+    }
+
+    #[test]
+    fn missing_propagates_through_arithmetic() {
+        let s = schema();
+        let e = Expr::col("AGE")
+            .binary(BinOp::Add, Expr::col("INCOME"))
+            .bind(&s)
+            .unwrap();
+        let mut r = row("M", 30, 100.0);
+        r[2] = Value::Missing;
+        assert_eq!(e.eval(&r), Value::Missing);
+        // Division by zero is missing, not a panic or infinity.
+        let div = Expr::col("AGE")
+            .binary(BinOp::Div, Expr::lit(0.0))
+            .bind(&s)
+            .unwrap();
+        assert_eq!(div.eval(&row("M", 1, 0.0)), Value::Missing);
+        // Strings are not numbers.
+        let bad = Expr::col("SEX")
+            .binary(BinOp::Add, Expr::lit(1.0))
+            .bind(&s)
+            .unwrap();
+        assert_eq!(bad.eval(&row("M", 1, 0.0)), Value::Missing);
+    }
+
+    #[test]
+    fn predicates_basic() {
+        let s = schema();
+        let p = Predicate::col_eq("SEX", "M")
+            .and(Predicate::cmp(Expr::col("AGE"), CmpOp::Ge, Expr::lit(21i64)))
+            .bind(&s)
+            .unwrap();
+        assert!(p.eval(&row("M", 30, 0.0)));
+        assert!(!p.eval(&row("F", 30, 0.0)));
+        assert!(!p.eval(&row("M", 20, 0.0)));
+        let t = Predicate::True.bind(&s).unwrap();
+        assert!(t.eval(&row("F", 1, 1.0)));
+    }
+
+    #[test]
+    fn missing_comparisons_false_ismissing_true() {
+        let s = schema();
+        let mut r = row("M", 30, 1.0);
+        r[2] = Value::Missing;
+        let eq = Predicate::col_eq("INCOME", 1.0).bind(&s).unwrap();
+        assert!(!eq.eval(&r));
+        let ne = Predicate::cmp(Expr::col("INCOME"), CmpOp::Ne, Expr::lit(1.0))
+            .bind(&s)
+            .unwrap();
+        assert!(!ne.eval(&r), "missing is incomparable, even for <>");
+        let is_missing = Predicate::IsMissing("INCOME".into()).bind(&s).unwrap();
+        assert!(is_missing.eval(&r));
+        assert!(!is_missing.eval(&row("M", 30, 1.0)));
+    }
+
+    #[test]
+    fn int_float_cross_type_comparison() {
+        let s = schema();
+        let p = Predicate::cmp(Expr::col("AGE"), CmpOp::Lt, Expr::lit(30.5))
+            .bind(&s)
+            .unwrap();
+        assert!(p.eval(&row("M", 30, 0.0)));
+        assert!(!p.eval(&row("M", 31, 0.0)));
+    }
+
+    #[test]
+    fn unknown_column_fails_at_bind() {
+        let s = schema();
+        assert!(Expr::col("NOPE").bind(&s).is_err());
+        assert!(Predicate::IsMissing("NOPE".into()).bind(&s).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_collected() {
+        let e = Expr::col("A").binary(BinOp::Add, Expr::col("B").apply(ScalarFunc::Abs));
+        assert_eq!(e.referenced_columns(), vec!["A".to_string(), "B".to_string()]);
+        let p = Predicate::col_eq("X", 1i64)
+            .or(Predicate::IsMissing("Y".into()))
+            .negate();
+        assert_eq!(p.referenced_columns(), vec!["X".to_string(), "Y".to_string()]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Predicate::col_eq("SEX", "M").and(Predicate::cmp(
+            Expr::col("AGE").binary(BinOp::Mul, Expr::lit(2i64)),
+            CmpOp::Gt,
+            Expr::lit(40i64),
+        ));
+        let s = p.to_string();
+        assert!(s.contains("\"SEX\" = M"));
+        assert!(s.contains("AND"));
+        assert!(s.contains("(\"AGE\" * 2) > 40"));
+    }
+}

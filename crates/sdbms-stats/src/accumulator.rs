@@ -1,0 +1,428 @@
+//! Streaming / incremental accumulators.
+//!
+//! These are the algebraic building blocks behind §4.2's finite
+//! differencing: a cached aggregate can be *downdated* and *updated*
+//! from a value change without rescanning the column, as long as the
+//! function's state is expressible in a small constant-size summary
+//! (count, sum, sum of squares…). Order statistics are not — the paper
+//! handles those with the histogram-window scheme in `sdbms-summary`.
+//!
+//! [`Moments`] maintains count/mean/M2 with Welford-style `add`,
+//! `remove`, and `merge`, giving exact incremental mean and variance.
+//! [`MinMaxAcc`] shows the asymmetric case the paper calls out: adding
+//! a value is trivial, but removing the current extreme requires a
+//! rescan — `remove` reports whether the cached extreme survived.
+
+use crate::error::{Result, StatsError};
+
+/// Incremental count/mean/variance via Welford's recurrence.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a full pass over data.
+    #[must_use]
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut acc = Self::new();
+        for &x in xs {
+            acc.add(x);
+        }
+        acc
+    }
+
+    /// Rebuild from raw parts (count, mean, M2) — for deserializing a
+    /// persisted accumulator. Parts must come from [`Moments::parts`].
+    #[must_use]
+    pub fn from_parts(n: u64, mean: f64, m2: f64) -> Self {
+        Moments { n, mean, m2 }
+    }
+
+    /// Raw parts `(count, mean, M2)` for serialization.
+    #[must_use]
+    pub fn parts(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Observation count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (error if empty).
+    pub fn mean(&self) -> Result<f64> {
+        if self.n == 0 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        Ok(self.mean)
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean * self.n as f64
+    }
+
+    /// Sample variance (n−1 denominator).
+    pub fn variance(&self) -> Result<f64> {
+        if self.n < 2 {
+            return Err(StatsError::NotEnoughData {
+                needed: 2,
+                got: self.n as usize,
+            });
+        }
+        Ok(self.m2 / (self.n as f64 - 1.0))
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Result<f64> {
+        Ok(self.variance()?.sqrt())
+    }
+
+    /// Add one observation — O(1).
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Remove one (previously added) observation — O(1). This is the
+    /// "derivative" of the mean/variance computation in the finite
+    /// differencing sense.
+    pub fn remove(&mut self, x: f64) -> Result<()> {
+        if self.n == 0 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if self.n == 1 {
+            *self = Self::new();
+            return Ok(());
+        }
+        let n = self.n as f64;
+        let mean_without = (n * self.mean - x) / (n - 1.0);
+        self.m2 -= (x - self.mean) * (x - mean_without);
+        // Guard tiny negative residue from float cancellation.
+        if self.m2 < 0.0 {
+            self.m2 = 0.0;
+        }
+        self.mean = mean_without;
+        self.n -= 1;
+        Ok(())
+    }
+
+    /// Replace observation `old` with `new` — O(1).
+    pub fn replace(&mut self, old: f64, new: f64) -> Result<()> {
+        self.remove(old)?;
+        self.add(new);
+        Ok(())
+    }
+
+    /// Merge another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+    }
+}
+
+/// What happened to a cached extreme after removing a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtremeAfterRemove {
+    /// The cached min/max is still valid.
+    Unchanged,
+    /// The removed value *was* the extreme: a rescan is required.
+    /// (§4.2: "most updates to the data set will not affect the min or
+    /// max values" — this variant is the rare case.)
+    NeedsRescan,
+}
+
+/// Incrementally maintained min/max with occurrence counts for the
+/// current extremes, so removing a duplicate of the extreme does not
+/// force a rescan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MinMaxAcc {
+    state: Option<MinMaxState>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinMaxState {
+    min: f64,
+    min_count: u64,
+    max: f64,
+    max_count: u64,
+}
+
+impl MinMaxAcc {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a full pass.
+    #[must_use]
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut acc = Self::new();
+        for &x in xs {
+            acc.add(x);
+        }
+        acc
+    }
+
+    /// Raw parts `(min, min_count, max, max_count)` for serialization
+    /// (`None` when empty).
+    #[must_use]
+    pub fn parts(&self) -> Option<(f64, u64, f64, u64)> {
+        self.state
+            .map(|s| (s.min, s.min_count, s.max, s.max_count))
+    }
+
+    /// Rebuild from raw parts — for deserializing a persisted
+    /// accumulator. Parts must come from [`MinMaxAcc::parts`].
+    #[must_use]
+    pub fn from_parts(parts: Option<(f64, u64, f64, u64)>) -> Self {
+        MinMaxAcc {
+            state: parts.map(|(min, min_count, max, max_count)| MinMaxState {
+                min,
+                min_count,
+                max,
+                max_count,
+            }),
+        }
+    }
+
+    /// Current minimum.
+    pub fn min(&self) -> Result<f64> {
+        self.state
+            .map(|s| s.min)
+            .ok_or(StatsError::NotEnoughData { needed: 1, got: 0 })
+    }
+
+    /// Current maximum.
+    pub fn max(&self) -> Result<f64> {
+        self.state
+            .map(|s| s.max)
+            .ok_or(StatsError::NotEnoughData { needed: 1, got: 0 })
+    }
+
+    /// Add one observation — O(1), never needs a rescan.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        match &mut self.state {
+            None => {
+                self.state = Some(MinMaxState {
+                    min: x,
+                    min_count: 1,
+                    max: x,
+                    max_count: 1,
+                });
+            }
+            Some(s) => {
+                if x < s.min {
+                    s.min = x;
+                    s.min_count = 1;
+                } else if x == s.min {
+                    s.min_count += 1;
+                }
+                if x > s.max {
+                    s.max = x;
+                    s.max_count = 1;
+                } else if x == s.max {
+                    s.max_count += 1;
+                }
+            }
+        }
+    }
+
+    /// Remove one observation. Interior removals are absorbed; removing
+    /// the last copy of the current extreme reports
+    /// [`ExtremeAfterRemove::NeedsRescan`], at which point the caller
+    /// must rebuild from data (the accumulator is reset).
+    pub fn remove(&mut self, x: f64) -> ExtremeAfterRemove {
+        let Some(s) = &mut self.state else {
+            return ExtremeAfterRemove::NeedsRescan;
+        };
+        if x.is_nan() {
+            return ExtremeAfterRemove::Unchanged;
+        }
+        if x == s.min {
+            if s.min_count > 1 {
+                s.min_count -= 1;
+            } else {
+                self.state = None;
+                return ExtremeAfterRemove::NeedsRescan;
+            }
+        }
+        // `x` can equal both extremes when all values coincide; the
+        // min branch above already reset in that case.
+        if let Some(s) = &mut self.state {
+            if x == s.max {
+                if s.max_count > 1 {
+                    s.max_count -= 1;
+                } else {
+                    self.state = None;
+                    return ExtremeAfterRemove::NeedsRescan;
+                }
+            }
+        }
+        ExtremeAfterRemove::Unchanged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+
+    #[test]
+    fn moments_match_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let acc = Moments::from_slice(&xs);
+        assert_eq!(acc.count(), 8);
+        assert_eq!(acc.mean().unwrap(), descriptive::mean(&xs).unwrap());
+        assert!(
+            (acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-12
+        );
+        assert!((acc.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_remove_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let mut acc = Moments::from_slice(&xs);
+        acc.add(99.0);
+        acc.remove(99.0).unwrap();
+        assert_eq!(acc.count(), 4);
+        assert!((acc.mean().unwrap() - 2.5).abs() < 1e-9);
+        assert!(
+            (acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn remove_down_to_empty() {
+        let mut acc = Moments::from_slice(&[5.0]);
+        acc.remove(5.0).unwrap();
+        assert_eq!(acc.count(), 0);
+        assert!(acc.mean().is_err());
+        assert!(acc.remove(1.0).is_err());
+    }
+
+    #[test]
+    fn replace_equals_full_recompute() {
+        let mut xs = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        let mut acc = Moments::from_slice(&xs);
+        acc.replace(30.0, 35.0).unwrap();
+        xs[2] = 35.0;
+        assert!((acc.mean().unwrap() - descriptive::mean(&xs).unwrap()).abs() < 1e-9);
+        assert!(
+            (acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut acc = Moments::from_slice(&a);
+        acc.merge(&Moments::from_slice(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(acc.count(), 7);
+        assert!((acc.mean().unwrap() - descriptive::mean(&all).unwrap()).abs() < 1e-12);
+        assert!(
+            (acc.variance().unwrap() - descriptive::variance(&all).unwrap()).abs() < 1e-12
+        );
+        // Merging an empty accumulator is a no-op in both directions.
+        let mut e = Moments::new();
+        e.merge(&acc);
+        assert_eq!(e, acc);
+        acc.merge(&Moments::new());
+        assert_eq!(e, acc);
+    }
+
+    #[test]
+    fn minmax_interior_removal_is_absorbed() {
+        let mut acc = MinMaxAcc::from_slice(&[1.0, 5.0, 9.0]);
+        assert_eq!(acc.remove(5.0), ExtremeAfterRemove::Unchanged);
+        assert_eq!(acc.min().unwrap(), 1.0);
+        assert_eq!(acc.max().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn minmax_extreme_removal_needs_rescan() {
+        let mut acc = MinMaxAcc::from_slice(&[1.0, 5.0, 9.0]);
+        assert_eq!(acc.remove(1.0), ExtremeAfterRemove::NeedsRescan);
+        assert!(acc.min().is_err(), "accumulator reset after rescan signal");
+    }
+
+    #[test]
+    fn minmax_duplicate_extreme_survives_one_removal() {
+        let mut acc = MinMaxAcc::from_slice(&[1.0, 1.0, 9.0]);
+        assert_eq!(acc.remove(1.0), ExtremeAfterRemove::Unchanged);
+        assert_eq!(acc.min().unwrap(), 1.0);
+        assert_eq!(acc.remove(1.0), ExtremeAfterRemove::NeedsRescan);
+    }
+
+    #[test]
+    fn minmax_all_equal_values() {
+        let mut acc = MinMaxAcc::from_slice(&[4.0, 4.0]);
+        assert_eq!(acc.remove(4.0), ExtremeAfterRemove::Unchanged);
+        assert_eq!(acc.min().unwrap(), 4.0);
+        assert_eq!(acc.max().unwrap(), 4.0);
+        assert_eq!(acc.remove(4.0), ExtremeAfterRemove::NeedsRescan);
+    }
+
+    #[test]
+    fn minmax_nan_ignored() {
+        let mut acc = MinMaxAcc::new();
+        acc.add(f64::NAN);
+        assert!(acc.min().is_err());
+        acc.add(2.0);
+        acc.add(f64::NAN);
+        assert_eq!(acc.min().unwrap(), 2.0);
+        assert_eq!(acc.remove(f64::NAN), ExtremeAfterRemove::Unchanged);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_incremental_tracks_batch(
+            xs in proptest::collection::vec(-1e6f64..1e6, 2..100),
+            removals in proptest::collection::vec(proptest::prelude::any::<proptest::sample::Index>(), 0..20)
+        ) {
+            let mut data = xs.clone();
+            let mut acc = Moments::from_slice(&data);
+            for idx in removals {
+                if data.len() <= 2 { break; }
+                let i = idx.index(data.len());
+                let x = data.swap_remove(i);
+                acc.remove(x).unwrap();
+            }
+            let batch_mean = descriptive::mean(&data).unwrap();
+            let batch_var = descriptive::variance(&data).unwrap();
+            proptest::prop_assert!((acc.mean().unwrap() - batch_mean).abs() < 1e-6 * batch_mean.abs().max(1.0));
+            proptest::prop_assert!((acc.variance().unwrap() - batch_var).abs() < 1e-5 * batch_var.abs().max(1.0));
+        }
+    }
+}

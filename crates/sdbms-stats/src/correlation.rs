@@ -1,0 +1,182 @@
+//! Covariance and correlation between paired columns.
+//!
+//! The exploratory phase asks "Is there a relationship between the
+//! values of two attributes?" (§2.2). Pearson correlation answers it
+//! for linear relationships; Spearman (rank) correlation for monotone
+//! ones.
+
+use crate::error::{Result, StatsError};
+
+fn check_pairs(xs: &[f64], ys: &[f64], needed: usize) -> Result<()> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::MismatchedLengths {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < needed {
+        return Err(StatsError::NotEnoughData {
+            needed,
+            got: xs.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Sample covariance (n−1 denominator).
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_pairs(xs, ys, 2)?;
+    let n = xs.len() as f64;
+    let mx = crate::descriptive::sum(xs) / n;
+    let my = crate::descriptive::sum(ys) / n;
+    let mut acc = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        acc += (x - mx) * (y - my);
+    }
+    Ok(acc / (n - 1.0))
+}
+
+/// Pearson product-moment correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_pairs(xs, ys, 2)?;
+    let n = xs.len() as f64;
+    let mx = crate::descriptive::sum(xs) / n;
+    let my = crate::descriptive::sum(ys) / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "correlation undefined for a constant column",
+        ));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Mid-ranks of the observations (ties share the average rank).
+#[must_use]
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; ties get the mid-rank.
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation: Pearson correlation of the mid-ranks.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_pairs(xs, ys, 2)?;
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_known_value() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        // cov = 2 * var(xs) = 2 * 5/3.
+        assert!((covariance(&xs, &ys).unwrap() - 10.0 / 3.0).abs() < 1e-12);
+        assert!((covariance(&xs, &xs).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear() {
+        let xs: Vec<f64> = (1..30).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x / 2.0).exp()).collect();
+        let p = pearson(&xs, &ys).unwrap();
+        let s = spearman(&xs, &ys).unwrap();
+        assert!((s - 1.0).abs() < 1e-12, "monotone => spearman 1");
+        assert!(p < 0.9, "exponential is not linear: pearson {p}");
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r2 = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r2, vec![2.0, 2.0, 2.0]);
+        assert!(ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::MismatchedLengths { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn independent_noise_roughly_uncorrelated() {
+        // Deterministic pseudo-noise via a simple LCG.
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let xs: Vec<f64> = (0..2000).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..2000).map(|_| next()).collect();
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r.abs() < 0.1, "independent streams: r = {r}");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_correlation_bounded(
+            pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 3..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(r) = pearson(&xs, &ys) {
+                proptest::prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+            if let Ok(s) = spearman(&xs, &ys) {
+                proptest::prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+            }
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..60)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let (Ok(a), Ok(b)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+                proptest::prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Cross-tabulation (contingency tables).
+//!
+//! §2.2: "a chi-squared test may be applied to a cross-tabulation of
+//! data according to two attributes to see if the attributes depend on
+//! each other (e.g. is the proportion of people who live past 40
+//! dependent on race?)". A [`CrossTab`] counts co-occurrences of two
+//! categorical columns; `crate::hypothesis` runs the test on it.
+
+use std::collections::BTreeMap;
+
+use sdbms_data::{Attribute, DataSet, DataType, Schema, Value};
+
+use crate::error::{Result, StatsError};
+
+/// A two-way contingency table of value co-occurrence counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossTab {
+    row_attr: String,
+    col_attr: String,
+    /// Distinct row-attribute values, in display order.
+    row_labels: Vec<String>,
+    /// Distinct column-attribute values, in display order.
+    col_labels: Vec<String>,
+    /// counts[r][c].
+    counts: Vec<Vec<u64>>,
+}
+
+impl CrossTab {
+    /// Tabulate two columns of a data set. Rows where either value is
+    /// missing are skipped (and counted in the return's second slot).
+    pub fn from_dataset(ds: &DataSet, row_attr: &str, col_attr: &str) -> Result<(Self, usize)> {
+        let ri = ds.schema().require(row_attr)?;
+        let ci = ds.schema().require(col_attr)?;
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        let mut skipped = 0usize;
+        for row in ds.rows() {
+            let (rv, cv) = (&row[ri], &row[ci]);
+            if rv.is_missing() || cv.is_missing() {
+                skipped += 1;
+                continue;
+            }
+            *counts
+                .entry(rv.to_string())
+                .or_default()
+                .entry(cv.to_string())
+                .or_insert(0) += 1;
+        }
+        let row_labels: Vec<String> = counts.keys().cloned().collect();
+        let mut col_set: BTreeMap<String, ()> = BTreeMap::new();
+        for cols in counts.values() {
+            for c in cols.keys() {
+                col_set.insert(c.clone(), ());
+            }
+        }
+        let col_labels: Vec<String> = col_set.into_keys().collect();
+        let table = row_labels
+            .iter()
+            .map(|r| {
+                col_labels
+                    .iter()
+                    .map(|c| counts[r].get(c).copied().unwrap_or(0))
+                    .collect()
+            })
+            .collect();
+        Ok((
+            CrossTab {
+                row_attr: row_attr.to_string(),
+                col_attr: col_attr.to_string(),
+                row_labels,
+                col_labels,
+                counts: table,
+            },
+            skipped,
+        ))
+    }
+
+    /// Attribute tabulated along rows.
+    #[must_use]
+    pub fn row_attr(&self) -> &str {
+        &self.row_attr
+    }
+
+    /// Attribute tabulated along columns.
+    #[must_use]
+    pub fn col_attr(&self) -> &str {
+        &self.col_attr
+    }
+
+    /// Row labels in display order.
+    #[must_use]
+    pub fn row_labels(&self) -> &[String] {
+        &self.row_labels
+    }
+
+    /// Column labels in display order.
+    #[must_use]
+    pub fn col_labels(&self) -> &[String] {
+        &self.col_labels
+    }
+
+    /// The count matrix (rows × cols).
+    #[must_use]
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Count at `(row_label, col_label)`.
+    #[must_use]
+    pub fn count(&self, row: &str, col: &str) -> u64 {
+        let Some(r) = self.row_labels.iter().position(|l| l == row) else {
+            return 0;
+        };
+        let Some(c) = self.col_labels.iter().position(|l| l == col) else {
+            return 0;
+        };
+        self.counts[r][c]
+    }
+
+    /// Row sums.
+    #[must_use]
+    pub fn row_totals(&self) -> Vec<u64> {
+        self.counts.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Column sums.
+    #[must_use]
+    pub fn col_totals(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.col_labels.len()];
+        for row in &self.counts {
+            for (o, &c) in out.iter_mut().zip(row) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Grand total.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Render the table as a data set (one row per row label, one
+    /// column per column label) — the "summary tables which are
+    /// essentially cross tabulations" of [IKED81] that §5.1 compares
+    /// against.
+    pub fn to_dataset(&self) -> Result<DataSet> {
+        let mut attrs = vec![Attribute::category(&self.row_attr, DataType::Str)];
+        for c in &self.col_labels {
+            attrs.push(Attribute::measured(
+                &format!("{}={}", self.col_attr, c),
+                DataType::Int,
+            ));
+        }
+        let schema = Schema::new(attrs)?;
+        let rows = self
+            .row_labels
+            .iter()
+            .zip(&self.counts)
+            .map(|(label, row)| {
+                let mut r: Vec<Value> = vec![Value::Str(label.clone())];
+                r.extend(row.iter().map(|&c| Value::Int(c as i64)));
+                r
+            })
+            .collect();
+        Ok(DataSet::from_rows(
+            &format!("{}_x_{}", self.row_attr, self.col_attr),
+            schema,
+            rows,
+        )?)
+    }
+
+    /// Expected counts under independence (row total × col total / n).
+    pub fn expected(&self) -> Result<Vec<Vec<f64>>> {
+        let n = self.total();
+        if n == 0 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let rt = self.row_totals();
+        let ct = self.col_totals();
+        Ok(rt
+            .iter()
+            .map(|&r| {
+                ct.iter()
+                    .map(|&c| r as f64 * c as f64 / n as f64)
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbms_data::census::figure1;
+
+    fn demo() -> DataSet {
+        let schema = Schema::new(vec![
+            Attribute::category("SEX", DataType::Str),
+            Attribute::category("SMOKER", DataType::Str),
+        ])
+        .unwrap();
+        let mut ds = DataSet::new("d", schema);
+        for (s, k, n) in [("M", "Y", 3), ("M", "N", 2), ("F", "Y", 1), ("F", "N", 4)] {
+            for _ in 0..n {
+                ds.push_row(vec![Value::Str(s.into()), Value::Str(k.into())])
+                    .unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn tabulation_counts() {
+        let (ct, skipped) = CrossTab::from_dataset(&demo(), "SEX", "SMOKER").unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(ct.row_labels(), &["F".to_string(), "M".to_string()]);
+        assert_eq!(ct.col_labels(), &["N".to_string(), "Y".to_string()]);
+        assert_eq!(ct.count("M", "Y"), 3);
+        assert_eq!(ct.count("F", "N"), 4);
+        assert_eq!(ct.count("X", "Y"), 0);
+        assert_eq!(ct.total(), 10);
+        assert_eq!(ct.row_totals(), vec![5, 5]);
+        assert_eq!(ct.col_totals(), vec![6, 4]);
+    }
+
+    #[test]
+    fn missing_values_skipped() {
+        let mut ds = demo();
+        ds.invalidate(0, "SEX").unwrap();
+        let (ct, skipped) = CrossTab::from_dataset(&ds, "SEX", "SMOKER").unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(ct.total(), 9);
+    }
+
+    #[test]
+    fn expected_counts_sum_to_total() {
+        let (ct, _) = CrossTab::from_dataset(&demo(), "SEX", "SMOKER").unwrap();
+        let e = ct.expected().unwrap();
+        let s: f64 = e.iter().flatten().sum();
+        assert!((s - 10.0).abs() < 1e-9);
+        assert!((e[0][0] - 3.0).abs() < 1e-9); // 5*6/10
+    }
+
+    #[test]
+    fn figure1_crosstab_by_codes() {
+        let (ct, _) = CrossTab::from_dataset(&figure1(), "SEX", "AGE_GROUP").unwrap();
+        // Figure 1 has 4 age groups for each sex of race W, plus (M,B,1).
+        assert_eq!(ct.count("M", "#1"), 2);
+        assert_eq!(ct.count("F", "#3"), 1);
+        assert_eq!(ct.total(), 9);
+    }
+
+    #[test]
+    fn to_dataset_roundtrip_shape() {
+        let (ct, _) = CrossTab::from_dataset(&demo(), "SEX", "SMOKER").unwrap();
+        let ds = ct.to_dataset().unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.schema().names(), vec!["SEX", "SMOKER=N", "SMOKER=Y"]);
+        assert_eq!(ds.value(1, "SMOKER=Y").unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        assert!(CrossTab::from_dataset(&demo(), "SEX", "NOPE").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for statistical computations.
+
+use std::fmt;
+
+use sdbms_data::DataError;
+
+/// Errors raised by statistical functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The computation needs at least `needed` observations.
+    NotEnoughData {
+        /// Minimum observations required.
+        needed: usize,
+        /// Observations actually available (missing values excluded).
+        got: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// Paired-sample functions need equal-length inputs.
+    MismatchedLengths {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The attribute's metadata says summaries are meaningless
+    /// (e.g. the median of an encoded AGE_GROUP, §3.2).
+    NotSummarizable(String),
+    /// Underlying data-model failure.
+    Data(DataError),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NotEnoughData { needed, got } => {
+                write!(f, "need at least {needed} observations, have {got}")
+            }
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::MismatchedLengths { left, right } => {
+                write!(f, "paired inputs differ in length: {left} vs {right}")
+            }
+            StatsError::NotSummarizable(attr) => {
+                write!(f, "attribute {attr:?} is not summarizable (see its metadata)")
+            }
+            StatsError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for StatsError {
+    fn from(e: DataError) -> Self {
+        StatsError::Data(e)
+    }
+}
+
+/// Convenient result alias for statistical computations.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,242 @@
+//! Frequency tables over arbitrary values.
+//!
+//! §3.2 lists "the number of unique values, and some measure of
+//! frequency of values" among the standing summary information of the
+//! Summary Database. A [`FrequencyTable`] counts occurrences of any
+//! [`Value`] (including `Missing`), supports incremental add/remove,
+//! and answers mode / unique-count / frequency queries.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use sdbms_data::Value;
+
+use crate::error::{Result, StatsError};
+
+/// Wrapper giving [`Value`] a total order so it can key a `BTreeMap`.
+#[derive(Debug, Clone, PartialEq)]
+struct OrdValue(Value);
+
+impl Eq for OrdValue {}
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Occurrence counts per distinct value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrequencyTable {
+    counts: BTreeMap<OrdValue, u64>,
+    total: u64,
+}
+
+impl FrequencyTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count every value produced by the iterator.
+    pub fn from_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut t = Self::new();
+        for v in values {
+            t.add(v);
+        }
+        t
+    }
+
+    /// Record one occurrence — O(log u).
+    pub fn add(&mut self, v: &Value) {
+        self.add_count(v, 1);
+    }
+
+    /// Record `n` occurrences at once (used when deserializing a
+    /// persisted table).
+    pub fn add_count(&mut self, v: &Value, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(OrdValue(v.clone())).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Remove one occurrence; errors if the value was not recorded.
+    pub fn remove(&mut self, v: &Value) -> Result<()> {
+        let key = OrdValue(v.clone());
+        match self.counts.get_mut(&key) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.total -= 1;
+                Ok(())
+            }
+            Some(_) => {
+                self.counts.remove(&key);
+                self.total -= 1;
+                Ok(())
+            }
+            None => Err(StatsError::InvalidParameter(
+                "removing a value that was never recorded",
+            )),
+        }
+    }
+
+    /// Total occurrences recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct values.
+    #[must_use]
+    pub fn unique_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrences of `v`.
+    #[must_use]
+    pub fn count_of(&self, v: &Value) -> u64 {
+        self.counts.get(&OrdValue(v.clone())).copied().unwrap_or(0)
+    }
+
+    /// The most frequent value (ties broken by value order) and its
+    /// count.
+    pub fn mode(&self) -> Result<(Value, u64)> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(v, c)| (v.0.clone(), *c))
+            .ok_or(StatsError::NotEnoughData { needed: 1, got: 0 })
+    }
+
+    /// All `(value, count)` pairs in value order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Value, u64)> {
+        self.counts.iter().map(|(v, c)| (&v.0, *c))
+    }
+
+    /// Relative frequency of `v` in [0, 1].
+    #[must_use]
+    pub fn relative(&self, v: &Value) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count_of(v) as f64 / self.total as f64
+        }
+    }
+
+    /// Shannon entropy (bits) of the value distribution — a "measure of
+    /// frequency of values" usable for detecting near-constant columns.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        -self
+            .counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FrequencyTable {
+        let vals = vec![
+            Value::Str("M".into()),
+            Value::Str("F".into()),
+            Value::Str("M".into()),
+            Value::Code(2),
+            Value::Missing,
+            Value::Str("M".into()),
+        ];
+        FrequencyTable::from_values(&vals)
+    }
+
+    #[test]
+    fn counts_and_uniques() {
+        let t = table();
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.unique_count(), 4);
+        assert_eq!(t.count_of(&Value::Str("M".into())), 3);
+        assert_eq!(t.count_of(&Value::Missing), 1);
+        assert_eq!(t.count_of(&Value::Str("X".into())), 0);
+    }
+
+    #[test]
+    fn mode_with_ties() {
+        let t = table();
+        assert_eq!(t.mode().unwrap(), (Value::Str("M".into()), 3));
+        let mut tie = FrequencyTable::new();
+        tie.add(&Value::Int(1));
+        tie.add(&Value::Int(2));
+        // Tie broken toward the smaller value for determinism.
+        assert_eq!(tie.mode().unwrap(), (Value::Int(1), 1));
+        assert!(FrequencyTable::new().mode().is_err());
+    }
+
+    #[test]
+    fn add_remove_inverse() {
+        let mut t = table();
+        let before = t.clone();
+        t.add(&Value::Int(9));
+        t.remove(&Value::Int(9)).unwrap();
+        assert_eq!(t, before);
+        assert!(t.remove(&Value::Int(9)).is_err());
+    }
+
+    #[test]
+    fn remove_last_occurrence_drops_unique() {
+        let mut t = FrequencyTable::new();
+        t.add(&Value::Int(5));
+        assert_eq!(t.unique_count(), 1);
+        t.remove(&Value::Int(5)).unwrap();
+        assert_eq!(t.unique_count(), 0);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn relative_and_entropy() {
+        let t = table();
+        assert!((t.relative(&Value::Str("M".into())) - 0.5).abs() < 1e-12);
+        let mut constant = FrequencyTable::new();
+        for _ in 0..10 {
+            constant.add(&Value::Int(1));
+        }
+        assert_eq!(constant.entropy(), 0.0);
+        let mut fair = FrequencyTable::new();
+        fair.add(&Value::Int(0));
+        fair.add(&Value::Int(1));
+        assert!((fair.entropy() - 1.0).abs() < 1e-12);
+        assert_eq!(FrequencyTable::new().entropy(), 0.0);
+    }
+
+    #[test]
+    fn nan_floats_group_together() {
+        let mut t = FrequencyTable::new();
+        t.add(&Value::Float(f64::NAN));
+        t.add(&Value::Float(f64::NAN));
+        assert_eq!(t.unique_count(), 1);
+        assert_eq!(t.count_of(&Value::Float(f64::NAN)), 2);
+    }
+
+    #[test]
+    fn entries_in_value_order() {
+        let t = table();
+        let vals: Vec<String> = t.entries().map(|(v, _)| v.to_string()).collect();
+        // Missing first, then strings, then codes (per Value::total_cmp).
+        assert_eq!(vals, vec!["·", "F", "M", "#2"]);
+    }
+}

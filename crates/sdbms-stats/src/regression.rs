@@ -1,0 +1,176 @@
+//! Simple linear regression with residuals.
+//!
+//! §3.2's Management Database example: "the residuals of a model may
+//! be required for several 'goodness of fit' tests [so] they are
+//! typically stored as a new attribute in a data set… Updating even a
+//! single value in the attribute upon which the residuals depend
+//! requires regeneration of the entire vector (since the model may
+//! change)." [`LinearFit::residuals`] is that vector, and the
+//! *regenerate* maintenance rule in `sdbms-management` exists because
+//! of it.
+
+use crate::error::{Result, StatsError};
+
+/// An ordinary-least-squares fit of `y = intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Estimated intercept.
+    pub intercept: f64,
+    /// Estimated slope.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Standard error of the slope estimate.
+    pub slope_std_err: f64,
+    /// Residual standard error (√(SSE / (n−2))).
+    pub residual_std_err: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Residual for one observation.
+    #[must_use]
+    pub fn residual(&self, x: f64, y: f64) -> f64 {
+        y - self.predict(x)
+    }
+}
+
+/// Fit `y ~ x` by ordinary least squares.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::MismatchedLengths {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 3 {
+        return Err(StatsError::NotEnoughData { needed: 3, got: n });
+    }
+    let nf = n as f64;
+    let mx = crate::descriptive::sum(xs) / nf;
+    let my = crate::descriptive::sum(ys) / nf;
+    let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "regression undefined: x is constant",
+        ));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let sse = (syy - slope * sxy).max(0.0);
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - sse / syy };
+    let residual_var = sse / (nf - 2.0);
+    Ok(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+        slope_std_err: (residual_var / sxx).sqrt(),
+        residual_std_err: residual_var.sqrt(),
+        n,
+    })
+}
+
+/// Fit and return the residual vector (the derived attribute the
+/// Management Database's *regenerate* rule maintains).
+pub fn residuals(xs: &[f64], ys: &[f64]) -> Result<(LinearFit, Vec<f64>)> {
+    let fit = linear_fit(xs, ys)?;
+    let res = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| fit.residual(x, y))
+        .collect();
+    Ok((fit, res))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x + 1.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.residual_std_err < 1e-9);
+        assert!((fit.predict(100.0) - 251.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residuals_sum_to_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [2.1, 3.9, 6.2, 8.1, 9.8, 12.3];
+        let (fit, res) = residuals(&xs, &ys).unwrap();
+        assert_eq!(res.len(), 6);
+        let s: f64 = res.iter().sum();
+        assert!(s.abs() < 1e-9, "OLS residuals sum to 0, got {s}");
+        // Residuals orthogonal to x.
+        let dot: f64 = res.iter().zip(&xs).map(|(r, x)| r * x).sum();
+        assert!(dot.abs() < 1e-9);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        // y = 10 + 3x with deterministic "noise".
+        let xs: Vec<f64> = (0..200).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 10.0 + 3.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!((fit.intercept - 10.0).abs() < 1.0);
+        assert!(fit.slope_std_err > 0.0);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(linear_fit(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(linear_fit(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_err());
+        assert!(linear_fit(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope_full_r2() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [7.0, 7.0, 7.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 7.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_exact_lines_always_recovered(
+            slope in -100.0f64..100.0,
+            intercept in -100.0f64..100.0,
+            n in 3usize..50
+        ) {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+            let fit = linear_fit(&xs, &ys).unwrap();
+            proptest::prop_assert!((fit.slope - slope).abs() < 1e-6);
+            proptest::prop_assert!((fit.intercept - intercept).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Sampling for exploratory responsiveness.
+//!
+//! §2.2: "in order to enhance responsiveness, the statistician may base
+//! this preliminary analysis on a set of sample records drawn at random
+//! from the data set… [later] other, perhaps enlarged, samples" are
+//! used in the confirmatory phase. Experiment E7 measures the
+//! speed/accuracy trade-off these routines enable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdbms_data::DataSet;
+
+use crate::error::{Result, StatsError};
+
+/// Simple random sample of `k` indices from `0..n` without
+/// replacement (Floyd's algorithm — O(k) memory, no shuffle of `n`).
+pub fn sample_indices(n: usize, k: usize, seed: u64) -> Result<Vec<usize>> {
+    if k > n {
+        return Err(StatsError::InvalidParameter(
+            "sample size exceeds population",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Reservoir sampling (algorithm R): `k` items from a stream of
+/// unknown length, one pass — the right tool against a tape reel.
+pub fn reservoir_sample<T>(items: impl IntoIterator<Item = T>, k: usize, seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    if k == 0 {
+        return reservoir;
+    }
+    for (i, item) in items.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Bernoulli sampling: keep each item independently with probability
+/// `p` (sample size is random; expectation `p·n`).
+pub fn bernoulli_indices(n: usize, p: f64, seed: u64) -> Result<Vec<usize>> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("probability not in [0,1]"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok((0..n).filter(|_| rng.gen::<f64>() < p).collect())
+}
+
+/// A simple random sample of a data set's rows, as a new data set.
+pub fn sample_dataset(ds: &DataSet, k: usize, seed: u64) -> Result<DataSet> {
+    let idx = sample_indices(ds.len(), k, seed)?;
+    let rows = idx.iter().map(|&i| ds.rows()[i].clone()).collect();
+    Ok(DataSet::from_rows(
+        &format!("{}_sample{}", ds.name(), k),
+        ds.schema().clone(),
+        rows,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbms_data::census::{microdata_census, CensusConfig};
+
+    #[test]
+    fn sample_indices_properties() {
+        let s = sample_indices(1000, 100, 7).unwrap();
+        assert_eq!(s.len(), 100);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        assert!(s.iter().all(|&i| i < 1000));
+        // Determinism & seed sensitivity.
+        assert_eq!(s, sample_indices(1000, 100, 7).unwrap());
+        assert_ne!(s, sample_indices(1000, 100, 8).unwrap());
+        // Edge cases.
+        assert_eq!(sample_indices(5, 5, 1).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert!(sample_indices(5, 6, 1).is_err());
+        assert!(sample_indices(0, 0, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Each of 10 strata should get ~k/10 of the sample.
+        let mut hits = [0usize; 10];
+        for seed in 0..30 {
+            for i in sample_indices(1000, 200, seed).unwrap() {
+                hits[i / 100] += 1;
+            }
+        }
+        let expect = 30.0 * 200.0 / 10.0;
+        for (i, &h) in hits.iter().enumerate() {
+            let ratio = h as f64 / expect;
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "stratum {i}: {h} hits vs {expect} expected"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_basics() {
+        let r = reservoir_sample(0..1000, 50, 3);
+        assert_eq!(r.len(), 50);
+        let all: std::collections::HashSet<_> = r.iter().collect();
+        assert_eq!(all.len(), 50, "no duplicates from a duplicate-free stream");
+        // Short stream: everything kept.
+        let short = reservoir_sample(0..5, 50, 3);
+        assert_eq!(short, vec![0, 1, 2, 3, 4]);
+        assert!(reservoir_sample(0..5, 0, 3).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_unbiased_ish() {
+        // Item 999 should appear in ~k/n of samples.
+        let mut count = 0;
+        for seed in 0..400 {
+            if reservoir_sample(0..1000, 100, seed).contains(&999) {
+                count += 1;
+            }
+        }
+        // Expect ~40; allow generous slack.
+        assert!((15..=70).contains(&count), "hit count {count}");
+    }
+
+    #[test]
+    fn bernoulli_expectation() {
+        let s = bernoulli_indices(10_000, 0.1, 11).unwrap();
+        assert!((800..1200).contains(&s.len()), "got {}", s.len());
+        assert!(bernoulli_indices(10, 1.5, 0).is_err());
+        assert_eq!(bernoulli_indices(10, 0.0, 0).unwrap().len(), 0);
+        assert_eq!(bernoulli_indices(10, 1.0, 0).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn sample_dataset_estimates_mean() {
+        let ds = microdata_census(&CensusConfig {
+            rows: 20_000,
+            invalid_fraction: 0.0,
+            outlier_fraction: 0.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let (full, _) = ds.column_f64("INCOME").unwrap();
+        let full_mean = crate::descriptive::mean(&full).unwrap();
+        let s = sample_dataset(&ds, 2_000, 42).unwrap();
+        assert_eq!(s.len(), 2_000);
+        assert_eq!(s.schema(), ds.schema());
+        let (sampled, _) = s.column_f64("INCOME").unwrap();
+        let sample_mean = crate::descriptive::mean(&sampled).unwrap();
+        let rel_err = (sample_mean - full_mean).abs() / full_mean;
+        assert!(rel_err < 0.05, "relative error {rel_err}");
+    }
+}

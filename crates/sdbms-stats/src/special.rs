@@ -1,0 +1,229 @@
+//! Special functions for p-values.
+//!
+//! The confirmatory phase (§2.2) applies goodness-of-fit and
+//! independence tests; their p-values need the incomplete gamma
+//! function (chi-squared), the error function (normal), and the
+//! Kolmogorov distribution. Implemented from the standard numerical
+//! recipes so the crate stays dependency-free.
+
+/// Natural log of the gamma function (Lanczos approximation, g=7,
+/// n=9). Accurate to ~1e-13 for x > 0.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    #[allow(clippy::excessive_precision)] // published Lanczos constants
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function P(a, x).
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise.
+#[must_use]
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+#[must_use]
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    // Lentz's algorithm for the continued fraction.
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Error function, via P(1/2, x²) (exact identity).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let p = gamma_p(0.5, x * x);
+    if x >= 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Standard normal CDF.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Survival function of the chi-squared distribution with `df` degrees
+/// of freedom: `P(X >= x)`.
+#[must_use]
+pub fn chi_squared_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(df / 2.0, x / 2.0)
+}
+
+/// Kolmogorov distribution survival function
+/// `Q_KS(λ) = 2 Σ (-1)^{j-1} e^{-2 j² λ²}` — the asymptotic p-value of
+/// the K-S statistic.
+#[must_use]
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "{a} != {b} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), (24.0f64).ln(), 1e-12);
+        close(ln_gamma(11.0), (3_628_800.0f64).ln(), 1e-12);
+        // Γ(1/2) = sqrt(π)
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_q_complementary() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 9.0), (10.0, 3.0)] {
+            close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-12);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-10);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        close(normal_cdf(0.0), 0.5, 1e-12);
+        close(normal_cdf(1.96), 0.975_002_104_85, 1e-6);
+        close(normal_cdf(-1.96) + normal_cdf(1.96), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_sf_known_values() {
+        // Critical values: P(X >= 3.841) = 0.05 for df=1.
+        close(chi_squared_sf(3.841, 1.0), 0.05, 2e-3);
+        close(chi_squared_sf(5.991, 2.0), 0.05, 2e-3);
+        // For df=2, SF(x) = e^{-x/2} exactly.
+        for &x in &[0.5, 2.0, 7.0] {
+            close(chi_squared_sf(x, 2.0), (-x / 2.0f64).exp(), 1e-12);
+        }
+        assert_eq!(chi_squared_sf(0.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_points() {
+        close(kolmogorov_sf(1.0), 0.26999967, 1e-6);
+        close(kolmogorov_sf(1.36), 0.049_055, 1e-3);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(5.0) < 1e-10);
+    }
+}

@@ -1,0 +1,298 @@
+//! Sequential archive ("tape") storage for the raw database.
+//!
+//! The paper assumes the raw statistical database "will almost always
+//! reside on slow secondary storage devices such as tapes" (§2.3), and
+//! builds its whole architecture — materialize a concrete view once,
+//! keep it on disk — around how expensive it is to go back to the tape.
+//!
+//! An [`ArchiveStore`] holds named *reels*. A reel is an append-only
+//! sequence of variable-length blocks that can only be read through a
+//! [`ReelReader`] which models a physical tape head: reading block `i`
+//! while positioned at block `j` charges a repositioning cost of
+//! `|i - j|` blocks on the shared tracker, plus the block transfer
+//! itself. Experiments E9 and E12 use these counters to show when
+//! materialization amortizes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cost::Tracker;
+use crate::error::{Result, StorageError};
+
+#[derive(Debug, Default)]
+struct Reel {
+    blocks: Vec<Arc<[u8]>>,
+}
+
+/// A collection of named append-only tape reels.
+pub struct ArchiveStore {
+    reels: Mutex<HashMap<String, Reel>>,
+    tracker: Tracker,
+}
+
+impl std::fmt::Debug for ArchiveStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArchiveStore")
+            .field("reels", &self.reels.lock().len())
+            .finish()
+    }
+}
+
+impl ArchiveStore {
+    /// Create an empty archive charging the given tracker.
+    #[must_use]
+    pub fn new(tracker: Tracker) -> Self {
+        ArchiveStore {
+            reels: Mutex::new(HashMap::new()),
+            tracker,
+        }
+    }
+
+    /// The shared I/O tracker this archive charges.
+    #[must_use]
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
+    }
+
+    /// Create an empty reel. Fails if the name is taken.
+    pub fn create_reel(&self, name: &str) -> Result<()> {
+        let mut reels = self.reels.lock();
+        if reels.contains_key(name) {
+            return Err(StorageError::FileExists(name.to_string()));
+        }
+        reels.insert(name.to_string(), Reel::default());
+        Ok(())
+    }
+
+    /// Append a block to a reel. Writing is free in the cost model
+    /// (the raw database is loaded once, offline).
+    pub fn append_block(&self, name: &str, block: &[u8]) -> Result<()> {
+        let mut reels = self.reels.lock();
+        let reel = reels
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NoSuchReel(name.to_string()))?;
+        reel.blocks.push(Arc::from(block));
+        Ok(())
+    }
+
+    /// Number of blocks on a reel.
+    pub fn block_count(&self, name: &str) -> Result<usize> {
+        let reels = self.reels.lock();
+        reels
+            .get(name)
+            .map(|r| r.blocks.len())
+            .ok_or_else(|| StorageError::NoSuchReel(name.to_string()))
+    }
+
+    /// Names of all reels, sorted.
+    #[must_use]
+    pub fn reel_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.reels.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Mount a reel for reading. The head starts at block 0.
+    pub fn open(&self, name: &str) -> Result<ReelReader> {
+        let reels = self.reels.lock();
+        let reel = reels
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchReel(name.to_string()))?;
+        Ok(ReelReader {
+            name: name.to_string(),
+            blocks: reel.blocks.clone(),
+            position: 0,
+            tracker: self.tracker.clone(),
+        })
+    }
+}
+
+/// A tape head over one reel. Sequential reads are cheap; seeking
+/// backwards (or skipping forwards) charges repositioning per block.
+pub struct ReelReader {
+    name: String,
+    blocks: Vec<Arc<[u8]>>,
+    position: usize,
+    tracker: Tracker,
+}
+
+impl std::fmt::Debug for ReelReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReelReader")
+            .field("reel", &self.name)
+            .field("position", &self.position)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl ReelReader {
+    /// Reel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current head position (next block to be read).
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Total blocks on the mounted reel snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the reel has no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Read the block under the head and advance. Errors at end of
+    /// reel.
+    pub fn read_next(&mut self) -> Result<Arc<[u8]>> {
+        match self.blocks.get(self.position) {
+            Some(b) => {
+                self.position += 1;
+                self.tracker.count_archive_read();
+                Ok(b.clone())
+            }
+            None => Err(StorageError::EndOfReel {
+                reel: self.name.clone(),
+                position: self.position,
+            }),
+        }
+    }
+
+    /// Rewind to block 0, charging repositioning for the distance.
+    pub fn rewind(&mut self) {
+        self.tracker.count_archive_reposition(self.position as u64);
+        self.position = 0;
+    }
+
+    /// Position the head at `block`, charging repositioning for the
+    /// distance moved (forward skips cost the same as rewinds: the
+    /// tape still has to run past every block).
+    pub fn seek(&mut self, block: usize) -> Result<()> {
+        if block > self.blocks.len() {
+            return Err(StorageError::EndOfReel {
+                reel: self.name.clone(),
+                position: block,
+            });
+        }
+        let dist = self.position.abs_diff(block);
+        self.tracker.count_archive_reposition(dist as u64);
+        self.position = block;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archive() -> ArchiveStore {
+        ArchiveStore::new(Tracker::new())
+    }
+
+    #[test]
+    fn create_append_read() {
+        let a = archive();
+        a.create_reel("census").unwrap();
+        a.append_block("census", b"block-0").unwrap();
+        a.append_block("census", b"block-1").unwrap();
+        let mut r = a.open("census").unwrap();
+        assert_eq!(&*r.read_next().unwrap(), b"block-0");
+        assert_eq!(&*r.read_next().unwrap(), b"block-1");
+        assert!(r.read_next().is_err());
+    }
+
+    #[test]
+    fn duplicate_reel_rejected() {
+        let a = archive();
+        a.create_reel("x").unwrap();
+        assert!(matches!(
+            a.create_reel("x"),
+            Err(StorageError::FileExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_reel_errors() {
+        let a = archive();
+        assert!(a.open("nope").is_err());
+        assert!(a.append_block("nope", b"x").is_err());
+        assert!(a.block_count("nope").is_err());
+    }
+
+    #[test]
+    fn sequential_reads_charge_transfer_only() {
+        let a = archive();
+        a.create_reel("r").unwrap();
+        for i in 0..10u8 {
+            a.append_block("r", &[i]).unwrap();
+        }
+        let mut rd = a.open("r").unwrap();
+        while rd.read_next().is_ok() {}
+        let s = a.tracker().snapshot();
+        assert_eq!(s.archive_block_reads, 10);
+        assert_eq!(s.archive_repositioned_blocks, 0);
+    }
+
+    #[test]
+    fn rewind_charges_distance() {
+        let a = archive();
+        a.create_reel("r").unwrap();
+        for i in 0..10u8 {
+            a.append_block("r", &[i]).unwrap();
+        }
+        let mut rd = a.open("r").unwrap();
+        for _ in 0..7 {
+            rd.read_next().unwrap();
+        }
+        rd.rewind();
+        assert_eq!(a.tracker().snapshot().archive_repositioned_blocks, 7);
+        assert_eq!(rd.position(), 0);
+        // Second full pass re-reads everything.
+        for _ in 0..10 {
+            rd.read_next().unwrap();
+        }
+        assert_eq!(a.tracker().snapshot().archive_block_reads, 17);
+    }
+
+    #[test]
+    fn seek_charges_absolute_distance() {
+        let a = archive();
+        a.create_reel("r").unwrap();
+        for i in 0..20u8 {
+            a.append_block("r", &[i]).unwrap();
+        }
+        let mut rd = a.open("r").unwrap();
+        rd.seek(15).unwrap();
+        rd.seek(5).unwrap();
+        assert_eq!(a.tracker().snapshot().archive_repositioned_blocks, 25);
+        assert_eq!(&*rd.read_next().unwrap(), &[5]);
+        assert!(rd.seek(999).is_err());
+    }
+
+    #[test]
+    fn reader_is_a_snapshot() {
+        let a = archive();
+        a.create_reel("r").unwrap();
+        a.append_block("r", b"one").unwrap();
+        let mut rd = a.open("r").unwrap();
+        a.append_block("r", b"two").unwrap();
+        assert_eq!(rd.len(), 1, "reader mounted before the append");
+        assert_eq!(&*rd.read_next().unwrap(), b"one");
+        assert!(rd.read_next().is_err());
+        let mut rd2 = a.open("r").unwrap();
+        assert_eq!(rd2.len(), 2);
+        rd2.seek(1).unwrap();
+        assert_eq!(&*rd2.read_next().unwrap(), b"two");
+    }
+}

@@ -1,0 +1,289 @@
+//! I/O accounting.
+//!
+//! Every storage-level operation charges counters on an [`IoStats`]
+//! instance shared (via `Arc`) by the disk, the archive, and any
+//! higher-level operator that wants to report tuple counts. Experiments
+//! report these counters alongside wall time so results are
+//! machine-independent: the paper's arguments (transposed files,
+//! summary caching, view materialization) are all about *I/O volume*,
+//! which the counters capture exactly.
+//!
+//! A [`CostModel`] converts the raw counters into abstract *cost
+//! units* that mimic the 1982 hardware balance the paper assumes: disk
+//! pages are cheap but not free, seeks cost more than sequential
+//! transfers, and tape (archive) access is dominated by serpentine
+//! rewinds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters.
+///
+/// Cloning the wrapper [`Tracker`] shares the same counters; call
+/// [`IoStats::snapshot`] to read a consistent-enough view (counters are
+/// monotone, so a snapshot taken while idle is exact).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Pages fetched from the simulated disk into the buffer pool.
+    pub page_reads: AtomicU64,
+    /// Dirty pages written back to the simulated disk.
+    pub page_writes: AtomicU64,
+    /// Non-sequential disk accesses (head movement).
+    pub seeks: AtomicU64,
+    /// Buffer pool hits (requests satisfied without disk I/O).
+    pub pool_hits: AtomicU64,
+    /// Blocks read from archive (tape) reels.
+    pub archive_block_reads: AtomicU64,
+    /// Blocks skipped or rewound over to reposition an archive reel.
+    pub archive_repositioned_blocks: AtomicU64,
+    /// Tuples produced by relational / statistical operators.
+    pub tuples: AtomicU64,
+}
+
+/// A point-in-time copy of the counters in [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Pages fetched from disk.
+    pub page_reads: u64,
+    /// Pages written back to disk.
+    pub page_writes: u64,
+    /// Non-sequential disk accesses.
+    pub seeks: u64,
+    /// Buffer pool hits.
+    pub pool_hits: u64,
+    /// Archive blocks read.
+    pub archive_block_reads: u64,
+    /// Archive blocks skipped or rewound over.
+    pub archive_repositioned_blocks: u64,
+    /// Tuples produced by operators.
+    pub tuples: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier`, for measuring one
+    /// operation's contribution.
+    #[must_use]
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+            seeks: self.seeks - earlier.seeks,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            archive_block_reads: self.archive_block_reads - earlier.archive_block_reads,
+            archive_repositioned_blocks: self.archive_repositioned_blocks
+                - earlier.archive_repositioned_blocks,
+            tuples: self.tuples - earlier.tuples,
+        }
+    }
+
+    /// Total disk page I/Os (reads + writes).
+    #[must_use]
+    pub fn page_ios(&self) -> u64 {
+        self.page_reads + self.page_writes
+    }
+}
+
+impl IoStats {
+    /// Read all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            archive_block_reads: self.archive_block_reads.load(Ordering::Relaxed),
+            archive_repositioned_blocks: self
+                .archive_repositioned_blocks
+                .load(Ordering::Relaxed),
+            tuples: self.tuples.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.archive_block_reads.store(0, Ordering::Relaxed);
+        self.archive_repositioned_blocks.store(0, Ordering::Relaxed);
+        self.tuples.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Cheap-to-clone handle to shared [`IoStats`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracker(Arc<IoStats>);
+
+impl Tracker {
+    /// Create a fresh tracker with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying shared stats.
+    #[must_use]
+    pub fn stats(&self) -> &IoStats {
+        &self.0
+    }
+
+    /// Read all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> IoSnapshot {
+        self.0.snapshot()
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.0.reset();
+    }
+
+    /// Charge one disk page read.
+    pub fn count_page_read(&self) {
+        self.0.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one disk page write.
+    pub fn count_page_write(&self) {
+        self.0.page_writes.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one disk seek.
+    pub fn count_seek(&self) {
+        self.0.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one buffer-pool hit (no disk I/O).
+    pub fn count_pool_hit(&self) {
+        self.0.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one archive block transfer.
+    pub fn count_archive_read(&self) {
+        self.0.archive_block_reads.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge `blocks` of archive repositioning (skip/rewind).
+    pub fn count_archive_reposition(&self, blocks: u64) {
+        self.0
+            .archive_repositioned_blocks
+            .fetch_add(blocks, Ordering::Relaxed);
+    }
+    /// Charge `n` tuples produced by an operator.
+    pub fn count_tuples(&self, n: u64) {
+        self.0.tuples.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Converts raw I/O counters into abstract cost units.
+///
+/// The defaults model the storage hierarchy the paper assumes: disk
+/// page transfers are the unit, a seek costs several transfers, a tape
+/// block transfer is comparable to a disk page but *repositioning* the
+/// reel is very expensive — which is exactly why the paper insists
+/// views be materialized onto disk rather than re-read from tape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of transferring one disk page.
+    pub page_read: f64,
+    /// Cost of writing one disk page.
+    pub page_write: f64,
+    /// Cost of one disk seek (non-sequential access).
+    pub seek: f64,
+    /// Cost of reading one archive (tape) block in sequence.
+    pub archive_block_read: f64,
+    /// Cost of skipping / rewinding over one archive block.
+    pub archive_reposition_block: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            page_read: 1.0,
+            page_write: 1.0,
+            seek: 4.0,
+            archive_block_read: 1.5,
+            archive_reposition_block: 0.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total abstract cost of a counter snapshot under this model.
+    #[must_use]
+    pub fn cost(&self, s: &IoSnapshot) -> f64 {
+        s.page_reads as f64 * self.page_read
+            + s.page_writes as f64 * self.page_write
+            + s.seeks as f64 * self.seek
+            + s.archive_block_reads as f64 * self.archive_block_read
+            + s.archive_repositioned_blocks as f64 * self.archive_reposition_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let t = Tracker::new();
+        t.count_page_read();
+        t.count_page_read();
+        t.count_page_write();
+        t.count_seek();
+        t.count_pool_hit();
+        t.count_archive_read();
+        t.count_archive_reposition(10);
+        t.count_tuples(5);
+        let s = t.snapshot();
+        assert_eq!(s.page_reads, 2);
+        assert_eq!(s.page_writes, 1);
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.pool_hits, 1);
+        assert_eq!(s.archive_block_reads, 1);
+        assert_eq!(s.archive_repositioned_blocks, 10);
+        assert_eq!(s.tuples, 5);
+        assert_eq!(s.page_ios(), 3);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let t = Tracker::new();
+        t.count_page_read();
+        let before = t.snapshot();
+        t.count_page_read();
+        t.count_page_read();
+        let after = t.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.page_reads, 2);
+        assert_eq!(d.page_writes, 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let t = Tracker::new();
+        let t2 = t.clone();
+        t2.count_seek();
+        assert_eq!(t.snapshot().seeks, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let t = Tracker::new();
+        t.count_page_read();
+        t.reset();
+        assert_eq!(t.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn cost_model_weights() {
+        let m = CostModel::default();
+        let s = IoSnapshot {
+            page_reads: 10,
+            page_writes: 2,
+            seeks: 1,
+            pool_hits: 100, // free
+            archive_block_reads: 4,
+            archive_repositioned_blocks: 8,
+            tuples: 0,
+        };
+        let expected = 10.0 + 2.0 + 4.0 + 4.0 * 1.5 + 8.0 * 0.5;
+        assert!((m.cost(&s) - expected).abs() < 1e-12);
+    }
+}

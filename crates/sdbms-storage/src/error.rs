@@ -1,0 +1,80 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id referenced a page that was never allocated (or was freed).
+    InvalidPageId(u32),
+    /// The buffer pool has no evictable frame (every frame is pinned).
+    PoolExhausted,
+    /// A record id referenced a slot that does not exist or was deleted.
+    InvalidRid {
+        /// Page component of the record id.
+        page: u32,
+        /// Slot component of the record id.
+        slot: u16,
+    },
+    /// A record is too large to ever fit on a single page.
+    RecordTooLarge {
+        /// Size of the rejected record.
+        len: usize,
+        /// Largest storable record.
+        max: usize,
+    },
+    /// A key is too large for a B+tree node.
+    KeyTooLarge {
+        /// Size of the rejected key.
+        len: usize,
+        /// Largest permitted key.
+        max: usize,
+    },
+    /// An archive reel with this name does not exist.
+    NoSuchReel(String),
+    /// Attempted to read past the end of an archive reel.
+    EndOfReel {
+        /// Reel name.
+        reel: String,
+        /// Block position of the failed read.
+        position: usize,
+    },
+    /// A named file does not exist in the catalog.
+    NoSuchFile(String),
+    /// A file with this name already exists in the catalog.
+    FileExists(String),
+    /// On-page bytes failed a structural sanity check (corruption).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::InvalidPageId(p) => write!(f, "invalid page id {p}"),
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: all frames pinned")
+            }
+            StorageError::InvalidRid { page, slot } => {
+                write!(f, "invalid record id (page {page}, slot {slot})")
+            }
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page capacity {max}")
+            }
+            StorageError::KeyTooLarge { len, max } => {
+                write!(f, "key of {len} bytes exceeds B+tree limit {max}")
+            }
+            StorageError::NoSuchReel(name) => write!(f, "no archive reel named {name:?}"),
+            StorageError::EndOfReel { reel, position } => {
+                write!(f, "read past end of reel {reel:?} at block {position}")
+            }
+            StorageError::NoSuchFile(name) => write!(f, "no file named {name:?}"),
+            StorageError::FileExists(name) => write!(f, "file {name:?} already exists"),
+            StorageError::Corrupt(what) => write!(f, "corrupt page structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenient result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,45 @@
+//! # sdbms-summary — the Summary Database
+//!
+//! The paper's central mechanism (§3.2): each concrete view carries a
+//! cache of `(function, attribute) → result` entries so repetitive
+//! computations during a months-long analysis "lead to a savings in
+//! execution time each time a function whose result is already in the
+//! cache is invoked". The cache must survive updates to the view,
+//! either by incremental recomputation (finite differencing, §4.2) or
+//! by invalidation and lazy regeneration (§4.3).
+//!
+//! - [`function`] — the function catalogue with per-function
+//!   maintenance classes and auxiliary state builders.
+//! - [`value`] — the varying-typed result column of paper Figure 4.
+//! - [`db`] — the disk-resident store: heap records clustered by
+//!   attribute with a B+tree secondary index on
+//!   `(attribute, function)`, freshness flags, and hit/miss counters.
+//! - [`median_window`] — the §4.2 "histogram with a pointer" for order
+//!   statistics.
+//! - [`maintain`] — the update engine: incremental / invalidate-lazy /
+//!   eager policies, user accuracy tolerances, and the
+//!   compute-on-miss lookup path.
+//! - [`inference`] — §5.1's "Database Abstract" rules: derive a missing
+//!   function exactly from other cached entries (mean = sum/count) or
+//!   as a histogram-based estimate.
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod error;
+pub mod inference;
+pub mod function;
+pub mod maintain;
+pub mod median_window;
+pub mod value;
+
+pub use db::{CacheStats, Entry, Freshness, SummaryDb};
+pub use inference::{infer, Inferred};
+pub use error::{Result, SummaryError};
+pub use function::{standing_summary_functions, AuxState, MaintenanceClass, StatFunction};
+pub use maintain::{
+    apply_updates, get_or_compute, refresh_entry, AccuracyPolicy, ComputeSource,
+    MaintenancePolicy, MaintenanceReport, UpdateDelta,
+};
+pub use median_window::{MedianWindow, DEFAULT_WINDOW};
+pub use value::SummaryValue;

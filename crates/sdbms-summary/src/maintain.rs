@@ -1,0 +1,580 @@
+//! Maintenance of cached results under view updates.
+//!
+//! §3.2: "Whether or not a value in the Summary Database must be
+//! precise at all times, the DBMS must be able to periodically bring it
+//! up to date… One possibility is to recompute the function using the
+//! updated data as input. A more attractive alternative is to
+//! incrementally recompute the result using the old function value,
+//! changes made to the data, and perhaps some auxiliary information."
+//! §4.3 adds the fallback: "after each update operation all the values
+//! associated with the updated attribute will be marked as invalid" and
+//! regenerated lazily.
+//!
+//! [`MaintenancePolicy`] spans that whole spectrum, and experiment E6
+//! sweeps it. [`AccuracyPolicy`] is the user-communicated tolerance of
+//! §3.2 ("the user should have the capability of communicating his
+//! wishes regarding the desired accuracy").
+
+use sdbms_data::Value;
+use sdbms_stats::ExtremeAfterRemove;
+
+use crate::db::{Entry, Freshness, SummaryDb};
+use crate::error::Result;
+use crate::function::{AuxState, StatFunction};
+use crate::value::SummaryValue;
+
+/// How the Summary Database reacts to updates of the underlying view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// Incrementally recompute through auxiliary state; recompute from
+    /// data only when the state signals it (extreme deleted, median
+    /// window ran off). The paper's preferred design.
+    Incremental,
+    /// Mark entries stale; recompute lazily at next lookup. The §4.3
+    /// fallback.
+    InvalidateLazy,
+    /// Recompute every affected entry from data immediately.
+    EagerRecompute,
+}
+
+/// How fresh a served answer must be (per-query, user-specified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyPolicy {
+    /// Serve only exact answers; recompute stale entries first.
+    Exact,
+    /// Serve a stale answer if it has absorbed at most this many
+    /// updates since it was last exact — "a change of one or two values
+    /// has very little effect on the value of the median" (§3.2).
+    Tolerate(u32),
+}
+
+/// One cell change in the view, as seen by the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateDelta {
+    /// Value before the update (`Missing` = the cell held no number).
+    pub old: Value,
+    /// Value after the update.
+    pub new: Value,
+}
+
+/// What the maintenance pass did (experiment E2/E6 reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Entries updated purely from auxiliary state.
+    pub incremental: usize,
+    /// Entries recomputed from column data.
+    pub recomputed: usize,
+    /// Entries marked stale.
+    pub invalidated: usize,
+}
+
+/// Where a served answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeSource {
+    /// Fresh cache hit.
+    Cache,
+    /// Stale cache entry served under a tolerance policy.
+    CacheTolerated,
+    /// Computed (and cached) now.
+    Computed,
+}
+
+/// Apply one batch of updates on `attribute` to every cached entry of
+/// that attribute. `column` supplies the post-update column values and
+/// is called at most once (only when some entry must be recomputed).
+pub fn apply_updates(
+    db: &SummaryDb,
+    attribute: &str,
+    deltas: &[UpdateDelta],
+    policy: MaintenancePolicy,
+    column: &mut dyn FnMut() -> Result<Vec<Value>>,
+) -> Result<MaintenanceReport> {
+    let mut report = MaintenanceReport::default();
+    if deltas.is_empty() {
+        return Ok(report);
+    }
+    let entries = db.entries_for_attribute(attribute)?;
+    if entries.is_empty() {
+        return Ok(report);
+    }
+    let mut column_cache: Option<Vec<Value>> = None;
+    let mut fetch_column = |cache: &mut Option<Vec<Value>>| -> Result<Vec<Value>> {
+        if cache.is_none() {
+            *cache = Some(column()?);
+        }
+        Ok(cache.clone().expect("just filled"))
+    };
+
+    for mut entry in entries {
+        entry.updates_since_refresh = entry
+            .updates_since_refresh
+            .saturating_add(deltas.len() as u32);
+        match policy {
+            MaintenancePolicy::InvalidateLazy => {
+                entry.freshness = Freshness::Stale;
+                entry.aux = None;
+                report.invalidated += 1;
+                db.put(&entry)?;
+            }
+            MaintenancePolicy::EagerRecompute => {
+                let col = fetch_column(&mut column_cache)?;
+                refresh_entry(db, &mut entry, &col)?;
+                report.recomputed += 1;
+                db.put(&entry)?;
+            }
+            MaintenancePolicy::Incremental => {
+                // A stale entry stays stale (no aux to maintain).
+                if entry.freshness == Freshness::Stale || entry.aux.is_none() {
+                    entry.freshness = Freshness::Stale;
+                    entry.aux = None;
+                    report.invalidated += 1;
+                    db.put(&entry)?;
+                    continue;
+                }
+                let ok = apply_deltas_to_aux(
+                    entry.aux.as_mut().expect("checked above"),
+                    deltas,
+                );
+                let new_result = if ok {
+                    entry
+                        .aux
+                        .as_ref()
+                        .and_then(|aux| entry.function.result_from_aux(aux))
+                } else {
+                    None
+                };
+                match new_result {
+                    Some(result) => {
+                        entry.result = result;
+                        db.note_incremental();
+                        report.incremental += 1;
+                        db.put(&entry)?;
+                    }
+                    None => {
+                        // Aux signalled a rescan (deleted extreme, window
+                        // ran off, or non-derivable result): recompute.
+                        let col = fetch_column(&mut column_cache)?;
+                        refresh_entry(db, &mut entry, &col)?;
+                        report.recomputed += 1;
+                        db.put(&entry)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Apply deltas to one auxiliary state. Returns `false` when the state
+/// can no longer answer and a recompute is required.
+fn apply_deltas_to_aux(aux: &mut AuxState, deltas: &[UpdateDelta]) -> bool {
+    for d in deltas {
+        let ok = match aux {
+            AuxState::Moments(m) => {
+                match (d.old.as_f64(), d.new.as_f64()) {
+                    (Some(o), Some(n)) => m.replace(o, n).is_ok(),
+                    (Some(o), None) => m.remove(o).is_ok(),
+                    (None, Some(n)) => {
+                        m.add(n);
+                        true
+                    }
+                    (None, None) => true,
+                }
+            }
+            AuxState::MinMax(mm) => {
+                let removed_ok = match d.old.as_f64() {
+                    Some(o) => mm.remove(o) == ExtremeAfterRemove::Unchanged,
+                    None => true,
+                };
+                if removed_ok {
+                    if let Some(n) = d.new.as_f64() {
+                        mm.add(n);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            AuxState::Window(w) => {
+                match (d.old.as_f64(), d.new.as_f64()) {
+                    (Some(o), Some(n)) => w.replace(o, n),
+                    (Some(o), None) => w.remove(o),
+                    (None, Some(n)) => {
+                        w.add(n);
+                        true
+                    }
+                    (None, None) => true,
+                }
+            }
+            AuxState::Freq(t) => {
+                let removed = if d.old.is_missing() && d.new.is_missing() {
+                    true
+                } else {
+                    t.remove(&d.old).is_ok() && {
+                        t.add(&d.new);
+                        true
+                    }
+                };
+                removed
+            }
+            AuxState::Histo(h) => {
+                if let Some(o) = d.old.as_f64() {
+                    h.remove(o);
+                }
+                if let Some(n) = d.new.as_f64() {
+                    h.add(n);
+                }
+                true
+            }
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Recompute an entry's result and auxiliary state from column data.
+pub fn refresh_entry(db: &SummaryDb, entry: &mut Entry, column: &[Value]) -> Result<()> {
+    entry.result = entry.function.compute(column)?;
+    entry.aux = entry.function.build_aux(column);
+    entry.freshness = Freshness::Fresh;
+    entry.updates_since_refresh = 0;
+    db.note_recompute();
+    Ok(())
+}
+
+/// The lookup path: serve from cache when the accuracy policy allows,
+/// otherwise compute (and cache) from column data. This is the §3.2
+/// search algorithm: "If the desired pair is found, the corresponding
+/// result will be returned. Otherwise, after the function has been
+/// applied… the new information will be inserted into the Summary
+/// Database."
+pub fn get_or_compute(
+    db: &SummaryDb,
+    attribute: &str,
+    function: &StatFunction,
+    accuracy: AccuracyPolicy,
+    column: &mut dyn FnMut() -> Result<Vec<Value>>,
+) -> Result<(SummaryValue, ComputeSource)> {
+    if let Some(entry) = db.lookup(attribute, function)? {
+        match (entry.freshness, accuracy) {
+            (Freshness::Fresh, _) => return Ok((entry.result, ComputeSource::Cache)),
+            (Freshness::Stale, AccuracyPolicy::Tolerate(k))
+                if entry.updates_since_refresh <= k =>
+            {
+                return Ok((entry.result, ComputeSource::CacheTolerated));
+            }
+            (Freshness::Stale, _) => {
+                let col = column()?;
+                let mut entry = entry;
+                refresh_entry(db, &mut entry, &col)?;
+                db.put(&entry)?;
+                return Ok((entry.result, ComputeSource::Computed));
+            }
+        }
+    }
+    // Miss: compute, insert, return.
+    let col = column()?;
+    let mut entry = Entry {
+        attribute: attribute.to_string(),
+        function: function.clone(),
+        result: SummaryValue::Scalar(0.0), // placeholder, refreshed below
+        freshness: Freshness::Fresh,
+        aux: None,
+        updates_since_refresh: 0,
+    };
+    refresh_entry(db, &mut entry, &col)?;
+    db.put(&entry)?;
+    Ok((entry.result, ComputeSource::Computed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbms_storage::StorageEnv;
+
+    fn db() -> SummaryDb {
+        SummaryDb::create(StorageEnv::new(64).pool).unwrap()
+    }
+
+    fn int_col(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    fn delta(old: i64, new: i64) -> UpdateDelta {
+        UpdateDelta {
+            old: Value::Int(old),
+            new: Value::Int(new),
+        }
+    }
+
+    /// Seed the cache with a set of functions over `col`.
+    fn seed(db: &SummaryDb, attr: &str, col: &[Value], fns: &[StatFunction]) {
+        for f in fns {
+            let (_, src) = get_or_compute(db, attr, f, AccuracyPolicy::Exact, &mut || {
+                Ok(col.to_vec())
+            })
+            .unwrap();
+            assert_eq!(src, ComputeSource::Computed);
+        }
+    }
+
+    #[test]
+    fn cache_hit_after_compute() {
+        let db = db();
+        let col = int_col(&[1, 2, 3, 4, 5]);
+        let f = StatFunction::Mean;
+        seed(&db, "X", &col, &[f.clone()]);
+        let mut calls = 0;
+        let (v, src) = get_or_compute(&db, "X", &f, AccuracyPolicy::Exact, &mut || {
+            calls += 1;
+            Ok(col.clone())
+        })
+        .unwrap();
+        assert_eq!(src, ComputeSource::Cache);
+        assert_eq!(v, SummaryValue::Scalar(3.0));
+        assert_eq!(calls, 0, "no data access on a fresh hit");
+    }
+
+    #[test]
+    fn incremental_maintenance_no_data_access() {
+        let db = db();
+        let mut data = vec![1i64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let col = int_col(&data);
+        let fns = [
+            StatFunction::Count,
+            StatFunction::Sum,
+            StatFunction::Mean,
+            StatFunction::Variance,
+            StatFunction::Median,
+            StatFunction::Histogram(5),
+            StatFunction::Mode,
+            StatFunction::UniqueCount,
+        ];
+        seed(&db, "X", &col, &fns);
+        // Interior update: 5 -> 7 (doesn't touch min/max extremes).
+        data[4] = 7;
+        let new_col = int_col(&data);
+        let report = apply_updates(
+            &db,
+            "X",
+            &[delta(5, 7)],
+            MaintenancePolicy::Incremental,
+            &mut || panic!("incremental maintenance must not read the column"),
+        )
+        .unwrap();
+        assert_eq!(report.incremental, fns.len());
+        assert_eq!(report.recomputed, 0);
+        // Every maintained result matches a recompute from scratch.
+        for f in &fns {
+            let cached = db.lookup_fresh("X", f).unwrap().unwrap().result;
+            let direct = f.compute(&new_col).unwrap();
+            assert!(
+                cached.approx_eq(&direct, 1e-9),
+                "{f}: {cached:?} != {direct:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_the_extreme_forces_recompute_of_min_only() {
+        let db = db();
+        let col = int_col(&[1, 5, 9]);
+        seed(&db, "X", &col, &[StatFunction::Min, StatFunction::Mean]);
+        let mut fetches = 0;
+        let report = apply_updates(
+            &db,
+            "X",
+            &[delta(1, 4)], // removes the minimum
+            MaintenancePolicy::Incremental,
+            &mut || {
+                fetches += 1;
+                Ok(int_col(&[4, 5, 9]))
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recomputed, 1, "min rescan");
+        assert_eq!(report.incremental, 1, "mean stays incremental");
+        assert_eq!(fetches, 1);
+        let min = db.lookup_fresh("X", &StatFunction::Min).unwrap().unwrap();
+        assert_eq!(min.result, SummaryValue::Scalar(4.0));
+    }
+
+    #[test]
+    fn invalidate_lazy_then_tolerated_then_exact() {
+        let db = db();
+        let col = int_col(&[1, 2, 3, 4, 100]);
+        seed(&db, "X", &col, &[StatFunction::Median]);
+        apply_updates(
+            &db,
+            "X",
+            &[delta(100, 5)],
+            MaintenancePolicy::InvalidateLazy,
+            &mut || panic!("lazy policy must not read data"),
+        )
+        .unwrap();
+        // Tolerant read serves the stale value without data access.
+        let (v, src) = get_or_compute(
+            &db,
+            "X",
+            &StatFunction::Median,
+            AccuracyPolicy::Tolerate(5),
+            &mut || panic!("tolerated read must not read data"),
+        )
+        .unwrap();
+        assert_eq!(src, ComputeSource::CacheTolerated);
+        assert_eq!(v, SummaryValue::Scalar(3.0), "old median");
+        // Exact read recomputes.
+        let (v, src) = get_or_compute(
+            &db,
+            "X",
+            &StatFunction::Median,
+            AccuracyPolicy::Exact,
+            &mut || Ok(int_col(&[1, 2, 3, 4, 5])),
+        )
+        .unwrap();
+        assert_eq!(src, ComputeSource::Computed);
+        assert_eq!(v, SummaryValue::Scalar(3.0));
+        // Now fresh again.
+        let (_, src) = get_or_compute(
+            &db,
+            "X",
+            &StatFunction::Median,
+            AccuracyPolicy::Exact,
+            &mut || panic!("fresh"),
+        )
+        .unwrap();
+        assert_eq!(src, ComputeSource::Cache);
+    }
+
+    #[test]
+    fn tolerance_exceeded_forces_recompute() {
+        let db = db();
+        let col = int_col(&[1, 2, 3]);
+        seed(&db, "X", &col, &[StatFunction::Mean]);
+        // 3 updates under lazy policy.
+        let deltas: Vec<UpdateDelta> = (0..3).map(|i| delta(i, i + 10)).collect();
+        apply_updates(
+            &db,
+            "X",
+            &deltas,
+            MaintenancePolicy::InvalidateLazy,
+            &mut || unreachable!(),
+        )
+        .unwrap();
+        let (_, src) = get_or_compute(
+            &db,
+            "X",
+            &StatFunction::Mean,
+            AccuracyPolicy::Tolerate(2),
+            &mut || Ok(int_col(&[10, 11, 12])),
+        )
+        .unwrap();
+        assert_eq!(src, ComputeSource::Computed, "3 updates > tolerance 2");
+    }
+
+    #[test]
+    fn eager_policy_recomputes_everything_once() {
+        let db = db();
+        let col = int_col(&[1, 2, 3, 4]);
+        seed(&db, "X", &col, &[StatFunction::Mean, StatFunction::Max]);
+        let mut fetches = 0;
+        let report = apply_updates(
+            &db,
+            "X",
+            &[delta(1, 9)],
+            MaintenancePolicy::EagerRecompute,
+            &mut || {
+                fetches += 1;
+                Ok(int_col(&[9, 2, 3, 4]))
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recomputed, 2);
+        assert_eq!(fetches, 1, "column fetched once for the whole batch");
+        let max = db.lookup_fresh("X", &StatFunction::Max).unwrap().unwrap();
+        assert_eq!(max.result, SummaryValue::Scalar(9.0));
+    }
+
+    #[test]
+    fn non_incremental_function_invalidates_under_incremental_policy() {
+        let db = db();
+        let col = int_col(&(1..=100).collect::<Vec<_>>());
+        seed(&db, "X", &col, &[StatFunction::TrimmedMean(50, 950)]);
+        let report = apply_updates(
+            &db,
+            "X",
+            &[delta(50, 51)],
+            MaintenancePolicy::Incremental,
+            &mut || panic!("should invalidate, not recompute"),
+        )
+        .unwrap();
+        assert_eq!(report.invalidated, 1);
+        assert!(db
+            .lookup_fresh("X", &StatFunction::TrimmedMean(50, 950))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn missing_value_transitions() {
+        let db = db();
+        let col = vec![
+            Value::Int(10),
+            Value::Int(20),
+            Value::Int(30),
+            Value::Int(40),
+        ];
+        seed(
+            &db,
+            "X",
+            &col,
+            &[StatFunction::Count, StatFunction::Mean, StatFunction::Sum],
+        );
+        // Invalidate a measurement: 30 -> Missing.
+        apply_updates(
+            &db,
+            "X",
+            &[UpdateDelta {
+                old: Value::Int(30),
+                new: Value::Missing,
+            }],
+            MaintenancePolicy::Incremental,
+            &mut || unreachable!(),
+        )
+        .unwrap();
+        let count = db.lookup_fresh("X", &StatFunction::Count).unwrap().unwrap();
+        assert_eq!(count.result, SummaryValue::Count(3));
+        let mean = db.lookup_fresh("X", &StatFunction::Mean).unwrap().unwrap();
+        assert!(mean.result.approx_eq(&SummaryValue::Scalar(70.0 / 3.0), 1e-9));
+        // And back: Missing -> 35.
+        apply_updates(
+            &db,
+            "X",
+            &[UpdateDelta {
+                old: Value::Missing,
+                new: Value::Int(35),
+            }],
+            MaintenancePolicy::Incremental,
+            &mut || unreachable!(),
+        )
+        .unwrap();
+        let sum = db.lookup_fresh("X", &StatFunction::Sum).unwrap().unwrap();
+        assert!(sum.result.approx_eq(&SummaryValue::Scalar(105.0), 1e-9));
+    }
+
+    #[test]
+    fn updates_to_uncached_attributes_are_free() {
+        let db = db();
+        let report = apply_updates(
+            &db,
+            "NEVER_CACHED",
+            &[delta(1, 2)],
+            MaintenancePolicy::Incremental,
+            &mut || unreachable!(),
+        )
+        .unwrap();
+        assert_eq!(report, MaintenanceReport::default());
+    }
+}

@@ -1,0 +1,295 @@
+//! The varying-typed result column of the Summary Database.
+//!
+//! §3.2: "A Summary Database will contain results of significantly
+//! different types. For example, the mean of a column will be stored as
+//! an integer (or a floating point), whereas a histogram will be stored
+//! as two vectors… implicit here is the fact that the values in the
+//! third column will be of varying length." [`SummaryValue`] is that
+//! third column, with a binary encoding for the disk-resident store.
+
+use std::fmt;
+
+use sdbms_data::Value;
+use sdbms_stats::Histogram;
+
+use crate::error::{Result, SummaryError};
+
+/// A cached function result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryValue {
+    /// A single number (mean, median, min…).
+    Scalar(f64),
+    /// A count (row counts, unique counts).
+    Count(u64),
+    /// A fixed small vector (quartiles).
+    Vector(Vec<f64>),
+    /// A histogram — "two vectors" in the paper's words.
+    Histogram(Histogram),
+    /// The modal value and its frequency.
+    ModalValue(Value, u64),
+    /// A free-text note (§3.2: "verbal descriptions of the data set",
+    /// e.g. how far the analysis has proceeded).
+    Note(String),
+}
+
+impl SummaryValue {
+    /// Numeric view of scalar-like results.
+    #[must_use]
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            SummaryValue::Scalar(x) => Some(*x),
+            SummaryValue::Count(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Approximate equality (tolerance on floats), for comparing an
+    /// incrementally maintained result against a recompute.
+    #[must_use]
+    pub fn approx_eq(&self, other: &SummaryValue, tol: f64) -> bool {
+        match (self, other) {
+            (SummaryValue::Scalar(a), SummaryValue::Scalar(b)) => {
+                (a - b).abs() <= tol * b.abs().max(1.0)
+            }
+            (SummaryValue::Count(a), SummaryValue::Count(b)) => a == b,
+            (SummaryValue::Vector(a), SummaryValue::Vector(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| (x - y).abs() <= tol * y.abs().max(1.0))
+            }
+            (SummaryValue::Histogram(a), SummaryValue::Histogram(b)) => a == b,
+            (SummaryValue::ModalValue(v, c), SummaryValue::ModalValue(w, d)) => {
+                v == w && c == d
+            }
+            (SummaryValue::Note(a), SummaryValue::Note(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Binary encoding (varying length, as the paper notes).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            SummaryValue::Scalar(x) => {
+                buf.push(0);
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            SummaryValue::Count(n) => {
+                buf.push(1);
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
+            SummaryValue::Vector(v) => {
+                buf.push(2);
+                buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    buf.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            SummaryValue::Histogram(h) => {
+                buf.push(3);
+                encode_histogram(h, &mut buf);
+            }
+            SummaryValue::ModalValue(v, c) => {
+                buf.push(4);
+                v.encode(&mut buf);
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+            SummaryValue::Note(s) => {
+                buf.push(5);
+                let b = s.as_bytes();
+                buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                buf.extend_from_slice(b);
+            }
+        }
+        buf
+    }
+
+    /// Decode one value from `buf[*pos..]`, advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<SummaryValue> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or(SummaryError::Decode("summary value tag missing"))?;
+        *pos += 1;
+        match tag {
+            0 => Ok(SummaryValue::Scalar(f64::from_bits(take_u64(buf, pos)?))),
+            1 => Ok(SummaryValue::Count(take_u64(buf, pos)?)),
+            2 => {
+                let n = take_u32(buf, pos)? as usize;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(f64::from_bits(take_u64(buf, pos)?));
+                }
+                Ok(SummaryValue::Vector(v))
+            }
+            3 => Ok(SummaryValue::Histogram(decode_histogram(buf, pos)?)),
+            4 => {
+                let v = Value::decode(buf, pos)
+                    .map_err(|_| SummaryError::Decode("modal value"))?;
+                Ok(SummaryValue::ModalValue(v, take_u64(buf, pos)?))
+            }
+            5 => {
+                let n = take_u32(buf, pos)? as usize;
+                let bytes = buf
+                    .get(*pos..*pos + n)
+                    .ok_or(SummaryError::Decode("note truncated"))?;
+                *pos += n;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| SummaryError::Decode("note not UTF-8"))?;
+                Ok(SummaryValue::Note(s.to_string()))
+            }
+            _ => Err(SummaryError::Decode("unknown summary value tag")),
+        }
+    }
+}
+
+impl fmt::Display for SummaryValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryValue::Scalar(x) => write!(f, "{x}"),
+            SummaryValue::Count(n) => write!(f, "{n}"),
+            SummaryValue::Vector(v) => write!(f, "{v:?}"),
+            SummaryValue::Histogram(h) => {
+                write!(f, "histogram[{} bins, {} obs]", h.bins(), h.total())
+            }
+            SummaryValue::ModalValue(v, c) => write!(f, "{v} (×{c})"),
+            SummaryValue::Note(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+pub(crate) fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let b = buf
+        .get(*pos..*pos + 8)
+        .ok_or(SummaryError::Decode("u64 truncated"))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+pub(crate) fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let b = buf
+        .get(*pos..*pos + 4)
+        .ok_or(SummaryError::Decode("u32 truncated"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+pub(crate) fn encode_histogram(h: &Histogram, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(h.edges().len() as u32).to_le_bytes());
+    for e in h.edges() {
+        buf.extend_from_slice(&e.to_bits().to_le_bytes());
+    }
+    for c in h.counts() {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    buf.extend_from_slice(&h.below().to_le_bytes());
+    buf.extend_from_slice(&h.above().to_le_bytes());
+}
+
+pub(crate) fn decode_histogram(buf: &[u8], pos: &mut usize) -> Result<Histogram> {
+    let n_edges = take_u32(buf, pos)? as usize;
+    if n_edges < 2 {
+        return Err(SummaryError::Decode("histogram needs >= 2 edges"));
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edges.push(f64::from_bits(take_u64(buf, pos)?));
+    }
+    let mut h = Histogram::with_range(edges[0], edges[n_edges - 1], n_edges - 1)
+        .map_err(|_| SummaryError::Decode("bad histogram range"))?;
+    // Edges are equi-width by construction; replay counts through the
+    // public surface by re-adding bin midpoints.
+    let mut counts = Vec::with_capacity(n_edges - 1);
+    for _ in 0..n_edges - 1 {
+        counts.push(take_u64(buf, pos)?);
+    }
+    let below = take_u64(buf, pos)?;
+    let above = take_u64(buf, pos)?;
+    for (i, &c) in counts.iter().enumerate() {
+        let mid = (edges[i] + edges[i + 1]) / 2.0;
+        for _ in 0..c {
+            h.add(mid);
+        }
+    }
+    for _ in 0..below {
+        h.add(edges[0] - 1.0);
+    }
+    for _ in 0..above {
+        h.add(edges[n_edges - 1] + 1.0);
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &SummaryValue) -> SummaryValue {
+        let bytes = v.encode();
+        let mut pos = 0usize;
+        let out = SummaryValue::decode(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len(), "all bytes consumed");
+        out
+    }
+
+    #[test]
+    fn scalar_count_vector_roundtrip() {
+        for v in [
+            SummaryValue::Scalar(-12.5e300),
+            SummaryValue::Scalar(f64::INFINITY),
+            SummaryValue::Count(u64::MAX),
+            SummaryValue::Vector(vec![1.0, 2.5, -3.0]),
+            SummaryValue::Vector(vec![]),
+            SummaryValue::Note("analysis at step 3; outliers pending".into()),
+            SummaryValue::ModalValue(Value::Str("M".into()), 42),
+            SummaryValue::ModalValue(Value::Missing, 7),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn histogram_roundtrip() {
+        let mut h = Histogram::with_range(0.0, 100.0, 10).unwrap();
+        for x in [5.0, 15.0, 15.0, 95.0, -3.0, 200.0] {
+            h.add(x);
+        }
+        let v = SummaryValue::Histogram(h.clone());
+        let SummaryValue::Histogram(out) = roundtrip(&v) else {
+            panic!()
+        };
+        assert_eq!(out.counts(), h.counts());
+        assert_eq!(out.edges(), h.edges());
+        assert_eq!(out.below(), h.below());
+        assert_eq!(out.above(), h.above());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = SummaryValue::Scalar(100.0);
+        let b = SummaryValue::Scalar(100.0 + 1e-12);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&SummaryValue::Scalar(101.0), 1e-9));
+        assert!(!a.approx_eq(&SummaryValue::Count(100), 1e-9), "type-strict");
+        assert!(SummaryValue::Count(5).approx_eq(&SummaryValue::Count(5), 0.0));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut pos = 0;
+        assert!(SummaryValue::decode(&[], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(SummaryValue::decode(&[99], &mut pos).is_err());
+        let good = SummaryValue::Scalar(1.0).encode();
+        let mut pos = 0;
+        assert!(SummaryValue::decode(&good[..5], &mut pos).is_err());
+    }
+
+    #[test]
+    fn as_scalar_views() {
+        assert_eq!(SummaryValue::Scalar(2.5).as_scalar(), Some(2.5));
+        assert_eq!(SummaryValue::Count(3).as_scalar(), Some(3.0));
+        assert_eq!(SummaryValue::Vector(vec![]).as_scalar(), None);
+    }
+}

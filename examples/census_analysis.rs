@@ -1,0 +1,150 @@
+//! A full exploratory → confirmatory analysis session (§2.2).
+//!
+//! An analyst receives 20,000 census microdata records containing
+//! planted data-entry errors and legitimate outliers, and works through
+//! the paper's workflow: sample-based exploration, data checking and
+//! invalidation (with history checkpoints), derived columns, and
+//! finally confirmatory hypothesis tests on the cleaned view.
+//!
+//! Run with: `cargo run --example census_analysis`
+
+use sdbms::core::{
+    AccuracyPolicy, CmpOp, Expr, Predicate, ScalarFunc, StatDbms, StatFunction,
+    ViewDefinition,
+};
+use sdbms::data::census::{microdata_census, region_codebook, CensusConfig};
+use sdbms::data::DataType;
+use sdbms::stats::{crosstab::CrossTab, hypothesis};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dbms = StatDbms::new(1024);
+
+    // Load the raw survey (with seeded invalid ages and outlier
+    // incomes) onto archive storage.
+    let raw = microdata_census(&CensusConfig {
+        rows: 20_000,
+        invalid_fraction: 0.004,
+        outlier_fraction: 0.01,
+        ..Default::default()
+    })?;
+    dbms.load_raw(&raw)?;
+    dbms.register_codebook(region_codebook(4));
+    println!("loaded {} raw records onto tape", raw.len());
+
+    // Materialize the working view (transposed layout by default).
+    dbms.materialize(ViewDefinition::scan("survey", "census_microdata"), "analyst")?;
+
+    // ---- Exploratory phase -------------------------------------------------
+    // First impressions from a 5% sample (§2.2: responsiveness).
+    let sample = dbms.sample("survey", 1_000, 7)?;
+    let (sample_incomes, _) = sample.column_f64("INCOME")?;
+    let d = sdbms::stats::describe(&sample_incomes)?;
+    println!(
+        "\nsample of 1000: income mean ≈ {:.0}, sd ≈ {:.0}, range [{:.0}, {:.0}]",
+        d.mean, d.std_dev, d.min, d.max
+    );
+
+    // Data checking on the full view: histogram + range scan.
+    let (ages, _) = dbms.dataset("survey")?.column_f64("AGE")?;
+    let hist = sdbms::stats::Histogram::from_data(&ages, 12)?;
+    println!("\nAGE histogram (bins of {:.0}):", hist.edges()[1] - hist.edges()[0]);
+    for (i, &c) in hist.counts().iter().enumerate() {
+        println!(
+            "  [{:>5.0}, {:>5.0})  {}",
+            hist.edges()[i],
+            hist.edges()[i + 1],
+            "#".repeat((c / 150 + 1) as usize)
+        );
+    }
+
+    let suspicious = dbms.suspicious_rows("survey", "AGE")?;
+    println!("\n{} rows have impossible AGE values", suspicious.len());
+
+    // Checkpoint, then invalidate the bad measurements (§3.1).
+    dbms.checkpoint("survey", "before-cleaning")?;
+    dbms.annotate("survey", "ages > 110 are data-entry errors; marking missing")?;
+    let report = dbms.invalidate_where(
+        "survey",
+        &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(110i64)),
+        "AGE",
+    )?;
+    println!(
+        "invalidated {} cells ({} summary entries maintained incrementally)",
+        report.rows_matched, report.maintenance.incremental
+    );
+
+    // Outlier incomes are investigated, found legitimate, and kept
+    // (the Beverly Hills case) — record that decision.
+    let rich = dbms.suspicious_rows("survey", "INCOME")?;
+    dbms.annotate(
+        "survey",
+        &format!("{} incomes above the plausibility range verified as real", rich.len()),
+    )?;
+
+    // Standing summaries for later work — all cached.
+    let warmed = dbms.warm_standing_summaries("survey")?;
+    println!("warmed {warmed} standing summary entries");
+
+    // The M ± k·SD query of §3.1, straight from cached values.
+    let (mean, _) = dbms.compute("survey", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)?;
+    let (sd, _) = dbms.compute("survey", "INCOME", &StatFunction::StdDev, AccuracyPolicy::Exact)?;
+    let (m, s) = (mean.as_scalar().unwrap(), sd.as_scalar().unwrap());
+    let (incomes, _) = dbms.dataset("survey")?.column_f64("INCOME")?;
+    let (inside, outside) = sdbms::stats::descriptive::count_within_band(&incomes, m, s, 3.0);
+    println!("\nincome M ± 3·SD: {inside} inside, {outside} outside");
+
+    // A derived column with a row-local rule.
+    dbms.add_derived_column(
+        "survey",
+        "LOG_INCOME",
+        DataType::Float,
+        Expr::col("INCOME").apply(ScalarFunc::Ln),
+    )?;
+    // And the residuals of INCOME ~ AGE with the regenerate rule.
+    dbms.add_residuals_column("survey", "RESID", "AGE", "INCOME")?;
+    println!("added derived columns LOG_INCOME (local rule) and RESID (regenerate rule)");
+
+    // ---- Confirmatory phase ------------------------------------------------
+    let view = dbms.dataset("survey")?;
+
+    // Is the proportion who live past 40 dependent on race? (§2.2's
+    // literal example — chi-squared on a cross-tabulation.)
+    let (ct, _) = CrossTab::from_dataset(&view, "RACE", "AGE_GROUP")?;
+    let chi = hypothesis::chi_squared_independence(&ct)?;
+    println!(
+        "\nchi-squared(RACE × AGE_GROUP): χ² = {:.1}, df = {}, p = {:.4}",
+        chi.statistic, chi.df, chi.p_value
+    );
+
+    // Does LOG_INCOME look normal? K-S against a fitted normal.
+    let (log_incomes, _) = view.column_f64("LOG_INCOME")?;
+    let ld = sdbms::stats::describe(&log_incomes)?;
+    let ks = hypothesis::ks_one_sample(&log_incomes, |x| {
+        sdbms::stats::special::normal_cdf((x - ld.mean) / ld.std_dev)
+    })?;
+    println!(
+        "K-S LOG_INCOME vs N({:.2}, {:.2}): D = {:.4}, p = {:.4}",
+        ld.mean, ld.std_dev, ks.statistic, ks.p_value
+    );
+
+    // Trimmed mean between the 5th and 95th quantiles (§3.1).
+    let (trimmed, _) = dbms.compute(
+        "survey",
+        "INCOME",
+        &StatFunction::TrimmedMean(50, 950),
+        AccuracyPolicy::Exact,
+    )?;
+    println!("5%-95% trimmed mean income = {trimmed}");
+
+    // Publish the cleaned view so colleagues reuse the work (§2.3).
+    dbms.publish("survey", "analyst")?;
+    println!("\ncleaning log now visible to other analysts:");
+    for line in dbms.cleaning_log("survey", "colleague")?.iter().take(3) {
+        println!("  {line}");
+    }
+    println!("  … ({} entries total)", dbms.cleaning_log("survey", "colleague")?.len());
+
+    let stats = dbms.cache_stats("survey")?;
+    println!("\nSummary Database: {stats:?}");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Loads the Figure 1 data set into the raw database, materializes a
+//! concrete view, decodes AGE_GROUP through the Figure 2 code book with
+//! a relational join, and reproduces the Figure 4 Summary Database by
+//! running the paper's three queries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sdbms::core::{
+    paper_demo_dbms, AccuracyPolicy, ComputeSource, StatFunction, ViewDefinition,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A DBMS whose raw database ("tape") already holds Figure 1, with
+    // the Figure 2 AGE_GROUP code book registered.
+    let mut dbms = paper_demo_dbms(256)?;
+
+    println!("== Raw database (on archive storage) ==");
+    for name in dbms.raw().dataset_names() {
+        println!("  reel: {name}");
+    }
+
+    // Materialize the analyst's concrete view. This is the expensive
+    // tape-to-disk step the paper amortizes.
+    dbms.materialize(ViewDefinition::scan("census", "figure1"), "analyst")?;
+    println!("\n== Concrete view `census` (paper Figure 1) ==");
+    println!("{}", dbms.dataset("census")?);
+
+    // Decode AGE_GROUP with a join instead of a manual code book
+    // lookup (§2.4's complaint about statistical packages).
+    let decoded = ViewDefinition::scan("decoded", "figure1")
+        .join("AGE_GROUP_codes", "AGE_GROUP", "CATEGORY")
+        .project(&["SEX", "RACE", "VALUE", "POPULATION", "AVE_SALARY"]);
+    dbms.materialize(decoded, "analyst")?;
+    println!("== Decoded view (Figure 2 joined in) ==");
+    println!("{}", dbms.dataset("decoded")?);
+
+    // The paper's Figure 4 queries: min/max of POPULATION, median of
+    // AVE_SALARY. First execution computes; every later one hits the
+    // Summary Database.
+    for (attr, f) in [
+        ("POPULATION", StatFunction::Min),
+        ("POPULATION", StatFunction::Max),
+        ("AVE_SALARY", StatFunction::Median),
+    ] {
+        let (value, source) = dbms.compute("census", attr, &f, AccuracyPolicy::Exact)?;
+        println!("{}({attr}) = {value}   [{source:?}]", f.name());
+    }
+
+    // Run the median again: a pure cache hit.
+    let (median, source) = dbms.compute(
+        "census",
+        "AVE_SALARY",
+        &StatFunction::Median,
+        AccuracyPolicy::Exact,
+    )?;
+    assert_eq!(source, ComputeSource::Cache);
+    println!("\nmedian again = {median}   [{source:?}] — no data access");
+
+    // The view's Summary Database now *is* paper Figure 4.
+    println!("\n== Summary Database (paper Figure 4) ==");
+    print!("{}", dbms.view("census")?.summary.render_figure4()?);
+
+    let stats = dbms.cache_stats("census")?;
+    println!("\ncache stats: {stats:?}");
+    let io = dbms.io();
+    println!(
+        "I/O so far: {} page reads, {} page writes, {} archive blocks",
+        io.page_reads, io.page_writes, io.archive_block_reads
+    );
+    Ok(())
+}

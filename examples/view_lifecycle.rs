@@ -1,0 +1,125 @@
+//! The life of a concrete view (§2.3 and Figure 3).
+//!
+//! Demonstrates the Management Database working: SUBJECT-style metadata
+//! navigation that becomes a view request, materialization with
+//! duplicate detection, checkpoints and rollback, publishing, and a
+//! second analyst reusing the first one's cleaned view — plus
+//! access-pattern-driven storage reorganization.
+//!
+//! Run with: `cargo run --example view_lifecycle`
+
+use sdbms::core::{
+    CmpOp, CoreError, Expr, Layout, Predicate, StatDbms, ViewDefinition,
+};
+use sdbms::data::census::{microdata_census, CensusConfig};
+use sdbms::data::NodeKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dbms = StatDbms::new(512);
+    let raw = microdata_census(&CensusConfig {
+        rows: 4_000,
+        invalid_fraction: 0.005,
+        ..Default::default()
+    })?;
+    dbms.load_raw(&raw)?;
+
+    // ---- Metadata navigation (SUBJECT, §2.3) ------------------------------
+    dbms.metadata_mut()
+        .add_node("Economics", NodeKind::Topic, "income-related attributes");
+    dbms.metadata_mut()
+        .add_edge("Economics", "census_microdata.INCOME")?;
+    dbms.metadata_mut()
+        .add_edge("Economics", "census_microdata.HOURS_WORKED")?;
+    let mut nav = dbms.metadata().navigate_from("Economics")?;
+    println!("navigating from {:?}:", nav.current().name);
+    for child in dbms.metadata().children_of("Economics")? {
+        println!("  child: {} — {}", child.name, child.description);
+    }
+    nav.descend("census_microdata.INCOME")?;
+    let request = nav.view_request();
+    println!("view request from the walk: {request:?}\n");
+
+    // ---- Materialization with duplicate detection --------------------------
+    let def = ViewDefinition::scan("earners", "census_microdata")
+        .select(Predicate::cmp(Expr::col("INCOME"), CmpOp::Gt, Expr::lit(0.0)));
+    dbms.materialize(def.clone(), "alice")?;
+    println!("alice materialized `earners` ({} rows)", dbms.dataset("earners")?.len());
+
+    // Alice tries to rebuild the same thing under another name.
+    let dup = ViewDefinition::scan("earners_again", "census_microdata")
+        .select(Predicate::cmp(Expr::col("INCOME"), CmpOp::Gt, Expr::lit(0.0)));
+    match dbms.materialize(dup, "alice") {
+        Err(CoreError::EquivalentViewExists { existing, .. }) => {
+            println!("duplicate detected: told to reuse {existing:?}");
+        }
+        other => panic!("expected duplicate detection, got {other:?}"),
+    }
+
+    // ---- Cleaning with checkpoints and rollback ----------------------------
+    dbms.checkpoint("earners", "raw")?;
+    let bad = dbms.suspicious_rows("earners", "AGE")?;
+    dbms.invalidate_where(
+        "earners",
+        &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(110i64)),
+        "AGE",
+    )?;
+    dbms.annotate("earners", &format!("{} impossible ages invalidated", bad.len()))?;
+    println!("\ncleaned {} impossible ages", bad.len());
+
+    // Oops — one edit too many; demonstrate rollback.
+    dbms.checkpoint("earners", "clean")?;
+    dbms.update_where(
+        "earners",
+        &Predicate::True,
+        &[("HOURS_WORKED", Expr::lit(0i64))],
+    )?;
+    println!(
+        "destructive edit: mean hours now {:?}",
+        sdbms::stats::descriptive::mean(
+            &dbms.dataset("earners")?.column_f64("HOURS_WORKED")?.0
+        )?
+    );
+    let undone = dbms.rollback_to_checkpoint("earners", "clean")?;
+    println!(
+        "rolled back {} changes: mean hours restored to {:.1}",
+        undone,
+        sdbms::stats::descriptive::mean(
+            &dbms.dataset("earners")?.column_f64("HOURS_WORKED")?.0
+        )?
+    );
+
+    // ---- Publishing and reuse ----------------------------------------------
+    dbms.publish("earners", "alice")?;
+    println!("\nbob reads alice's cleaning log:");
+    for line in dbms.cleaning_log("earners", "bob")?.iter().rev().take(2) {
+        println!("  {line}");
+    }
+    // Bob now gets redirected to the published view instead of
+    // re-extracting from tape.
+    let bobs = ViewDefinition::scan("bob_earners", "census_microdata")
+        .select(Predicate::cmp(Expr::col("INCOME"), CmpOp::Gt, Expr::lit(0.0)));
+    match dbms.materialize(bobs, "bob") {
+        Err(CoreError::EquivalentViewExists { existing, owner }) => {
+            println!("bob redirected to {existing:?} (owner {owner})");
+        }
+        other => panic!("expected redirect, got {other:?}"),
+    }
+
+    // ---- Access-pattern-driven reorganization -------------------------------
+    dbms.materialize_with(
+        ViewDefinition::scan("rowview", "census_microdata"),
+        "carol",
+        Layout::Row,
+    )?;
+    for _ in 0..15 {
+        dbms.column("rowview", "INCOME")?; // statistical access pattern
+    }
+    if let Some(layout) = dbms.auto_reorganize("rowview")? {
+        println!("\n`rowview` automatically reorganized to the {layout} layout");
+    }
+    println!(
+        "views in the catalog: {:?}",
+        dbms.view_names()
+    );
+    Ok(())
+}
