@@ -22,12 +22,45 @@ use sdbms_relational::{Expr, Predicate, ViewDefinition};
 use sdbms_stats::regression;
 use sdbms_storage::{IoSnapshot, StorageEnv};
 use sdbms_summary::{
-    apply_updates, get_or_compute, AccuracyPolicy, CacheStats, ComputeSource,
-    MaintenancePolicy, StatFunction, SummaryDb, SummaryValue, UpdateDelta,
+    apply_updates, get_or_compute_resilient, quarantinable, AccuracyPolicy, CacheStats,
+    ComputeSource, Intent, IntentLog, MaintenancePolicy, StatFunction, SummaryDb,
+    SummaryError, SummaryValue, UpdateDelta,
 };
 
 use crate::error::{CoreError, Result};
 use crate::view::{ConcreteView, UpdateReport};
+
+/// How hard the DBMS works to keep Summary Databases consistent with
+/// their views across a crash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// No crash protection (the historical behavior): summaries live in
+    /// buffered pages and a crash may leave them silently stale. Zero
+    /// extra I/O.
+    #[default]
+    Volatile,
+    /// Write-ahead intent logging: every update first records the
+    /// affected attributes on a durable log page, and commits by
+    /// flushing the pool before clearing the intent. After a crash,
+    /// [`StatDbms::recover`] invalidates (or rebuilds) exactly the
+    /// entries the interrupted update could have left stale.
+    CrashConsistent,
+}
+
+/// What [`StatDbms::recover`] did after a crash.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Dirty buffer frames discarded by the restart (data the crash
+    /// lost).
+    pub frames_lost: usize,
+    /// Summary entries invalidated because an intent was pending.
+    pub entries_invalidated: usize,
+    /// Summary Databases rebuilt from scratch because they (or their
+    /// logs) were too damaged to invalidate selectively.
+    pub caches_rebuilt: usize,
+    /// Views that had a pending intent (in no particular order).
+    pub views_recovered: Vec<String>,
+}
 
 /// The statistical database management system.
 pub struct StatDbms {
@@ -43,6 +76,7 @@ pub struct StatDbms {
     /// Layout given to newly materialized views (§2.6 recommends
     /// transposed).
     pub default_layout: Layout,
+    durability: DurabilityPolicy,
 }
 
 impl std::fmt::Debug for StatDbms {
@@ -59,7 +93,13 @@ impl StatDbms {
     /// buffer frames.
     #[must_use]
     pub fn new(pool_pages: usize) -> Self {
-        let env = StorageEnv::new(pool_pages);
+        Self::with_env(StorageEnv::new(pool_pages))
+    }
+
+    /// A DBMS over an existing storage environment — typically one
+    /// built with [`StorageEnv::with_faults`] for robustness testing.
+    #[must_use]
+    pub fn with_env(env: StorageEnv) -> Self {
         let raw = RawDatabase::new(env.archive.clone());
         StatDbms {
             env,
@@ -71,7 +111,39 @@ impl StatDbms {
             views: HashMap::new(),
             default_policy: MaintenancePolicy::Incremental,
             default_layout: Layout::Transposed,
+            durability: DurabilityPolicy::Volatile,
         }
+    }
+
+    /// The current durability policy.
+    #[must_use]
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.durability
+    }
+
+    /// Switch the durability policy. Under
+    /// [`DurabilityPolicy::CrashConsistent`] every view (existing and
+    /// future) gets a write-ahead intent log; switching back to
+    /// [`DurabilityPolicy::Volatile`] drops the logs.
+    pub fn set_durability(&mut self, policy: DurabilityPolicy) -> Result<()> {
+        self.durability = policy;
+        for v in self.views.values_mut() {
+            match policy {
+                DurabilityPolicy::CrashConsistent => {
+                    if v.wal.is_none() {
+                        v.wal = Some(IntentLog::create(self.env.disk.clone())?);
+                    }
+                }
+                DurabilityPolicy::Volatile => v.wal = None,
+            }
+        }
+        if matches!(policy, DurabilityPolicy::CrashConsistent) {
+            // Establish the durable baseline: everything materialized so
+            // far must survive a crash, or recovery would find the view
+            // data itself torn.
+            self.env.pool.flush_all()?;
+        }
+        Ok(())
     }
 
     /// The storage environment (for I/O accounting in experiments).
@@ -192,6 +264,12 @@ impl StatDbms {
             }
         };
         let summary = SummaryDb::create(self.env.pool.clone())?;
+        let wal = match self.durability {
+            DurabilityPolicy::CrashConsistent => {
+                Some(IntentLog::create(self.env.disk.clone())?)
+            }
+            DurabilityPolicy::Volatile => None,
+        };
         let name = def.name.clone();
         self.catalog.register(def, owner)?;
         self.views.insert(
@@ -205,8 +283,14 @@ impl StatDbms {
                 policy: self.default_policy,
                 tracker: Default::default(),
                 stale_columns: Default::default(),
+                wal,
             },
         );
+        if matches!(self.durability, DurabilityPolicy::CrashConsistent) {
+            // The new view's pages must be on disk before any durable
+            // section trusts them as the recovery baseline.
+            self.env.pool.flush_all()?;
+        }
         Ok(())
     }
 
@@ -304,6 +388,13 @@ impl StatDbms {
     /// Summary Database (§3.2 search: serve from cache, else compute
     /// and insert). Respects attribute metadata: numeric summaries of
     /// encoded attributes are rejected.
+    ///
+    /// The lookup degrades gracefully: a damaged cache entry is
+    /// quarantined and treated as a miss, and if the view's own store
+    /// is unreadable the answer is recomputed from the raw database by
+    /// re-executing the view definition
+    /// ([`ComputeSource::Fallback`] — correct, but served without
+    /// caching until the view is repaired).
     pub fn compute(
         &mut self,
         view: &str,
@@ -311,7 +402,16 @@ impl StatDbms {
         function: &StatFunction,
         accuracy: AccuracyPolicy,
     ) -> Result<(SummaryValue, ComputeSource)> {
-        let v = self.view_mut(view)?;
+        // Split borrows: the fallback closure re-executes the view's
+        // definition against the raw database / code books while the
+        // view itself is mutably borrowed for the primary path.
+        let catalog = &self.catalog;
+        let codebooks = &self.codebooks;
+        let raw = &self.raw;
+        let v = self
+            .views
+            .get_mut(view)
+            .ok_or_else(|| CoreError::NoSuchView(view.to_string()))?;
         let attr = v.store.schema().attribute(attribute)?.clone();
         if function.needs_numeric() && !attr.is_summarizable() {
             return Err(CoreError::NotSummarizable {
@@ -324,10 +424,40 @@ impl StatDbms {
             tracker.column_reads += 1;
             store
                 .read_column(&attr.name)
-                .map_err(sdbms_summary::SummaryError::Data)
+                .map_err(SummaryError::Data)
         };
-        let (value, source) =
-            get_or_compute(&v.summary, attribute, function, accuracy, &mut column)?;
+        let mut fb;
+        let fallback: Option<&mut dyn FnMut() -> sdbms_summary::Result<Vec<Value>>> =
+            match catalog.view(view) {
+                Ok(rec) => {
+                    let def = &rec.definition;
+                    let attr_name = attr.name.clone();
+                    fb = move || -> sdbms_summary::Result<Vec<Value>> {
+                        let mut resolve = |name: &str| -> std::result::Result<
+                            DataSet,
+                            sdbms_data::DataError,
+                        > {
+                            if let Some(cb) = codebooks.get(name) {
+                                return Ok(cb.to_dataset());
+                            }
+                            raw.extract(name, None, None)
+                        };
+                        let ds = def.execute(&mut resolve).map_err(SummaryError::Data)?;
+                        let col = ds.column(&attr_name).map_err(SummaryError::Data)?;
+                        Ok(col.cloned().collect())
+                    };
+                    Some(&mut fb)
+                }
+                Err(_) => None,
+            };
+        let (value, source) = get_or_compute_resilient(
+            &v.summary,
+            attribute,
+            function,
+            accuracy,
+            &mut column,
+            fallback,
+        )?;
         Ok((value, source))
     }
 
@@ -422,7 +552,29 @@ impl StatDbms {
     /// `predicate`, assign each `(attribute, expression)`. Records
     /// history, maintains every affected Summary Database entry under
     /// the view's policy, and fires derived-attribute rules.
+    ///
+    /// Under [`DurabilityPolicy::CrashConsistent`] the update follows
+    /// the write-ahead intent protocol: the affected attributes
+    /// (assignments plus the derived columns they trigger) are logged
+    /// durably *before* any cell changes, and the intent is cleared
+    /// only after the buffer pool has been flushed. A crash anywhere in
+    /// between leaves a pending intent for [`StatDbms::recover`].
     pub fn update_where(
+        &mut self,
+        view: &str,
+        predicate: &Predicate,
+        assignments: &[(&str, Expr)],
+    ) -> Result<UpdateReport> {
+        let intent = self.intent_attributes(
+            view,
+            assignments.iter().map(|(a, _)| (*a).to_string()),
+        );
+        self.durable_section(view, &intent, |dbms| {
+            dbms.update_where_inner(view, predicate, assignments)
+        })
+    }
+
+    fn update_where_inner(
         &mut self,
         view: &str,
         predicate: &Predicate,
@@ -495,6 +647,167 @@ impl StatDbms {
         self.fire_derived_rules(view, &matching, &mut deltas, &mut report)?;
         // Phase 3: Summary Database maintenance per affected attribute.
         self.maintain_summaries(view, deltas, &mut report)?;
+        Ok(report)
+    }
+
+    /// The attributes an update to `base_attrs` can touch: the
+    /// attributes themselves plus every derived column their rules
+    /// trigger. This is what the intent log records.
+    fn intent_attributes(
+        &self,
+        view: &str,
+        base_attrs: impl IntoIterator<Item = String>,
+    ) -> Vec<String> {
+        let mut attrs: Vec<String> = base_attrs.into_iter().collect();
+        let mut derived: Vec<String> = Vec::new();
+        for attr in &attrs {
+            for (d, _) in self.rules.triggered_by(view, attr) {
+                derived.push(d.to_string());
+            }
+        }
+        attrs.extend(derived);
+        attrs.sort_unstable();
+        attrs.dedup();
+        attrs
+    }
+
+    /// Run `body` under the write-ahead intent protocol if the view has
+    /// an intent log; plain passthrough otherwise.
+    ///
+    /// Protocol: `begin(intent)` durably → body (cells + summary
+    /// maintenance, all buffered) → `flush_all` → `clear()`. On a
+    /// non-crash error the summaries of the intent attributes are
+    /// invalidated before the intent is retired, so the cache is left
+    /// cleanly invalidated rather than possibly stale. On a crash the
+    /// intent stays pending for [`StatDbms::recover`].
+    fn durable_section<T>(
+        &mut self,
+        view: &str,
+        intent: &[String],
+        body: impl FnOnce(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        let Some(wal) = self.views.get(view).and_then(|v| v.wal.as_ref()) else {
+            return body(self);
+        };
+        wal.begin(intent)?;
+        let result = body(self);
+        match &result {
+            Ok(_) => {
+                match self.commit_intent(view) {
+                    Ok(()) => {}
+                    // A crash while committing must surface: the update
+                    // may not be durable and the intent stays pending.
+                    Err(e) if error_is_crash(&e) => return Err(e),
+                    // Other trouble committing: the pending intent is
+                    // conservative (recovery will invalidate), so the
+                    // successful update still reports success.
+                    Err(_) => {}
+                }
+            }
+            Err(e) if !error_is_crash(e) => {
+                // The update failed mid-flight without a crash. Leave
+                // the cache cleanly invalidated, then retire the
+                // intent — all best-effort; a pending intent is safe.
+                if let Some(v) = self.views.get(view) {
+                    for a in intent {
+                        let _ = v.summary.invalidate_attribute(a);
+                    }
+                }
+                let _ = self.commit_intent(view);
+            }
+            Err(_) => {} // crash: intent stays pending
+        }
+        result
+    }
+
+    /// Flush everything buffered, then durably clear the view's intent.
+    fn commit_intent(&self, view: &str) -> Result<()> {
+        self.env.pool.flush_all()?;
+        if let Some(wal) = self.views.get(view).and_then(|v| v.wal.as_ref()) {
+            wal.clear()?;
+        }
+        Ok(())
+    }
+
+    /// Whether the simulated machine is down (a crash fault fired).
+    /// All I/O fails until [`StatDbms::recover`] is called.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.env.is_crashed()
+    }
+
+    /// Restart after a crash and repair every view's Summary Database
+    /// from its write-ahead intent log: pending intents invalidate the
+    /// named attributes' entries (or rebuild the cache when even that
+    /// is impossible), so no summary is ever served stale. Each action
+    /// is recorded in the view's history as a
+    /// [`ChangeRecord::Recovery`] so analysts can see what happened.
+    ///
+    /// Safe to call when no crash happened (it is then a plain restart:
+    /// dirty frames are dropped and any pending intents are honored).
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport {
+            frames_lost: self.env.restart()?,
+            ..RecoveryReport::default()
+        };
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        let pool = self.env.pool.clone();
+        for name in names {
+            let v = match self.views.get_mut(&name) {
+                Some(v) => v,
+                None => continue,
+            };
+            let Some(wal) = v.wal.as_ref() else { continue };
+            let detail = match wal.pending() {
+                Ok(None) => continue,
+                Ok(Some(Intent::Attributes(attrs))) => {
+                    let mut invalidated = 0usize;
+                    let mut damaged = false;
+                    for a in &attrs {
+                        match v.summary.invalidate_attribute(a) {
+                            Ok(n) => invalidated += n,
+                            Err(_) => {
+                                damaged = true;
+                                break;
+                            }
+                        }
+                    }
+                    if damaged {
+                        v.summary = SummaryDb::create(pool.clone())?;
+                        report.caches_rebuilt += 1;
+                        format!(
+                            "crash recovery: summary cache rebuilt \
+                             (damaged while invalidating {attrs:?})"
+                        )
+                    } else {
+                        report.entries_invalidated += invalidated;
+                        format!(
+                            "crash recovery: invalidated {invalidated} summary \
+                             entries for {attrs:?}"
+                        )
+                    }
+                }
+                // "Everything" intent, or a log page we cannot read:
+                // maximal conservatism — rebuild the cache.
+                Ok(Some(Intent::All)) | Err(_) => {
+                    v.summary = SummaryDb::create(pool.clone())?;
+                    report.caches_rebuilt += 1;
+                    "crash recovery: summary cache rebuilt (intent covered \
+                     all attributes or log was unreadable)"
+                        .to_string()
+                }
+            };
+            // Make the repair durable before retiring the intent, then
+            // leave an audit trail.
+            self.commit_intent(&name)?;
+            self.catalog
+                .view_mut(&name)?
+                .history
+                .record(ChangeRecord::Recovery {
+                    detail: detail.clone(),
+                });
+            report.views_recovered.push(name);
+        }
         Ok(report)
     }
 
@@ -647,6 +960,7 @@ impl StatDbms {
         deltas: HashMap<String, Vec<UpdateDelta>>,
         report: &mut UpdateReport,
     ) -> Result<()> {
+        let pool = self.env.pool.clone();
         let v = self.view_mut(view)?;
         let policy = v.policy;
         for (attr, ds) in deltas {
@@ -656,9 +970,30 @@ impl StatDbms {
                 tracker.column_reads += 1;
                 store
                     .read_column(&attr)
-                    .map_err(sdbms_summary::SummaryError::Data)
+                    .map_err(SummaryError::Data)
             };
-            let r = apply_updates(&v.summary, &attr, &ds, policy, &mut column)?;
+            let r = match apply_updates(&v.summary, &attr, &ds, policy, &mut column) {
+                Ok(r) => r,
+                // Degrade gracefully: if maintenance hit damage (bad
+                // cache bytes, a dead page) rather than a crash, fall
+                // back to invalidating this attribute's entries — and
+                // if even that fails, rebuild the cache. Either way the
+                // update itself succeeds and nothing stale survives.
+                Err(e) if quarantinable(&e) => {
+                    v.summary.note_quarantine();
+                    match v.summary.invalidate_attribute(&attr) {
+                        Ok(n) => {
+                            report.maintenance.invalidated += n;
+                            continue;
+                        }
+                        Err(_) => {
+                            v.summary = SummaryDb::create(pool.clone())?;
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            };
             report.maintenance.incremental += r.incremental;
             report.maintenance.recomputed += r.recomputed;
             report.maintenance.invalidated += r.invalidated;
@@ -802,6 +1137,27 @@ impl StatDbms {
     /// history stays append-only and an undo can itself be undone.
     pub fn rollback_to(&mut self, view: &str, version: Version) -> Result<usize> {
         self.view(view)?;
+        // The inverse records are known before anything is applied, so
+        // a rollback can follow the same write-ahead intent protocol as
+        // a forward update.
+        let base_attrs: Vec<String> = self
+            .catalog
+            .view(view)?
+            .history
+            .undo_to(version)?
+            .iter()
+            .filter_map(|inv| match inv {
+                ChangeRecord::CellUpdate { attribute, .. } => Some(attribute.clone()),
+                _ => None,
+            })
+            .collect();
+        let intent = self.intent_attributes(view, base_attrs);
+        self.durable_section(view, &intent, |dbms| {
+            dbms.rollback_inner(view, version)
+        })
+    }
+
+    fn rollback_inner(&mut self, view: &str, version: Version) -> Result<usize> {
         let inverses = self.catalog.view(view)?.history.undo_to(version)?;
         let mut deltas: HashMap<String, Vec<UpdateDelta>> = HashMap::new();
         {
@@ -941,6 +1297,17 @@ impl StatDbms {
             }
             _ => Ok(None),
         }
+    }
+}
+
+/// Whether an error means the simulated machine went down (as opposed
+/// to data damage or a logic error). Crashes leave the write-ahead
+/// intent pending; everything else is handled in place.
+fn error_is_crash(e: &CoreError) -> bool {
+    match e {
+        CoreError::Storage(se) => se.is_crash(),
+        CoreError::Summary(SummaryError::Storage(se)) => se.is_crash(),
+        _ => false,
     }
 }
 

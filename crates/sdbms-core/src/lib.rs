@@ -28,7 +28,7 @@ pub mod dbms;
 pub mod error;
 pub mod view;
 
-pub use dbms::{paper_demo_dbms, StatDbms};
+pub use dbms::{paper_demo_dbms, DurabilityPolicy, RecoveryReport, StatDbms};
 pub use error::{CoreError, Result};
 pub use view::{AccessTracker, ConcreteView, UpdateReport};
 

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use sdbms_columnar::{Layout, TableStore};
-use sdbms_summary::{MaintenancePolicy, SummaryDb};
+use sdbms_summary::{IntentLog, MaintenancePolicy, SummaryDb};
 
 /// Counts of how a view has been accessed, driving the §2.3
 /// "intelligent access methods that interpret reference patterns to
@@ -56,6 +56,10 @@ pub struct ConcreteView {
     /// Derived columns currently marked out-of-date (the
     /// [`sdbms_management::DerivedRule::MarkStale`] rule).
     pub stale_columns: BTreeSet<String>,
+    /// Write-ahead intent log, present when the DBMS runs under
+    /// [`crate::DurabilityPolicy::CrashConsistent`]. `None` means the
+    /// view's summaries are volatile (the historical default).
+    pub wal: Option<IntentLog>,
 }
 
 impl std::fmt::Debug for ConcreteView {

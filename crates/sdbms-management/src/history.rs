@@ -49,6 +49,13 @@ pub enum ChangeRecord {
         /// Checkpoint label.
         label: String,
     },
+    /// A crash-recovery action taken by the DBMS itself, so later
+    /// analysts can see that (and why) cached summaries were
+    /// invalidated or rebuilt rather than silently changed.
+    Recovery {
+        /// Human-readable description of what recovery did.
+        detail: String,
+    },
 }
 
 impl ChangeRecord {
@@ -88,6 +95,7 @@ impl fmt::Display for ChangeRecord {
             }
             ChangeRecord::Annotation { text } => write!(f, "note: {text}"),
             ChangeRecord::Checkpoint { label } => write!(f, "checkpoint {label:?}"),
+            ChangeRecord::Recovery { detail } => write!(f, "recovery: {detail}"),
         }
     }
 }
@@ -276,6 +284,20 @@ mod tests {
         assert_eq!(h.records_since(0).len(), 5);
         assert_eq!(h.records_since(3).len(), 2);
         assert_eq!(h.records_since(5).len(), 0);
+    }
+
+    #[test]
+    fn recovery_records_logged_but_not_invertible() {
+        let mut h = UpdateHistory::new();
+        h.record(upd(0, 1, 2));
+        let v = h.record(ChangeRecord::Recovery {
+            detail: "invalidated 3 summary entries for AGE".into(),
+        });
+        assert_eq!(v, 2);
+        assert!(h.undo_to(0).unwrap().len() == 1, "recovery has no inverse");
+        assert!(h.cleaning_log().len() == 1, "recovery is not a cleaning action");
+        let shown = h.records().last().unwrap().1.to_string();
+        assert_eq!(shown, "recovery: invalidated 3 summary entries for AGE");
     }
 
     #[test]

@@ -12,24 +12,44 @@
 //! `|i - j|` blocks on the shared tracker, plus the block transfer
 //! itself. Experiments E9 and E12 use these counters to show when
 //! materialization amortizes.
+//!
+//! Tape is the least reliable medium in the hierarchy, so each block
+//! carries a CRC32 computed at append time and verified on every read,
+//! and the shared [`FaultInjector`] is consulted on both appends and
+//! reads: transient read faults are retried under the store's
+//! [`RetryPolicy`], permanent faults model a damaged stretch of tape,
+//! and injected corruption flips a stored bit that the next read's CRC
+//! verification catches.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::checksum::crc32;
 use crate::cost::Tracker;
 use crate::error::{Result, StorageError};
+use crate::fault::{Device, FaultInjector, InjectedFault, IoOp};
+use crate::retry::{with_retries, RetryPolicy};
+
+/// One tape block and the checksum recorded beside it.
+#[derive(Debug, Clone)]
+struct Block {
+    data: Arc<[u8]>,
+    crc: u32,
+}
 
 #[derive(Debug, Default)]
 struct Reel {
-    blocks: Vec<Arc<[u8]>>,
+    blocks: Vec<Block>,
 }
 
 /// A collection of named append-only tape reels.
 pub struct ArchiveStore {
     reels: Mutex<HashMap<String, Reel>>,
     tracker: Tracker,
+    injector: Arc<FaultInjector>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for ArchiveStore {
@@ -41,12 +61,26 @@ impl std::fmt::Debug for ArchiveStore {
 }
 
 impl ArchiveStore {
-    /// Create an empty archive charging the given tracker.
+    /// Create an empty archive charging the given tracker, with fault
+    /// injection disabled.
     #[must_use]
     pub fn new(tracker: Tracker) -> Self {
+        Self::with_faults(
+            tracker,
+            Arc::new(FaultInjector::disabled()),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Create an empty archive that consults `injector` on every block
+    /// I/O and retries transient faults under `retry`.
+    #[must_use]
+    pub fn with_faults(tracker: Tracker, injector: Arc<FaultInjector>, retry: RetryPolicy) -> Self {
         ArchiveStore {
             reels: Mutex::new(HashMap::new()),
             tracker,
+            injector,
+            retry,
         }
     }
 
@@ -54,6 +88,12 @@ impl ArchiveStore {
     #[must_use]
     pub fn tracker(&self) -> &Tracker {
         &self.tracker
+    }
+
+    /// The fault injector this archive consults.
+    #[must_use]
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
     }
 
     /// Create an empty reel. Fails if the name is taken.
@@ -67,13 +107,53 @@ impl ArchiveStore {
     }
 
     /// Append a block to a reel. Writing is free in the cost model
-    /// (the raw database is loaded once, offline).
+    /// (the raw database is loaded once, offline), but the fault
+    /// injector is still consulted: a transient fault is retried, and
+    /// injected corruption stores a flipped bit that the next read's
+    /// CRC verification will catch.
     pub fn append_block(&self, name: &str, block: &[u8]) -> Result<()> {
+        with_retries(&self.retry, &self.tracker, || {
+            self.append_attempt(name, block)
+        })
+    }
+
+    fn append_attempt(&self, name: &str, block: &[u8]) -> Result<()> {
         let mut reels = self.reels.lock();
         let reel = reels
             .get_mut(name)
             .ok_or_else(|| StorageError::NoSuchReel(name.to_string()))?;
-        reel.blocks.push(Arc::from(block));
+        let index = reel.blocks.len() as u64;
+        let fault = self
+            .injector
+            .decide(Device::Archive, IoOp::Write, index, block.len());
+        match fault {
+            Some(InjectedFault::Crash) => return Err(StorageError::Crashed),
+            Some(InjectedFault::Transient) => {
+                return Err(StorageError::TransientFault {
+                    device: "archive",
+                    id: index,
+                })
+            }
+            Some(InjectedFault::Permanent) => {
+                return Err(StorageError::PermanentFault {
+                    device: "archive",
+                    id: index,
+                })
+            }
+            Some(InjectedFault::Corrupt { .. }) | None => {}
+        }
+        let crc = crc32(block);
+        let mut data: Vec<u8> = block.to_vec();
+        if let Some(InjectedFault::Corrupt { bit }) = fault {
+            if !data.is_empty() {
+                let byte = (bit / 8) % data.len();
+                data[byte] ^= 1 << (bit % 8);
+            }
+        }
+        reel.blocks.push(Block {
+            data: Arc::from(data),
+            crc,
+        });
         Ok(())
     }
 
@@ -94,6 +174,28 @@ impl ArchiveStore {
         names
     }
 
+    /// Flip one bit of the stored copy of block `index` on `name`
+    /// without updating its CRC (test hook for corruption-detection
+    /// paths). Readers opened after the corruption will see it.
+    pub fn corrupt_block(&self, name: &str, index: usize, bit: usize) -> Result<()> {
+        let mut reels = self.reels.lock();
+        let reel = reels
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NoSuchReel(name.to_string()))?;
+        let block = reel.blocks.get_mut(index).ok_or(StorageError::EndOfReel {
+            reel: name.to_string(),
+            position: index,
+        })?;
+        let mut data = block.data.to_vec();
+        if data.is_empty() {
+            return Ok(());
+        }
+        let byte = (bit / 8) % data.len();
+        data[byte] ^= 1 << (bit % 8);
+        block.data = Arc::from(data);
+        Ok(())
+    }
+
     /// Mount a reel for reading. The head starts at block 0.
     pub fn open(&self, name: &str) -> Result<ReelReader> {
         let reels = self.reels.lock();
@@ -105,6 +207,8 @@ impl ArchiveStore {
             blocks: reel.blocks.clone(),
             position: 0,
             tracker: self.tracker.clone(),
+            injector: self.injector.clone(),
+            retry: self.retry,
         })
     }
 }
@@ -113,9 +217,11 @@ impl ArchiveStore {
 /// backwards (or skipping forwards) charges repositioning per block.
 pub struct ReelReader {
     name: String,
-    blocks: Vec<Arc<[u8]>>,
+    blocks: Vec<Block>,
     position: usize,
     tracker: Tracker,
+    injector: Arc<FaultInjector>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for ReelReader {
@@ -154,13 +260,48 @@ impl ReelReader {
     }
 
     /// Read the block under the head and advance. Errors at end of
-    /// reel.
+    /// reel. Transient faults are retried under the store's policy
+    /// (charging the tracker); block bytes are verified against the
+    /// CRC recorded at append time.
     pub fn read_next(&mut self) -> Result<Arc<[u8]>> {
+        let retry = self.retry;
+        let tracker = self.tracker.clone();
+        with_retries(&retry, &tracker, || self.read_attempt())
+    }
+
+    fn read_attempt(&mut self) -> Result<Arc<[u8]>> {
+        let index = self.position as u64;
+        let len = self.blocks.get(self.position).map_or(0, |b| b.data.len());
+        match self.injector.decide(Device::Archive, IoOp::Read, index, len) {
+            Some(InjectedFault::Crash) => return Err(StorageError::Crashed),
+            Some(InjectedFault::Transient) => {
+                self.tracker.count_archive_read();
+                return Err(StorageError::TransientFault {
+                    device: "archive",
+                    id: index,
+                });
+            }
+            Some(InjectedFault::Permanent) => {
+                self.tracker.count_archive_read();
+                return Err(StorageError::PermanentFault {
+                    device: "archive",
+                    id: index,
+                });
+            }
+            Some(InjectedFault::Corrupt { .. }) | None => {}
+        }
         match self.blocks.get(self.position) {
             Some(b) => {
                 self.position += 1;
                 self.tracker.count_archive_read();
-                Ok(b.clone())
+                if crc32(&b.data) != b.crc {
+                    self.tracker.count_checksum_failure();
+                    return Err(StorageError::ChecksumMismatch {
+                        device: "archive",
+                        id: index,
+                    });
+                }
+                Ok(b.data.clone())
             }
             None => Err(StorageError::EndOfReel {
                 reel: self.name.clone(),
@@ -195,6 +336,7 @@ impl ReelReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, ScriptedFault};
 
     fn archive() -> ArchiveStore {
         ArchiveStore::new(Tracker::new())
@@ -294,5 +436,94 @@ mod tests {
         assert_eq!(rd2.len(), 2);
         rd2.seek(1).unwrap();
         assert_eq!(&*rd2.read_next().unwrap(), b"two");
+    }
+
+    // ---- fault injection ---------------------------------------------
+
+    fn faulty_archive() -> (ArchiveStore, Arc<FaultInjector>) {
+        let inj = Arc::new(FaultInjector::disabled());
+        let a = ArchiveStore::with_faults(Tracker::new(), inj.clone(), RetryPolicy::default());
+        (a, inj)
+    }
+
+    #[test]
+    fn transient_read_fault_is_retried() {
+        let (a, inj) = faulty_archive();
+        a.create_reel("r").unwrap();
+        a.append_block("r", b"payload").unwrap();
+        inj.script(
+            ScriptedFault::new(Device::Archive, FaultKind::Transient)
+                .on(IoOp::Read)
+                .times(2),
+        );
+        let mut rd = a.open("r").unwrap();
+        assert_eq!(&*rd.read_next().unwrap(), b"payload");
+        let s = a.tracker().snapshot();
+        assert_eq!(s.retries, 2);
+        assert!(s.backoff_units > 0);
+    }
+
+    #[test]
+    fn corrupted_block_fails_crc() {
+        let (a, _inj) = faulty_archive();
+        a.create_reel("r").unwrap();
+        a.append_block("r", b"good block").unwrap();
+        a.append_block("r", b"bad block").unwrap();
+        a.corrupt_block("r", 1, 13).unwrap();
+        let mut rd = a.open("r").unwrap();
+        assert!(rd.read_next().is_ok());
+        assert!(matches!(
+            rd.read_next(),
+            Err(StorageError::ChecksumMismatch {
+                device: "archive",
+                id: 1
+            })
+        ));
+        assert_eq!(a.tracker().snapshot().checksum_failures, 1);
+    }
+
+    #[test]
+    fn injected_append_corruption_caught_on_read() {
+        let (a, inj) = faulty_archive();
+        a.create_reel("r").unwrap();
+        inj.script(ScriptedFault::new(Device::Archive, FaultKind::Corrupt).on(IoOp::Write));
+        a.append_block("r", b"silently damaged").unwrap();
+        let mut rd = a.open("r").unwrap();
+        assert!(matches!(
+            rd.read_next(),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn permanent_fault_models_damaged_tape_stretch() {
+        let (a, inj) = faulty_archive();
+        a.create_reel("r").unwrap();
+        for i in 0..5u8 {
+            a.append_block("r", &[i]).unwrap();
+        }
+        inj.script(ScriptedFault::new(Device::Archive, FaultKind::Permanent).at(2));
+        let mut rd = a.open("r").unwrap();
+        assert!(rd.read_next().is_ok());
+        assert!(rd.read_next().is_ok());
+        assert!(matches!(
+            rd.read_next(),
+            Err(StorageError::PermanentFault { .. })
+        ));
+        // The head did not advance past the bad block; skip over it.
+        rd.seek(3).unwrap();
+        assert_eq!(&*rd.read_next().unwrap(), &[3]);
+    }
+
+    #[test]
+    fn crash_blocks_archive_reads() {
+        let (a, inj) = faulty_archive();
+        a.create_reel("r").unwrap();
+        a.append_block("r", b"x").unwrap();
+        let mut rd = a.open("r").unwrap();
+        inj.crash_now();
+        assert_eq!(rd.read_next(), Err(StorageError::Crashed));
+        inj.restart();
+        assert!(rd.read_next().is_ok());
     }
 }

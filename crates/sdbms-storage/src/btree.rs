@@ -16,6 +16,7 @@
 //! and deletions are rare.
 
 use std::cmp::Ordering;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -33,6 +34,27 @@ const MAX_NODE_BYTES: usize = PAGE_SIZE;
 /// Lexicographic order on `(key, value)` pairs.
 fn cmp_entry(k1: &[u8], v1: u64, k2: &[u8], v2: u64) -> Ordering {
     k1.cmp(k2).then(v1.cmp(&v2))
+}
+
+/// Cycle detector for page-link walks. A page that was allocated but
+/// never flushed before a crash reads back zeroed, which decodes as an
+/// empty leaf whose `next` pointer is page 0 — a walk that trusted the
+/// link would loop forever. Any revisited page means the structure is
+/// torn, and the walk must fail with [`StorageError::Corrupt`] so the
+/// caller can quarantine and rebuild.
+#[derive(Default)]
+struct ChainGuard {
+    seen: HashSet<PageId>,
+}
+
+impl ChainGuard {
+    fn visit(&mut self, pid: PageId) -> Result<()> {
+        if self.seen.insert(pid) {
+            Ok(())
+        } else {
+            Err(StorageError::Corrupt("page-link cycle in b+tree"))
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -376,7 +398,9 @@ impl BTree {
     /// Leaf that would contain the pair `(key, value)`.
     fn descend(&self, key: &[u8], value: u64) -> Result<PageId> {
         let mut pid = self.state.lock().root;
+        let mut guard = ChainGuard::default();
         loop {
+            guard.visit(pid)?;
             match self.load(pid)? {
                 Node::Leaf { .. } => return Ok(pid),
                 Node::Internal { seps, children } => {
@@ -398,7 +422,9 @@ impl BTree {
         // Start at the leaf that would hold (low, value 0): every pair
         // with key >= low is at or after that position.
         let mut pid = self.descend(low.unwrap_or(&[]), 0)?;
+        let mut guard = ChainGuard::default();
         loop {
+            guard.visit(pid)?;
             let node = self.load(pid)?;
             let Node::Leaf { entries, next } = node else {
                 return Err(StorageError::Corrupt("leaf chain hit internal node"));
@@ -439,7 +465,9 @@ impl BTree {
     pub fn prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, u64)>> {
         let mut out = Vec::new();
         let mut pid = self.descend(prefix, 0)?;
+        let mut guard = ChainGuard::default();
         loop {
+            guard.visit(pid)?;
             let node = self.load(pid)?;
             let Node::Leaf { entries, next } = node else {
                 return Err(StorageError::Corrupt("leaf chain hit internal node"));
@@ -464,7 +492,9 @@ impl BTree {
     pub fn height(&self) -> Result<usize> {
         let mut pid = self.state.lock().root;
         let mut h = 1;
+        let mut guard = ChainGuard::default();
         loop {
+            guard.visit(pid)?;
             match self.load(pid)? {
                 Node::Leaf { .. } => return Ok(h),
                 Node::Internal { children, .. } => {

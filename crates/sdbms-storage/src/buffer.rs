@@ -144,9 +144,16 @@ impl BufferPool {
     }
 
     /// Pin page `pid`, reading it from disk if not resident.
+    ///
+    /// Pool hits consult the shared fault injector too (advancing its
+    /// operation counter, and failing while a simulated crash is in
+    /// effect); misses are covered by the disk's own fault handling.
     pub fn fetch(&self, pid: PageId) -> Result<PageGuard<'_>> {
         let mut state = self.state.lock();
         if let Some(&frame) = state.map.get(&pid) {
+            if self.disk.injector().on_cache_op().is_some() {
+                return Err(StorageError::Crashed);
+            }
             let meta = &mut state.meta[frame];
             meta.pin_count += 1;
             meta.referenced = true;
@@ -183,8 +190,25 @@ impl BufferPool {
     /// Allocate a fresh zeroed page on disk and pin it without a disk
     /// read.
     pub fn new_page(&self) -> Result<(PageId, PageGuard<'_>)> {
+        if self.disk.injector().is_crashed() {
+            return Err(StorageError::Crashed);
+        }
         let pid = self.disk.allocate();
         let mut state = self.state.lock();
+        // The disk may recycle a page id that was deallocated behind
+        // the pool's back (a direct `DiskManager::deallocate`). Any
+        // frame still mapped to that id holds stale bytes from the
+        // page's previous life and must be invalidated, or the next
+        // fetch would serve them as a pool hit.
+        if let Some(&stale) = state.map.get(&pid) {
+            if state.meta[stale].pin_count > 0 {
+                return Err(StorageError::Corrupt(
+                    "recycled page id still pinned in buffer pool",
+                ));
+            }
+            state.map.remove(&pid);
+            state.meta[stale] = FrameMeta::empty();
+        }
         let frame = match self.take_victim(&mut state) {
             Ok(f) => f,
             Err(e) => {
@@ -230,18 +254,47 @@ impl BufferPool {
     }
 
     /// Write every dirty frame back to disk (frames stay resident).
+    ///
+    /// Frames are flushed in ascending page-id order so the simulated
+    /// disk sees a mostly-sequential pass; a fault part-way through
+    /// leaves earlier pages durable and later ones still dirty, which
+    /// is exactly the torn state crash-recovery protocols must handle.
     pub fn flush_all(&self) -> Result<()> {
+        if self.disk.injector().is_crashed() {
+            return Err(StorageError::Crashed);
+        }
         let mut state = self.state.lock();
-        for frame in 0..self.frames.len() {
-            if state.meta[frame].valid && state.meta[frame].dirty {
-                let pid = state.meta[frame].page_id;
-                let page = self.frames[frame].lock();
-                self.disk.write_page(pid, &page)?;
-                drop(page);
-                state.meta[frame].dirty = false;
-            }
+        let mut dirty: Vec<usize> = (0..self.frames.len())
+            .filter(|&f| state.meta[f].valid && state.meta[f].dirty)
+            .collect();
+        dirty.sort_by_key(|&f| state.meta[f].page_id);
+        for frame in dirty {
+            let pid = state.meta[frame].page_id;
+            let page = self.frames[frame].lock();
+            self.disk.write_page(pid, &page)?;
+            drop(page);
+            state.meta[frame].dirty = false;
         }
         Ok(())
+    }
+
+    /// Drop every unpinned frame *without* write-back, modelling the
+    /// loss of volatile memory in a crash. Returns how many dirty
+    /// frames were discarded. Fails (touching nothing) if any frame is
+    /// still pinned — guards must be dropped before simulating a
+    /// restart.
+    pub fn discard_frames(&self) -> Result<usize> {
+        let mut state = self.state.lock();
+        if state.meta.iter().any(|m| m.valid && m.pin_count > 0) {
+            return Err(StorageError::PoolExhausted);
+        }
+        let lost = state.meta.iter().filter(|m| m.valid && m.dirty).count();
+        state.map.clear();
+        for meta in &mut state.meta {
+            *meta = FrameMeta::empty();
+        }
+        state.clock_hand = 0;
+        Ok(lost)
     }
 
     /// Number of currently resident pages.
@@ -406,5 +459,71 @@ mod tests {
         let g2 = p.fetch(pid).unwrap();
         g1.with_mut(|pg| pg.put_u16(0, 5));
         assert_eq!(g2.with(|pg| pg.get_u16(0)), 5);
+    }
+
+    #[test]
+    fn recycled_page_id_does_not_serve_stale_bytes() {
+        let p = pool(4);
+        let (pid, g) = p.new_page().unwrap();
+        g.with_mut(|pg| pg.put_u64(0, 0xDEAD_BEEF));
+        drop(g);
+        // Deallocate behind the pool's back: the frame stays mapped.
+        p.disk().deallocate(pid).unwrap();
+        // The recycled allocation must not hit the stale frame.
+        let (pid2, g2) = p.new_page().unwrap();
+        assert_eq!(pid2, pid, "disk recycles the freed id");
+        assert_eq!(g2.with(|pg| pg.get_u64(0)), 0, "no stale bytes");
+        drop(g2);
+        let g3 = p.fetch(pid).unwrap();
+        assert_eq!(g3.with(|pg| pg.get_u64(0)), 0);
+    }
+
+    #[test]
+    fn discard_frames_loses_unflushed_writes() {
+        let p = pool(4);
+        let (durable, g) = p.new_page().unwrap();
+        g.with_mut(|pg| pg.put_u32(0, 1));
+        drop(g);
+        p.flush_all().unwrap();
+        let (lost, g) = p.new_page().unwrap();
+        g.with_mut(|pg| pg.put_u32(0, 2));
+        drop(g);
+        let dropped = p.discard_frames().unwrap();
+        assert_eq!(dropped, 1, "one dirty frame lost");
+        let g = p.fetch(durable).unwrap();
+        assert_eq!(g.with(|pg| pg.get_u32(0)), 1, "flushed data survives");
+        drop(g);
+        let g = p.fetch(lost).unwrap();
+        assert_eq!(g.with(|pg| pg.get_u32(0)), 0, "unflushed write gone");
+    }
+
+    #[test]
+    fn discard_frames_refuses_while_pinned() {
+        let p = pool(2);
+        let (_pid, g) = p.new_page().unwrap();
+        assert!(p.discard_frames().is_err());
+        drop(g);
+        assert!(p.discard_frames().is_ok());
+    }
+
+    #[test]
+    fn pool_hits_fail_during_crash() {
+        use crate::fault::FaultInjector;
+        use crate::retry::RetryPolicy;
+        let inj = Arc::new(FaultInjector::disabled());
+        let disk = Arc::new(DiskManager::with_faults(
+            Tracker::new(),
+            inj.clone(),
+            RetryPolicy::default(),
+        ));
+        let p = BufferPool::new(disk, 4);
+        let (pid, g) = p.new_page().unwrap();
+        drop(g);
+        inj.crash_now();
+        assert!(matches!(p.fetch(pid), Err(StorageError::Crashed)));
+        assert!(matches!(p.new_page(), Err(StorageError::Crashed)));
+        assert!(matches!(p.flush_all(), Err(StorageError::Crashed)));
+        inj.restart();
+        assert!(p.fetch(pid).is_ok());
     }
 }

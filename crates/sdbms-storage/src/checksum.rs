@@ -1,0 +1,74 @@
+//! CRC32 checksums for pages and archive blocks.
+//!
+//! The fault-injection layer (see [`crate::fault`]) can flip bits in
+//! stored data without any error surfacing at write time — exactly the
+//! failure mode real media exhibit. Every disk page and archive block
+//! therefore carries a CRC32 (IEEE 802.3 polynomial, reflected)
+//! computed at write time and verified at read time, so corruption is
+//! *detected* at the device boundary instead of propagating into the
+//! record, index, and summary layers as silently wrong answers.
+
+/// CRC32 lookup table for the reflected IEEE polynomial `0xEDB88320`,
+/// built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0u8; 4096];
+        data[100] = 7;
+        let before = crc32(&data);
+        for bit in [0, 1, 800 * 8 + 3, 4095 * 8 + 7] {
+            let mut flipped = data.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&flipped), before, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(crc32(&data), crc32(&data));
+    }
+}

@@ -38,6 +38,12 @@ pub struct IoStats {
     pub archive_repositioned_blocks: AtomicU64,
     /// Tuples produced by relational / statistical operators.
     pub tuples: AtomicU64,
+    /// I/O attempts re-issued after a transient fault.
+    pub retries: AtomicU64,
+    /// Abstract backoff delay units charged by the retry policy.
+    pub backoff_units: AtomicU64,
+    /// Reads rejected because stored bytes failed CRC verification.
+    pub checksum_failures: AtomicU64,
 }
 
 /// A point-in-time copy of the counters in [`IoStats`].
@@ -57,6 +63,12 @@ pub struct IoSnapshot {
     pub archive_repositioned_blocks: u64,
     /// Tuples produced by operators.
     pub tuples: u64,
+    /// I/O attempts re-issued after a transient fault.
+    pub retries: u64,
+    /// Abstract backoff delay units charged by the retry policy.
+    pub backoff_units: u64,
+    /// Reads rejected by CRC verification.
+    pub checksum_failures: u64,
 }
 
 impl IoSnapshot {
@@ -73,6 +85,9 @@ impl IoSnapshot {
             archive_repositioned_blocks: self.archive_repositioned_blocks
                 - earlier.archive_repositioned_blocks,
             tuples: self.tuples - earlier.tuples,
+            retries: self.retries - earlier.retries,
+            backoff_units: self.backoff_units - earlier.backoff_units,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
         }
     }
 
@@ -96,6 +111,9 @@ impl IoStats {
                 .archive_repositioned_blocks
                 .load(Ordering::Relaxed),
             tuples: self.tuples.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_units: self.backoff_units.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -108,6 +126,9 @@ impl IoStats {
         self.archive_block_reads.store(0, Ordering::Relaxed);
         self.archive_repositioned_blocks.store(0, Ordering::Relaxed);
         self.tuples.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.backoff_units.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
     }
 }
 
@@ -169,6 +190,18 @@ impl Tracker {
     pub fn count_tuples(&self, n: u64) {
         self.0.tuples.fetch_add(n, Ordering::Relaxed);
     }
+    /// Charge one retried I/O attempt.
+    pub fn count_retry(&self) {
+        self.0.retries.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge `units` of simulated backoff delay before a retry.
+    pub fn count_backoff(&self, units: u64) {
+        self.0.backoff_units.fetch_add(units, Ordering::Relaxed);
+    }
+    /// Charge one CRC verification failure.
+    pub fn count_checksum_failure(&self) {
+        self.0.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Converts raw I/O counters into abstract cost units.
@@ -190,6 +223,9 @@ pub struct CostModel {
     pub archive_block_read: f64,
     /// Cost of skipping / rewinding over one archive block.
     pub archive_reposition_block: f64,
+    /// Cost of one backoff delay unit charged by the retry policy
+    /// (the failed attempt's transfer is already counted separately).
+    pub backoff_unit: f64,
 }
 
 impl Default for CostModel {
@@ -200,6 +236,7 @@ impl Default for CostModel {
             seek: 4.0,
             archive_block_read: 1.5,
             archive_reposition_block: 0.5,
+            backoff_unit: 0.25,
         }
     }
 }
@@ -213,6 +250,7 @@ impl CostModel {
             + s.seeks as f64 * self.seek
             + s.archive_block_reads as f64 * self.archive_block_read
             + s.archive_repositioned_blocks as f64 * self.archive_reposition_block
+            + s.backoff_units as f64 * self.backoff_unit
     }
 }
 
@@ -282,8 +320,26 @@ mod tests {
             archive_block_reads: 4,
             archive_repositioned_blocks: 8,
             tuples: 0,
+            retries: 3, // free in themselves; the re-issued I/O is counted
+            backoff_units: 8,
+            checksum_failures: 1, // free: detection costs nothing extra
         };
-        let expected = 10.0 + 2.0 + 4.0 + 4.0 * 1.5 + 8.0 * 0.5;
+        let expected = 10.0 + 2.0 + 4.0 + 4.0 * 1.5 + 8.0 * 0.5 + 8.0 * 0.25;
         assert!((m.cost(&s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_counters_roundtrip() {
+        let t = Tracker::new();
+        t.count_retry();
+        t.count_retry();
+        t.count_backoff(3);
+        t.count_checksum_failure();
+        let s = t.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.backoff_units, 3);
+        assert_eq!(s.checksum_failures, 1);
+        t.reset();
+        assert_eq!(t.snapshot(), IoSnapshot::default());
     }
 }

@@ -45,6 +45,68 @@ pub enum StorageError {
     FileExists(String),
     /// On-page bytes failed a structural sanity check (corruption).
     Corrupt(&'static str),
+    /// An injected transient fault: the operation failed but a retry
+    /// may succeed. Normally retried inside the storage layer (see
+    /// `retry`); only surfaces when retries are disabled.
+    TransientFault {
+        /// Device name ("disk" or "archive").
+        device: &'static str,
+        /// Page id or block index.
+        id: u64,
+    },
+    /// The target block is permanently lost (simulated media damage).
+    PermanentFault {
+        /// Device name ("disk" or "archive").
+        device: &'static str,
+        /// Page id or block index.
+        id: u64,
+    },
+    /// A transient fault persisted through every permitted retry.
+    RetriesExhausted {
+        /// Device name ("disk" or "archive").
+        device: &'static str,
+        /// Page id or block index.
+        id: u64,
+        /// Attempts made, including the first.
+        attempts: u32,
+    },
+    /// Stored bytes do not match their stored CRC32 (bit rot detected).
+    ChecksumMismatch {
+        /// Device name ("disk" or "archive").
+        device: &'static str,
+        /// Page id or block index.
+        id: u64,
+    },
+    /// The simulated storage hierarchy has crashed; every operation
+    /// fails until the environment is restarted.
+    Crashed,
+    /// A lock guarding shared storage state was poisoned by a panic in
+    /// another thread.
+    LockPoisoned(&'static str),
+}
+
+impl StorageError {
+    /// True for errors produced by the fault-injection machinery —
+    /// the class upper layers may respond to by quarantining and
+    /// recomputing rather than failing outright.
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            StorageError::TransientFault { .. }
+                | StorageError::PermanentFault { .. }
+                | StorageError::RetriesExhausted { .. }
+                | StorageError::ChecksumMismatch { .. }
+                | StorageError::Crashed
+        )
+    }
+
+    /// True only for the simulated-crash error: callers must stop and
+    /// wait for a restart rather than degrade around it.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, StorageError::Crashed)
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -70,6 +132,29 @@ impl fmt::Display for StorageError {
             StorageError::NoSuchFile(name) => write!(f, "no file named {name:?}"),
             StorageError::FileExists(name) => write!(f, "file {name:?} already exists"),
             StorageError::Corrupt(what) => write!(f, "corrupt page structure: {what}"),
+            StorageError::TransientFault { device, id } => {
+                write!(f, "transient {device} fault at {id}")
+            }
+            StorageError::PermanentFault { device, id } => {
+                write!(f, "{device} block {id} permanently lost")
+            }
+            StorageError::RetriesExhausted {
+                device,
+                id,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "{device} fault at {id} persisted through {attempts} attempts"
+                )
+            }
+            StorageError::ChecksumMismatch { device, id } => {
+                write!(f, "checksum mismatch on {device} block {id}")
+            }
+            StorageError::Crashed => write!(f, "simulated storage crash in effect"),
+            StorageError::LockPoisoned(what) => {
+                write!(f, "lock poisoned: {what}")
+            }
         }
     }
 }

@@ -239,7 +239,11 @@ impl HeapFile {
             });
         }
         let mut state = self.state.lock();
-        let last = *state.pages.last().expect("file always has a page");
+        let last = state
+            .pages
+            .last()
+            .copied()
+            .ok_or(StorageError::Corrupt("heap file has no pages"))?;
         let guard = self.pool.fetch(last)?;
         if let Some(slot) = guard.with_mut(|p| page_insert(p, bytes)) {
             state.records += 1;
@@ -251,7 +255,7 @@ impl HeapFile {
         new_guard.with_mut(init_page);
         let slot = new_guard
             .with_mut(|p| page_insert(p, bytes))
-            .expect("record must fit in an empty page");
+            .ok_or(StorageError::Corrupt("record does not fit in an empty page"))?;
         drop(new_guard);
         let old_last = self.pool.fetch(last)?;
         old_last.with_mut(|p| set_next_page(p, new_pid));

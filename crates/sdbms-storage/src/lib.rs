@@ -47,23 +47,32 @@
 pub mod archive;
 pub mod btree;
 pub mod buffer;
+pub mod checksum;
 pub mod cost;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod keyenc;
 pub mod longrec;
 pub mod page;
+pub mod retry;
 
 pub use archive::{ArchiveStore, ReelReader};
 pub use btree::BTree;
 pub use buffer::{BufferPool, PageGuard};
+pub use checksum::crc32;
 pub use cost::{CostModel, IoSnapshot, IoStats, Tracker};
 pub use disk::DiskManager;
 pub use error::{Result, StorageError};
+pub use fault::{
+    Device, DeviceFaults, FaultInjector, FaultKind, FaultPlan, FaultStats, InjectedFault, IoOp,
+    ScriptedFault,
+};
 pub use heap::{HeapFile, Rid, MAX_RECORD};
 pub use longrec::{LongRecordFile, CHUNK_PAYLOAD};
 pub use page::{Page, PageId, INVALID_PAGE, PAGE_SIZE};
+pub use retry::{with_retries, RetryPolicy};
 
 use std::sync::Arc;
 
@@ -82,21 +91,43 @@ pub struct StorageEnv {
     pub pool: Arc<BufferPool>,
     /// The sequential archive ("tape") store.
     pub archive: Arc<ArchiveStore>,
+    /// Shared fault injector consulted by every device. Disabled (never
+    /// fires) unless the environment was built with
+    /// [`StorageEnv::with_faults`] or a plan is installed later.
+    pub injector: Arc<FaultInjector>,
 }
 
 impl StorageEnv {
-    /// Build an environment with a buffer pool of `pool_pages` frames.
+    /// Build an environment with a buffer pool of `pool_pages` frames
+    /// and fault injection disabled.
     #[must_use]
     pub fn new(pool_pages: usize) -> Self {
+        Self::with_faults(pool_pages, FaultPlan::none(), RetryPolicy::default())
+    }
+
+    /// Build an environment whose devices all consult one injector
+    /// following `plan`, retrying transient faults under `retry`.
+    #[must_use]
+    pub fn with_faults(pool_pages: usize, plan: FaultPlan, retry: RetryPolicy) -> Self {
         let tracker = Tracker::new();
-        let disk = Arc::new(DiskManager::new(tracker.clone()));
+        let injector = Arc::new(FaultInjector::new(plan));
+        let disk = Arc::new(DiskManager::with_faults(
+            tracker.clone(),
+            injector.clone(),
+            retry,
+        ));
         let pool = Arc::new(BufferPool::new(disk.clone(), pool_pages));
-        let archive = Arc::new(ArchiveStore::new(tracker.clone()));
+        let archive = Arc::new(ArchiveStore::with_faults(
+            tracker.clone(),
+            injector.clone(),
+            retry,
+        ));
         StorageEnv {
             tracker,
             disk,
             pool,
             archive,
+            injector,
         }
     }
 
@@ -104,6 +135,23 @@ impl StorageEnv {
     #[must_use]
     pub fn default_env() -> Self {
         Self::new(256)
+    }
+
+    /// True while a simulated crash is in effect.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.injector.is_crashed()
+    }
+
+    /// Recover from a simulated crash: clear the crash state and drop
+    /// every buffered frame *without* write-back, so only data that
+    /// reached the disk before the crash survives — exactly what a
+    /// process restart over durable media would see. Returns the number
+    /// of dirty (lost) frames. All page guards must be dropped first.
+    pub fn restart(&self) -> Result<usize> {
+        let lost = self.pool.discard_frames()?;
+        self.injector.restart();
+        Ok(lost)
     }
 }
 
@@ -126,5 +174,38 @@ mod tests {
         assert!(s.archive_block_reads == 1);
         // Heap inserts through a 4-frame pool must have spilled.
         assert!(s.page_writes > 0 || s.page_reads == 0);
+    }
+
+    #[test]
+    fn crash_and_restart_lose_only_unflushed_state() {
+        let env = StorageEnv::new(8);
+        let f = HeapFile::create(env.pool.clone()).unwrap();
+        let durable = f.insert(b"flushed").unwrap();
+        env.pool.flush_all().unwrap();
+        let volatile = f.insert(b"buffered-only").unwrap();
+        env.injector.crash_now();
+        assert!(env.is_crashed());
+        assert!(f.get(durable).is_err(), "all I/O down during crash");
+        let lost = env.restart().unwrap();
+        assert!(lost > 0, "the unflushed page was discarded");
+        assert_eq!(f.get(durable).unwrap(), b"flushed");
+        // The buffered-only record reverts to the flushed page image.
+        assert!(f.get(volatile).is_err() || f.get(volatile).unwrap() != b"buffered-only");
+    }
+
+    #[test]
+    fn faulty_env_shares_one_injector_across_devices() {
+        let env = StorageEnv::with_faults(8, FaultPlan::with_seed(7), RetryPolicy::default());
+        env.archive.create_reel("raw").unwrap();
+        env.archive.append_block("raw", b"b0").unwrap();
+        env.injector.crash_now();
+        let mut rd_err = false;
+        if let Ok(mut rd) = env.archive.open("raw") {
+            rd_err = rd.read_next() == Err(StorageError::Crashed);
+        }
+        assert!(rd_err, "archive honours the shared crash state");
+        assert!(matches!(env.pool.new_page(), Err(StorageError::Crashed)));
+        env.restart().unwrap();
+        assert!(env.pool.new_page().is_ok());
     }
 }

@@ -61,10 +61,15 @@ fn decode_chunk(bytes: &[u8]) -> Result<(Option<Rid>, &[u8])> {
     }
     let next = match bytes[0] {
         0 => None,
-        1 => Some(Rid::new(
-            u32::from_le_bytes(bytes[1..5].try_into().expect("sized")),
-            u16::from_le_bytes(bytes[5..7].try_into().expect("sized")),
-        )),
+        1 => {
+            let page = bytes[1..5]
+                .try_into()
+                .map_err(|_| StorageError::Corrupt("long-record header truncated"))?;
+            let slot = bytes[5..7]
+                .try_into()
+                .map_err(|_| StorageError::Corrupt("long-record header truncated"))?;
+            Some(Rid::new(u32::from_le_bytes(page), u16::from_le_bytes(slot)))
+        }
         _ => return Err(StorageError::Corrupt("bad long-record flag byte")),
     };
     Ok((next, &bytes[HEADER..]))
@@ -91,14 +96,20 @@ impl LongRecordFile {
             let rid = self.file.insert(&encode_chunk(next, chunk))?;
             next = Some(rid);
         }
-        Ok(next.expect("at least one chunk"))
+        next.ok_or(StorageError::Corrupt("long record produced no chunks"))
     }
 
     /// Read the full record starting at `head`.
     pub fn get(&self, head: Rid) -> Result<Vec<u8>> {
         let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         let mut cursor = Some(head);
         while let Some(rid) = cursor {
+            // Corrupt or crash-torn headers can link chunks into a
+            // cycle; revisiting a chunk means the chain is damaged.
+            if !seen.insert(rid) {
+                return Err(StorageError::Corrupt("long-record chunk cycle"));
+            }
             let bytes = self.file.get(rid)?;
             let (next, payload) = decode_chunk(&bytes)?;
             out.extend_from_slice(payload);
@@ -109,8 +120,12 @@ impl LongRecordFile {
 
     /// Delete the record starting at `head`, freeing every chunk.
     pub fn delete(&self, head: Rid) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
         let mut cursor = Some(head);
         while let Some(rid) = cursor {
+            if !seen.insert(rid) {
+                return Err(StorageError::Corrupt("long-record chunk cycle"));
+            }
             let bytes = self.file.get(rid)?;
             let (next, _) = decode_chunk(&bytes)?;
             self.file.delete(rid)?;

@@ -121,6 +121,21 @@ impl Page {
     pub fn zero(&mut self, off: usize, len: usize) {
         self.data[off..off + len].fill(0);
     }
+
+    /// CRC32 of the full page contents. The simulated disk stores this
+    /// out-of-band with each page (like a sector ECC field) and
+    /// verifies it on every read, so injected bit flips surface as
+    /// [`crate::error::StorageError::ChecksumMismatch`] instead of
+    /// silently wrong data.
+    #[must_use]
+    pub fn crc32(&self) -> u32 {
+        crate::checksum::crc32(&self.data[..])
+    }
+
+    /// Flip one bit (test/fault-injection hook).
+    pub fn flip_bit(&mut self, bit: usize) {
+        self.data[(bit / 8) % PAGE_SIZE] ^= 1 << (bit % 8);
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +187,19 @@ mod tests {
     fn out_of_bounds_panics() {
         let p = Page::new();
         let _ = p.get_u32(PAGE_SIZE - 2);
+    }
+
+    #[test]
+    fn crc_detects_any_flipped_bit() {
+        let mut p = Page::new();
+        p.write_slice(0, b"summary database entry");
+        let crc = p.crc32();
+        for bit in [0, 77, PAGE_SIZE * 8 - 1] {
+            let mut q = p.clone();
+            q.flip_bit(bit);
+            assert_ne!(q.crc32(), crc, "bit {bit}");
+            q.flip_bit(bit);
+            assert_eq!(q.crc32(), crc);
+        }
     }
 }

@@ -70,6 +70,9 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Entries recomputed from column data.
     pub recomputes: u64,
+    /// Damaged entries quarantined (removed after a storage fault or
+    /// decode failure) and treated as misses.
+    pub quarantined: u64,
 }
 
 /// The per-view cache of function results.
@@ -257,6 +260,11 @@ impl SummaryDb {
         self.bump(|s| s.incremental_updates += 1);
     }
 
+    /// Record that a damaged entry was quarantined.
+    pub fn note_quarantine(&self) {
+        self.bump(|s| s.quarantined += 1);
+    }
+
     /// Render the Figure 4 three-column table for documentation and the
     /// F4 experiment.
     pub fn render_figure4(&self) -> Result<String> {
@@ -314,7 +322,10 @@ fn decode_function(buf: &[u8], pos: &mut usize) -> Result<StatFunction> {
             .get(*pos..*pos + 2)
             .ok_or(SummaryError::Decode("function arg truncated"))?;
         *pos += 2;
-        Ok(u16::from_le_bytes(b.try_into().unwrap()))
+        let b = b
+            .try_into()
+            .map_err(|_| SummaryError::Decode("function arg truncated"))?;
+        Ok(u16::from_le_bytes(b))
     };
     Ok(match tag {
         0 => StatFunction::Count,
@@ -448,9 +459,11 @@ fn decode_entry(buf: &[u8]) -> Result<Entry> {
     let alen = {
         let b = buf
             .get(0..2)
-            .ok_or(SummaryError::Decode("entry header truncated"))?;
+            .ok_or(SummaryError::Decode("entry header truncated"))?
+            .try_into()
+            .map_err(|_| SummaryError::Decode("entry header truncated"))?;
         pos += 2;
-        u16::from_le_bytes(b.try_into().unwrap()) as usize
+        u16::from_le_bytes(b) as usize
     };
     let attr = std::str::from_utf8(
         buf.get(pos..pos + alen)

@@ -22,6 +22,8 @@
 //! - [`inference`] — §5.1's "Database Abstract" rules: derive a missing
 //!   function exactly from other cached entries (mean = sum/count) or
 //!   as a histogram-based estimate.
+//! - [`wal`] — the write-ahead intent log that keeps the cache
+//!   crash-consistent: cleanly invalidated, never silently stale.
 
 #![warn(missing_docs)]
 
@@ -32,14 +34,16 @@ pub mod function;
 pub mod maintain;
 pub mod median_window;
 pub mod value;
+pub mod wal;
 
 pub use db::{CacheStats, Entry, Freshness, SummaryDb};
 pub use inference::{infer, Inferred};
 pub use error::{Result, SummaryError};
 pub use function::{standing_summary_functions, AuxState, MaintenanceClass, StatFunction};
 pub use maintain::{
-    apply_updates, get_or_compute, refresh_entry, AccuracyPolicy, ComputeSource,
-    MaintenancePolicy, MaintenanceReport, UpdateDelta,
+    apply_updates, get_or_compute, get_or_compute_resilient, quarantinable, refresh_entry,
+    AccuracyPolicy, ComputeSource, MaintenancePolicy, MaintenanceReport, UpdateDelta,
 };
 pub use median_window::{MedianWindow, DEFAULT_WINDOW};
 pub use value::SummaryValue;
+pub use wal::{Intent, IntentLog};

@@ -19,7 +19,7 @@ use sdbms_data::Value;
 use sdbms_stats::ExtremeAfterRemove;
 
 use crate::db::{Entry, Freshness, SummaryDb};
-use crate::error::Result;
+use crate::error::{Result, SummaryError};
 use crate::function::{AuxState, StatFunction};
 use crate::value::SummaryValue;
 
@@ -77,6 +77,33 @@ pub enum ComputeSource {
     CacheTolerated,
     /// Computed (and cached) now.
     Computed,
+    /// Computed from the fallback source (e.g. the raw archive)
+    /// because the primary column source is damaged. Deliberately
+    /// *not* cached: once the primary source is repaired, a cached
+    /// fallback result could disagree with it.
+    Fallback,
+}
+
+/// True for errors that mean *this cache copy is damaged* — a storage
+/// fault (checksum mismatch, lost block, exhausted retries) or stored
+/// bytes that no longer decode — rather than a logic error. The
+/// degradation strategy for these is: quarantine the entry and
+/// recompute from data. A [`StorageError::Crashed`] is excluded (the
+/// whole hierarchy is down; nothing can be recomputed until restart),
+/// as is pool exhaustion (a resource problem, not data damage).
+#[must_use]
+pub fn quarantinable(e: &SummaryError) -> bool {
+    fn damaged(se: &sdbms_storage::StorageError) -> bool {
+        !se.is_crash() && !matches!(se, sdbms_storage::StorageError::PoolExhausted)
+    }
+    match e {
+        SummaryError::Decode(_) => true,
+        SummaryError::Storage(se) => damaged(se),
+        // Column sources surface their I/O problems wrapped in data
+        // errors; the damage classification is the same.
+        SummaryError::Data(sdbms_data::DataError::Storage(se)) => damaged(se),
+        _ => false,
+    }
 }
 
 /// Apply one batch of updates on `attribute` to every cached entry of
@@ -99,10 +126,14 @@ pub fn apply_updates(
     }
     let mut column_cache: Option<Vec<Value>> = None;
     let mut fetch_column = |cache: &mut Option<Vec<Value>>| -> Result<Vec<Value>> {
-        if cache.is_none() {
-            *cache = Some(column()?);
+        match cache {
+            Some(col) => Ok(col.clone()),
+            None => {
+                let col = column()?;
+                *cache = Some(col.clone());
+                Ok(col)
+            }
         }
-        Ok(cache.clone().expect("just filled"))
     };
 
     for mut entry in entries {
@@ -131,10 +162,10 @@ pub fn apply_updates(
                     db.put(&entry)?;
                     continue;
                 }
-                let ok = apply_deltas_to_aux(
-                    entry.aux.as_mut().expect("checked above"),
-                    deltas,
-                );
+                let ok = match entry.aux.as_mut() {
+                    Some(aux) => apply_deltas_to_aux(aux, deltas),
+                    None => false,
+                };
                 let new_result = if ok {
                     entry
                         .aux
@@ -207,15 +238,14 @@ fn apply_deltas_to_aux(aux: &mut AuxState, deltas: &[UpdateDelta]) -> bool {
                 }
             }
             AuxState::Freq(t) => {
-                let removed = if d.old.is_missing() && d.new.is_missing() {
+                if d.old.is_missing() && d.new.is_missing() {
                     true
                 } else {
                     t.remove(&d.old).is_ok() && {
                         t.add(&d.new);
                         true
                     }
-                };
-                removed
+                }
             }
             AuxState::Histo(h) => {
                 if let Some(o) = d.old.as_f64() {
@@ -286,6 +316,89 @@ pub fn get_or_compute(
     };
     refresh_entry(db, &mut entry, &col)?;
     db.put(&entry)?;
+    Ok((entry.result, ComputeSource::Computed))
+}
+
+/// [`get_or_compute`] with graceful degradation (§fault tolerance):
+///
+/// - A damaged cache entry (storage fault or undecodable bytes during
+///   lookup) is **quarantined** — removed and counted — and the lookup
+///   proceeds as a miss, recomputing from the view column.
+/// - A failure while *writing back* a recomputed entry is tolerated:
+///   the freshly computed value is still served; only the caching is
+///   lost.
+/// - If the view column itself cannot be read (damaged concrete view)
+///   and a `fallback` source is given (the raw archive), the answer is
+///   computed from the fallback and served as
+///   [`ComputeSource::Fallback`], without being cached.
+///
+/// Crashes ([`sdbms_storage::StorageError::Crashed`]) are never
+/// degraded around — they propagate so the caller can restart and
+/// recover.
+pub fn get_or_compute_resilient(
+    db: &SummaryDb,
+    attribute: &str,
+    function: &StatFunction,
+    accuracy: AccuracyPolicy,
+    column: &mut dyn FnMut() -> Result<Vec<Value>>,
+    fallback: Option<&mut dyn FnMut() -> Result<Vec<Value>>>,
+) -> Result<(SummaryValue, ComputeSource)> {
+    // Lookup with quarantine: a damaged entry becomes a miss.
+    let looked = match db.lookup(attribute, function) {
+        Ok(e) => e,
+        Err(e) if quarantinable(&e) => {
+            // Best-effort removal; the entry may be unreachable anyway.
+            let _ = db.remove(attribute, function);
+            db.note_quarantine();
+            None
+        }
+        Err(e) => return Err(e),
+    };
+    if let Some(entry) = looked {
+        match (entry.freshness, accuracy) {
+            (Freshness::Fresh, _) => return Ok((entry.result, ComputeSource::Cache)),
+            (Freshness::Stale, AccuracyPolicy::Tolerate(k))
+                if entry.updates_since_refresh <= k =>
+            {
+                return Ok((entry.result, ComputeSource::CacheTolerated));
+            }
+            (Freshness::Stale, _) => {}
+        }
+    }
+    // Miss (or stale-needs-refresh): compute from the view column,
+    // degrading to the fallback source if the view is damaged.
+    let col = match column() {
+        Ok(col) => col,
+        Err(e) if quarantinable(&e) => match fallback {
+            Some(fb) => {
+                let col = fb()?;
+                let result = function.compute(&col)?;
+                return Ok((result, ComputeSource::Fallback));
+            }
+            None => return Err(e),
+        },
+        Err(e) => return Err(e),
+    };
+    let mut entry = Entry {
+        attribute: attribute.to_string(),
+        function: function.clone(),
+        result: SummaryValue::Scalar(0.0), // placeholder, refreshed below
+        freshness: Freshness::Fresh,
+        aux: None,
+        updates_since_refresh: 0,
+    };
+    refresh_entry(db, &mut entry, &col)?;
+    // Cache write-back is best-effort: a fault here loses the caching,
+    // not the answer.
+    match db.put(&entry) {
+        Ok(()) => {}
+        Err(e) if quarantinable(&e) => {
+            // Make sure no half-written copy can be served later.
+            let _ = db.remove(attribute, function);
+            db.note_quarantine();
+        }
+        Err(e) => return Err(e),
+    }
     Ok((entry.result, ComputeSource::Computed))
 }
 

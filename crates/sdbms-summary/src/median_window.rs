@@ -133,7 +133,7 @@ impl MedianWindow {
             return;
         }
         let first = self.window[0];
-        let last = *self.window.last().expect("nonempty");
+        let last = *self.window.last().unwrap_or(&first);
         if x < first {
             self.below += 1;
         } else if x > last {
@@ -177,7 +177,7 @@ impl MedianWindow {
             return false;
         }
         let first = self.window[0];
-        let last = *self.window.last().expect("nonempty");
+        let last = *self.window.last().unwrap_or(&first);
         // Prefer removing an exact copy from the window (handles
         // boundary-equal duplicates deterministically).
         if x >= first && x <= last {

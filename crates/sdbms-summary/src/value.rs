@@ -164,7 +164,8 @@ pub(crate) fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
         .get(*pos..*pos + 8)
         .ok_or(SummaryError::Decode("u64 truncated"))?;
     *pos += 8;
-    Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    let b = b.try_into().map_err(|_| SummaryError::Decode("u64 truncated"))?;
+    Ok(u64::from_le_bytes(b))
 }
 
 pub(crate) fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
@@ -172,7 +173,8 @@ pub(crate) fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
         .get(*pos..*pos + 4)
         .ok_or(SummaryError::Decode("u32 truncated"))?;
     *pos += 4;
-    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    let b = b.try_into().map_err(|_| SummaryError::Decode("u32 truncated"))?;
+    Ok(u32::from_le_bytes(b))
 }
 
 pub(crate) fn encode_histogram(h: &Histogram, buf: &mut Vec<u8>) {

@@ -1,0 +1,268 @@
+//! Write-ahead intent log for crash-consistent summary maintenance.
+//!
+//! The Summary Database lives in pool-buffered pages, so a simulated
+//! crash (which discards every unflushed frame) can leave cached
+//! entries that no longer agree with the view data — the worst failure
+//! mode of a cache: *stale served as fresh*. The [`IntentLog`] closes
+//! that window with a classic intent-logging protocol:
+//!
+//! 1. **Begin**: before any view cell or summary entry changes, the
+//!    affected attribute names are written to a dedicated disk page
+//!    *directly* through the [`DiskManager`] — bypassing the volatile
+//!    buffer pool, so the intent is durable immediately.
+//! 2. **Apply**: view cells are updated and summary maintenance runs
+//!    (all through the pool; a crash here may tear anything).
+//! 3. **Commit**: the pool is flushed (view + summary pages reach the
+//!    disk) and only then is the intent cleared.
+//!
+//! Recovery after a restart reads the log: a pending intent means step
+//! 3 never completed, so every summary entry of the named attributes is
+//! invalidated (or the whole cache rebuilt if it is too damaged to
+//! enumerate) — the Summary Database is then *cleanly invalidated*,
+//! never stale.
+//!
+//! The log page carries its own magic number; the disk adds CRC32
+//! verification underneath, so a corrupted log surfaces as a checksum
+//! error and recovery falls back to conservative whole-cache
+//! invalidation.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use sdbms_storage::{DiskManager, Page, PageId, StorageError, PAGE_SIZE};
+
+use crate::error::{Result, SummaryError};
+
+/// Magic marking a valid intent-log page ("SWL1").
+const MAGIC: u32 = 0x5357_4C31;
+
+/// Sentinel count meaning "every attribute" (the intent set did not fit
+/// on the page, so recovery must be maximally conservative).
+const ALL: u16 = u16::MAX;
+
+/// A pending maintenance intent read back from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Intent {
+    /// Every attribute of the view must be treated as suspect.
+    All,
+    /// Only these attributes were mid-update.
+    Attributes(Vec<String>),
+}
+
+/// The per-view write-ahead intent log.
+///
+/// One durable disk page holding the set of attributes whose summary
+/// entries are currently being brought up to date. See the module docs
+/// for the protocol.
+pub struct IntentLog {
+    disk: Arc<DiskManager>,
+    page: Cell<PageId>,
+}
+
+impl std::fmt::Debug for IntentLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntentLog").field("page", &self.page.get()).finish()
+    }
+}
+
+impl IntentLog {
+    /// Allocate the log's disk page and write an empty (no-intent)
+    /// record to it.
+    pub fn create(disk: Arc<DiskManager>) -> Result<Self> {
+        let page = disk.allocate();
+        let log = IntentLog {
+            disk,
+            page: Cell::new(page),
+        };
+        log.clear()?;
+        Ok(log)
+    }
+
+    /// The disk page the log lives on.
+    #[must_use]
+    pub fn page_id(&self) -> PageId {
+        self.page.get()
+    }
+
+    /// Durably record that the summary entries of `attributes` are
+    /// about to be brought up to date. Overwrites any previous intent
+    /// (the protocol never nests). If the names do not fit on one page
+    /// the log records the conservative "all attributes" sentinel.
+    pub fn begin(&self, attributes: &[String]) -> Result<()> {
+        let mut page = Page::new();
+        page.put_u32(0, MAGIC);
+        let mut off = 6usize;
+        let mut fits = true;
+        for a in attributes {
+            let bytes = a.as_bytes();
+            if bytes.len() > u16::MAX as usize || off + 2 + bytes.len() > PAGE_SIZE {
+                fits = false;
+                break;
+            }
+            page.put_u16(off, bytes.len() as u16);
+            page.write_slice(off + 2, bytes);
+            off += 2 + bytes.len();
+        }
+        if fits && attributes.len() < ALL as usize {
+            page.put_u16(4, attributes.len() as u16);
+        } else {
+            page.put_u16(4, ALL);
+        }
+        self.write_log_page(&page)
+    }
+
+    /// Durably clear the intent: maintenance completed and was flushed.
+    pub fn clear(&self) -> Result<()> {
+        let mut page = Page::new();
+        page.put_u32(0, MAGIC);
+        page.put_u16(4, 0);
+        self.write_log_page(&page)
+    }
+
+    /// The pending intent, if any. An unreadable or unrecognizable log
+    /// page surfaces as an error; recovery should treat that exactly
+    /// like [`Intent::All`].
+    pub fn pending(&self) -> Result<Option<Intent>> {
+        let mut page = Page::new();
+        self.disk.read_page(self.page.get(), &mut page)?;
+        if page.get_u32(0) != MAGIC {
+            return Err(SummaryError::Decode("intent log magic mismatch"));
+        }
+        let count = page.get_u16(4);
+        if count == 0 {
+            return Ok(None);
+        }
+        if count == ALL {
+            return Ok(Some(Intent::All));
+        }
+        let mut attrs = Vec::with_capacity(count as usize);
+        let mut off = 6usize;
+        for _ in 0..count {
+            if off + 2 > PAGE_SIZE {
+                return Err(SummaryError::Decode("intent log truncated"));
+            }
+            let len = page.get_u16(off) as usize;
+            off += 2;
+            if off + len > PAGE_SIZE {
+                return Err(SummaryError::Decode("intent log truncated"));
+            }
+            let name = std::str::from_utf8(page.slice(off, len))
+                .map_err(|_| SummaryError::Decode("intent log attribute not UTF-8"))?;
+            attrs.push(name.to_string());
+            off += len;
+        }
+        Ok(Some(Intent::Attributes(attrs)))
+    }
+
+    /// Write the log page, relocating to a freshly allocated page if
+    /// the current one has suffered simulated media damage.
+    fn write_log_page(&self, page: &Page) -> Result<()> {
+        match self.disk.write_page(self.page.get(), page) {
+            Err(
+                StorageError::PermanentFault { .. } | StorageError::InvalidPageId(_),
+            ) => {
+                let fresh = self.disk.allocate();
+                self.page.set(fresh);
+                Ok(self.disk.write_page(fresh, page)?)
+            }
+            other => Ok(other?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbms_storage::{
+        Device, FaultInjector, FaultKind, RetryPolicy, ScriptedFault, Tracker,
+    };
+
+    fn disk() -> Arc<DiskManager> {
+        Arc::new(DiskManager::new(Tracker::new()))
+    }
+
+    #[test]
+    fn empty_log_has_no_pending_intent() {
+        let log = IntentLog::create(disk()).unwrap();
+        assert_eq!(log.pending().unwrap(), None);
+    }
+
+    #[test]
+    fn begin_then_pending_then_clear() {
+        let log = IntentLog::create(disk()).unwrap();
+        log.begin(&["AGE".to_string(), "INCOME".to_string()]).unwrap();
+        assert_eq!(
+            log.pending().unwrap(),
+            Some(Intent::Attributes(vec!["AGE".into(), "INCOME".into()]))
+        );
+        // Begin replaces, never nests.
+        log.begin(&["SALARY".to_string()]).unwrap();
+        assert_eq!(
+            log.pending().unwrap(),
+            Some(Intent::Attributes(vec!["SALARY".into()]))
+        );
+        log.clear().unwrap();
+        assert_eq!(log.pending().unwrap(), None);
+    }
+
+    #[test]
+    fn intent_survives_what_a_buffer_pool_would_lose() {
+        // The log writes through the DiskManager directly, so its state
+        // is durable the moment begin() returns — there is nothing
+        // buffered to lose. Reading through a *second* handle to the
+        // same disk proves it.
+        let d = disk();
+        let log = IntentLog::create(d.clone()).unwrap();
+        log.begin(&["X".to_string()]).unwrap();
+        let reader = IntentLog {
+            disk: d,
+            page: Cell::new(log.page_id()),
+        };
+        assert_eq!(
+            reader.pending().unwrap(),
+            Some(Intent::Attributes(vec!["X".into()]))
+        );
+    }
+
+    #[test]
+    fn oversized_intent_degrades_to_all() {
+        let log = IntentLog::create(disk()).unwrap();
+        let attrs: Vec<String> = (0..200).map(|i| format!("ATTRIBUTE_{i:04}_{}", "x".repeat(40))).collect();
+        log.begin(&attrs).unwrap();
+        assert_eq!(log.pending().unwrap(), Some(Intent::All));
+    }
+
+    #[test]
+    fn corrupted_log_page_surfaces_as_error() {
+        let d = disk();
+        let log = IntentLog::create(d.clone()).unwrap();
+        log.begin(&["X".to_string()]).unwrap();
+        d.corrupt_page(log.page_id(), 123).unwrap();
+        assert!(matches!(
+            log.pending(),
+            Err(SummaryError::Storage(StorageError::ChecksumMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn log_relocates_off_a_dead_page() {
+        let tracker = Tracker::new();
+        let inj = Arc::new(FaultInjector::disabled());
+        let d = Arc::new(DiskManager::with_faults(
+            tracker,
+            inj.clone(),
+            RetryPolicy::default(),
+        ));
+        let log = IntentLog::create(d).unwrap();
+        let first = log.page_id();
+        inj.script(ScriptedFault::new(Device::Disk, FaultKind::Permanent).at(u64::from(first)));
+        // The scripted permanent fault fires on the next write to the
+        // old page; the log moves to a fresh page and stays usable.
+        log.begin(&["X".to_string()]).unwrap();
+        assert_ne!(log.page_id(), first);
+        assert_eq!(
+            log.pending().unwrap(),
+            Some(Intent::Attributes(vec!["X".into()]))
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Chaos harness: many seeded fault schedules against the full DBMS.
+//!
+//! Each schedule drives the same analysis workload (warm summaries,
+//! predicate updates, cached reads) under a deterministic fault plan —
+//! transient I/O failures, silent bit corruption, permanent block
+//! loss, and a mid-workload crash on half the schedules. The invariant
+//! checked at the end of every schedule is the one that matters for a
+//! statistical database: **the Summary Database never serves a value
+//! that differs from a from-scratch recompute of the view** — damaged
+//! entries may cost an error or a recompute, but never a silently
+//! wrong answer.
+
+use sdbms::core::{
+    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate,
+    StatDbms, StatFunction, ViewDefinition,
+};
+use sdbms::data::census::{microdata_census, CensusConfig};
+use sdbms::storage::{DeviceFaults, FaultPlan, StorageEnv};
+
+/// Fault schedules to run (the acceptance bar is 100).
+const SCHEDULES: u64 = 120;
+
+/// Updates driven through each schedule.
+const STEPS: u64 = 6;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deterministic fault plan for one schedule. `base_ops` is the
+/// injector's current operation count, so crashes land inside the
+/// chaos phase rather than before it.
+fn plan_for(seed: u64, base_ops: u64) -> FaultPlan {
+    let mut s = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+    let crash = splitmix(&mut s).is_multiple_of(2);
+    FaultPlan {
+        seed,
+        disk: DeviceFaults {
+            transient_read: 0.02 + unit(&mut s) * 0.05,
+            transient_write: 0.02 + unit(&mut s) * 0.05,
+            corrupt_write: unit(&mut s) * 0.01,
+            permanent_read: unit(&mut s) * 0.002,
+        },
+        archive: DeviceFaults {
+            transient_read: 0.02 + unit(&mut s) * 0.03,
+            ..DeviceFaults::default()
+        },
+        crash_at_op: crash.then(|| base_ops + 20 + splitmix(&mut s) % 400),
+    }
+}
+
+const ATTRS: [&str; 2] = ["AGE", "INCOME"];
+
+fn checked_functions() -> Vec<StatFunction> {
+    vec![
+        StatFunction::Count,
+        StatFunction::Mean,
+        StatFunction::Min,
+        StatFunction::Max,
+        StatFunction::Median,
+    ]
+}
+
+/// A DBMS with a clean 160-row census view, crash-consistent
+/// durability, and warmed summaries. Built fault-free.
+fn setup() -> StatDbms {
+    let mut dbms = StatDbms::with_env(StorageEnv::new(256));
+    let raw = microdata_census(&CensusConfig {
+        rows: 160,
+        invalid_fraction: 0.0,
+        outlier_fraction: 0.0,
+        ..Default::default()
+    })
+    .expect("generate");
+    dbms.load_raw(&raw).expect("load");
+    dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "chaos")
+        .expect("materialize");
+    dbms.set_durability(DurabilityPolicy::CrashConsistent)
+        .expect("durability");
+    for a in ATTRS {
+        for f in checked_functions() {
+            dbms.compute("v", a, &f, AccuracyPolicy::Exact).expect("warm");
+        }
+    }
+    dbms
+}
+
+/// Bring a crashed DBMS back up; if recovery itself keeps faulting,
+/// repair the machine (clear the plan) and recover on healthy
+/// hardware, which must succeed.
+fn recover_until_up(dbms: &mut StatDbms) -> u64 {
+    let mut rebuilt = 0;
+    for _ in 0..4 {
+        match dbms.recover() {
+            Ok(r) => return rebuilt + r.caches_rebuilt as u64,
+            Err(_) => rebuilt = 0,
+        }
+    }
+    dbms.env().injector.set_plan(FaultPlan::none());
+    let r = dbms.recover().expect("recovery on healthy hardware");
+    r.caches_rebuilt as u64
+}
+
+#[test]
+fn hundred_plus_seeded_fault_schedules_never_serve_wrong_summaries() {
+    let mut total_transient = 0u64;
+    let mut total_retries = 0u64;
+    let mut total_corrupt = 0u64;
+    let mut crashes_recovered = 0u64;
+    let mut total_quarantined = 0u64;
+    let mut comparisons = 0u64;
+
+    for seed in 0..SCHEDULES {
+        let mut dbms = setup();
+        let base_ops = dbms.env().injector.ops();
+        dbms.env().injector.set_plan(plan_for(seed, base_ops));
+
+        // Chaos phase: updates and cached reads under fire. Errors are
+        // tolerated (a fault may legitimately abort an operation); a
+        // crash is recovered and the workload continues.
+        let mut s = seed ^ 0xC0FF_EE00;
+        for _ in 0..STEPS {
+            let threshold = 20 + (splitmix(&mut s) % 45) as i64;
+            let bump = 1 + (splitmix(&mut s) % 500) as i64;
+            let outcome = dbms.update_where(
+                "v",
+                &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold)),
+                &[(
+                    "INCOME",
+                    Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump)),
+                )],
+            );
+            if outcome.is_err() && dbms.is_crashed() {
+                crashes_recovered += 1;
+                recover_until_up(&mut dbms);
+            }
+            let attr = ATTRS[(splitmix(&mut s) % 2) as usize];
+            let funcs = checked_functions();
+            let f = &funcs[(splitmix(&mut s) as usize) % funcs.len()];
+            if dbms.compute("v", attr, f, AccuracyPolicy::Exact).is_err()
+                && dbms.is_crashed()
+            {
+                crashes_recovered += 1;
+                recover_until_up(&mut dbms);
+            }
+        }
+
+        let stats = dbms.env().injector.stats();
+        total_transient += stats.transient;
+        total_corrupt += stats.corrupt;
+        total_retries += dbms.io().retries;
+
+        // Verification phase on healthy hardware (damage already done
+        // — dead blocks and corrupted pages persist): every summary the
+        // cache serves must match a from-scratch recompute of the view.
+        dbms.env().injector.set_plan(FaultPlan::none());
+        if dbms.is_crashed() {
+            recover_until_up(&mut dbms);
+        }
+        for a in ATTRS {
+            // If the view column itself was destroyed there is no
+            // ground truth to compare against (compute() then answers
+            // from the raw archive or errors — either is acceptable).
+            let Ok(col) = dbms.column("v", a) else { continue };
+            for f in checked_functions() {
+                let Ok((served, _)) = dbms.compute("v", a, &f, AccuracyPolicy::Exact)
+                else {
+                    continue;
+                };
+                let fresh = f.compute(&col).expect("recompute");
+                comparisons += 1;
+                assert!(
+                    served.approx_eq(&fresh, 1e-9),
+                    "schedule {seed}: {f:?}({a}) served {served} but a \
+                     from-scratch recompute gives {fresh}"
+                );
+            }
+        }
+        total_quarantined += dbms.cache_stats("v").expect("stats").quarantined;
+    }
+
+    // The harness must have actually exercised the machinery: faults
+    // fired, retries absorbed transients, crashes were recovered, and
+    // the vast majority of summaries stayed comparable.
+    assert!(total_transient > 100, "transient faults fired: {total_transient}");
+    assert!(total_retries > 100, "retries absorbed transients: {total_retries}");
+    assert!(total_corrupt > 0, "corrupt writes fired: {total_corrupt}");
+    assert!(
+        crashes_recovered >= SCHEDULES / 4,
+        "crashes recovered: {crashes_recovered}"
+    );
+    assert!(
+        comparisons > SCHEDULES * 8,
+        "most schedules stayed verifiable: {comparisons} comparisons"
+    );
+    // Quarantines are opportunistic (they need a corrupt page to be
+    // re-read through the cache path), so only report-level coverage is
+    // asserted across the whole run.
+    let _ = total_quarantined;
+}
+
+#[test]
+fn corrupted_summary_pages_are_quarantined_and_recomputed() {
+    let mut dbms = setup();
+    let expected_col = dbms.column("v", "INCOME").expect("column");
+    let expected = StatFunction::Mean.compute(&expected_col).expect("mean");
+
+    // Silently flip a bit in every disk page except the intent log —
+    // summary store and view store alike — then restart so the next
+    // reads hit the damaged disk instead of clean pool frames.
+    let wal_page = dbms
+        .view("v")
+        .expect("view")
+        .wal
+        .as_ref()
+        .expect("wal")
+        .page_id();
+    for pid in 0..dbms.env().disk.allocated_pages() as u32 {
+        if pid != wal_page {
+            // Never-written pages have no image to damage; skip them.
+            let _ = dbms.env().disk.corrupt_page(pid, 3);
+        }
+    }
+    let report = dbms.recover().expect("restart");
+    assert!(report.views_recovered.is_empty(), "no intent was pending");
+
+    // The cache entry and the view column are both unreadable now, so
+    // the lookup quarantines the damaged entry and the answer comes
+    // from re-executing the view definition against the raw archive.
+    let (served, source) = dbms
+        .compute("v", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)
+        .expect("resilient compute");
+    assert_eq!(source, ComputeSource::Fallback);
+    assert!(
+        served.approx_eq(&expected, 1e-9),
+        "fallback answer {served} != {expected}"
+    );
+    assert!(
+        dbms.cache_stats("v").expect("stats").quarantined > 0,
+        "damaged entries were quarantined"
+    );
+}
+
+#[test]
+fn crash_between_update_and_flush_leaves_no_stale_summary() {
+    let mut dbms = setup();
+
+    // Crash on a mid-update operation: the cell writes and summary
+    // maintenance land in the pool, but the flush never happens.
+    let ops = dbms.env().injector.ops();
+    dbms.env().injector.set_plan(FaultPlan {
+        seed: 1,
+        crash_at_op: Some(ops + 30),
+        ..FaultPlan::none()
+    });
+    let err = dbms.update_where(
+        "v",
+        &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(30i64)),
+        &[(
+            "INCOME",
+            Expr::col("INCOME").binary(BinOp::Mul, Expr::lit(2i64)),
+        )],
+    );
+    assert!(err.is_err(), "the crash must abort the update");
+    assert!(dbms.is_crashed());
+
+    dbms.env().injector.set_plan(FaultPlan::none());
+    let report = dbms.recover().expect("recover");
+    assert_eq!(
+        report.views_recovered,
+        vec!["v".to_string()],
+        "the pending intent was honored"
+    );
+
+    // Whatever mix of old and new INCOME cells survived the crash, the
+    // cache must agree with a recompute of exactly that state.
+    let col = dbms.column("v", "INCOME").expect("column");
+    for f in checked_functions() {
+        let (served, _) = dbms
+            .compute("v", "INCOME", &f, AccuracyPolicy::Exact)
+            .expect("compute");
+        let fresh = f.compute(&col).expect("recompute");
+        assert!(
+            served.approx_eq(&fresh, 1e-9),
+            "{f:?} served {served} != recompute {fresh} after crash recovery"
+        );
+    }
+
+    // And the history shows what recovery did.
+    let records = dbms.catalog().view("v").expect("record").history.records();
+    assert!(
+        records.iter().any(|(_, r)| r.to_string().starts_with("recovery:")),
+        "recovery left an audit record"
+    );
+}

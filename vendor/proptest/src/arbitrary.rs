@@ -1,0 +1,97 @@
+//! The [`Arbitrary`] trait and `any::<T>()`.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical unconstrained generator.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as i128
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix plain uniform values with raw-bit reinterpretations so
+        // subnormals, infinities, and NaN all appear (callers guard
+        // with prop_assume! as with real proptest).
+        match rng.next_u64() % 4 {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => (rng.unit_f64() - 0.5) * 2e18,
+            _ => (rng.unit_f64() - 0.5) * 2e3,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.next_u64() % 4 {
+            0 => f32::from_bits(rng.next_u64() as u32),
+            1 => ((rng.unit_f64() - 0.5) * 2e9) as f32,
+            _ => ((rng.unit_f64() - 0.5) * 2e3) as f32,
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.next_u64() % 8 == 0 {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or('?')
+        }
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::new(rng.next_u64() as usize)
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u16>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim supplies
+//! the subset of proptest this workspace uses: the [`proptest!`] macro
+//! (both `name: type` and `pattern in strategy` argument forms, with an
+//! optional `#![proptest_config(...)]` header), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, numeric range strategies, tuple
+//! strategies, a character-class string strategy (`"[a-z]{0,8}"`),
+//! [`collection::vec`], [`sample::Index`], and `any::<T>()`.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test RNG (seeded by test name), there is **no
+//! shrinking** (failures report the case number and message only), and
+//! `.proptest-regressions` files are ignored.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import: strategies, config, macros, and the
+/// `prop` alias for the crate root.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a proptest body; failure fails only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert two expressions differ inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Discard the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Supports the two argument forms real proptest
+/// accepts (`name: Type` via [`arbitrary::Arbitrary`], and
+/// `pattern in strategy`), with an optional
+/// `#![proptest_config(expr)]` first token.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])* fn $name:ident ($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rejected: u32 = 0;
+            let mut __case: u64 = 0;
+            let mut __ran: u32 = 0;
+            while __ran < __config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                __case += 1;
+                $crate::__proptest_bind!(__rng; $($args)*);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => { __ran += 1; }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        __rejected += 1;
+                        if __rejected > __config.cases * 16 + 256 {
+                            panic!(
+                                "proptest {}: too many rejected cases ({})",
+                                stringify!($name), __rejected
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed at case {}:\n{}",
+                            stringify!($name), __case - 1, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat_param in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+    };
+    ($rng:ident; $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn typed_args_generate(a: i64, b: bool, c: u8) {
+            // Touch every binding; ranges of the types are unconstrained.
+            let _ = (a, b, c);
+            prop_assert!(u16::from(c) <= 255);
+        }
+
+        #[test]
+        fn range_strategies_respect_bounds(
+            x in -50i64..50,
+            y in 0.0f64..1.0,
+            n in 1usize..10
+        ) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            items in prop::collection::vec((any::<u16>(), 0i64..5), 2..20)
+        ) {
+            prop_assert!(items.len() >= 2 && items.len() < 20);
+            for (_, v) in items {
+                prop_assert!((0..5).contains(&v));
+            }
+        }
+
+        #[test]
+        fn string_class_strategy(s in "[a-z]{0,8}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn index_scales(idx in any::<prop::sample::Index>()) {
+            let i = idx.index(7);
+            prop_assert!(i < 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0i64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("x", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,21 @@
+//! Sampling helpers (`Index`).
+
+/// An index into a not-yet-known-length collection: store raw entropy,
+/// scale it when the length is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    pub(crate) fn new(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Project onto `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` (as in real proptest).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}

@@ -1,0 +1,269 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace
+//! uses: numeric ranges, tuples, and character-class string literals.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest, strategies here produce plain values (no value
+/// trees, no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ---- numeric ranges -------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = if span > u128::from(u64::MAX) {
+                    // i128 span wider than 64 bits: compose two draws.
+                    let hi = u128::from(rng.next_u64());
+                    let lo = u128::from(rng.next_u64());
+                    ((hi << 64) | lo) % span
+                } else {
+                    u128::from(rng.below(span as u64))
+                };
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = if span > u128::from(u64::MAX) {
+                    let h = u128::from(rng.next_u64());
+                    let l = u128::from(rng.next_u64());
+                    ((h << 64) | l) % span
+                } else {
+                    u128::from(rng.below(span as u64))
+                };
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---- constant -------------------------------------------------------------
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/0);
+impl_tuple_strategy!(A/0, B/1);
+impl_tuple_strategy!(A/0, B/1, C/2);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+// ---- string-literal regex subset ------------------------------------------
+
+/// A `&'static str` strategy interpreting a subset of regex syntax:
+/// concatenations of literal characters and character classes
+/// (`[a-z0-9 ]`), each optionally quantified with `{n}`, `{m,n}`, `?`,
+/// `*` (max 8), or `+` (max 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_reps
+                + if atom.max_reps > atom.min_reps {
+                    rng.below((atom.max_reps - atom.min_reps + 1) as u64) as usize
+                } else {
+                    0
+                };
+            for _ in 0..n {
+                let choices = &atom.chars;
+                let c = choices[rng.below(choices.len() as u64) as usize];
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for d in it.by_ref() {
+                    match d {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Mark a pending range with a sentinel.
+                            set.push('\u{0}');
+                        }
+                        d => {
+                            if set.last() == Some(&'\u{0}') {
+                                set.pop();
+                                let lo = prev.expect("range start");
+                                for u in (lo as u32 + 1)..=(d as u32) {
+                                    if let Some(ch) = char::from_u32(u) {
+                                        set.push(ch);
+                                    }
+                                }
+                            } else {
+                                set.push(d);
+                            }
+                            prev = Some(d);
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    set.push('?');
+                }
+                set
+            }
+            '\\' => vec![it.next().unwrap_or('\\')],
+            c => vec![c],
+        };
+        // Optional quantifier.
+        let (min_reps, max_reps) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for d in it.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom {
+            chars,
+            min_reps,
+            max_reps,
+        });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests", 0)
+    }
+
+    #[test]
+    fn int_range_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (-5i64..5).new_value(&mut r);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_class_with_ranges() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-cx]{2,4}".new_value(&mut r);
+            assert!(s.len() >= 2 && s.len() <= 4);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | 'x')));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_pattern() {
+        let mut r = rng();
+        let s = "ab[01]".new_value(&mut r);
+        assert!(s == "ab0" || s == "ab1");
+    }
+}
