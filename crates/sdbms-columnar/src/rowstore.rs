@@ -96,6 +96,25 @@ impl TableStore for RowStore {
         Ok(out)
     }
 
+    fn read_column_range(&self, attribute: &str, start: usize, len: usize) -> Result<Vec<Value>> {
+        let col = self.schema.require(attribute)?;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.rids.len())
+            .ok_or(DataError::NoSuchRow(start.saturating_add(len).max(1) - 1))?;
+        // Fetch each row's record directly by rid — a range read touches
+        // only the range's records, not every page like read_column.
+        let mut out = Vec::with_capacity(len);
+        for row in start..end {
+            let mut vals = self.read_row(row)?;
+            if col >= vals.len() {
+                return Err(DataError::Decode("row shorter than schema"));
+            }
+            out.push(vals.swap_remove(col));
+        }
+        Ok(out)
+    }
+
     fn read_row(&self, row: usize) -> Result<Vec<Value>> {
         let rid = self.rid(row)?;
         let bytes = self.file.get(rid).map_err(DataError::Storage)?;
@@ -207,6 +226,18 @@ mod tests {
         // Missing allowed anywhere.
         s.set_cell(1, "POPULATION", Value::Missing).unwrap();
         assert_eq!(s.get_cell(1, "POPULATION").unwrap(), Value::Missing);
+    }
+
+    #[test]
+    fn range_reads_match_full_column() {
+        let s = store();
+        let full = s.read_column("POPULATION").unwrap();
+        for (start, len) in [(0, 9), (3, 4), (8, 1), (4, 0)] {
+            let got = s.read_column_range("POPULATION", start, len).unwrap();
+            assert_eq!(got, full[start..start + len], "range ({start}, {len})");
+        }
+        assert!(s.read_column_range("POPULATION", 5, 5).is_err());
+        assert!(s.read_column_range("NOPE", 0, 1).is_err());
     }
 
     #[test]

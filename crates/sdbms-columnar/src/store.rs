@@ -29,6 +29,19 @@ pub trait TableStore {
     /// columns, every row).
     fn read_column(&self, attribute: &str) -> Result<Vec<Value>>;
 
+    /// Read `len` values of one column starting at row `start` — the
+    /// morsel-sized unit of a parallel scan. The default implementation
+    /// reads the whole column and slices it; layouts override this to
+    /// touch only the pages that hold the range.
+    fn read_column_range(&self, attribute: &str, start: usize, len: usize) -> Result<Vec<Value>> {
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.len())
+            .ok_or(DataError::NoSuchRow(start.saturating_add(len).max(1) - 1))?;
+        let col = self.read_column(attribute)?;
+        Ok(col[start..end].to_vec())
+    }
+
     /// Read one full row (the *informational* access pattern: every
     /// column, one row).
     fn read_row(&self, row: usize) -> Result<Vec<Value>>;

@@ -218,6 +218,35 @@ impl TableStore for TransposedFile {
         Ok(out)
     }
 
+    fn read_column_range(&self, attribute: &str, start: usize, len: usize) -> Result<Vec<Value>> {
+        let ci = self.schema.require(attribute)?;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.rows)
+            .ok_or(DataError::NoSuchRow(start.saturating_add(len).max(1) - 1))?;
+        if start == end {
+            return Ok(Vec::new());
+        }
+        // Decode only the segments overlapping [start, end) — a morsel
+        // aligned to SEGMENT_ROWS touches exactly its own segments, so
+        // parallel workers never fetch each other's pages.
+        let col = &self.columns[ci];
+        let first = Self::segment_index_for_row(col, start)
+            .ok_or(DataError::Decode("segment directory out of sync"))?;
+        let mut out = Vec::with_capacity(len);
+        for si in first..col.segments.len() {
+            let info = col.segments[si];
+            if info.start_row >= end {
+                break;
+            }
+            let vals = Self::load_segment(col, si)?;
+            let lo = start.saturating_sub(info.start_row);
+            let hi = (end - info.start_row).min(info.len);
+            out.extend_from_slice(&vals[lo..hi]);
+        }
+        Ok(out)
+    }
+
     fn read_row(&self, row: usize) -> Result<Vec<Value>> {
         if row >= self.rows {
             return Err(DataError::NoSuchRow(row));
@@ -447,6 +476,42 @@ mod tests {
         assert_eq!(t.read_row(599).unwrap(), ds2.rows()[299]);
         let ages = t.read_column("AGE").unwrap();
         assert_eq!(ages.len(), 600);
+    }
+
+    #[test]
+    fn range_reads_match_full_column() {
+        let env = StorageEnv::new(256);
+        let ds = micro(1000);
+        let t = TransposedFile::from_dataset(env.pool, &ds).unwrap();
+        let full = t.read_column("INCOME").unwrap();
+        // Segment-aligned, straddling, single-row, empty, and tail ranges.
+        for (start, len) in [(0, 256), (200, 300), (999, 1), (500, 0), (768, 232)] {
+            let got = t.read_column_range("INCOME", start, len).unwrap();
+            assert_eq!(got, full[start..start + len], "range ({start}, {len})");
+        }
+        assert_eq!(
+            t.read_column_range("INCOME", 0, 1000).unwrap(),
+            full
+        );
+        assert!(t.read_column_range("INCOME", 900, 101).is_err());
+        assert!(t.read_column_range("NOPE", 0, 1).is_err());
+    }
+
+    #[test]
+    fn range_read_touches_only_its_segments() {
+        let env = StorageEnv::new(4);
+        let ds = micro(4000);
+        let t = TransposedFile::from_dataset(env.pool.clone(), &ds).unwrap();
+        env.tracker.reset();
+        let _ = t.read_column("INCOME").unwrap();
+        let full_reads = env.tracker.snapshot().page_reads;
+        env.tracker.reset();
+        let _ = t.read_column_range("INCOME", 0, SEGMENT_ROWS).unwrap();
+        let range_reads = env.tracker.snapshot().page_reads;
+        assert!(
+            range_reads * 4 < full_reads.max(4),
+            "one-segment range read {range_reads} pages vs full column {full_reads}"
+        );
     }
 
     #[test]

@@ -77,6 +77,8 @@ pub struct StatDbms {
     /// transposed).
     pub default_layout: Layout,
     durability: DurabilityPolicy,
+    /// Morsel-driven executor configuration for parallel column scans.
+    exec: sdbms_exec::ExecConfig,
 }
 
 impl std::fmt::Debug for StatDbms {
@@ -112,7 +114,28 @@ impl StatDbms {
             default_policy: MaintenancePolicy::Incremental,
             default_layout: Layout::Transposed,
             durability: DurabilityPolicy::Volatile,
+            exec: sdbms_exec::ExecConfig::from_env(),
         }
+    }
+
+    /// The executor configuration driving parallel column scans.
+    #[must_use]
+    pub fn exec_config(&self) -> sdbms_exec::ExecConfig {
+        self.exec
+    }
+
+    /// Override the scan worker count (1 = serial). Results are
+    /// bit-identical across worker counts; only the wall clock moves.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.exec = sdbms_exec::ExecConfig::with_workers(workers);
+    }
+
+    /// Replace the whole executor configuration. Worker count never
+    /// affects results; changing `morsel_rows` changes the partition
+    /// (and thus the accumulator merge tree), so bit-identity is only
+    /// guaranteed between runs sharing a morsel size.
+    pub fn set_exec_config(&mut self, cfg: sdbms_exec::ExecConfig) {
+        self.exec = cfg;
     }
 
     /// The current durability policy.
@@ -257,7 +280,7 @@ impl StatDbms {
                 self.resolve_source(name)
             };
         let ds = def.execute(&mut resolve)?;
-        let store: Box<dyn TableStore> = match layout {
+        let store: Box<dyn TableStore + Send + Sync> = match layout {
             Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
             Layout::Transposed => {
                 Box::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
@@ -332,11 +355,14 @@ impl StatDbms {
 
     // ---- reading views ---------------------------------------------------
 
-    /// One column of a view (statistical access; tracked).
+    /// One column of a view (statistical access; tracked). Morsels are
+    /// fetched by the parallel executor and concatenated in morsel
+    /// order, so the result matches a serial `read_column` exactly.
     pub fn column(&mut self, view: &str, attribute: &str) -> Result<Vec<Value>> {
+        let exec = self.exec;
         let v = self.view_mut(view)?;
         v.tracker.column_reads += 1;
-        Ok(v.store.read_column(attribute)?)
+        Ok(sdbms_exec::read_table_column(&*v.store, attribute, &exec)?)
     }
 
     /// One row of a view (informational access; tracked).
@@ -420,10 +446,10 @@ impl StatDbms {
         }
         let store = &v.store;
         let tracker = &mut v.tracker;
+        let exec = &self.exec;
         let mut column = || {
             tracker.column_reads += 1;
-            store
-                .read_column(&attr.name)
+            sdbms_exec::read_table_column(&**store, &attr.name, exec)
                 .map_err(SummaryError::Data)
         };
         let mut fb;
@@ -519,16 +545,35 @@ impl StatDbms {
                 .map(|a| a.name.clone())
                 .collect()
         };
+        let exec = self.exec;
+        let fns = sdbms_summary::standing_summary_functions();
         let mut warmed = 0;
         for attr in names {
-            for f in sdbms_summary::standing_summary_functions() {
-                // Skip functions that fail on degenerate columns (all
-                // missing) rather than aborting the warm-up.
-                if self
-                    .compute(view, &attr, &f, AccuracyPolicy::Exact)
-                    .is_ok()
-                {
-                    warmed += 1;
+            // One parallel scan answers the whole standing set for the
+            // attribute. If the scan or a cache write fails (a faulty
+            // page, damaged cache bytes), fall back to the per-function
+            // compute path, which degrades gracefully instead of
+            // aborting the warm-up.
+            let by_profile = {
+                let v = self.view_mut(view)?;
+                v.tracker.column_reads += 1;
+                match sdbms_exec::profile_table_column(&*v.store, &attr, &exec) {
+                    Ok(p) => {
+                        sdbms_summary::warm_attribute(&v.summary, &attr, &p, &fns).ok()
+                    }
+                    Err(_) => None,
+                }
+            };
+            match by_profile {
+                Some(n) => warmed += n,
+                None => {
+                    for f in &fns {
+                        // Skip functions that fail on degenerate
+                        // columns (all missing) rather than aborting.
+                        if self.compute(view, &attr, f, AccuracyPolicy::Exact).is_ok() {
+                            warmed += 1;
+                        }
+                    }
                 }
             }
         }
@@ -581,6 +626,7 @@ impl StatDbms {
         assignments: &[(&str, Expr)],
     ) -> Result<UpdateReport> {
         let mut report = UpdateReport::default();
+        let exec = self.exec;
         // Phase 1: locate matching rows and apply base assignments.
         let mut deltas: HashMap<String, Vec<UpdateDelta>> = HashMap::new();
         let matching: Vec<usize>;
@@ -608,14 +654,17 @@ impl StatDbms {
                     v.store.read_column(c)
                 })
                 .collect::<std::result::Result<_, _>>()?;
-            let mut proj_row: Vec<Value> = Vec::with_capacity(columns.len());
-            matching = (0..v.store.len())
-                .filter(|&i| {
-                    proj_row.clear();
-                    proj_row.extend(columns.iter().map(|col| col[i].clone()));
-                    bound_pred.eval(&proj_row)
-                })
-                .collect();
+            // Morsel-parallel predicate evaluation; matches come back
+            // in ascending row order regardless of worker count.
+            matching = sdbms_exec::filter_indices::<sdbms_data::DataError, _>(
+                v.store.len(),
+                &exec,
+                |i| {
+                    let proj_row: Vec<Value> =
+                        columns.iter().map(|col| col[i].clone()).collect();
+                    Ok(bound_pred.eval(&proj_row))
+                },
+            )?;
             report.rows_matched = matching.len();
             let mut records: Vec<ChangeRecord> = Vec::new();
             for &i in &matching {
@@ -961,9 +1010,28 @@ impl StatDbms {
         report: &mut UpdateReport,
     ) -> Result<()> {
         let pool = self.env.pool.clone();
+        let exec = self.exec;
         let v = self.view_mut(view)?;
         let policy = v.policy;
         for (attr, ds) in deltas {
+            if matches!(policy, MaintenancePolicy::EagerRecompute) {
+                // Eager maintenance recomputes every entry anyway, so
+                // one parallel scan feeds all of them. On any failure
+                // fall through to the serial per-entry path, which
+                // carries the quarantine / rebuild degradation logic.
+                v.tracker.column_reads += 1;
+                let regenerated =
+                    sdbms_exec::profile_table_column(&*v.store, &attr, &exec)
+                        .ok()
+                        .and_then(|p| {
+                            sdbms_summary::regenerate_attribute(&v.summary, &attr, &p)
+                                .ok()
+                        });
+                if let Some(r) = regenerated {
+                    report.maintenance.recomputed += r.recomputed;
+                    continue;
+                }
+            }
             let store = &v.store;
             let tracker = &mut v.tracker;
             let mut column = || {
@@ -1272,7 +1340,7 @@ impl StatDbms {
             return Ok(());
         }
         let ds = v.store.to_dataset(view)?;
-        let store: Box<dyn TableStore> = match layout {
+        let store: Box<dyn TableStore + Send + Sync> = match layout {
             Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
             Layout::Transposed => {
                 Box::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)

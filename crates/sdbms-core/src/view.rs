@@ -43,8 +43,9 @@ pub struct ConcreteView {
     pub name: String,
     /// Owning analyst.
     pub owner: String,
-    /// The on-disk data in its current layout.
-    pub store: Box<dyn TableStore>,
+    /// The on-disk data in its current layout. `Send + Sync` so the
+    /// morsel-driven executor can scan it from worker threads.
+    pub store: Box<dyn TableStore + Send + Sync>,
     /// Current layout.
     pub layout: Layout,
     /// The view's Summary Database.

@@ -1,0 +1,480 @@
+//! Morsel-driven parallel scan/aggregation executor.
+//!
+//! The paper's workload is column-at-a-time full scans over concrete
+//! views — embarrassingly parallel work. This crate splits a column's
+//! row range into fixed-size *morsels*, lets a pool of worker threads
+//! pull morsels from a shared queue (the NUMA-oblivious core of
+//! Leis et al.'s morsel-driven scheme), and combines per-morsel partial
+//! results **deterministically**: partials are stored per morsel and
+//! merged in morsel-index order, so the result is bit-identical no
+//! matter how many workers ran the scan or how the morsels were
+//! interleaved. The morsel partition depends only on the row count and
+//! the configured morsel size — never on the worker count — which is
+//! what makes `workers = 1` and `workers = 8` produce identical bytes.
+//!
+//! Aggregation state rides in [`ColumnProfile`]: the mergeable
+//! accumulators of `sdbms-stats` (moments, extremes, frequencies) plus
+//! the numeric values gathered *in row order*, so non-mergeable order
+//! statistics (median, quartiles, trimmed means) can reuse the exact
+//! serial quantile code on the concatenated data.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use sdbms_columnar::TableStore;
+use sdbms_data::Value;
+use sdbms_stats::{FrequencyTable, MinMaxAcc, Moments};
+
+/// Environment variable overriding the worker count
+/// (`SDBMS_WORKERS=4`). Unset, empty, unparsable, or `0` all fall back
+/// to the machine's available parallelism.
+pub const WORKERS_ENV: &str = "SDBMS_WORKERS";
+
+/// Default rows per morsel: four 256-row columnar segments, so a
+/// morsel decodes whole segments and never splits one across workers.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// Executor configuration: worker-pool size and morsel granularity.
+///
+/// Only `workers` may vary between runs that must agree bit-for-bit;
+/// `morsel_rows` changes the partition and therefore the merge tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for a scan (1 = run on the calling thread).
+    pub workers: usize,
+    /// Rows per morsel.
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::from_env()
+    }
+}
+
+impl ExecConfig {
+    /// Configuration from the environment: `SDBMS_WORKERS` workers,
+    /// defaulting to the machine's available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let workers = std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|s| parse_workers(&s))
+            .unwrap_or_else(default_workers);
+        ExecConfig {
+            workers,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+
+    /// An explicit worker count with the default morsel size.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        ExecConfig {
+            workers: workers.max(1),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+
+    /// Single-threaded execution (still morsel-at-a-time, so results
+    /// match the parallel path exactly).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::with_workers(1)
+    }
+
+    /// Number of morsels a scan of `rows` rows splits into.
+    #[must_use]
+    pub fn morsel_count(&self, rows: usize) -> usize {
+        rows.div_ceil(self.morsel_rows.max(1))
+    }
+}
+
+/// Parse a `SDBMS_WORKERS` value; `None` for empty/invalid/zero.
+#[must_use]
+pub fn parse_workers(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// One unit of scan work: a contiguous row range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position in the morsel sequence (the merge order).
+    pub index: usize,
+    /// First row of the range.
+    pub start: usize,
+    /// Rows in the range.
+    pub len: usize,
+}
+
+/// Run `work` over every morsel of a `rows`-row scan and return the
+/// per-morsel results **in morsel order**.
+///
+/// Workers pull morsel indices from a shared atomic counter; each
+/// result lands in its morsel's slot, so the returned vector is
+/// independent of scheduling. On error the scan aborts early
+/// (cooperatively — no worker blocks on another) and the error with
+/// the smallest morsel index among those actually produced is
+/// returned, so a given fault pattern fails the same way regardless of
+/// interleaving where possible.
+pub fn scan_morsels<T, E, F>(rows: usize, cfg: &ExecConfig, work: F) -> Result<Vec<T>, E>
+where
+    F: Fn(Morsel) -> Result<T, E> + Sync,
+    T: Send,
+    E: Send,
+{
+    let morsel_rows = cfg.morsel_rows.max(1);
+    let n = cfg.morsel_count(rows);
+    let morsel = |i: usize| Morsel {
+        index: i,
+        start: i * morsel_rows,
+        len: morsel_rows.min(rows - i * morsel_rows),
+    };
+    let workers = cfg.workers.max(1).min(n.max(1));
+    if workers == 1 {
+        // Same morsel partition, same merge order — just no threads.
+        return (0..n).map(|i| work(morsel(i))).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<T, E>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, Result<T, E>)> = Vec::new();
+                    while !abort.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = work(morsel(i));
+                        if r.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        produced.push((i, r));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            // A panic in `work` propagates: the scan never silently
+            // drops a morsel.
+            for (i, r) in h.join().expect("scan worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    let mut first_err: Option<E> = None;
+    for slot in slots {
+        match slot {
+            Some(Ok(v)) if first_err.is_none() => out.push(v),
+            Some(Ok(_)) => {}
+            Some(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            // Skipped after an abort; the recorded error is returned.
+            None => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Single-pass, mergeable summary state for one column — the paper's
+/// "one scan feeds min/max/mean/median-window/frequency" design.
+///
+/// Per-morsel profiles are built independently and merged in morsel
+/// order, so a profile is a pure function of (column, morsel size):
+/// bit-identical across worker counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnProfile {
+    /// Values seen (including missing / non-numeric).
+    pub rows: usize,
+    /// Values with no numeric view (`Missing`, strings, codes).
+    pub non_numeric: usize,
+    /// Welford/Chan moments over the numeric values.
+    pub moments: Moments,
+    /// Extremes with occurrence counts.
+    pub minmax: MinMaxAcc,
+    /// Occurrence counts of every value (including `Missing`).
+    pub freq: FrequencyTable,
+    /// The numeric values in row order — exactly the slice the serial
+    /// path hands to the quantile code, so order statistics computed
+    /// from a profile are bit-identical to the serial computation.
+    pub numbers: Vec<f64>,
+}
+
+impl ColumnProfile {
+    /// Profile one run of values (a morsel's partial state).
+    #[must_use]
+    pub fn from_values(values: &[Value]) -> Self {
+        let mut p = ColumnProfile {
+            numbers: Vec::with_capacity(values.len()),
+            ..ColumnProfile::default()
+        };
+        for v in values {
+            p.rows += 1;
+            p.freq.add(v);
+            match v.as_f64() {
+                Some(x) => {
+                    p.moments.add(x);
+                    p.minmax.add(x);
+                    p.numbers.push(x);
+                }
+                None => p.non_numeric += 1,
+            }
+        }
+        p
+    }
+
+    /// Absorb the partial state of the *following* row range.
+    /// Merging morsel profiles in morsel-index order reconstructs the
+    /// whole-column profile.
+    pub fn merge(&mut self, other: ColumnProfile) {
+        self.rows += other.rows;
+        self.non_numeric += other.non_numeric;
+        self.moments.merge(&other.moments);
+        self.minmax.merge(&other.minmax);
+        self.freq.merge(&other.freq);
+        self.numbers.extend(other.numbers);
+    }
+}
+
+/// Parallel-scan a column supplied by a range reader, merging morsel
+/// profiles in order. `read(start, len)` must return the values of
+/// rows `start..start + len`.
+pub fn profile_with<E, F>(
+    rows: usize,
+    cfg: &ExecConfig,
+    read: F,
+) -> Result<ColumnProfile, E>
+where
+    F: Fn(usize, usize) -> Result<Vec<Value>, E> + Sync,
+    E: Send,
+{
+    let partials = scan_morsels(rows, cfg, |m| {
+        Ok(ColumnProfile::from_values(&read(m.start, m.len)?))
+    })?;
+    let mut profile = ColumnProfile::default();
+    for p in partials {
+        profile.merge(p);
+    }
+    Ok(profile)
+}
+
+/// Parallel column read: morsels are fetched and decoded concurrently,
+/// then concatenated in morsel order — the result is the same
+/// `Vec<Value>` a serial `read_column` produces.
+pub fn read_with<E, F>(rows: usize, cfg: &ExecConfig, read: F) -> Result<Vec<Value>, E>
+where
+    F: Fn(usize, usize) -> Result<Vec<Value>, E> + Sync,
+    E: Send,
+{
+    let chunks = scan_morsels(rows, cfg, |m| read(m.start, m.len))?;
+    let mut out = Vec::with_capacity(rows);
+    for c in chunks {
+        out.extend(c);
+    }
+    Ok(out)
+}
+
+/// Parallel [`TableStore::read_column`]: bit-identical output, morsel
+/// fetches in parallel.
+pub fn read_table_column<S>(
+    store: &S,
+    attribute: &str,
+    cfg: &ExecConfig,
+) -> sdbms_columnar::store::Result<Vec<Value>>
+where
+    S: TableStore + Sync + ?Sized,
+{
+    read_with(store.len(), cfg, |start, len| {
+        store.read_column_range(attribute, start, len)
+    })
+}
+
+/// Single-pass parallel profile of one stored column.
+pub fn profile_table_column<S>(
+    store: &S,
+    attribute: &str,
+    cfg: &ExecConfig,
+) -> sdbms_columnar::store::Result<ColumnProfile>
+where
+    S: TableStore + Sync + ?Sized,
+{
+    profile_with(store.len(), cfg, |start, len| {
+        store.read_column_range(attribute, start, len)
+    })
+}
+
+/// Profile an in-memory column (morsel-parallel over slices).
+#[must_use]
+pub fn profile_values(values: &[Value], cfg: &ExecConfig) -> ColumnProfile {
+    let result: Result<ColumnProfile, std::convert::Infallible> =
+        profile_with(values.len(), cfg, |start, len| {
+            Ok(values[start..start + len].to_vec())
+        });
+    match result {
+        Ok(p) => p,
+        Err(never) => match never {},
+    }
+}
+
+/// Parallel predicate filter over row indices: returns the indices
+/// `0..rows` for which `keep` holds, in ascending order (per-morsel
+/// matches concatenated in morsel order) — the scan side of a
+/// relational selection.
+pub fn filter_indices<E, F>(
+    rows: usize,
+    cfg: &ExecConfig,
+    keep: F,
+) -> Result<Vec<usize>, E>
+where
+    F: Fn(usize) -> Result<bool, E> + Sync,
+    E: Send,
+{
+    let chunks = scan_morsels(rows, cfg, |m| {
+        let mut hits = Vec::new();
+        for i in m.start..m.start + m.len {
+            if keep(i)? {
+                hits.push(i);
+            }
+        }
+        Ok(hits)
+    })?;
+    Ok(chunks.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_column(n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| match i % 7 {
+                0 => Value::Missing,
+                1 => Value::Code(u32::try_from(i % 5).unwrap()),
+                2 => Value::Float(i as f64 * 0.25 - 100.0),
+                _ => Value::Int(i as i64 % 97 - 40),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn profiles_bit_identical_across_worker_counts() {
+        let col = mixed_column(5000);
+        let baseline = profile_values(&col, &ExecConfig::serial());
+        for workers in [2, 3, 4, 8] {
+            let p = profile_values(&col, &ExecConfig::with_workers(workers));
+            assert_eq!(p, baseline, "{workers} workers");
+        }
+        // The profile agrees with a single straight pass.
+        let whole = ColumnProfile::from_values(&col);
+        assert_eq!(baseline.rows, whole.rows);
+        assert_eq!(baseline.non_numeric, whole.non_numeric);
+        assert_eq!(baseline.numbers, whole.numbers);
+        assert_eq!(baseline.freq, whole.freq);
+        assert_eq!(baseline.minmax, whole.minmax);
+    }
+
+    #[test]
+    fn parallel_read_matches_serial_concatenation() {
+        let col = mixed_column(3000);
+        for workers in [1, 2, 4, 8] {
+            let got: Vec<Value> = read_with::<std::convert::Infallible, _>(
+                col.len(),
+                &ExecConfig::with_workers(workers),
+                |s, l| Ok(col[s..s + l].to_vec()),
+            )
+            .unwrap();
+            assert_eq!(got, col, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn filter_indices_in_order() {
+        let cfg = ExecConfig {
+            workers: 4,
+            morsel_rows: 64,
+        };
+        let idx: Vec<usize> =
+            filter_indices::<std::convert::Infallible, _>(1000, &cfg, |i| Ok(i % 3 == 0))
+                .unwrap();
+        let expect: Vec<usize> = (0..1000).filter(|i| i % 3 == 0).collect();
+        assert_eq!(idx, expect);
+    }
+
+    #[test]
+    fn error_aborts_scan_and_surfaces() {
+        let cfg = ExecConfig {
+            workers: 4,
+            morsel_rows: 16,
+        };
+        let calls = AtomicUsize::new(0);
+        let r: Result<Vec<()>, String> = scan_morsels(10_000, &cfg, |m| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if m.index >= 3 {
+                Err(format!("morsel {} failed", m.index))
+            } else {
+                Ok(())
+            }
+        });
+        let err = r.unwrap_err();
+        assert!(err.starts_with("morsel "), "{err}");
+        // Cooperative abort: nowhere near all 625 morsels ran.
+        assert!(calls.load(Ordering::Relaxed) < 600);
+    }
+
+    #[test]
+    fn serial_path_reports_first_error_in_order() {
+        let r: Result<Vec<()>, usize> =
+            scan_morsels(4096, &ExecConfig::serial(), |m| Err(m.index));
+        assert_eq!(r.unwrap_err(), 0);
+    }
+
+    #[test]
+    fn empty_scan_is_empty() {
+        let p = profile_values(&[], &ExecConfig::with_workers(4));
+        assert_eq!(p, ColumnProfile::default());
+        assert_eq!(ExecConfig::with_workers(4).morsel_count(0), 0);
+    }
+
+    #[test]
+    fn workers_env_parsing() {
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 2 "), Some(2));
+        assert_eq!(parse_workers("0"), None);
+        assert_eq!(parse_workers(""), None);
+        assert_eq!(parse_workers("many"), None);
+        assert!(ExecConfig::with_workers(0).workers >= 1);
+        assert!(ExecConfig::from_env().workers >= 1);
+    }
+
+    #[test]
+    fn morsel_partition_is_worker_independent() {
+        let cfg_a = ExecConfig {
+            workers: 1,
+            morsel_rows: 100,
+        };
+        let cfg_b = ExecConfig {
+            workers: 8,
+            morsel_rows: 100,
+        };
+        assert_eq!(cfg_a.morsel_count(1001), cfg_b.morsel_count(1001));
+        assert_eq!(cfg_a.morsel_count(1001), 11);
+    }
+}

@@ -23,5 +23,5 @@ pub mod ops;
 pub mod viewdef;
 
 pub use expr::{BinOp, BoundExpr, BoundPredicate, CmpOp, Expr, Predicate, ScalarFunc};
-pub use ops::{AggFunc, Aggregate};
+pub use ops::{par_project, par_select, AggFunc, Aggregate};
 pub use viewdef::{ViewDefinition, ViewStep};

@@ -256,6 +256,31 @@ impl MinMaxAcc {
         }
     }
 
+    /// Merge another accumulator, as if every observation behind
+    /// `other` had been added to `self`. Exact (min/max are
+    /// associative), so parallel partial merges agree with a serial
+    /// scan bit-for-bit; counts of coinciding extremes sum.
+    pub fn merge(&mut self, other: &MinMaxAcc) {
+        let Some(o) = other.state else { return };
+        match &mut self.state {
+            None => self.state = Some(o),
+            Some(s) => {
+                if o.min < s.min {
+                    s.min = o.min;
+                    s.min_count = o.min_count;
+                } else if o.min == s.min {
+                    s.min_count += o.min_count;
+                }
+                if o.max > s.max {
+                    s.max = o.max;
+                    s.max_count = o.max_count;
+                } else if o.max == s.max {
+                    s.max_count += o.max_count;
+                }
+            }
+        }
+    }
+
     /// Remove one observation. Interior removals are absorbed; removing
     /// the last copy of the current extreme reports
     /// [`ExtremeAfterRemove::NeedsRescan`], at which point the caller
@@ -405,7 +430,96 @@ mod tests {
         assert_eq!(acc.remove(f64::NAN), ExtremeAfterRemove::Unchanged);
     }
 
+    #[test]
+    fn minmax_merge_matches_concatenation() {
+        let a = [3.0, -1.0, 7.0, -1.0];
+        let b = [9.0, -1.0, 2.0];
+        let mut merged = MinMaxAcc::from_slice(&a);
+        merged.merge(&MinMaxAcc::from_slice(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(merged, MinMaxAcc::from_slice(&all));
+        assert_eq!(merged.parts(), Some((-1.0, 3, 9.0, 1)));
+        // Empty merges are no-ops in both directions.
+        let mut e = MinMaxAcc::new();
+        e.merge(&merged);
+        assert_eq!(e, merged);
+        merged.merge(&MinMaxAcc::new());
+        assert_eq!(e, merged);
+    }
+
     proptest::proptest! {
+        #[test]
+        fn prop_moments_merge_agrees_with_concatenation(
+            a in proptest::collection::vec(-1e6f64..1e6, 0..60),
+            b in proptest::collection::vec(-1e6f64..1e6, 0..60)
+        ) {
+            let mut merged = Moments::from_slice(&a);
+            merged.merge(&Moments::from_slice(&b));
+            let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            let whole = Moments::from_slice(&all);
+            proptest::prop_assert_eq!(merged.count(), whole.count());
+            if !all.is_empty() {
+                let (m1, m2) = (merged.mean().unwrap(), whole.mean().unwrap());
+                proptest::prop_assert!((m1 - m2).abs() <= 1e-9 * m2.abs().max(1.0));
+            }
+            if all.len() >= 2 {
+                let (v1, v2) = (merged.variance().unwrap(), whole.variance().unwrap());
+                proptest::prop_assert!((v1 - v2).abs() <= 1e-6 * v2.abs().max(1.0));
+            }
+        }
+
+        #[test]
+        fn prop_moments_merge_associative_up_to_tolerance(
+            a in proptest::collection::vec(-1e6f64..1e6, 1..40),
+            b in proptest::collection::vec(-1e6f64..1e6, 1..40),
+            c in proptest::collection::vec(-1e6f64..1e6, 1..40)
+        ) {
+            let (ma, mb, mc) = (
+                Moments::from_slice(&a),
+                Moments::from_slice(&b),
+                Moments::from_slice(&c),
+            );
+            // (a ⊕ b) ⊕ c
+            let mut left = ma;
+            left.merge(&mb);
+            left.merge(&mc);
+            // a ⊕ (b ⊕ c)
+            let mut bc = mb;
+            bc.merge(&mc);
+            let mut right = ma;
+            right.merge(&bc);
+            proptest::prop_assert_eq!(left.count(), right.count());
+            let (l, r) = (left.mean().unwrap(), right.mean().unwrap());
+            proptest::prop_assert!((l - r).abs() <= 1e-9 * r.abs().max(1.0));
+            let (lv, rv) = (left.variance().unwrap(), right.variance().unwrap());
+            proptest::prop_assert!((lv - rv).abs() <= 1e-6 * rv.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_minmax_merge_exact_and_associative(
+            a in proptest::collection::vec(-1e3f64..1e3, 0..40),
+            b in proptest::collection::vec(-1e3f64..1e3, 0..40),
+            c in proptest::collection::vec(-1e3f64..1e3, 0..40)
+        ) {
+            let (xa, xb, xc) = (
+                MinMaxAcc::from_slice(&a),
+                MinMaxAcc::from_slice(&b),
+                MinMaxAcc::from_slice(&c),
+            );
+            let mut left = xa;
+            left.merge(&xb);
+            left.merge(&xc);
+            let mut bc = xb;
+            bc.merge(&xc);
+            let mut right = xa;
+            right.merge(&bc);
+            // Min/max merging is exact: bitwise associative AND equal
+            // to a from-scratch scan of the concatenation.
+            proptest::prop_assert_eq!(left, right);
+            let all: Vec<f64> = a.iter().chain(b.iter()).chain(c.iter()).copied().collect();
+            proptest::prop_assert_eq!(left, MinMaxAcc::from_slice(&all));
+        }
+
         #[test]
         fn prop_incremental_tracks_batch(
             xs in proptest::collection::vec(-1e6f64..1e6, 2..100),

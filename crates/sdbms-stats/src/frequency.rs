@@ -67,6 +67,17 @@ impl FrequencyTable {
         self.total += n;
     }
 
+    /// Merge another table's counts into this one, as if every
+    /// occurrence behind `other` had been added here. Exact and
+    /// associative (integer counts over a shared value order), so
+    /// parallel partial tables merge to the same table a serial count
+    /// produces.
+    pub fn merge(&mut self, other: &FrequencyTable) {
+        for (v, c) in other.entries() {
+            self.add_count(v, c);
+        }
+    }
+
     /// Remove one occurrence; errors if the value was not recorded.
     pub fn remove(&mut self, v: &Value) -> Result<()> {
         let key = OrdValue(v.clone());
@@ -230,6 +241,62 @@ mod tests {
         t.add(&Value::Float(f64::NAN));
         assert_eq!(t.unique_count(), 1);
         assert_eq!(t.count_of(&Value::Float(f64::NAN)), 2);
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let a = vec![Value::Int(1), Value::Missing, Value::Str("M".into())];
+        let b = vec![Value::Int(1), Value::Code(2), Value::Missing];
+        let mut merged = FrequencyTable::from_values(&a);
+        merged.merge(&FrequencyTable::from_values(&b));
+        let whole = FrequencyTable::from_values(a.iter().chain(b.iter()));
+        assert_eq!(merged, whole);
+        assert_eq!(merged.count_of(&Value::Int(1)), 2);
+        assert_eq!(merged.count_of(&Value::Missing), 2);
+        // Merging an empty table is a no-op in both directions.
+        let mut e = FrequencyTable::new();
+        e.merge(&merged);
+        assert_eq!(e, merged);
+        merged.merge(&FrequencyTable::new());
+        assert_eq!(e, merged);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_merge_exact_and_associative(
+            a in proptest::collection::vec((0u8..4, -20i64..20), 0..60),
+            b in proptest::collection::vec((0u8..4, -20i64..20), 0..60),
+            c in proptest::collection::vec((0u8..4, -20i64..20), 0..60)
+        ) {
+            let to_vals = |xs: &[(u8, i64)]| -> Vec<Value> {
+                xs.iter()
+                    .map(|&(tag, x)| match tag {
+                        0 => Value::Missing,
+                        1 => Value::Int(x),
+                        2 => Value::Float(x as f64 / 4.0),
+                        _ => Value::Code((x.unsigned_abs() % 8) as u32),
+                    })
+                    .collect()
+            };
+            let (va, vb, vc) = (to_vals(&a), to_vals(&b), to_vals(&c));
+            let (ta, tb, tc) = (
+                FrequencyTable::from_values(&va),
+                FrequencyTable::from_values(&vb),
+                FrequencyTable::from_values(&vc),
+            );
+            let mut left = ta.clone();
+            left.merge(&tb);
+            left.merge(&tc);
+            let mut bc = tb.clone();
+            bc.merge(&tc);
+            let mut right = ta.clone();
+            right.merge(&bc);
+            proptest::prop_assert_eq!(&left, &right);
+            let whole =
+                FrequencyTable::from_values(va.iter().chain(vb.iter()).chain(vc.iter()));
+            proptest::prop_assert_eq!(&left, &whole);
+            proptest::prop_assert_eq!(left.total(), va.len() as u64 + vb.len() as u64 + vc.len() as u64);
+        }
     }
 
     #[test]

@@ -278,6 +278,37 @@ mod tests {
 
     proptest::proptest! {
         #[test]
+        fn prop_merge_matches_single_fill(
+            a in proptest::collection::vec(-20.0f64..120.0, 0..80),
+            b in proptest::collection::vec(-20.0f64..120.0, 0..80),
+            c in proptest::collection::vec(-20.0f64..120.0, 0..80),
+            bins in 1usize..16
+        ) {
+            // Shared edges: merge must equal a single pass over the
+            // concatenation, exactly (integer counts), and be
+            // associative.
+            let fill = |xs: &[f64]| {
+                let mut h = Histogram::with_range(0.0, 100.0, bins).unwrap();
+                for &x in xs {
+                    h.add(x);
+                }
+                h
+            };
+            let (ha, hb, hc) = (fill(&a), fill(&b), fill(&c));
+            let mut left = ha.clone();
+            left.merge(&hb).unwrap();
+            left.merge(&hc).unwrap();
+            let mut bc = hb.clone();
+            bc.merge(&hc).unwrap();
+            let mut right = ha.clone();
+            right.merge(&bc).unwrap();
+            proptest::prop_assert_eq!(&left, &right);
+            let all: Vec<f64> = a.iter().chain(b.iter()).chain(c.iter()).copied().collect();
+            proptest::prop_assert_eq!(&left, &fill(&all));
+            proptest::prop_assert_eq!(left.total(), all.len() as u64);
+        }
+
+        #[test]
         fn prop_total_equals_input_len(
             xs in proptest::collection::vec(-1e6f64..1e6, 1..500),
             bins in 1usize..50

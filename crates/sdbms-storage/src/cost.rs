@@ -96,6 +96,23 @@ impl IoSnapshot {
     pub fn page_ios(&self) -> u64 {
         self.page_reads + self.page_writes
     }
+
+    /// Counter-wise sum `self + other`, for combining per-worker
+    /// deltas from a parallel scan. Integer addition is exact and
+    /// associative, so merged snapshots sum to the serial totals
+    /// regardless of how the work was partitioned.
+    pub fn merge(&mut self, other: &IoSnapshot) {
+        self.page_reads += other.page_reads;
+        self.page_writes += other.page_writes;
+        self.seeks += other.seeks;
+        self.pool_hits += other.pool_hits;
+        self.archive_block_reads += other.archive_block_reads;
+        self.archive_repositioned_blocks += other.archive_repositioned_blocks;
+        self.tuples += other.tuples;
+        self.retries += other.retries;
+        self.backoff_units += other.backoff_units;
+        self.checksum_failures += other.checksum_failures;
+    }
 }
 
 impl IoStats {
@@ -201,6 +218,30 @@ impl Tracker {
     /// Charge one CRC verification failure.
     pub fn count_checksum_failure(&self) {
         self.0.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add a snapshot's counts into the shared counters — used when a
+    /// parallel worker accounted its I/O on a private tracker and the
+    /// coordinator folds the per-worker deltas back in.
+    pub fn absorb(&self, s: &IoSnapshot) {
+        self.0.page_reads.fetch_add(s.page_reads, Ordering::Relaxed);
+        self.0.page_writes.fetch_add(s.page_writes, Ordering::Relaxed);
+        self.0.seeks.fetch_add(s.seeks, Ordering::Relaxed);
+        self.0.pool_hits.fetch_add(s.pool_hits, Ordering::Relaxed);
+        self.0
+            .archive_block_reads
+            .fetch_add(s.archive_block_reads, Ordering::Relaxed);
+        self.0
+            .archive_repositioned_blocks
+            .fetch_add(s.archive_repositioned_blocks, Ordering::Relaxed);
+        self.0.tuples.fetch_add(s.tuples, Ordering::Relaxed);
+        self.0.retries.fetch_add(s.retries, Ordering::Relaxed);
+        self.0
+            .backoff_units
+            .fetch_add(s.backoff_units, Ordering::Relaxed);
+        self.0
+            .checksum_failures
+            .fetch_add(s.checksum_failures, Ordering::Relaxed);
     }
 }
 
@@ -326,6 +367,77 @@ mod tests {
         };
         let expected = 10.0 + 2.0 + 4.0 + 4.0 * 1.5 + 8.0 * 0.5 + 8.0 * 0.25;
         assert!((m.cost(&s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge_and_absorb_sum_exactly() {
+        let a = IoSnapshot {
+            page_reads: 3,
+            seeks: 1,
+            tuples: 10,
+            ..IoSnapshot::default()
+        };
+        let b = IoSnapshot {
+            page_reads: 4,
+            page_writes: 2,
+            tuples: 5,
+            retries: 1,
+            ..IoSnapshot::default()
+        };
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(sum.page_reads, 7);
+        assert_eq!(sum.page_writes, 2);
+        assert_eq!(sum.seeks, 1);
+        assert_eq!(sum.tuples, 15);
+        assert_eq!(sum.retries, 1);
+        let t = Tracker::new();
+        t.count_pool_hit();
+        t.absorb(&sum);
+        let s = t.snapshot();
+        assert_eq!(s.page_reads, 7);
+        assert_eq!(s.pool_hits, 1);
+        assert_eq!(s.tuples, 15);
+    }
+
+    #[test]
+    fn concurrent_hammer_counts_exactly() {
+        // Many threads hammering one shared tracker, plus per-worker
+        // private trackers whose snapshots are merged: both paths must
+        // agree with the arithmetic total exactly.
+        const THREADS: u64 = 8;
+        const OPS: u64 = 10_000;
+        let shared = Tracker::new();
+        let merged = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        let private = Tracker::new();
+                        for _ in 0..OPS {
+                            shared.count_page_read();
+                            shared.count_tuples(2);
+                            private.count_page_read();
+                            private.count_tuples(2);
+                        }
+                        private.snapshot()
+                    })
+                })
+                .collect();
+            let mut merged = IoSnapshot::default();
+            for h in handles {
+                merged.merge(&h.join().expect("hammer worker panicked"));
+            }
+            merged
+        });
+        let s = shared.snapshot();
+        assert_eq!(s.page_reads, THREADS * OPS);
+        assert_eq!(s.tuples, 2 * THREADS * OPS);
+        assert_eq!(merged, s);
+        // Absorbing the merged per-worker deltas doubles the shared
+        // counters — exact integer accounting end to end.
+        shared.absorb(&merged);
+        assert_eq!(shared.snapshot().page_reads, 2 * THREADS * OPS);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod inference;
 pub mod function;
 pub mod maintain;
 pub mod median_window;
+pub mod parallel;
 pub mod value;
 pub mod wal;
 
@@ -45,5 +46,9 @@ pub use maintain::{
     AccuracyPolicy, ComputeSource, MaintenancePolicy, MaintenanceReport, UpdateDelta,
 };
 pub use median_window::{MedianWindow, DEFAULT_WINDOW};
+pub use parallel::{
+    aux_from_profile, compute_from_profile, refresh_entry_from_profile, regenerate_attribute,
+    warm_attribute,
+};
 pub use value::SummaryValue;
 pub use wal::{Intent, IntentLog};

@@ -1,0 +1,313 @@
+//! Summary computation from parallel scan profiles.
+//!
+//! A [`ColumnProfile`] is what the morsel-driven executor
+//! ([`sdbms_exec`]) produces from one pass over a column: merged
+//! mergeable accumulators (moments, extremes, frequency table) plus the
+//! numeric values gathered in row order. Every cacheable
+//! [`StatFunction`] can be answered from that single profile, so one
+//! parallel scan populates or regenerates *all* of an attribute's
+//! Summary Database entries — the batch counterpart of the per-function
+//! compute path in [`crate::maintain`].
+//!
+//! Determinism contract: the profile's accumulators are merged in
+//! morsel-index order, so every result here is **bit-identical across
+//! worker counts**. Relative to the serial per-function path, results
+//! from `numbers` (order statistics, histograms, trimmed means), from
+//! the frequency table (mode, unique count), and from the extremes
+//! (min/max, count) are *exactly* equal; moments-derived scalars
+//! (sum/mean/variance) agree to ~1e-12 relative error because merged
+//! moments associate floating-point additions differently than the
+//! serial compensated sums.
+
+use sdbms_exec::ColumnProfile;
+use sdbms_stats::{quantile, Histogram};
+
+use crate::db::{Entry, Freshness, SummaryDb};
+use crate::error::Result;
+use crate::function::{AuxState, StatFunction, MAX_FREQ_AUX_DISTINCT};
+use crate::maintain::MaintenanceReport;
+use crate::value::SummaryValue;
+
+/// Compute one function's result from a column profile — no further
+/// data access.
+pub fn compute_from_profile(f: &StatFunction, p: &ColumnProfile) -> Result<SummaryValue> {
+    Ok(match f {
+        StatFunction::Count => SummaryValue::Count(p.numbers.len() as u64),
+        StatFunction::Sum => SummaryValue::Scalar(p.moments.sum()),
+        StatFunction::Mean => SummaryValue::Scalar(p.moments.mean()?),
+        StatFunction::Variance => SummaryValue::Scalar(p.moments.variance()?),
+        StatFunction::StdDev => SummaryValue::Scalar(p.moments.std_dev()?),
+        StatFunction::Min => SummaryValue::Scalar(p.minmax.min()?),
+        StatFunction::Max => SummaryValue::Scalar(p.minmax.max()?),
+        StatFunction::Median => SummaryValue::Scalar(quantile::median(&p.numbers)?),
+        StatFunction::Quartiles => {
+            let (q1, q2, q3) = quantile::quartiles(&p.numbers)?;
+            SummaryValue::Vector(vec![q1, q2, q3])
+        }
+        StatFunction::Quantile(pm) => {
+            SummaryValue::Scalar(quantile::quantile(&p.numbers, f64::from(*pm) / 1000.0)?)
+        }
+        StatFunction::Mode => {
+            let (v, c) = p.freq.mode()?;
+            SummaryValue::ModalValue(v, c)
+        }
+        StatFunction::UniqueCount => SummaryValue::Count(p.freq.unique_count() as u64),
+        StatFunction::Histogram(bins) => {
+            SummaryValue::Histogram(Histogram::from_data(&p.numbers, usize::from(*bins))?)
+        }
+        StatFunction::TrimmedMean(lo, hi) => SummaryValue::Scalar(quantile::trimmed_mean(
+            &p.numbers,
+            f64::from(*lo) / 1000.0,
+            f64::from(*hi) / 1000.0,
+        )?),
+    })
+}
+
+/// Build a function's auxiliary maintenance state from a profile —
+/// mirrors [`StatFunction::build_aux`] without re-reading the column.
+#[must_use]
+pub fn aux_from_profile(f: &StatFunction, p: &ColumnProfile) -> Option<AuxState> {
+    use crate::function::MaintenanceClass;
+    match f.maintenance_class() {
+        MaintenanceClass::Differentiable => Some(AuxState::Moments(p.moments)),
+        MaintenanceClass::SemiDifferentiable => Some(AuxState::MinMax(p.minmax)),
+        MaintenanceClass::OrderStatistic => {
+            if !matches!(f, StatFunction::Median | StatFunction::Quantile(500)) {
+                return None;
+            }
+            let mut w =
+                crate::median_window::MedianWindow::new(crate::median_window::DEFAULT_WINDOW);
+            w.rebuild(&p.numbers);
+            Some(AuxState::Window(w))
+        }
+        MaintenanceClass::Distributional => match f {
+            StatFunction::Histogram(bins) => {
+                Histogram::from_data(&p.numbers, usize::from(*bins))
+                    .ok()
+                    .map(AuxState::Histo)
+            }
+            _ => (p.freq.unique_count() <= MAX_FREQ_AUX_DISTINCT)
+                .then(|| AuxState::Freq(p.freq.clone())),
+        },
+        MaintenanceClass::NonIncremental => None,
+    }
+}
+
+/// Refresh one entry's result and auxiliary state from a profile — the
+/// profile-driven counterpart of [`crate::maintain::refresh_entry`].
+pub fn refresh_entry_from_profile(
+    db: &SummaryDb,
+    entry: &mut Entry,
+    profile: &ColumnProfile,
+) -> Result<()> {
+    entry.result = compute_from_profile(&entry.function, profile)?;
+    entry.aux = aux_from_profile(&entry.function, profile);
+    entry.freshness = Freshness::Fresh;
+    entry.updates_since_refresh = 0;
+    db.note_recompute();
+    Ok(())
+}
+
+/// Regenerate every cached entry of `attribute` from one profile — the
+/// batch path an `EagerRecompute` maintenance pass or a post-crash
+/// rebuild takes: one parallel scan, then all entries refreshed with no
+/// further data access.
+pub fn regenerate_attribute(
+    db: &SummaryDb,
+    attribute: &str,
+    profile: &ColumnProfile,
+) -> Result<MaintenanceReport> {
+    let mut report = MaintenanceReport::default();
+    for mut entry in db.entries_for_attribute(attribute)? {
+        refresh_entry_from_profile(db, &mut entry, profile)?;
+        db.put(&entry)?;
+        report.recomputed += 1;
+    }
+    Ok(report)
+}
+
+/// Warm a set of standing functions for `attribute` from one profile.
+/// Already-fresh entries are kept; functions the column cannot support
+/// (e.g. mean of a non-numeric column) are skipped. Returns how many
+/// entries are fresh afterwards.
+pub fn warm_attribute(
+    db: &SummaryDb,
+    attribute: &str,
+    profile: &ColumnProfile,
+    functions: &[StatFunction],
+) -> Result<usize> {
+    let mut warmed = 0usize;
+    for f in functions {
+        if let Some(existing) = db.lookup(attribute, f)? {
+            if existing.freshness == Freshness::Fresh {
+                warmed += 1;
+                continue;
+            }
+        }
+        let Ok(result) = compute_from_profile(f, profile) else {
+            continue;
+        };
+        let entry = Entry {
+            attribute: attribute.to_string(),
+            function: f.clone(),
+            result,
+            freshness: Freshness::Fresh,
+            aux: aux_from_profile(f, profile),
+            updates_since_refresh: 0,
+        };
+        db.put(&entry)?;
+        db.note_recompute();
+        warmed += 1;
+    }
+    Ok(warmed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::standing_summary_functions;
+    use crate::maintain::{apply_updates, get_or_compute, AccuracyPolicy, MaintenancePolicy};
+    use crate::maintain::UpdateDelta;
+    use sdbms_data::Value;
+    use sdbms_exec::{profile_values, ExecConfig};
+    use sdbms_storage::StorageEnv;
+
+    fn db() -> SummaryDb {
+        SummaryDb::create(StorageEnv::new(64).pool).unwrap()
+    }
+
+    fn mixed_col() -> Vec<Value> {
+        let mut vals = Vec::new();
+        for i in 0..500i64 {
+            vals.push(match i % 7 {
+                0 => Value::Missing,
+                1 | 2 => Value::Int(i % 23),
+                _ => Value::Int((i * 37) % 101),
+            });
+        }
+        vals
+    }
+
+    fn all_functions() -> Vec<StatFunction> {
+        let mut fns = standing_summary_functions();
+        fns.extend([
+            StatFunction::Sum,
+            StatFunction::Variance,
+            StatFunction::StdDev,
+            StatFunction::Quantile(250),
+            StatFunction::TrimmedMean(100, 900),
+        ]);
+        fns
+    }
+
+    #[test]
+    fn profile_results_match_serial_compute() {
+        let col = mixed_col();
+        for workers in [1, 2, 4, 8] {
+            let p = profile_values(&col, &ExecConfig::with_workers(workers));
+            for f in all_functions() {
+                let from_profile = compute_from_profile(&f, &p).unwrap();
+                let direct = f.compute(&col).unwrap();
+                assert!(
+                    from_profile.approx_eq(&direct, 1e-12),
+                    "{f} @ {workers} workers: {from_profile:?} != {direct:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_aux_answers_like_serial_aux() {
+        let col = mixed_col();
+        let p = profile_values(&col, &ExecConfig::with_workers(4));
+        for f in all_functions() {
+            let from_profile = aux_from_profile(&f, &p);
+            let serial = f.build_aux(&col);
+            match (from_profile, serial) {
+                (Some(a), Some(b)) => {
+                    let ra = f.result_from_aux(&a);
+                    let rb = f.result_from_aux(&b);
+                    match (ra, rb) {
+                        (Some(x), Some(y)) => {
+                            assert!(x.approx_eq(&y, 1e-9), "{f}: {x:?} != {y:?}");
+                        }
+                        (None, None) => {}
+                        (x, y) => panic!("{f}: aux answerability diverged: {x:?} vs {y:?}"),
+                    }
+                }
+                (None, None) => {}
+                (a, b) => panic!("{f}: aux presence diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn regenerate_refreshes_every_entry() {
+        let db = db();
+        let col = mixed_col();
+        let fns = all_functions();
+        for f in &fns {
+            get_or_compute(&db, "X", f, AccuracyPolicy::Exact, &mut || Ok(col.clone()))
+                .unwrap();
+        }
+        // Stale everything via the lazy policy.
+        apply_updates(
+            &db,
+            "X",
+            &[UpdateDelta {
+                old: Value::Int(1),
+                new: Value::Int(2),
+            }],
+            MaintenancePolicy::InvalidateLazy,
+            &mut || unreachable!("lazy policy reads no data"),
+        )
+        .unwrap();
+        // One profile regenerates all of them.
+        let mut new_col = col.clone();
+        new_col[1] = Value::Int(2);
+        let p = profile_values(&new_col, &ExecConfig::with_workers(4));
+        let report = regenerate_attribute(&db, "X", &p).unwrap();
+        assert_eq!(report.recomputed, fns.len());
+        for f in &fns {
+            let entry = db.lookup_fresh("X", f).unwrap().unwrap_or_else(|| {
+                panic!("{f} should be fresh after regeneration")
+            });
+            assert_eq!(entry.updates_since_refresh, 0);
+            let direct = f.compute(&new_col).unwrap();
+            assert!(entry.result.approx_eq(&direct, 1e-12), "{f}");
+        }
+    }
+
+    #[test]
+    fn warm_populates_and_respects_fresh_entries() {
+        let db = db();
+        let col = mixed_col();
+        let fns = standing_summary_functions();
+        let p = profile_values(&col, &ExecConfig::with_workers(2));
+        let warmed = warm_attribute(&db, "X", &p, &fns).unwrap();
+        assert_eq!(warmed, fns.len());
+        let recomputes = db.stats().recomputes;
+        // Second warm: everything fresh already — no new computation.
+        let again = warm_attribute(&db, "X", &p, &fns).unwrap();
+        assert_eq!(again, fns.len());
+        assert_eq!(db.stats().recomputes, recomputes);
+    }
+
+    #[test]
+    fn warm_skips_unsupported_functions() {
+        let db = db();
+        // All-missing column: numeric functions cannot be computed.
+        let col = vec![Value::Missing; 10];
+        let p = profile_values(&col, &ExecConfig::serial());
+        let warmed = warm_attribute(
+            &db,
+            "X",
+            &p,
+            &[StatFunction::Mean, StatFunction::Mode, StatFunction::Count],
+        )
+        .unwrap();
+        // Mode (missing counts as a value) and Count (0) succeed.
+        assert_eq!(warmed, 2);
+        assert!(db.lookup_fresh("X", &StatFunction::Mean).unwrap().is_none());
+    }
+}

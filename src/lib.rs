@@ -55,6 +55,7 @@
 pub use sdbms_columnar as columnar;
 pub use sdbms_core as core;
 pub use sdbms_data as data;
+pub use sdbms_exec as exec;
 pub use sdbms_management as management;
 pub use sdbms_relational as relational;
 pub use sdbms_stats as stats;

@@ -15,6 +15,7 @@ use sdbms::core::{
     StatDbms, StatFunction, ViewDefinition,
 };
 use sdbms::data::census::{microdata_census, CensusConfig};
+use sdbms::exec::ExecConfig;
 use sdbms::storage::{DeviceFaults, FaultPlan, StorageEnv};
 
 /// Fault schedules to run (the acceptance bar is 100).
@@ -205,6 +206,118 @@ fn hundred_plus_seeded_fault_schedules_never_serve_wrong_summaries() {
     // re-read through the cache path), so only report-level coverage is
     // asserted across the whole run.
     let _ = total_quarantined;
+}
+
+/// The same chaos invariant, driven through the morsel-parallel scan
+/// path: 4 scan workers over a 5-morsel partition, under seeded
+/// transient / corrupt / permanent-fault schedules (half of them with a
+/// mid-workload crash). Checked here:
+///
+/// - faults never *poison* a merged result — anything the cache serves
+///   after the storm matches a from-scratch recompute;
+/// - permanent faults and crashes surface as clean errors, and
+/// - worker pools under fire never deadlock — the whole run is under a
+///   hard test-level timeout.
+#[test]
+fn parallel_scans_under_faults_never_poison_and_never_hang() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        parallel_chaos_run();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(240)) {
+        Ok(()) => worker.join().expect("chaos run panicked"),
+        Err(_) => panic!(
+            "parallel chaos run still not finished after 240s — \
+             a worker pool is deadlocked or livelocked"
+        ),
+    }
+}
+
+fn parallel_chaos_run() {
+    const PAR_SCHEDULES: u64 = 40;
+    let mut comparisons = 0u64;
+    let mut clean_errors = 0u64;
+    let mut crashes_recovered = 0u64;
+
+    for seed in 0..PAR_SCHEDULES {
+        let mut dbms = setup();
+        // 160 rows at 32-row morsels: five morsels contended by four
+        // workers, so merges genuinely cross threads.
+        dbms.set_exec_config(ExecConfig {
+            workers: 4,
+            morsel_rows: 32,
+        });
+        let base_ops = dbms.env().injector.ops();
+        dbms.env().injector.set_plan(plan_for(seed.wrapping_add(7_000), base_ops));
+
+        let mut s = seed ^ 0xFEED_FACE;
+        for _ in 0..STEPS {
+            let threshold = 20 + (splitmix(&mut s) % 45) as i64;
+            let bump = 1 + (splitmix(&mut s) % 500) as i64;
+            let outcome = dbms.update_where(
+                "v",
+                &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold)),
+                &[(
+                    "INCOME",
+                    Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump)),
+                )],
+            );
+            if outcome.is_err() {
+                clean_errors += 1;
+                if dbms.is_crashed() {
+                    crashes_recovered += 1;
+                    recover_until_up(&mut dbms);
+                }
+            }
+            let attr = ATTRS[(splitmix(&mut s) % 2) as usize];
+            let funcs = checked_functions();
+            let f = &funcs[(splitmix(&mut s) as usize) % funcs.len()];
+            if dbms.compute("v", attr, f, AccuracyPolicy::Exact).is_err() {
+                clean_errors += 1;
+                if dbms.is_crashed() {
+                    crashes_recovered += 1;
+                    recover_until_up(&mut dbms);
+                }
+            }
+        }
+
+        // Verification on healthy hardware: whatever the parallel scans
+        // cached under fire must match a from-scratch recompute.
+        dbms.env().injector.set_plan(FaultPlan::none());
+        if dbms.is_crashed() {
+            recover_until_up(&mut dbms);
+        }
+        for a in ATTRS {
+            let Ok(col) = dbms.column("v", a) else { continue };
+            for f in checked_functions() {
+                let Ok((served, _)) = dbms.compute("v", a, &f, AccuracyPolicy::Exact)
+                else {
+                    continue;
+                };
+                let fresh = f.compute(&col).expect("recompute");
+                comparisons += 1;
+                assert!(
+                    served.approx_eq(&fresh, 1e-9),
+                    "parallel schedule {seed}: {f:?}({a}) served {served} but a \
+                     from-scratch recompute gives {fresh}"
+                );
+            }
+        }
+    }
+
+    // The storm must have actually hit the parallel path: operations
+    // failed cleanly, crashes were recovered, and most schedules stayed
+    // verifiable end-to-end.
+    assert!(clean_errors > 0, "faults surfaced as clean errors: {clean_errors}");
+    assert!(
+        crashes_recovered > 0,
+        "some schedules crashed mid-scan and recovered: {crashes_recovered}"
+    );
+    assert!(
+        comparisons > PAR_SCHEDULES * 6,
+        "most schedules stayed verifiable: {comparisons} comparisons"
+    );
 }
 
 #[test]

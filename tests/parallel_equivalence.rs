@@ -1,0 +1,314 @@
+//! Differential harness: the morsel-driven parallel executor is proven
+//! equivalent to the serial path.
+//!
+//! Two properties are checked, matching the executor's contract:
+//!
+//! 1. **Bit-identity across worker counts.** For a fixed morsel size,
+//!    every profile — and therefore every summary function computed
+//!    from it — is *exactly* equal (`==`, not approximately) at 1, 2,
+//!    4, and 8 workers. The morsel partition and the merge order depend
+//!    only on the row count and morsel size, never on scheduling.
+//! 2. **Agreement with the serial path.** Results computed from a
+//!    profile match a direct serial computation: exactly for functions
+//!    answered from row-order data (count, extremes, order statistics,
+//!    histograms, mode, unique count), and to ~1e-12 relative error
+//!    for the moments family (sum/mean/variance/std-dev), where the
+//!    merge tree associates float additions differently than the
+//!    serial compensated sums.
+//!
+//! Datasets deliberately include missing values and coded attributes —
+//! the paper's statistical data is full of both.
+
+use proptest::prelude::*;
+
+use sdbms::core::{
+    AccuracyPolicy, CmpOp, Expr, Predicate, StatDbms, StatFunction, ViewDefinition,
+};
+use sdbms::data::census::{microdata_census, CensusConfig};
+use sdbms::data::{dataset::DataSet, schema::Attribute, schema::Schema, DataType, Value};
+use sdbms::exec::{profile_values, ExecConfig};
+use sdbms::relational::ops;
+use sdbms::storage::StorageEnv;
+use sdbms::summary::compute_from_profile;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Every summary function in the catalogue.
+fn all_functions() -> Vec<StatFunction> {
+    vec![
+        StatFunction::Count,
+        StatFunction::Sum,
+        StatFunction::Mean,
+        StatFunction::Variance,
+        StatFunction::StdDev,
+        StatFunction::Min,
+        StatFunction::Max,
+        StatFunction::Median,
+        StatFunction::Quartiles,
+        StatFunction::Quantile(250),
+        StatFunction::Mode,
+        StatFunction::UniqueCount,
+        StatFunction::Histogram(8),
+        StatFunction::TrimmedMean(100, 900),
+    ]
+}
+
+/// Functions whose profile-based result must equal the serial result
+/// bit-for-bit (they are computed from the row-order value sequence or
+/// from exactly-mergeable accumulators, not from merged moments).
+fn is_exact_family(f: &StatFunction) -> bool {
+    !matches!(
+        f,
+        StatFunction::Sum
+            | StatFunction::Mean
+            | StatFunction::Variance
+            | StatFunction::StdDev
+    )
+}
+
+/// A mixed column: integers, floats, missing values, and codes.
+fn value_from_parts(kind: u8, x: i64) -> Value {
+    match kind {
+        0 => Value::Missing,
+        1 => Value::Code(x.unsigned_abs() as u32 % 16),
+        2 => Value::Float(x as f64 / 8.0),
+        _ => Value::Int(x % 257),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Profiles (and thus every function computed from one) are
+    /// bit-identical across worker counts, and agree with the serial
+    /// per-function computation.
+    #[test]
+    fn profiles_bit_identical_across_workers_and_match_serial(
+        parts in prop::collection::vec((0u8..4, -4_000i64..4_000), 0..600),
+        morsel_rows in 5usize..160,
+    ) {
+        let col: Vec<Value> =
+            parts.iter().map(|&(k, x)| value_from_parts(k, x)).collect();
+        let reference = profile_values(
+            &col,
+            &ExecConfig { workers: 1, morsel_rows },
+        );
+        for workers in WORKER_COUNTS {
+            let p = profile_values(&col, &ExecConfig { workers, morsel_rows });
+            prop_assert_eq!(&p, &reference, "profile at {} workers", workers);
+        }
+        for f in all_functions() {
+            let from_profile = compute_from_profile(&f, &reference);
+            let direct = f.compute(&col);
+            match (from_profile, direct) {
+                (Ok(a), Ok(b)) => {
+                    if is_exact_family(&f) {
+                        prop_assert_eq!(&a, &b, "{} must be bit-identical", f);
+                    } else {
+                        prop_assert!(
+                            a.approx_eq(&b, 1e-12),
+                            "{}: profile {:?} vs serial {:?}", f, a, b
+                        );
+                    }
+                }
+                (Err(_), Err(_)) => {} // degenerate column: both refuse
+                (a, b) => {
+                    prop_assert!(false, "{}: answerability diverged: {:?} vs {:?}", f, a, b);
+                }
+            }
+        }
+    }
+
+    /// Parallel selection and projection return exactly the rows the
+    /// serial operators return, in the same order, at every worker
+    /// count.
+    #[test]
+    fn parallel_relational_ops_match_serial(
+        rows in 1usize..900,
+        threshold in 0i64..100,
+        morsel_rows in 8usize..200,
+    ) {
+        let ds = microdata_census(&CensusConfig {
+            rows,
+            seed: 7,
+            ..Default::default()
+        }).unwrap();
+        let pred = Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold));
+        let serial_sel = ops::select(&ds, &pred).unwrap();
+        let serial_proj = ops::project(&ds, &["AGE", "INCOME"]).unwrap();
+        for workers in WORKER_COUNTS {
+            let cfg = ExecConfig { workers, morsel_rows };
+            let par_sel = ops::par_select(&ds, &pred, &cfg).unwrap();
+            prop_assert_eq!(par_sel.rows(), serial_sel.rows());
+            let par_proj = ops::par_project(&ds, &["AGE", "INCOME"], &cfg).unwrap();
+            prop_assert_eq!(par_proj.rows(), serial_proj.rows());
+        }
+    }
+}
+
+/// A DBMS with one materialized census view and an explicit executor
+/// configuration. The census generator is deterministic, so every
+/// instance holds identical bytes.
+fn census_dbms(rows: usize, cfg: ExecConfig) -> StatDbms {
+    let mut dbms = StatDbms::with_env(StorageEnv::new(512));
+    let raw = microdata_census(&CensusConfig {
+        rows,
+        seed: 42,
+        invalid_fraction: 0.01,
+        outlier_fraction: 0.01,
+        ..Default::default()
+    })
+    .expect("generate");
+    dbms.load_raw(&raw).expect("load");
+    dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "differential")
+        .expect("materialize");
+    dbms.set_exec_config(cfg);
+    dbms
+}
+
+/// Full-stack determinism: every summary function, computed through the
+/// whole DBMS (view store → parallel scan → Summary Database), returns
+/// bit-identical results at 1, 2, 4, and 8 workers, and the column read
+/// itself is byte-equal to the serial path.
+#[test]
+fn full_stack_summaries_bit_identical_across_worker_counts() {
+    let attrs = ["AGE", "INCOME", "HOURS_WORKED"];
+    // 3000 rows at 256-row morsels: 12 morsels, real contention at 8
+    // workers.
+    let runs: Vec<Vec<(String, String)>> = WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut dbms = census_dbms(
+                3000,
+                ExecConfig {
+                    workers,
+                    morsel_rows: 256,
+                },
+            );
+            let mut out = Vec::new();
+            for a in attrs {
+                for f in all_functions() {
+                    let served = dbms
+                        .compute("v", a, &f, AccuracyPolicy::Exact)
+                        .map(|(value, _)| format!("{value:?}"))
+                        .unwrap_or_else(|e| format!("error: {e}"));
+                    out.push((format!("{f}({a})"), served));
+                }
+            }
+            out
+        })
+        .collect();
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            run, &runs[0],
+            "{} workers diverged from 1 worker",
+            WORKER_COUNTS[i]
+        );
+    }
+    // And the workers=1 morsel path agrees with a straight serial
+    // recompute of the stored column.
+    let mut dbms = census_dbms(3000, ExecConfig::serial());
+    for a in attrs {
+        let col = dbms.column("v", a).expect("column");
+        for f in all_functions() {
+            let direct = f.compute(&col);
+            let served = dbms.compute("v", a, &f, AccuracyPolicy::Exact);
+            match (served, direct) {
+                (Ok((got, _)), Ok(want)) => {
+                    if is_exact_family(&f) {
+                        assert_eq!(got, want, "{f}({a})");
+                    } else {
+                        assert!(got.approx_eq(&want, 1e-12), "{f}({a}): {got} vs {want}");
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (s, d) => panic!("{f}({a}): answerability diverged: {s:?} vs {d:?}"),
+            }
+        }
+    }
+}
+
+/// Missing values and coded attributes flow through the parallel path
+/// unchanged: a view whose column mixes Int / Missing / Code values
+/// gets bit-identical summaries at every worker count.
+#[test]
+fn missing_and_coded_values_identical_across_workers() {
+    let schema = Schema::new(vec![
+        Attribute::category("TAG", DataType::Code),
+        Attribute::measured("X", DataType::Int),
+    ])
+    .expect("schema");
+    let rows: Vec<Vec<Value>> = (0..2600i64)
+        .map(|i| {
+            let x = match i % 9 {
+                0 | 4 => Value::Missing,
+                _ => Value::Int((i * 31) % 451 - 200),
+            };
+            vec![Value::Code(u32::try_from(i % 6).unwrap()), x]
+        })
+        .collect();
+    let ds = DataSet::from_rows("mixed", schema, rows).expect("dataset");
+
+    let mut reference: Option<Vec<String>> = None;
+    for workers in WORKER_COUNTS {
+        let mut dbms = StatDbms::with_env(StorageEnv::new(512));
+        dbms.load_raw(&ds).expect("load");
+        dbms.materialize(ViewDefinition::scan("v", "mixed"), "differential")
+            .expect("materialize");
+        dbms.set_exec_config(ExecConfig {
+            workers,
+            morsel_rows: 256,
+        });
+        let mut results = Vec::new();
+        // The coded column only admits the categorical functions.
+        for f in [StatFunction::Mode, StatFunction::UniqueCount] {
+            let (value, _) = dbms
+                .compute("v", "TAG", &f, AccuracyPolicy::Exact)
+                .expect("categorical summaries work on codes");
+            results.push(format!("{f}(TAG) = {value:?}"));
+        }
+        for f in all_functions() {
+            let served = dbms
+                .compute("v", "X", &f, AccuracyPolicy::Exact)
+                .map(|(value, _)| format!("{value:?}"))
+                .unwrap_or_else(|e| format!("error: {e}"));
+            results.push(format!("{f}(X) = {served}"));
+        }
+        match &reference {
+            None => reference = Some(results),
+            Some(want) => assert_eq!(&results, want, "{workers} workers diverged"),
+        }
+    }
+}
+
+/// A view materialized through a relational pipeline (select + project)
+/// behaves identically under the parallel executor — the scan side of
+/// selection is morsel-parallel inside the DBMS too.
+#[test]
+fn derived_view_summaries_identical_across_workers() {
+    let mut reference: Option<String> = None;
+    for workers in WORKER_COUNTS {
+        let mut dbms = census_dbms(
+            1500,
+            ExecConfig {
+                workers,
+                morsel_rows: 128,
+            },
+        );
+        let def = ViewDefinition::scan("adults", "census_microdata")
+            .select(Predicate::cmp(Expr::col("AGE"), CmpOp::Ge, Expr::lit(18i64)))
+            .project(&["AGE", "INCOME"]);
+        dbms.materialize(def, "differential").expect("materialize");
+        let (median, _) = dbms
+            .compute("adults", "INCOME", &StatFunction::Median, AccuracyPolicy::Exact)
+            .expect("median");
+        let (mean, _) = dbms
+            .compute("adults", "AGE", &StatFunction::Mean, AccuracyPolicy::Exact)
+            .expect("mean");
+        let got = format!("{median:?} / {mean:?}");
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{workers} workers diverged"),
+        }
+    }
+}
