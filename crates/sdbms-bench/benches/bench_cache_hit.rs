@@ -9,7 +9,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_cache_hit");
     group.sample_size(20);
     for rows in [1_000usize, 10_000] {
-        for f in [StatFunction::Mean, StatFunction::Median, StatFunction::Variance] {
+        for f in [
+            StatFunction::Mean,
+            StatFunction::Median,
+            StatFunction::Variance,
+        ] {
             // Miss path: fresh DBMS per measurement would be too slow,
             // so measure the miss once via remove-and-recompute through
             // a stale read instead: simplest faithful proxy is a

@@ -17,16 +17,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hash_join", rows), &rows, |b, _| {
             b.iter(|| ops::hash_join(&ds, &code_ds, "AGE_GROUP", "CATEGORY").expect("join"))
         });
-        group.bench_with_input(
-            BenchmarkId::new("nested_loop_join", rows),
-            &rows,
-            |b, _| {
-                b.iter(|| {
-                    ops::nested_loop_join(&ds, &code_ds, "AGE_GROUP", "CATEGORY")
-                        .expect("join")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("nested_loop_join", rows), &rows, |b, _| {
+            b.iter(|| ops::nested_loop_join(&ds, &code_ds, "AGE_GROUP", "CATEGORY").expect("join"))
+        });
         group.bench_with_input(BenchmarkId::new("manual_lookup", rows), &rows, |b, _| {
             b.iter(|| {
                 ds.column("AGE_GROUP")

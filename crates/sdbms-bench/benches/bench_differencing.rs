@@ -25,26 +25,21 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("figure5_differenced", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut program =
-                        differentiate(&AggExpr::mean()).expect("differentiable");
-                    program.initialize(&base);
-                    let mut prev = base[2];
-                    let mut result = 0.0;
-                    for i in 0..20 {
-                        let next = (i * 7) as f64;
-                        program.replace(prev, next);
-                        prev = next;
-                        result = program.evaluate().expect("eval");
-                    }
-                    result
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("figure5_differenced", n), &n, |b, _| {
+            b.iter(|| {
+                let mut program = differentiate(&AggExpr::mean()).expect("differentiable");
+                program.initialize(&base);
+                let mut prev = base[2];
+                let mut result = 0.0;
+                for i in 0..20 {
+                    let next = (i * 7) as f64;
+                    program.replace(prev, next);
+                    prev = next;
+                    result = program.evaluate().expect("eval");
+                }
+                result
+            })
+        });
         group.bench_with_input(BenchmarkId::new("variance_program", n), &n, |b, _| {
             let mut program = differentiate(&AggExpr::variance()).expect("differentiable");
             program.initialize(&base);

@@ -25,17 +25,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_history");
     group.sample_size(10);
     for depth in [10usize, 100, 500] {
-        group.bench_with_input(
-            BenchmarkId::new("rollback", depth),
-            &depth,
-            |b, &depth| {
-                b.iter_batched(
-                    || edited_dbms(depth),
-                    |(mut dbms, cp)| dbms.rollback_to("v", cp).expect("rollback"),
-                    criterion::BatchSize::LargeInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rollback", depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || edited_dbms(depth),
+                |(mut dbms, cp)| dbms.rollback_to("v", cp).expect("rollback"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
     }
     group.finish();
 }

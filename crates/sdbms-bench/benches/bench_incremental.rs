@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdbms_data::Value;
 use sdbms_storage::StorageEnv;
 use sdbms_summary::{
-    apply_updates, get_or_compute, AccuracyPolicy, MaintenancePolicy, StatFunction,
-    SummaryDb, UpdateDelta,
+    apply_updates, get_or_compute, AccuracyPolicy, MaintenancePolicy, StatFunction, SummaryDb,
+    UpdateDelta,
 };
 
 const N: usize = 50_000;
@@ -30,7 +30,9 @@ fn seeded_db(base: &[Value]) -> SummaryDb {
 }
 
 fn bench(c: &mut Criterion) {
-    let base: Vec<Value> = (0..N).map(|i| Value::Int(((i * 31) % 9973) as i64)).collect();
+    let base: Vec<Value> = (0..N)
+        .map(|i| Value::Int(((i * 31) % 9973) as i64))
+        .collect();
     let mut group = c.benchmark_group("e2_incremental");
     group.sample_size(10);
     for batch in [1usize, 100, 10_000] {
@@ -52,10 +54,8 @@ fn bench(c: &mut Criterion) {
                 b.iter_batched(
                     || seeded_db(&base),
                     |db| {
-                        apply_updates(&db, "X", &deltas, policy, &mut || {
-                            Ok(updated.clone())
-                        })
-                        .expect("apply")
+                        apply_updates(&db, "X", &deltas, policy, &mut || Ok(updated.clone()))
+                            .expect("apply")
                     },
                     criterion::BatchSize::LargeInput,
                 );

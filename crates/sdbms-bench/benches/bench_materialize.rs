@@ -39,7 +39,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("materialize_once", |b| {
         b.iter(|| {
             let env = StorageEnv::new(128);
-            let extracted = raw.extract("census_microdata", None, None).expect("extract");
+            let extracted = raw
+                .extract("census_microdata", None, None)
+                .expect("extract");
             TransposedFile::from_dataset(env.pool, &extracted).expect("build")
         })
     });

@@ -21,27 +21,23 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_median");
     group.sample_size(10);
     for window in [11usize, 101, 1001] {
-        group.bench_with_input(
-            BenchmarkId::new("window", window),
-            &window,
-            |b, &window| {
-                b.iter(|| {
-                    let mut data = base.clone();
-                    let mut w = MedianWindow::new(window);
-                    w.rebuild(&data);
-                    let mut med = 0.0;
-                    for &(i, new) in &updates {
-                        let old = data[i];
-                        data[i] = new;
-                        if !w.replace(old, new) || !w.is_usable() {
-                            w.rebuild(&data);
-                        }
-                        med = w.median().expect("median");
+        group.bench_with_input(BenchmarkId::new("window", window), &window, |b, &window| {
+            b.iter(|| {
+                let mut data = base.clone();
+                let mut w = MedianWindow::new(window);
+                w.rebuild(&data);
+                let mut med = 0.0;
+                for &(i, new) in &updates {
+                    let old = data[i];
+                    data[i] = new;
+                    if !w.replace(old, new) || !w.is_usable() {
+                        w.rebuild(&data);
                     }
-                    med
-                });
-            },
-        );
+                    med = w.median().expect("median");
+                }
+                med
+            });
+        });
     }
     group.bench_function("recompute_per_update", |b| {
         b.iter(|| {

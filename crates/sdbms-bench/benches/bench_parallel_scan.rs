@@ -58,9 +58,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("profile_stored_column_32k", workers),
             &workers,
-            |b, _| {
-                b.iter(|| profile_table_column(&store, "AGE", &cfg).expect("profile"))
-            },
+            |b, _| b.iter(|| profile_table_column(&store, "AGE", &cfg).expect("profile")),
         );
     }
     group.finish();

@@ -14,7 +14,11 @@ const OPS: usize = 40;
 fn run_mix(policy: MaintenancePolicy, update_frac: f64) {
     let mut dbms = dbms_with_view(ROWS, 512);
     dbms.set_policy("v", policy).expect("policy");
-    let fns = [StatFunction::Mean, StatFunction::Median, StatFunction::Variance];
+    let fns = [
+        StatFunction::Mean,
+        StatFunction::Median,
+        StatFunction::Variance,
+    ];
     let mut rng = StdRng::seed_from_u64(7);
     for op in 0..OPS {
         if rng.gen::<f64>() < update_frac {

@@ -18,20 +18,16 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("reservoir", k), &k, |b, &k| {
             b.iter(|| sample::reservoir_sample(incomes.iter().copied(), k, 13))
         });
-        group.bench_with_input(
-            BenchmarkId::new("mean_median_on_sample", k),
-            &k,
-            |b, &k| {
-                let idx = sample::sample_indices(incomes.len(), k, 13).expect("srs");
-                let sampled: Vec<f64> = idx.iter().map(|&i| incomes[i]).collect();
-                b.iter(|| {
-                    (
-                        descriptive::mean(&sampled).expect("mean"),
-                        quantile::median(&sampled).expect("median"),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mean_median_on_sample", k), &k, |b, &k| {
+            let idx = sample::sample_indices(incomes.len(), k, 13).expect("srs");
+            let sampled: Vec<f64> = idx.iter().map(|&i| incomes[i]).collect();
+            b.iter(|| {
+                (
+                    descriptive::mean(&sampled).expect("mean"),
+                    quantile::median(&sampled).expect("median"),
+                )
+            })
+        });
     }
     group.bench_function("bernoulli_10pct", |b| {
         b.iter(|| sample::bernoulli_indices(incomes.len(), 0.1, 13).expect("bernoulli"))

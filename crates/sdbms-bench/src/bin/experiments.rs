@@ -13,8 +13,8 @@ use rand::{Rng, SeedableRng};
 use sdbms_bench::{clean_micro, dbms_with_view, ratio, render_table, us};
 use sdbms_columnar::{rle, RowStore, TableStore, TransposedFile};
 use sdbms_core::{
-    AccuracyPolicy, CmpOp, ComputeSource, Expr, Layout, MaintenancePolicy, Predicate,
-    ScalarFunc, StatDbms, StatFunction, ViewDefinition,
+    AccuracyPolicy, CmpOp, ComputeSource, Expr, Layout, MaintenancePolicy, Predicate, ScalarFunc,
+    StatDbms, StatFunction, ViewDefinition,
 };
 use sdbms_data::census::{aggregate_census, figure1, CensusConfig};
 use sdbms_data::{CodeBook, DataType, RawDatabase, Value};
@@ -94,7 +94,10 @@ fn banner(id: &str, title: &str) {
 // ---------------------------------------------------------------------------
 
 fn f1_figure1() {
-    banner("F1", "Paper Figure 1 — the example data set, regenerated exactly");
+    banner(
+        "F1",
+        "Paper Figure 1 — the example data set, regenerated exactly",
+    );
     let ds = figure1();
     println!("{ds}");
     println!("category cross-product scaling (SEX × RACE × AGE_GROUP × REGION):");
@@ -157,7 +160,10 @@ fn f2_codebook_decode() {
 }
 
 fn f3_lifecycle() {
-    banner("F3", "Paper Figure 3 — the architecture, one full lifecycle trace");
+    banner(
+        "F3",
+        "Paper Figure 3 — the architecture, one full lifecycle trace",
+    );
     let mut dbms = StatDbms::new(512);
     dbms.load_raw(&clean_micro(10_000, 3)).expect("load");
     let before = dbms.io();
@@ -202,7 +208,10 @@ fn f3_lifecycle() {
 }
 
 fn f4_summary_db() {
-    banner("F4", "Paper Figure 4 — the Summary Database after the paper's queries");
+    banner(
+        "F4",
+        "Paper Figure 4 — the Summary Database after the paper's queries",
+    );
     let mut dbms = sdbms_core::paper_demo_dbms(256).expect("demo dbms");
     dbms.materialize(ViewDefinition::scan("census", "figure1"), "analyst")
         .expect("materialize");
@@ -275,7 +284,10 @@ fn f5_differencing_loop() {
     ];
     println!(
         "{}",
-        render_table(&[&format!("{iterations} iterations of Figure 5"), "time"], &rows)
+        render_table(
+            &[&format!("{iterations} iterations of Figure 5"), "time"],
+            &rows
+        )
     );
     println!("variance is likewise differentiable; median is rejected:");
     match differentiate(&AggExpr::MedianOf) {
@@ -322,7 +334,10 @@ fn e1_cache_hit() {
     }
     println!(
         "{}",
-        render_table(&["rows", "function", "compute (miss)", "cache hit", "speedup"], &rows)
+        render_table(
+            &["rows", "function", "compute (miss)", "cache hit", "speedup"],
+            &rows
+        )
     );
 }
 
@@ -332,7 +347,9 @@ fn e2_incremental_vs_recompute() {
         "§4.2 claim — incremental aggregate maintenance vs full recompute (batch sweep)",
     );
     let n = 100_000usize;
-    let base: Vec<Value> = (0..n).map(|i| Value::Int(((i * 31) % 9973) as i64)).collect();
+    let base: Vec<Value> = (0..n)
+        .map(|i| Value::Int(((i * 31) % 9973) as i64))
+        .collect();
     let fns = [
         StatFunction::Count,
         StatFunction::Sum,
@@ -359,8 +376,7 @@ fn e2_incremental_vs_recompute() {
                     .expect("seed");
             }
             let t0 = Instant::now();
-            apply_updates(&db, "X", &deltas, policy, &mut || Ok(updated.clone()))
-                .expect("apply");
+            apply_updates(&db, "X", &deltas, policy, &mut || Ok(updated.clone())).expect("apply");
             t0.elapsed().as_micros()
         };
         let t_inc = time_policy(MaintenancePolicy::Incremental);
@@ -539,7 +555,11 @@ fn e4_transposed_vs_row() {
     println!(
         "{}",
         render_table(
-            &["pool pages", "transposed page reads", "row-store page reads"],
+            &[
+                "pool pages",
+                "transposed page reads",
+                "row-store page reads"
+            ],
             &rows
         )
     );
@@ -558,7 +578,14 @@ fn e5_compression() {
     })
     .expect("generate");
     let mut rows = Vec::new();
-    for attr in ["SEX", "RACE", "AGE_GROUP", "REGION", "POPULATION", "AVE_SALARY"] {
+    for attr in [
+        "SEX",
+        "RACE",
+        "AGE_GROUP",
+        "REGION",
+        "POPULATION",
+        "AVE_SALARY",
+    ] {
         let col: Vec<Value> = ds.column(attr).expect("column").cloned().collect();
         let r = rle::column_compression_ratio(&col);
         rows.push(vec![attr.to_string(), format!("{r:.2}×")]);
@@ -685,15 +712,15 @@ fn e7_sampling() {
             format!("{:.1}% ({k})", frac * 100.0),
             us(t),
             format!("{:.2}%", 100.0 * (s_mean - full_mean).abs() / full_mean),
-            format!("{:.2}%", 100.0 * (s_median - full_median).abs() / full_median),
+            format!(
+                "{:.2}%",
+                100.0 * (s_median - full_median).abs() / full_median
+            ),
         ]);
     }
     println!(
         "{}",
-        render_table(
-            &["sample", "time", "mean error", "median error"],
-            &rows
-        )
+        render_table(&["sample", "time", "mean error", "median error"], &rows)
     );
 }
 
@@ -778,7 +805,9 @@ fn e9_materialization() {
     raw_a.store(&ds).expect("store");
     let mut cum_a = Vec::new();
     for _ in 0..uses {
-        let extracted = raw_a.extract("census_microdata", None, None).expect("extract");
+        let extracted = raw_a
+            .extract("census_microdata", None, None)
+            .expect("extract");
         let (col, _) = extracted.column_f64("INCOME").expect("column");
         let _ = sdbms_stats::descriptive::mean(&col).expect("mean");
         cum_a.push(model.cost(&tracker_a.snapshot()));
@@ -788,7 +817,9 @@ fn e9_materialization() {
     let env = StorageEnv::new(64);
     let raw_b = RawDatabase::new(env.archive.clone());
     raw_b.store(&ds).expect("store");
-    let extracted = raw_b.extract("census_microdata", None, None).expect("extract");
+    let extracted = raw_b
+        .extract("census_microdata", None, None)
+        .expect("extract");
     let store = TransposedFile::from_dataset(env.pool.clone(), &extracted).expect("build");
     env.pool.flush_all().expect("flush");
     let mut cum_b = Vec::new();
@@ -869,8 +900,16 @@ fn e10_summary_index() {
         assert_eq!(via_index, via_scan);
         rows.push(vec![
             entries.to_string(),
-            format!("{} ({} pages)", us(t_index), io_index.page_reads + io_index.pool_hits),
-            format!("{} ({} pages)", us(t_scan), io_scan.page_reads + io_scan.pool_hits),
+            format!(
+                "{} ({} pages)",
+                us(t_index),
+                io_index.page_reads + io_index.pool_hits
+            ),
+            format!(
+                "{} ({} pages)",
+                us(t_scan),
+                io_scan.page_reads + io_scan.pool_hits
+            ),
             ratio(t_scan as f64, t_index as f64),
         ]);
     }

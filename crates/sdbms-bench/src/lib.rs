@@ -3,6 +3,8 @@
 //! rendering (every experiment prints the table EXPERIMENTS.md
 //! records).
 
+#![forbid(unsafe_code)]
+
 use sdbms_core::{StatDbms, ViewDefinition};
 use sdbms_data::census::{microdata_census, CensusConfig};
 use sdbms_data::DataSet;

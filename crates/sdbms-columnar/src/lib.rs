@@ -19,6 +19,7 @@
 //!   ratio measurements of experiment E5.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod rle;
 pub mod rowstore;
@@ -30,3 +31,17 @@ pub use rowstore::RowStore;
 pub use segment::{Compression, SEGMENT_ROWS};
 pub use store::{Layout, TableStore};
 pub use transposed::TransposedFile;
+
+/// Read a little-endian u16 at `pos`, or fail with a decode error —
+/// the bounds check and the width conversion are one fallible step, so
+/// codecs never need an infallible-looking `try_into().unwrap()`.
+pub(crate) fn read_u16(
+    buf: &[u8],
+    pos: usize,
+    what: &'static str,
+) -> Result<u16, sdbms_data::DataError> {
+    match buf.get(pos..pos + 2) {
+        Some([a, b]) => Ok(u16::from_le_bytes([*a, *b])),
+        _ => Err(sdbms_data::DataError::Decode(what)),
+    }
+}

@@ -36,18 +36,12 @@ pub fn compress_values(values: &[Value]) -> Vec<u8> {
 /// Decode [`compress_values`] output.
 pub fn decompress_values(buf: &[u8]) -> Result<Vec<Value>, DataError> {
     let mut pos = 0usize;
-    let nb = buf
-        .get(0..2)
-        .ok_or(DataError::Decode("rle header truncated"))?;
+    let n_runs = crate::read_u16(buf, 0, "rle header truncated")? as usize;
     pos += 2;
-    let n_runs = u16::from_le_bytes(nb.try_into().unwrap()) as usize;
     let mut out = Vec::new();
     for _ in 0..n_runs {
-        let lb = buf
-            .get(pos..pos + 2)
-            .ok_or(DataError::Decode("rle run truncated"))?;
+        let len = crate::read_u16(buf, pos, "rle run truncated")? as usize;
         pos += 2;
-        let len = u16::from_le_bytes(lb.try_into().unwrap()) as usize;
         let v = Value::decode(buf, &mut pos)?;
         out.extend(std::iter::repeat_with(|| v.clone()).take(len));
     }
@@ -78,12 +72,12 @@ pub fn compress_bytes(bytes: &[u8]) -> Vec<u8> {
 
 /// Decode [`compress_bytes`] output.
 pub fn decompress_bytes(buf: &[u8]) -> Result<Vec<u8>, DataError> {
-    if buf.len() % 2 != 0 {
+    if !buf.len().is_multiple_of(2) {
         return Err(DataError::Decode("byte-rle input has odd length"));
     }
     let mut out = Vec::new();
     for pair in buf.chunks_exact(2) {
-        out.extend(std::iter::repeat(pair[1]).take(pair[0] as usize));
+        out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
     }
     Ok(out)
 }
@@ -109,18 +103,21 @@ mod tests {
 
     #[test]
     fn roundtrip_with_runs() {
-        let vals: Vec<Value> = std::iter::repeat(Value::Str("M".into()))
-            .take(500)
-            .chain(std::iter::repeat(Value::Str("F".into())).take(500))
+        let vals: Vec<Value> = std::iter::repeat_n(Value::Str("M".into()), 500)
+            .chain(std::iter::repeat_n(Value::Str("F".into()), 500))
             .collect();
         let buf = compress_values(&vals);
-        assert!(buf.len() < 40, "two runs should compress tiny: {}", buf.len());
+        assert!(
+            buf.len() < 40,
+            "two runs should compress tiny: {}",
+            buf.len()
+        );
         assert_eq!(decompress_values(&buf).unwrap(), vals);
     }
 
     #[test]
     fn roundtrip_no_runs() {
-        let vals: Vec<Value> = (0..100).map(|i| Value::Int(i)).collect();
+        let vals: Vec<Value> = (0..100).map(Value::Int).collect();
         let buf = compress_values(&vals);
         assert_eq!(decompress_values(&buf).unwrap(), vals);
     }
@@ -150,7 +147,7 @@ mod tests {
 
     #[test]
     fn long_runs_split_at_u16_max() {
-        let vals: Vec<Value> = std::iter::repeat(Value::Code(1)).take(70_000).collect();
+        let vals: Vec<Value> = std::iter::repeat_n(Value::Code(1), 70_000).collect();
         let buf = compress_values(&vals);
         assert_eq!(decompress_values(&buf).unwrap().len(), 70_000);
     }
@@ -177,10 +174,13 @@ mod tests {
 
     #[test]
     fn ratio_reflects_redundancy() {
-        let runs: Vec<Value> = std::iter::repeat(Value::Code(3)).take(1000).collect();
+        let runs: Vec<Value> = std::iter::repeat_n(Value::Code(3), 1000).collect();
         assert!(column_compression_ratio(&runs) > 100.0);
         let unique: Vec<Value> = (0..1000).map(Value::Int).collect();
-        assert!(column_compression_ratio(&unique) < 1.0, "overhead on unique data");
+        assert!(
+            column_compression_ratio(&unique) < 1.0,
+            "overhead on unique data"
+        );
     }
 
     proptest::proptest! {

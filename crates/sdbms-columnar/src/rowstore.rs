@@ -56,10 +56,7 @@ impl RowStore {
     }
 
     fn rid(&self, row: usize) -> Result<Rid> {
-        self.rids
-            .get(row)
-            .copied()
-            .ok_or(DataError::NoSuchRow(row))
+        self.rids.get(row).copied().ok_or(DataError::NoSuchRow(row))
     }
 }
 
@@ -216,9 +213,7 @@ mod tests {
     #[test]
     fn set_cell_roundtrip() {
         let mut s = store();
-        let old = s
-            .set_cell(0, "POPULATION", Value::Int(1))
-            .unwrap();
+        let old = s.set_cell(0, "POPULATION", Value::Int(1)).unwrap();
         assert_eq!(old, Value::Int(12_300_347));
         assert_eq!(s.get_cell(0, "POPULATION").unwrap(), Value::Int(1));
         // Type check enforced.
@@ -251,11 +246,7 @@ mod tests {
     #[test]
     fn many_rows_with_moved_updates() {
         let env = StorageEnv::new(32);
-        let mut s = RowStore::create(
-            env.pool,
-            figure1().schema().clone(),
-        )
-        .unwrap();
+        let mut s = RowStore::create(env.pool, figure1().schema().clone()).unwrap();
         for i in 0..500i64 {
             s.append_row(vec![
                 Value::Str("M".into()),

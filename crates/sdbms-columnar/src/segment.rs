@@ -72,10 +72,7 @@ pub fn encode_segment(values: &[Value], compression: Compression) -> Vec<u8> {
 
 /// Decode a segment record back into values.
 pub fn decode_segment(buf: &[u8]) -> Result<Vec<Value>, DataError> {
-    let nb = buf
-        .get(0..2)
-        .ok_or(DataError::Decode("segment header truncated"))?;
-    let n = u16::from_le_bytes(nb.try_into().unwrap()) as usize;
+    let n = crate::read_u16(buf, 0, "segment header truncated")? as usize;
     let tag = *buf.get(2).ok_or(DataError::Decode("segment tag missing"))?;
     let body = &buf[3..];
     let out = match tag {
@@ -92,10 +89,7 @@ pub fn decode_segment(buf: &[u8]) -> Result<Vec<Value>, DataError> {
         }
         1 => rle::decompress_values(body)?,
         2 => {
-            let db = body
-                .get(0..2)
-                .ok_or(DataError::Decode("dict size truncated"))?;
-            let dict_size = u16::from_le_bytes(db.try_into().unwrap()) as usize;
+            let dict_size = crate::read_u16(body, 0, "dict size truncated")? as usize;
             let mut pos = 2usize;
             let mut dict = Vec::with_capacity(dict_size);
             for _ in 0..dict_size {
@@ -103,11 +97,8 @@ pub fn decode_segment(buf: &[u8]) -> Result<Vec<Value>, DataError> {
             }
             let mut out = Vec::with_capacity(n);
             for _ in 0..n {
-                let cb = body
-                    .get(pos..pos + 2)
-                    .ok_or(DataError::Decode("dict code truncated"))?;
+                let code = crate::read_u16(body, pos, "dict code truncated")? as usize;
                 pos += 2;
-                let code = u16::from_le_bytes(cb.try_into().unwrap()) as usize;
                 let v = dict
                     .get(code)
                     .ok_or(DataError::Decode("dict code out of range"))?;
@@ -160,9 +151,8 @@ mod tests {
 
     #[test]
     fn rle_smaller_on_runs_dict_smaller_on_low_cardinality() {
-        let runs: Vec<Value> = std::iter::repeat(Value::Str("White".into()))
-            .take(SEGMENT_ROWS)
-            .collect();
+        let runs: Vec<Value> =
+            std::iter::repeat_n(Value::Str("White".into()), SEGMENT_ROWS).collect();
         let raw = encode_segment(&runs, Compression::None).len();
         let rle = encode_segment(&runs, Compression::Rle).len();
         assert!(rle * 10 < raw, "rle {rle} vs raw {raw}");

@@ -150,9 +150,7 @@ impl TransposedFile {
     }
 
     fn segment_index_for_row(col: &Column, row: usize) -> Option<usize> {
-        let i = col
-            .segments
-            .partition_point(|s| s.start_row + s.len <= row);
+        let i = col.segments.partition_point(|s| s.start_row + s.len <= row);
         (i < col.segments.len()).then_some(i)
     }
 
@@ -489,10 +487,7 @@ mod tests {
             let got = t.read_column_range("INCOME", start, len).unwrap();
             assert_eq!(got, full[start..start + len], "range ({start}, {len})");
         }
-        assert_eq!(
-            t.read_column_range("INCOME", 0, 1000).unwrap(),
-            full
-        );
+        assert_eq!(t.read_column_range("INCOME", 0, 1000).unwrap(), full);
         assert!(t.read_column_range("INCOME", 900, 101).is_err());
         assert!(t.read_column_range("NOPE", 0, 1).is_err());
     }
@@ -518,10 +513,7 @@ mod tests {
     fn compression_metadata_exposed() {
         let env = StorageEnv::new(64);
         let t = TransposedFile::from_dataset(env.pool, &figure1()).unwrap();
-        assert_eq!(
-            t.column_compression("AGE_GROUP").unwrap(),
-            Compression::Rle
-        );
+        assert_eq!(t.column_compression("AGE_GROUP").unwrap(), Compression::Rle);
         assert_eq!(
             t.column_compression("SEX").unwrap(),
             Compression::Dictionary
@@ -533,11 +525,8 @@ mod tests {
     #[test]
     fn mismatched_compressions_rejected() {
         let env = StorageEnv::new(16);
-        let r = TransposedFile::create_with(
-            env.pool,
-            figure1().schema().clone(),
-            &[Compression::None],
-        );
+        let r =
+            TransposedFile::create_with(env.pool, figure1().schema().clone(), &[Compression::None]);
         assert!(r.is_err());
     }
 }

@@ -11,20 +11,19 @@ use std::collections::HashMap;
 
 use sdbms_columnar::{Layout, RowStore, TableStore, TransposedFile};
 use sdbms_data::{
-    census, codebook::CodeBook, dataset::DataSet, metadata::MetadataGraph,
-    metadata::NodeKind, rawdb::RawDatabase, schema::Attribute, value::DataType, value::Value,
+    census, codebook::CodeBook, dataset::DataSet, metadata::MetadataGraph, metadata::NodeKind,
+    rawdb::RawDatabase, schema::Attribute, value::DataType, value::Value,
 };
 use sdbms_management::{
-    ChangeRecord, DerivedRule, ManagementError, RuleStore, VectorGenerator, Version,
-    ViewCatalog,
+    ChangeRecord, DerivedRule, ManagementError, RuleStore, VectorGenerator, Version, ViewCatalog,
 };
 use sdbms_relational::{Expr, Predicate, ViewDefinition};
 use sdbms_stats::regression;
 use sdbms_storage::{IoSnapshot, StorageEnv};
 use sdbms_summary::{
     apply_updates, get_or_compute_resilient, quarantinable, AccuracyPolicy, CacheStats,
-    ComputeSource, Intent, IntentLog, MaintenancePolicy, StatFunction, SummaryDb,
-    SummaryError, SummaryValue, UpdateDelta,
+    ComputeSource, Intent, IntentLog, MaintenancePolicy, StatFunction, SummaryDb, SummaryError,
+    SummaryValue, UpdateDelta,
 };
 
 use crate::error::{CoreError, Result};
@@ -213,7 +212,8 @@ impl StatDbms {
     /// Register a code book (usable as a join source named
     /// `<attribute>_codes`).
     pub fn register_codebook(&mut self, cb: CodeBook) {
-        self.codebooks.insert(format!("{}_codes", cb.attribute()), cb);
+        self.codebooks
+            .insert(format!("{}_codes", cb.attribute()), cb);
     }
 
     /// The code book registered under `name` (e.g. `AGE_GROUP_codes`).
@@ -275,10 +275,9 @@ impl StatDbms {
                 owner: existing.owner.clone(),
             });
         }
-        let mut resolve =
-            |name: &str| -> std::result::Result<DataSet, sdbms_data::DataError> {
-                self.resolve_source(name)
-            };
+        let mut resolve = |name: &str| -> std::result::Result<DataSet, sdbms_data::DataError> {
+            self.resolve_source(name)
+        };
         let ds = def.execute(&mut resolve)?;
         let store: Box<dyn TableStore + Send + Sync> = match layout {
             Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
@@ -288,9 +287,7 @@ impl StatDbms {
         };
         let summary = SummaryDb::create(self.env.pool.clone())?;
         let wal = match self.durability {
-            DurabilityPolicy::CrashConsistent => {
-                Some(IntentLog::create(self.env.disk.clone())?)
-            }
+            DurabilityPolicy::CrashConsistent => Some(IntentLog::create(self.env.disk.clone())?),
             DurabilityPolicy::Volatile => None,
         };
         let name = def.name.clone();
@@ -383,7 +380,11 @@ impl StatDbms {
     pub fn sample(&self, view: &str, k: usize, seed: u64) -> Result<DataSet> {
         let v = self.view(view)?;
         let ds = v.store.to_dataset(view)?;
-        Ok(sdbms_stats::sample::sample_dataset(&ds, k.min(ds.len()), seed)?)
+        Ok(sdbms_stats::sample::sample_dataset(
+            &ds,
+            k.min(ds.len()),
+            seed,
+        )?)
     }
 
     /// Rows of `view` whose `attribute` value falls outside its
@@ -449,8 +450,7 @@ impl StatDbms {
         let exec = &self.exec;
         let mut column = || {
             tracker.column_reads += 1;
-            sdbms_exec::read_table_column(&**store, &attr.name, exec)
-                .map_err(SummaryError::Data)
+            sdbms_exec::read_table_column(&**store, &attr.name, exec).map_err(SummaryError::Data)
         };
         let mut fb;
         let fallback: Option<&mut dyn FnMut() -> sdbms_summary::Result<Vec<Value>>> =
@@ -459,15 +459,13 @@ impl StatDbms {
                     let def = &rec.definition;
                     let attr_name = attr.name.clone();
                     fb = move || -> sdbms_summary::Result<Vec<Value>> {
-                        let mut resolve = |name: &str| -> std::result::Result<
-                            DataSet,
-                            sdbms_data::DataError,
-                        > {
-                            if let Some(cb) = codebooks.get(name) {
-                                return Ok(cb.to_dataset());
-                            }
-                            raw.extract(name, None, None)
-                        };
+                        let mut resolve =
+                            |name: &str| -> std::result::Result<DataSet, sdbms_data::DataError> {
+                                if let Some(cb) = codebooks.get(name) {
+                                    return Ok(cb.to_dataset());
+                                }
+                                raw.extract(name, None, None)
+                            };
                         let ds = def.execute(&mut resolve).map_err(SummaryError::Data)?;
                         let col = ds.column(&attr_name).map_err(SummaryError::Data)?;
                         Ok(col.cloned().collect())
@@ -558,9 +556,7 @@ impl StatDbms {
                 let v = self.view_mut(view)?;
                 v.tracker.column_reads += 1;
                 match sdbms_exec::profile_table_column(&*v.store, &attr, &exec) {
-                    Ok(p) => {
-                        sdbms_summary::warm_attribute(&v.summary, &attr, &p, &fns).ok()
-                    }
+                    Ok(p) => sdbms_summary::warm_attribute(&v.summary, &attr, &p, &fns).ok(),
                     Err(_) => None,
                 }
             };
@@ -610,10 +606,8 @@ impl StatDbms {
         predicate: &Predicate,
         assignments: &[(&str, Expr)],
     ) -> Result<UpdateReport> {
-        let intent = self.intent_attributes(
-            view,
-            assignments.iter().map(|(a, _)| (*a).to_string()),
-        );
+        let intent =
+            self.intent_attributes(view, assignments.iter().map(|(a, _)| (*a).to_string()));
         self.durable_section(view, &intent, |dbms| {
             dbms.update_where_inner(view, predicate, assignments)
         })
@@ -660,8 +654,7 @@ impl StatDbms {
                 v.store.len(),
                 &exec,
                 |i| {
-                    let proj_row: Vec<Value> =
-                        columns.iter().map(|col| col[i].clone()).collect();
+                    let proj_row: Vec<Value> = columns.iter().map(|col| col[i].clone()).collect();
                     Ok(bound_pred.eval(&proj_row))
                 },
             )?;
@@ -891,7 +884,9 @@ impl StatDbms {
             }
         }
         for (derived, rule) in fired {
-            report.derived_updates.push((derived.clone(), rule.cost_class()));
+            report
+                .derived_updates
+                .push((derived.clone(), rule.cost_class()));
             match rule {
                 DerivedRule::Local { expr } => {
                     let mut records: Vec<ChangeRecord> = Vec::new();
@@ -1020,13 +1015,9 @@ impl StatDbms {
                 // fall through to the serial per-entry path, which
                 // carries the quarantine / rebuild degradation logic.
                 v.tracker.column_reads += 1;
-                let regenerated =
-                    sdbms_exec::profile_table_column(&*v.store, &attr, &exec)
-                        .ok()
-                        .and_then(|p| {
-                            sdbms_summary::regenerate_attribute(&v.summary, &attr, &p)
-                                .ok()
-                        });
+                let regenerated = sdbms_exec::profile_table_column(&*v.store, &attr, &exec)
+                    .ok()
+                    .and_then(|p| sdbms_summary::regenerate_attribute(&v.summary, &attr, &p).ok());
                 if let Some(r) = regenerated {
                     report.maintenance.recomputed += r.recomputed;
                     continue;
@@ -1036,9 +1027,7 @@ impl StatDbms {
             let tracker = &mut v.tracker;
             let mut column = || {
                 tracker.column_reads += 1;
-                store
-                    .read_column(&attr)
-                    .map_err(SummaryError::Data)
+                store.read_column(&attr).map_err(SummaryError::Data)
             };
             let r = match apply_updates(&v.summary, &attr, &ds, policy, &mut column) {
                 Ok(r) => r,
@@ -1092,9 +1081,9 @@ impl StatDbms {
                 .collect::<Result<Vec<Value>>>()?
         };
         let v = self.view_mut(view)?;
-        v.store.add_column(Attribute::derived(name, dtype), values)?;
-        self.rules
-            .register(view, name, DerivedRule::Local { expr });
+        v.store
+            .add_column(Attribute::derived(name, dtype), values)?;
+        self.rules.register(view, name, DerivedRule::Local { expr });
         self.catalog
             .view_mut(view)?
             .history
@@ -1106,13 +1095,7 @@ impl StatDbms {
 
     /// Add a regression-residual column `y ~ x` with the
     /// regenerate-whole-vector rule (§3.2's residuals example).
-    pub fn add_residuals_column(
-        &mut self,
-        view: &str,
-        name: &str,
-        x: &str,
-        y: &str,
-    ) -> Result<()> {
+    pub fn add_residuals_column(&mut self, view: &str, name: &str, x: &str, y: &str) -> Result<()> {
         let values = {
             let v = self.view_mut(view)?;
             v.tracker.column_reads += 2;
@@ -1220,9 +1203,7 @@ impl StatDbms {
             })
             .collect();
         let intent = self.intent_attributes(view, base_attrs);
-        self.durable_section(view, &intent, |dbms| {
-            dbms.rollback_inner(view, version)
-        })
+        self.durable_section(view, &intent, |dbms| dbms.rollback_inner(view, version))
     }
 
     fn rollback_inner(&mut self, view: &str, version: Version) -> Result<usize> {
@@ -1276,17 +1257,15 @@ impl StatDbms {
 
     /// Roll back to the most recent checkpoint with this label.
     pub fn rollback_to_checkpoint(&mut self, view: &str, label: &str) -> Result<usize> {
-        let version = self
-            .catalog
-            .view(view)?
-            .history
-            .checkpoint(label)
-            .ok_or_else(|| {
-                CoreError::Management(ManagementError::NoSuchVersion {
+        let version =
+            self.catalog
+                .view(view)?
+                .history
+                .checkpoint(label)
+                .ok_or(CoreError::Management(ManagementError::NoSuchVersion {
                     version: 0,
                     current: 0,
-                })
-            })?;
+                }))?;
         self.rollback_to(view, version)
     }
 
@@ -1308,8 +1287,8 @@ impl StatDbms {
     /// `analyst`.
     pub fn cleaning_log(&self, view: &str, analyst: &str) -> Result<Vec<String>> {
         let rec = self.catalog.view(view)?;
-        let visible = rec.owner == analyst
-            || rec.visibility == sdbms_management::Visibility::Published;
+        let visible =
+            rec.owner == analyst || rec.visibility == sdbms_management::Visibility::Published;
         if !visible {
             return Err(CoreError::NotOwner {
                 view: view.to_string(),

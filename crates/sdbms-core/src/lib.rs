@@ -23,6 +23,7 @@
 //! access pattern favors the other layout.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod dbms;
 pub mod error;

@@ -1,9 +1,9 @@
 //! End-to-end tests of the DBMS façade: the full Figure 3 lifecycle.
 
 use sdbms_core::{
-    paper_demo_dbms, AccuracyPolicy, AggFunc, Aggregate, CmpOp, ComputeSource, CoreError,
-    Expr, Layout, MaintenancePolicy, Predicate, ScalarFunc, StatDbms, StatFunction,
-    SummaryValue, ViewDefinition,
+    paper_demo_dbms, AccuracyPolicy, AggFunc, Aggregate, CmpOp, ComputeSource, CoreError, Expr,
+    Layout, MaintenancePolicy, Predicate, ScalarFunc, StatDbms, StatFunction, SummaryValue,
+    ViewDefinition,
 };
 use sdbms_data::census::{microdata_census, CensusConfig};
 use sdbms_data::{DataType, Value};
@@ -37,11 +37,8 @@ fn materialize_and_read_figure1() {
 #[test]
 fn codebook_join_decodes_age_groups() {
     let mut dbms = paper_demo_dbms(128).unwrap();
-    let def = ViewDefinition::scan("decoded", "figure1").join(
-        "AGE_GROUP_codes",
-        "AGE_GROUP",
-        "CATEGORY",
-    );
+    let def =
+        ViewDefinition::scan("decoded", "figure1").join("AGE_GROUP_codes", "AGE_GROUP", "CATEGORY");
     dbms.materialize(def, "alice").unwrap();
     let labels = dbms.column("decoded", "VALUE").unwrap();
     assert_eq!(labels[0], Value::Str("0 to 20".into()));
@@ -51,9 +48,8 @@ fn codebook_join_decodes_age_groups() {
 #[test]
 fn duplicate_view_detection_across_analysts() {
     let mut dbms = paper_demo_dbms(128).unwrap();
-    let def = |name: &str| {
-        ViewDefinition::scan(name, "figure1").select(Predicate::col_eq("SEX", "M"))
-    };
+    let def =
+        |name: &str| ViewDefinition::scan(name, "figure1").select(Predicate::col_eq("SEX", "M"));
     dbms.materialize(def("males"), "alice").unwrap();
     // Alice re-creating the same computation is caught.
     let err = dbms.materialize(def("males2"), "alice").unwrap_err();
@@ -107,7 +103,12 @@ fn summaries_of_encoded_attributes_rejected() {
         .unwrap();
     // §3.2: the median of AGE_GROUP does not make sense.
     let err = dbms
-        .compute("v", "AGE_GROUP", &StatFunction::Median, AccuracyPolicy::Exact)
+        .compute(
+            "v",
+            "AGE_GROUP",
+            &StatFunction::Median,
+            AccuracyPolicy::Exact,
+        )
         .unwrap_err();
     assert!(matches!(err, CoreError::NotSummarizable { .. }));
     // But the mode of a coded attribute is fine.
@@ -122,7 +123,8 @@ fn update_where_maintains_cache_incrementally() {
     let mut dbms = micro_dbms(2_000);
     dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "a")
         .unwrap();
-    dbms.set_policy("v", MaintenancePolicy::Incremental).unwrap();
+    dbms.set_policy("v", MaintenancePolicy::Incremental)
+        .unwrap();
     // Cache a few summaries.
     for f in [StatFunction::Mean, StatFunction::Sum, StatFunction::Count] {
         dbms.compute("v", "HOURS_WORKED", &f, AccuracyPolicy::Exact)
@@ -141,7 +143,12 @@ fn update_where_maintains_cache_incrementally() {
     assert_eq!(report.maintenance.recomputed, 0);
     // Cached mean matches a from-scratch recompute.
     let (cached, src) = dbms
-        .compute("v", "HOURS_WORKED", &StatFunction::Mean, AccuracyPolicy::Exact)
+        .compute(
+            "v",
+            "HOURS_WORKED",
+            &StatFunction::Mean,
+            AccuracyPolicy::Exact,
+        )
         .unwrap();
     assert_eq!(src, ComputeSource::Cache);
     let ds = dbms.dataset("v").unwrap();
@@ -208,9 +215,7 @@ fn derived_local_column_follows_updates() {
     assert!((after[8].as_f64().unwrap() - 54_321.0f64.ln()).abs() < 1e-9);
     // Other rows untouched.
     let other = dbms.row("v", 8).unwrap();
-    assert!(
-        (other[8].as_f64().unwrap() - other[6].as_f64().unwrap().ln()).abs() < 1e-9
-    );
+    assert!((other[8].as_f64().unwrap() - other[6].as_f64().unwrap().ln()).abs() < 1e-9);
 }
 
 #[test]
@@ -246,7 +251,10 @@ fn residuals_column_regenerates_wholesale() {
         .zip(&resid2)
         .filter(|(a, b)| (*a - *b).abs() > 1e-12)
         .count();
-    assert!(changed > resid.len() / 2, "the model moved, so most residuals moved");
+    assert!(
+        changed > resid.len() / 2,
+        "the model moved, so most residuals moved"
+    );
 }
 
 #[test]
@@ -298,7 +306,8 @@ fn publishing_and_cleaning_log_visibility() {
     let mut dbms = micro_dbms(100);
     dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "alice")
         .unwrap();
-    dbms.annotate("v", "checked AGE for impossible values").unwrap();
+    dbms.annotate("v", "checked AGE for impossible values")
+        .unwrap();
     dbms.update_where(
         "v",
         &Predicate::col_eq("PERSON_ID", 5i64),
@@ -509,7 +518,8 @@ fn inference_answers_without_data_access() {
         .unwrap();
     // Cache sum and count; the mean is then inferable.
     for f in [StatFunction::Sum, StatFunction::Count] {
-        dbms.compute("v", "INCOME", &f, AccuracyPolicy::Exact).unwrap();
+        dbms.compute("v", "INCOME", &f, AccuracyPolicy::Exact)
+            .unwrap();
     }
     let (mean, src, how) = dbms
         .compute_with_inference("v", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)
@@ -529,8 +539,13 @@ fn inference_answers_without_data_access() {
     assert_eq!(how2, None, "plain hit the second time");
 
     // A histogram enables a median *estimate*, clearly labelled.
-    dbms.compute("v", "AGE", &StatFunction::Histogram(30), AccuracyPolicy::Exact)
-        .unwrap();
+    dbms.compute(
+        "v",
+        "AGE",
+        &StatFunction::Histogram(30),
+        AccuracyPolicy::Exact,
+    )
+    .unwrap();
     let (est, _, how) = dbms
         .compute_with_inference("v", "AGE", &StatFunction::Median, AccuracyPolicy::Exact)
         .unwrap();

@@ -36,6 +36,7 @@ pub fn figure1() -> DataSet {
         Attribute::measured("POPULATION", DataType::Int),
         Attribute::derived("AVE_SALARY", DataType::Int),
     ])
+    // lint: allow(no-panic): schema is a compile-time literal; Schema::new can only reject duplicates, and there are none
     .expect("static schema is valid");
     let rows: Vec<(&str, &str, u32, i64, i64)> = vec![
         ("M", "W", 1, 12_300_347, 33_122),
@@ -60,6 +61,7 @@ pub fn figure1() -> DataSet {
             ]
         })
         .collect();
+    // lint: allow(no-panic): rows are a compile-time literal shaped to the literal schema above
     DataSet::from_rows("figure1", schema, rows).expect("figure 1 rows conform")
 }
 
@@ -140,8 +142,8 @@ pub fn aggregate_census(config: &CensusConfig) -> Result<DataSet> {
                 for region in 1..=config.regions {
                     // Population scales down for later age groups and
                     // minority races, with lognormal-ish noise.
-                    let base = 8_000_000.0 / (age as f64).sqrt()
-                        * if race == "W" { 1.0 } else { 0.25 };
+                    let base =
+                        8_000_000.0 / (age as f64).sqrt() * if race == "W" { 1.0 } else { 0.25 };
                     let pop = (base * (1.0 + 0.3 * normal(&mut rng)).max(0.05)) as i64;
                     // Salary peaks in age groups 2-3.
                     let peak = match age {
@@ -193,9 +195,8 @@ pub fn microdata_census(config: &CensusConfig) -> Result<DataSet> {
         let mut age: i64 = (38.0 + 22.0 * normal(&mut rng)).clamp(0.0, 99.0) as i64;
         // Income depends on age (earnings curve) with heavy noise.
         let age_factor = 1.0 - ((age as f64 - 45.0) / 60.0).powi(2);
-        let mut income = (28_000.0 * age_factor.max(0.1)
-            * (1.0 + 0.5 * normal(&mut rng)).max(0.02))
-        .max(0.0);
+        let mut income =
+            (28_000.0 * age_factor.max(0.1) * (1.0 + 0.5 * normal(&mut rng)).max(0.02)).max(0.0);
         let hours: i64 = (40.0 + 10.0 * normal(&mut rng)).clamp(0.0, 99.0) as i64;
 
         if rng.gen::<f64>() < config.invalid_fraction {
@@ -269,11 +270,7 @@ mod tests {
         let m1 = microdata_census(&cfg).unwrap();
         let m2 = microdata_census(&cfg).unwrap();
         assert_eq!(m1, m2);
-        let other = microdata_census(&CensusConfig {
-            seed: 7,
-            ..cfg
-        })
-        .unwrap();
+        let other = microdata_census(&CensusConfig { seed: 7, ..cfg }).unwrap();
         assert_ne!(m1, other);
     }
 

@@ -96,6 +96,7 @@ impl CodeBook {
             Attribute::category("CATEGORY", DataType::Code),
             Attribute::measured("VALUE", DataType::Str),
         ])
+        // lint: allow(no-panic): two distinct literal attribute names can never collide
         .expect("static schema is valid");
         let rows = self
             .entries
@@ -103,6 +104,7 @@ impl CodeBook {
             .map(|(c, m)| vec![Value::Code(*c), Value::Str(m.clone())])
             .collect();
         DataSet::from_rows(&format!("{}_codebook", self.attribute), schema, rows)
+            // lint: allow(no-panic): every row is built as [Code, Str] right above, matching the literal schema
             .expect("codebook rows conform")
     }
 
@@ -123,7 +125,9 @@ mod tests {
 
     #[test]
     fn define_and_decode() {
-        let cb = CodeBook::new("REGION").with(1, "Northeast").with(2, "South");
+        let cb = CodeBook::new("REGION")
+            .with(1, "Northeast")
+            .with(2, "South");
         assert_eq!(cb.decode(1).unwrap(), "Northeast");
         assert!(matches!(
             cb.decode(9),

@@ -280,11 +280,7 @@ mod tests {
     #[test]
     fn column_access() {
         let d = ds();
-        let sexes: Vec<String> = d
-            .column("SEX")
-            .unwrap()
-            .map(|v| v.to_string())
-            .collect();
+        let sexes: Vec<String> = d.column("SEX").unwrap().map(|v| v.to_string()).collect();
         assert_eq!(sexes, vec!["M", "F", "M", "F"]);
         assert!(d.column("NOPE").is_err());
     }

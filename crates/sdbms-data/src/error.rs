@@ -56,10 +56,7 @@ impl fmt::Display for DataError {
                 attribute,
                 expected,
                 got,
-            } => write!(
-                f,
-                "attribute {attribute:?} expects {expected}, got {got}"
-            ),
+            } => write!(f, "attribute {attribute:?} expects {expected}, got {got}"),
             DataError::NoSuchAttribute(name) => write!(f, "no attribute named {name:?}"),
             DataError::DuplicateAttribute(name) => {
                 write!(f, "attribute {name:?} declared twice")

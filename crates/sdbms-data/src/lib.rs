@@ -21,6 +21,7 @@
 //!   readable only by full scans.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod census;
 pub mod codebook;

@@ -167,11 +167,7 @@ impl MetadataGraph {
     pub fn roots(&self) -> Vec<&Node> {
         self.nodes
             .values()
-            .filter(|n| {
-                self.parents
-                    .get(&n.name)
-                    .map_or(true, BTreeSet::is_empty)
-            })
+            .filter(|n| self.parents.get(&n.name).is_none_or(BTreeSet::is_empty))
             .collect()
     }
 
@@ -208,6 +204,7 @@ impl NavigationSession<'_> {
     /// The node currently under the cursor.
     #[must_use]
     pub fn current(&self) -> &Node {
+        // lint: allow(no-panic): path starts with the root node and ascend() refuses to pop the last element
         &self.graph.nodes[self.path.last().expect("path never empty")]
     }
 

@@ -19,7 +19,7 @@ use sdbms_storage::ArchiveStore;
 use crate::dataset::DataSet;
 use crate::error::{DataError, Result};
 use crate::schema::{Attribute, AttributeRole, Schema};
-use crate::value::{decode_row, encode_row, DataType, Value};
+use crate::value::{decode_row, encode_row, take_arr, DataType, Value};
 
 /// Rows packed into one archive block.
 pub const ROWS_PER_BLOCK: usize = 64;
@@ -72,10 +72,10 @@ fn decode_schema(buf: &[u8]) -> Result<Schema> {
         *pos += n;
         Ok(s)
     };
-    let n = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+    let n = u16::from_le_bytes(take_arr(buf, &mut pos, "schema block truncated")?) as usize;
     let mut attrs = Vec::with_capacity(n);
     for _ in 0..n {
-        let nlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let nlen = u16::from_le_bytes(take_arr(buf, &mut pos, "schema block truncated")?) as usize;
         let name = std::str::from_utf8(take(&mut pos, nlen)?)
             .map_err(|_| DataError::Decode("attribute name not UTF-8"))?
             .to_string();
@@ -92,7 +92,7 @@ fn decode_schema(buf: &[u8]) -> Result<Schema> {
             2 => AttributeRole::Derived,
             _ => return Err(DataError::Decode("bad role byte")),
         };
-        let cblen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let cblen = u16::from_le_bytes(take_arr(buf, &mut pos, "schema block truncated")?) as usize;
         let codebook = if cblen > 0 {
             Some(
                 std::str::from_utf8(take(&mut pos, cblen)?)
@@ -105,8 +105,8 @@ fn decode_schema(buf: &[u8]) -> Result<Schema> {
         let valid_range = match take(&mut pos, 1)?[0] {
             0 => None,
             1 => {
-                let lo = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-                let hi = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+                let lo = f64::from_le_bytes(take_arr(buf, &mut pos, "schema block truncated")?);
+                let hi = f64::from_le_bytes(take_arr(buf, &mut pos, "schema block truncated")?);
                 Some((lo, hi))
             }
             _ => return Err(DataError::Decode("bad range flag")),
@@ -184,11 +184,7 @@ impl RawDatabase {
     /// row. Returning `false` stops the scan (the tape still charged
     /// for every block read so far). Returns the number of rows
     /// visited.
-    pub fn scan(
-        &self,
-        name: &str,
-        mut visit: impl FnMut(&[Value]) -> bool,
-    ) -> Result<usize> {
+    pub fn scan(&self, name: &str, mut visit: impl FnMut(&[Value]) -> bool) -> Result<usize> {
         let mut reel = self.archive.open(name)?;
         let schema_block = reel.read_next()?;
         let schema = decode_schema(&schema_block)?;
@@ -197,23 +193,11 @@ impl RawDatabase {
         while reel.position() < reel.len() {
             let block = reel.read_next()?;
             let mut pos = 0usize;
-            let nrows = u16::from_le_bytes(
-                block
-                    .get(0..2)
-                    .ok_or(DataError::Decode("row block truncated"))?
-                    .try_into()
-                    .unwrap(),
-            ) as usize;
-            pos += 2;
+            let nrows =
+                u16::from_le_bytes(take_arr(&block, &mut pos, "row block truncated")?) as usize;
             for _ in 0..nrows {
-                let len = u32::from_le_bytes(
-                    block
-                        .get(pos..pos + 4)
-                        .ok_or(DataError::Decode("row length truncated"))?
-                        .try_into()
-                        .unwrap(),
-                ) as usize;
-                pos += 4;
+                let len = u32::from_le_bytes(take_arr(&block, &mut pos, "row length truncated")?)
+                    as usize;
                 let row = decode_row(
                     block
                         .get(pos..pos + len)
@@ -267,6 +251,7 @@ impl RawDatabase {
             };
             if pass {
                 let projected: Vec<Value> = keep.iter().map(|&i| row[i].clone()).collect();
+                // lint: allow(no-panic): projecting a scanned row by `keep` (indices derived from out_schema) preserves arity by construction
                 out.push_row(projected).expect("projected row conforms");
             }
             true
@@ -327,9 +312,8 @@ mod tests {
     fn extract_with_projection_and_filter() {
         let db = rawdb();
         db.store(&figure1()).unwrap();
-        let mut only_male = |s: &Schema, r: &[Value]| {
-            r[s.position("SEX").unwrap()].as_str() == Some("M")
-        };
+        let mut only_male =
+            |s: &Schema, r: &[Value]| r[s.position("SEX").unwrap()].as_str() == Some("M");
         let out = db
             .extract(
                 "figure1",

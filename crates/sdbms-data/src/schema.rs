@@ -257,7 +257,10 @@ mod tests {
         assert_eq!(s.position("POPULATION"), Some(2));
         assert_eq!(s.position("NOPE"), None);
         assert!(s.require("NOPE").is_err());
-        assert_eq!(s.attribute("AGE_GROUP").unwrap().codebook.as_deref(), Some("AGE_GROUP"));
+        assert_eq!(
+            s.attribute("AGE_GROUP").unwrap().codebook.as_deref(),
+            Some("AGE_GROUP")
+        );
     }
 
     #[test]

@@ -191,7 +191,9 @@ impl Value {
 
     /// Decode one value from `buf[*pos..]`, advancing `pos`.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Value> {
-        let tag = *buf.get(*pos).ok_or(DataError::Decode("value tag missing"))?;
+        let tag = *buf
+            .get(*pos)
+            .ok_or(DataError::Decode("value tag missing"))?;
         *pos += 1;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
             let s = buf
@@ -202,31 +204,46 @@ impl Value {
         };
         match tag {
             0 => Ok(Value::Missing),
-            1 => {
-                let b = take(pos, 8)?;
-                Ok(Value::Int(i64::from_le_bytes(b.try_into().unwrap())))
-            }
-            2 => {
-                let b = take(pos, 8)?;
-                Ok(Value::Float(f64::from_bits(u64::from_le_bytes(
-                    b.try_into().unwrap(),
-                ))))
-            }
+            1 => Ok(Value::Int(i64::from_le_bytes(take_arr(
+                buf,
+                pos,
+                "value payload truncated",
+            )?))),
+            2 => Ok(Value::Float(f64::from_bits(u64::from_le_bytes(take_arr(
+                buf,
+                pos,
+                "value payload truncated",
+            )?)))),
             3 => {
-                let lb = take(pos, 2)?;
-                let len = u16::from_le_bytes(lb.try_into().unwrap()) as usize;
+                let len =
+                    u16::from_le_bytes(take_arr(buf, pos, "value payload truncated")?) as usize;
                 let sb = take(pos, len)?;
-                let s = std::str::from_utf8(sb)
-                    .map_err(|_| DataError::Decode("string not UTF-8"))?;
+                let s =
+                    std::str::from_utf8(sb).map_err(|_| DataError::Decode("string not UTF-8"))?;
                 Ok(Value::Str(s.to_string()))
             }
-            4 => {
-                let b = take(pos, 4)?;
-                Ok(Value::Code(u32::from_le_bytes(b.try_into().unwrap())))
-            }
+            4 => Ok(Value::Code(u32::from_le_bytes(take_arr(
+                buf,
+                pos,
+                "value payload truncated",
+            )?))),
             _ => Err(DataError::Decode("unknown value tag")),
         }
     }
+}
+
+/// Read exactly `N` bytes at `*pos` as a fixed array, advancing `pos`,
+/// or fail with a decode error. Bounds check and width conversion are
+/// one fallible step: decoders never hold a slice whose length they
+/// must re-prove to the type system.
+pub(crate) fn take_arr<const N: usize>(
+    buf: &[u8],
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<[u8; N]> {
+    let s = buf.get(*pos..*pos + N).ok_or(DataError::Decode(what))?;
+    *pos += N;
+    s.try_into().map_err(|_| DataError::Decode(what))
 }
 
 impl fmt::Display for Value {
@@ -281,11 +298,7 @@ pub fn encode_row(row: &[Value]) -> Vec<u8> {
 /// Decode a row previously encoded with [`encode_row`].
 pub fn decode_row(buf: &[u8]) -> Result<Vec<Value>> {
     let mut pos = 0usize;
-    let nb = buf
-        .get(0..2)
-        .ok_or(DataError::Decode("row header truncated"))?;
-    pos += 2;
-    let n = u16::from_le_bytes(nb.try_into().unwrap()) as usize;
+    let n = u16::from_le_bytes(take_arr(buf, &mut pos, "row header truncated")?) as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(Value::decode(buf, &mut pos)?);
@@ -319,7 +332,7 @@ mod tests {
 
     #[test]
     fn ordering_missing_first_nan_last() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Float(f64::NAN),
             Value::Int(1),
             Value::Missing,
@@ -334,14 +347,8 @@ mod tests {
 
     #[test]
     fn int_float_interleave() {
-        assert_eq!(
-            Value::Int(2).total_cmp(&Value::Float(2.5)),
-            Ordering::Less
-        );
-        assert_eq!(
-            Value::Float(3.0).total_cmp(&Value::Int(3)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
     }
 
     #[test]

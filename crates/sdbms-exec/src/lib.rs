@@ -18,6 +18,9 @@
 //! statistics (median, quartiles, trimmed means) can reuse the exact
 //! serial quantile code on the concatenated data.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use sdbms_columnar::TableStore;
@@ -151,13 +154,16 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut produced: Vec<(usize, Result<T, E>)> = Vec::new();
+                    // lint: allow(relaxed-ordering): abort is a best-effort shutdown hint; a stale read only costs one extra morsel, never correctness
                     while !abort.load(Ordering::Relaxed) {
+                        // lint: allow(relaxed-ordering): ticket dispenser — fetch_add's RMW atomicity alone guarantees unique morsel indices
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         let r = work(morsel(i));
                         if r.is_err() {
+                            // lint: allow(relaxed-ordering): see abort load above; results travel through join, not this flag
                             abort.store(true, Ordering::Relaxed);
                         }
                         produced.push((i, r));
@@ -169,6 +175,7 @@ where
         for h in handles {
             // A panic in `work` propagates: the scan never silently
             // drops a morsel.
+            // lint: allow(no-panic): deliberately re-raises a worker panic on the coordinator; swallowing it would drop morsels
             for (i, r) in h.join().expect("scan worker panicked") {
                 slots[i] = Some(r);
             }
@@ -257,11 +264,7 @@ impl ColumnProfile {
 /// Parallel-scan a column supplied by a range reader, merging morsel
 /// profiles in order. `read(start, len)` must return the values of
 /// rows `start..start + len`.
-pub fn profile_with<E, F>(
-    rows: usize,
-    cfg: &ExecConfig,
-    read: F,
-) -> Result<ColumnProfile, E>
+pub fn profile_with<E, F>(rows: usize, cfg: &ExecConfig, read: F) -> Result<ColumnProfile, E>
 where
     F: Fn(usize, usize) -> Result<Vec<Value>, E> + Sync,
     E: Send,
@@ -338,11 +341,7 @@ pub fn profile_values(values: &[Value], cfg: &ExecConfig) -> ColumnProfile {
 /// `0..rows` for which `keep` holds, in ascending order (per-morsel
 /// matches concatenated in morsel order) — the scan side of a
 /// relational selection.
-pub fn filter_indices<E, F>(
-    rows: usize,
-    cfg: &ExecConfig,
-    keep: F,
-) -> Result<Vec<usize>, E>
+pub fn filter_indices<E, F>(rows: usize, cfg: &ExecConfig, keep: F) -> Result<Vec<usize>, E>
 where
     F: Fn(usize) -> Result<bool, E> + Sync,
     E: Send,
@@ -412,8 +411,7 @@ mod tests {
             morsel_rows: 64,
         };
         let idx: Vec<usize> =
-            filter_indices::<std::convert::Infallible, _>(1000, &cfg, |i| Ok(i % 3 == 0))
-                .unwrap();
+            filter_indices::<std::convert::Infallible, _>(1000, &cfg, |i| Ok(i % 3 == 0)).unwrap();
         let expect: Vec<usize> = (0..1000).filter(|i| i % 3 == 0).collect();
         assert_eq!(idx, expect);
     }
@@ -441,8 +439,7 @@ mod tests {
 
     #[test]
     fn serial_path_reports_first_error_in_order() {
-        let r: Result<Vec<()>, usize> =
-            scan_morsels(4096, &ExecConfig::serial(), |m| Err(m.index));
+        let r: Result<Vec<()>, usize> = scan_morsels(4096, &ExecConfig::serial(), |m| Err(m.index));
         assert_eq!(r.unwrap_err(), 0);
     }
 

@@ -1,0 +1,149 @@
+//! Structured lint diagnostics.
+//!
+//! Every finding — from the token-level source lints and from the
+//! semantic rule-soundness checker alike — is a [`Diagnostic`]:
+//! a lint id from the fixed catalogue below, a `file:line` anchor, and
+//! a human-readable message. The driver sorts, prints, and turns them
+//! into an exit code under `--deny-all` / `--allow <id>`.
+
+use std::fmt;
+
+/// A lint in the catalogue: id, default severity, one-line description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable kebab-case id (`no-panic`, `rule-missing-strategy`, …).
+    pub id: &'static str,
+    /// What the lint enforces.
+    pub description: &'static str,
+}
+
+/// `no-panic`: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` in non-test library code.
+pub const NO_PANIC: Lint = Lint {
+    id: "no-panic",
+    description: "library code must not contain unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside tests",
+};
+
+/// `relaxed-ordering`: every `Ordering::Relaxed` must sit in the
+/// audited inline allowlist.
+pub const RELAXED_ORDERING: Lint = Lint {
+    id: "relaxed-ordering",
+    description:
+        "Ordering::Relaxed on atomics requires an audited inline allow with a justification",
+};
+
+/// `fault-seam-bypass`: storage devices must be built through the
+/// fault-injection seam, not with bare constructors.
+pub const FAULT_SEAM_BYPASS: Lint = Lint {
+    id: "fault-seam-bypass",
+    description: "DiskManager::new / ArchiveStore::new bypass the fault-injection seam; use the with_faults constructors (or the StorageHierarchy builder)",
+};
+
+/// `lossy-cast`: no narrowing `as` casts in `sdbms-stats` kernels.
+pub const LOSSY_CAST: Lint = Lint {
+    id: "lossy-cast",
+    description: "potentially lossy `as` cast in a statistical kernel; use From/TryFrom or an allowed truncation with justification",
+};
+
+/// `missing-docs`: every plain-`pub` item of the core crates carries a
+/// doc comment.
+pub const MISSING_DOCS: Lint = Lint {
+    id: "missing-docs",
+    description: "public item without a doc comment",
+};
+
+/// `unjustified-allow`: an inline `lint: allow(...)` without a reason.
+pub const UNJUSTIFIED_ALLOW: Lint = Lint {
+    id: "unjustified-allow",
+    description: "inline lint allow directive carries no justification",
+};
+
+/// `rule-missing-strategy`: a `(function, update-kind)` pair in the
+/// summary registry has no declared maintenance strategy.
+pub const RULE_MISSING_STRATEGY: Lint = Lint {
+    id: "rule-missing-strategy",
+    description: "summary function declares no maintenance strategy for an update kind",
+};
+
+/// `rule-unverified-merge`: a function declared incremental whose
+/// accumulator has no verified merge law.
+pub const RULE_UNVERIFIED_MERGE: Lint = Lint {
+    id: "rule-unverified-merge",
+    description: "function declared Incremental but its auxiliary state has no verified merge law",
+};
+
+/// `rule-dangling-input`: a derived-attribute rule references a column
+/// that is neither a base column nor a ruled derived attribute.
+pub const RULE_DANGLING_INPUT: Lint = Lint {
+    id: "rule-dangling-input",
+    description: "derived-attribute rule references a column with no rule and no base definition",
+};
+
+/// The full catalogue, for `--list` and id validation.
+pub const ALL_LINTS: &[Lint] = &[
+    NO_PANIC,
+    RELAXED_ORDERING,
+    FAULT_SEAM_BYPASS,
+    LOSSY_CAST,
+    MISSING_DOCS,
+    UNJUSTIFIED_ALLOW,
+    RULE_MISSING_STRATEGY,
+    RULE_UNVERIFIED_MERGE,
+    RULE_DANGLING_INPUT,
+];
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Repo-relative file path, or a pseudo-path such as
+    /// `<summary-registry>` for semantic findings.
+    pub file: String,
+    /// 1-based line (0 for semantic findings with no source anchor).
+    pub line: u32,
+    /// Human-readable description of this particular finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a finding.
+    #[must_use]
+    pub fn new(lint: Lint, file: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            lint,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: deny[{}]: {}",
+            self.file, self.line, self.lint.id, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_unique() {
+        let mut ids: Vec<&str> = ALL_LINTS.iter().map(|l| l.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_LINTS.len());
+    }
+
+    #[test]
+    fn display_has_file_line_and_id() {
+        let d = Diagnostic::new(NO_PANIC, "src/x.rs", 7, "found unwrap".into());
+        assert_eq!(d.to_string(), "src/x.rs:7: deny[no-panic]: found unwrap");
+    }
+}

@@ -1,0 +1,103 @@
+//! The `sdbms-lint` driver.
+//!
+//! ```text
+//! cargo run -p sdbms-lint -- --deny-all            # CI gate
+//! cargo run -p sdbms-lint -- --deny-all --allow missing-docs
+//! cargo run -p sdbms-lint -- --list                # lint catalogue
+//! cargo run -p sdbms-lint -- --root /path/to/repo
+//! ```
+//!
+//! Exit codes: 0 clean (or findings while not in `--deny-all`),
+//! 1 findings under `--deny-all`, 2 usage or I/O error.
+
+use sdbms_lint::{filter_allowed, run, ALL_LINTS};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: sdbms-lint [--deny-all] [--allow <lint-id>]... [--root <dir>] [--list]"
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut list = false;
+    let mut allowed: BTreeSet<String> = BTreeSet::new();
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--list" => list = true,
+            "--allow" => match args.next() {
+                Some(id) if ALL_LINTS.iter().any(|l| l.id == id) => {
+                    allowed.insert(id);
+                }
+                Some(id) => {
+                    eprintln!("error: unknown lint id `{id}` (see --list)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --allow needs a lint id\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for lint in ALL_LINTS {
+            println!("{:<24} {}", lint.id, lint.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default root: the workspace this binary was built in (so
+    // `cargo run -p sdbms-lint` works from any subdirectory).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let findings = match run(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = filter_allowed(findings, &allowed);
+
+    for d in &findings {
+        println!("{d}");
+    }
+    if findings.is_empty() {
+        println!(
+            "sdbms-lint: clean ({} lints)",
+            ALL_LINTS.len() - allowed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("sdbms-lint: {} finding(s)", findings.len());
+        if deny_all {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

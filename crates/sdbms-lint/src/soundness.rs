@@ -1,0 +1,232 @@
+//! Semantic rule-soundness checks (Layer 2).
+//!
+//! Source lints read text; these checks *run the system's own
+//! metadata*. They introspect the summary-function registry
+//! ([`sdbms_summary::SummaryRegistry`]) and the Management Database's
+//! derived-attribute [`sdbms_management::RuleStore`] and report:
+//!
+//! - [`crate::diagnostics::RULE_MISSING_STRATEGY`] — a
+//!   `(function, update-kind)` pair with no declared maintenance
+//!   strategy;
+//! - [`crate::diagnostics::RULE_UNVERIFIED_MERGE`] — a function
+//!   declared incremental whose auxiliary state fails the executable
+//!   merge law ([`sdbms_summary::verify_merge_law`], the same oracle
+//!   the parallel executor's property tests exercise);
+//! - [`crate::diagnostics::RULE_DANGLING_INPUT`] — a derived-attribute
+//!   rule that reads a column which is neither a declared base column
+//!   nor itself a ruled derived attribute.
+//!
+//! Findings carry pseudo-paths (`<summary-registry>`,
+//! `<rule-store:view>`) instead of file anchors: the defect lives in
+//! registered metadata, not in a source line.
+
+use crate::diagnostics::{
+    Diagnostic, RULE_DANGLING_INPUT, RULE_MISSING_STRATEGY, RULE_UNVERIFIED_MERGE,
+};
+use sdbms_management::RuleStore;
+use sdbms_summary::{verify_merge_law, MergeLawStatus, SummaryRegistry, ALL_UPDATE_KINDS};
+use std::collections::BTreeSet;
+
+/// Audit a summary registry: every contract must cover every update
+/// kind, and every declared-incremental function must pass the merge
+/// law.
+#[must_use]
+pub fn check_registry(registry: &SummaryRegistry) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for contract in registry.contracts() {
+        let name = contract.function.name();
+        for kind in ALL_UPDATE_KINDS {
+            if contract.strategy_for(kind).is_none() {
+                out.push(Diagnostic::new(
+                    RULE_MISSING_STRATEGY,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "function `{name}` declares no maintenance strategy for {kind} updates"
+                    ),
+                ));
+            }
+        }
+        if contract.declared_incremental {
+            match verify_merge_law(&contract.function) {
+                MergeLawStatus::Verified => {}
+                MergeLawStatus::NoAuxiliaryState => out.push(Diagnostic::new(
+                    RULE_UNVERIFIED_MERGE,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "function `{name}` is declared incremental but builds no auxiliary state"
+                    ),
+                )),
+                MergeLawStatus::Unmergeable(why) => out.push(Diagnostic::new(
+                    RULE_UNVERIFIED_MERGE,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "function `{name}` is declared incremental but its auxiliary state has no merge law: {why}"
+                    ),
+                )),
+                MergeLawStatus::Mismatch(why) => out.push(Diagnostic::new(
+                    RULE_UNVERIFIED_MERGE,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "function `{name}` is declared incremental but merging violates the law: {why}"
+                    ),
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// Audit a rule store against the base columns of each view: every
+/// input an active rule reads must resolve to a base column or to
+/// another ruled derived attribute of the same view. `base_columns`
+/// maps a view name to its base-relation column names.
+#[must_use]
+pub fn check_rules(
+    rules: &RuleStore,
+    base_columns: &dyn Fn(&str) -> Vec<String>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for view in rules.views() {
+        let base: BTreeSet<String> = base_columns(view).into_iter().collect();
+        let derived: BTreeSet<String> = rules
+            .rules_for_view(view)
+            .iter()
+            .map(|(attr, _)| (*attr).to_string())
+            .collect();
+        for (attr, rule) in rules.rules_for_view(view) {
+            for input in rule.input_attributes() {
+                if !base.contains(&input) && !derived.contains(&input) {
+                    out.push(Diagnostic::new(
+                        RULE_DANGLING_INPUT,
+                        &format!("<rule-store:{view}>"),
+                        0,
+                        format!(
+                            "rule for derived attribute `{attr}` reads `{input}`, which is neither a base column of `{view}` nor a ruled derived attribute"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run every semantic check against the system's *actual* registered
+/// metadata: the standing summary registry and an empty rule store
+/// extended by nothing (the workspace run wires real stores in via
+/// [`check_registry`] / [`check_rules`] from the driver).
+#[must_use]
+pub fn check_standing() -> Vec<Diagnostic> {
+    check_registry(&SummaryRegistry::standing())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbms_summary::{FunctionContract, MaintenanceStrategy, StatFunction, UpdateKind};
+
+    #[test]
+    fn standing_registry_is_clean() {
+        assert!(check_standing().is_empty(), "{:?}", check_standing());
+    }
+
+    #[test]
+    fn missing_strategy_detected_per_kind() {
+        let mut r = SummaryRegistry::new();
+        r.register(
+            FunctionContract::new(StatFunction::Sum, false)
+                .with(UpdateKind::Insert, MaintenanceStrategy::IncrementalDelta),
+        );
+        let found = check_registry(&r);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|d| d.lint.id == "rule-missing-strategy"));
+        assert!(found.iter().any(|d| d.message.contains("delete")));
+        assert!(found.iter().any(|d| d.message.contains("overwrite")));
+    }
+
+    #[test]
+    fn incremental_median_fails_merge_law() {
+        // Median's window is order-dependent: declaring it incremental
+        // is exactly the unsoundness the checker must catch.
+        let mut r = SummaryRegistry::new();
+        let mut c = FunctionContract::new(StatFunction::Median, true);
+        for k in sdbms_summary::ALL_UPDATE_KINDS {
+            c = c.with(k, MaintenanceStrategy::IncrementalDelta);
+        }
+        r.register(c);
+        let found = check_registry(&r);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].lint.id, "rule-unverified-merge");
+        assert!(found[0].message.contains("median"));
+    }
+
+    #[test]
+    fn incremental_without_aux_fails() {
+        let mut c = FunctionContract::new(StatFunction::TrimmedMean(50, 950), true);
+        for k in sdbms_summary::ALL_UPDATE_KINDS {
+            c = c.with(k, MaintenanceStrategy::IncrementalDelta);
+        }
+        let mut r = SummaryRegistry::new();
+        r.register(c);
+        let found = check_registry(&r);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("no auxiliary state"));
+    }
+
+    #[test]
+    fn dangling_rule_input_detected() {
+        use sdbms_management::{DerivedRule, RuleStore};
+        use sdbms_relational::Expr;
+        let mut rules = RuleStore::new();
+        rules.register(
+            "v",
+            "LOG_X",
+            DerivedRule::Local {
+                expr: Expr::col("X"),
+            },
+        );
+        rules.register(
+            "v",
+            "GHOST",
+            DerivedRule::MarkStale {
+                inputs: vec!["NO_SUCH_COLUMN".into()],
+            },
+        );
+        let base = |view: &str| -> Vec<String> {
+            assert_eq!(view, "v");
+            vec!["X".into(), "Y".into()]
+        };
+        let found = check_rules(&rules, &base);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].lint.id, "rule-dangling-input");
+        assert!(found[0].message.contains("NO_SUCH_COLUMN"));
+        assert!(found[0].file.contains("v"));
+    }
+
+    #[test]
+    fn derived_attribute_chain_is_allowed() {
+        use sdbms_management::{DerivedRule, RuleStore};
+        use sdbms_relational::Expr;
+        let mut rules = RuleStore::new();
+        rules.register(
+            "v",
+            "A2",
+            DerivedRule::Local {
+                expr: Expr::col("A"),
+            },
+        );
+        rules.register(
+            "v",
+            "A3",
+            DerivedRule::Local {
+                expr: Expr::col("A2"),
+            },
+        );
+        let base = |_: &str| vec!["A".to_string()];
+        assert!(check_rules(&rules, &base).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Known-bad fixture: lossy casts and undocumented public items.
+//! Expected findings (see ../fixtures.rs):
+//!   line 10  lossy-cast     (as usize)
+//!   line 15  lossy-cast     (as f32)
+//!   line 18  missing-docs   (pub fn, no doc comment)
+//!   line 21  missing-docs   (pub struct behind a derive, no docs)
+
+/// Truncates a float into a bin index without justification.
+pub fn to_index(x: f64) -> usize {
+    x as usize
+}
+
+/// Narrows precision without justification.
+pub fn shrink(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn undocumented() {}
+
+#[derive(Debug)]
+pub struct Undocumented;
+
+/// Widening to f64 is the blessed idiom and must not be flagged.
+pub fn widen(n: u64) -> f64 {
+    n as f64
+}
+
+pub(crate) fn crate_private_needs_no_docs() {}

@@ -1,0 +1,36 @@
+//! Known-bad fixture: panicking constructs in non-test library code.
+//! Expected findings (see ../fixtures.rs):
+//!   line 10  no-panic   (.unwrap)
+//!   line 15  no-panic   (.expect)
+//!   line 20  no-panic   (panic!)
+//!   line 25  no-panic   (unreachable!)
+
+/// Unwraps an option.
+pub fn uses_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Expects an option.
+pub fn uses_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+/// Panics outright.
+pub fn uses_panic() {
+    panic!("boom");
+}
+
+/// Claims unreachability.
+pub fn uses_unreachable() {
+    unreachable!();
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be reported.
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! Known-bad fixture: an unaudited Relaxed ordering and fault-seam
+//! bypasses. Expected findings (see ../fixtures.rs):
+//!   line 12  relaxed-ordering
+//!   line 17  fault-seam-bypass   (DiskManager)
+//!   line 22  fault-seam-bypass   (ArchiveStore)
+//!   line 29  unjustified-allow   (directive without reason)
+//!   line 30  relaxed-ordering    (not suppressed by the bare allow)
+
+/// Bumps a counter with no ordering audit.
+pub fn bump(c: &std::sync::atomic::AtomicU64) {
+    use std::sync::atomic::Ordering;
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Builds a disk around the injection seam.
+pub fn bare_disk(t: Tracker) -> DiskManager {
+    DiskManager::new(t)
+}
+
+/// Builds an archive around the injection seam.
+pub fn bare_archive(t: Tracker) -> ArchiveStore {
+    ArchiveStore::new(t)
+}
+
+/// A justified allow suppresses; a bare one does not.
+pub fn audited(c: &std::sync::atomic::AtomicU64) {
+    use std::sync::atomic::Ordering;
+    c.load(Ordering::SeqCst);
+    // lint: allow(relaxed-ordering)
+    c.fetch_add(1, Ordering::Relaxed);
+    // lint: allow(relaxed-ordering): independent monotone counter read after join
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -209,6 +209,7 @@ impl DifferentialProgram {
             .terms
             .iter()
             .position(|&x| x == t)
+            // lint: allow(no-panic): differentiate() registers every RowTerm the expression mentions before this runs
             .expect("terms collected at differentiation time");
         self.state[i]
     }
@@ -230,6 +231,7 @@ impl DifferentialProgram {
                 }
             }
             AggExpr::MedianOf | AggExpr::MinOf | AggExpr::MaxOf => {
+                // lint: allow(no-panic): differentiate() returns NotDifferentiable for these variants, so no DifferencedAggregate holds them
                 unreachable!("rejected at differentiation time")
             }
         }
@@ -268,10 +270,10 @@ mod tests {
         p.initialize(&d);
         assert!((p.evaluate().unwrap() - descriptive::mean(&d).unwrap()).abs() < 1e-9);
         // A hundred replacements, no data access.
-        for i in 0..100 {
-            let old = d[i];
-            d[i] = old * 2.0 + 1.0;
-            p.replace(old, d[i]);
+        for x in d.iter_mut().take(100) {
+            let old = *x;
+            *x = old * 2.0 + 1.0;
+            p.replace(old, *x);
         }
         assert!((p.evaluate().unwrap() - descriptive::mean(&d).unwrap()).abs() < 1e-9);
     }

@@ -42,7 +42,10 @@ impl fmt::Display for ManagementError {
                 write!(f, "no version {version} (history is at {current})")
             }
             ManagementError::NoSuchRule { view, attribute } => {
-                write!(f, "no rule for derived attribute {attribute:?} of view {view:?}")
+                write!(
+                    f,
+                    "no rule for derived attribute {attribute:?} of view {view:?}"
+                )
             }
             ManagementError::NotDifferentiable(what) => {
                 write!(f, "no incremental form: {what}")

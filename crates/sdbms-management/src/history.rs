@@ -295,7 +295,10 @@ mod tests {
         });
         assert_eq!(v, 2);
         assert!(h.undo_to(0).unwrap().len() == 1, "recovery has no inverse");
-        assert!(h.cleaning_log().len() == 1, "recovery is not a cleaning action");
+        assert!(
+            h.cleaning_log().len() == 1,
+            "recovery is not a cleaning action"
+        );
         let shown = h.records().last().unwrap().1.to_string();
         assert_eq!(shown, "recovery: invalidated 3 summary entries for AGE");
     }

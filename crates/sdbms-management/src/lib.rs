@@ -20,6 +20,7 @@
 //!   contains order statistics.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod differencing;

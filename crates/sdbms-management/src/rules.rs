@@ -161,6 +161,22 @@ impl RuleStore {
     pub fn drop_view(&mut self, view: &str) {
         self.rules.retain(|(v, _), _| v != view);
     }
+
+    /// Every view that has at least one rule, sorted and deduplicated.
+    #[must_use]
+    pub fn views(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.rules.keys().map(|(v, _)| v.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Is there a rule for this derived attribute?
+    #[must_use]
+    pub fn has_rule(&self, view: &str, attribute: &str) -> bool {
+        self.rules
+            .contains_key(&(view.to_string(), attribute.to_string()))
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +250,10 @@ mod tests {
     #[test]
     fn cost_classes() {
         let s = store();
-        assert_eq!(s.rule("v1", "LOG_INCOME").unwrap().cost_class(), "local(1 row)");
+        assert_eq!(
+            s.rule("v1", "LOG_INCOME").unwrap().cost_class(),
+            "local(1 row)"
+        );
         assert_eq!(
             s.rule("v1", "RESID").unwrap().cost_class(),
             "regenerate(n rows)"

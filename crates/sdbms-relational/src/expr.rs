@@ -214,8 +214,7 @@ impl BoundExpr {
             BoundExpr::Column(i) => row[*i].clone(),
             BoundExpr::Literal(v) => v.clone(),
             BoundExpr::Binary { op, left, right } => {
-                let (Some(l), Some(r)) = (left.eval(row).as_f64(), right.eval(row).as_f64())
-                else {
+                let (Some(l), Some(r)) = (left.eval(row).as_f64(), right.eval(row).as_f64()) else {
                     return Value::Missing;
                 };
                 let x = match op {
@@ -478,7 +477,11 @@ mod tests {
     }
 
     fn row(sex: &str, age: i64, income: f64) -> Vec<Value> {
-        vec![Value::Str(sex.into()), Value::Int(age), Value::Float(income)]
+        vec![
+            Value::Str(sex.into()),
+            Value::Int(age),
+            Value::Float(income),
+        ]
     }
 
     #[test]
@@ -490,10 +493,7 @@ mod tests {
             .unwrap();
         assert_eq!(e.eval(&row("M", 30, 42_000.0)), Value::Float(42.0));
         let ln = Expr::col("INCOME").apply(ScalarFunc::Ln).bind(&s).unwrap();
-        assert_eq!(
-            ln.eval(&row("M", 30, 1.0)),
-            Value::Float(0.0)
-        );
+        assert_eq!(ln.eval(&row("M", 30, 1.0)), Value::Float(0.0));
         assert_eq!(ln.eval(&row("M", 30, -5.0)), Value::Missing);
         let neg = Expr::col("AGE").apply(ScalarFunc::Neg).bind(&s).unwrap();
         assert_eq!(neg.eval(&row("M", 30, 0.0)), Value::Float(-30.0));
@@ -527,7 +527,11 @@ mod tests {
     fn predicates_basic() {
         let s = schema();
         let p = Predicate::col_eq("SEX", "M")
-            .and(Predicate::cmp(Expr::col("AGE"), CmpOp::Ge, Expr::lit(21i64)))
+            .and(Predicate::cmp(
+                Expr::col("AGE"),
+                CmpOp::Ge,
+                Expr::lit(21i64),
+            ))
             .bind(&s)
             .unwrap();
         assert!(p.eval(&row("M", 30, 0.0)));
@@ -573,11 +577,17 @@ mod tests {
     #[test]
     fn referenced_columns_collected() {
         let e = Expr::col("A").binary(BinOp::Add, Expr::col("B").apply(ScalarFunc::Abs));
-        assert_eq!(e.referenced_columns(), vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["A".to_string(), "B".to_string()]
+        );
         let p = Predicate::col_eq("X", 1i64)
             .or(Predicate::IsMissing("Y".into()))
             .negate();
-        assert_eq!(p.referenced_columns(), vec!["X".to_string(), "Y".to_string()]);
+        assert_eq!(
+            p.referenced_columns(),
+            vec!["X".to_string(), "Y".to_string()]
+        );
     }
 
     #[test]

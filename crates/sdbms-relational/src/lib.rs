@@ -17,6 +17,7 @@
 //!   §2.3 duplicate-view check.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod expr;
 pub mod ops;

@@ -10,9 +10,7 @@
 
 use std::collections::HashMap;
 
-use sdbms_data::{
-    Attribute, AttributeRole, DataSet, DataType, Schema, Value,
-};
+use sdbms_data::{Attribute, AttributeRole, DataSet, DataType, Schema, Value};
 
 use crate::expr::{Expr, Predicate, Result};
 
@@ -25,11 +23,7 @@ pub fn select(ds: &DataSet, pred: &Predicate) -> Result<DataSet> {
         .filter(|r| bound.eval(r))
         .cloned()
         .collect();
-    DataSet::from_rows(
-        &format!("{}_select", ds.name()),
-        ds.schema().clone(),
-        rows,
-    )
+    DataSet::from_rows(&format!("{}_select", ds.name()), ds.schema().clone(), rows)
 }
 
 /// [`select`] evaluated morsel-parallel: workers evaluate the bound
@@ -43,11 +37,7 @@ pub fn par_select(ds: &DataSet, pred: &Predicate, cfg: &sdbms_exec::ExecConfig) 
         Ok(bound.eval(&all_rows[i]))
     })?;
     let rows = keep.iter().map(|&i| all_rows[i].clone()).collect();
-    DataSet::from_rows(
-        &format!("{}_select", ds.name()),
-        ds.schema().clone(),
-        rows,
-    )
+    DataSet::from_rows(&format!("{}_select", ds.name()), ds.schema().clone(), rows)
 }
 
 /// [`project`] evaluated morsel-parallel: workers materialize the
@@ -60,16 +50,13 @@ pub fn par_project(ds: &DataSet, names: &[&str], cfg: &sdbms_exec::ExecConfig) -
         .map(|n| ds.schema().require(n))
         .collect::<Result<_>>()?;
     let all_rows = ds.rows();
-    let chunks = sdbms_exec::scan_morsels::<_, sdbms_data::DataError, _>(
-        all_rows.len(),
-        cfg,
-        |m| {
+    let chunks =
+        sdbms_exec::scan_morsels::<_, sdbms_data::DataError, _>(all_rows.len(), cfg, |m| {
             Ok(all_rows[m.start..m.start + m.len]
                 .iter()
                 .map(|r| idx.iter().map(|&i| r[i].clone()).collect::<Vec<Value>>())
                 .collect::<Vec<_>>())
-        },
-    )?;
+        })?;
     let rows = chunks.into_iter().flatten().collect();
     DataSet::from_rows(&format!("{}_project", ds.name()), schema, rows)
 }
@@ -92,9 +79,7 @@ pub fn project(ds: &DataSet, names: &[&str]) -> Result<DataSet> {
 /// `ds` extended with a computed column `name = expr` (role Derived).
 pub fn extend(ds: &DataSet, name: &str, dtype: DataType, expr: &Expr) -> Result<DataSet> {
     let bound = expr.bind(ds.schema())?;
-    let schema = ds
-        .schema()
-        .with_appended(Attribute::derived(name, dtype))?;
+    let schema = ds.schema().with_appended(Attribute::derived(name, dtype))?;
     let rows: Vec<Vec<Value>> = ds
         .rows()
         .iter()
@@ -237,7 +222,11 @@ pub fn distinct(ds: &DataSet) -> Result<DataSet> {
         .filter(|r| seen.insert(format!("{r:?}")))
         .cloned()
         .collect();
-    DataSet::from_rows(&format!("{}_distinct", ds.name()), ds.schema().clone(), rows)
+    DataSet::from_rows(
+        &format!("{}_distinct", ds.name()),
+        ds.schema().clone(),
+        rows,
+    )
 }
 
 /// Aggregate functions for [`group_aggregate`].
@@ -301,11 +290,7 @@ impl Aggregate {
 /// Group rows by `group_attrs` and compute `aggs` per group. Group
 /// order is first-occurrence order; missing group values form their own
 /// group.
-pub fn group_aggregate(
-    ds: &DataSet,
-    group_attrs: &[&str],
-    aggs: &[Aggregate],
-) -> Result<DataSet> {
+pub fn group_aggregate(ds: &DataSet, group_attrs: &[&str], aggs: &[Aggregate]) -> Result<DataSet> {
     let gidx: Vec<usize> = group_attrs
         .iter()
         .map(|n| ds.schema().require(n))
@@ -402,11 +387,13 @@ fn compute_agg(
                 AggFunc::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
                 AggFunc::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
                 AggFunc::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                // lint: allow(no-panic): the enclosing match arm admits only Sum/Mean/Min/Max
                 _ => unreachable!(),
             };
             Ok(Value::Float(x))
         }
         AggFunc::WeightedMean { .. } => {
+            // lint: allow(no-panic): the aggregate planner resolves the weight column before building a WeightedMean
             let wcol = weight_col.expect("weight column resolved in plan");
             let mut num = 0.0;
             let mut den = 0.0;
@@ -435,10 +422,7 @@ mod tests {
     fn select_males_from_figure1() {
         let out = select(&figure1(), &Predicate::col_eq("SEX", "M")).unwrap();
         assert_eq!(out.len(), 5);
-        assert!(out
-            .column("SEX")
-            .unwrap()
-            .all(|v| v.as_str() == Some("M")));
+        assert!(out.column("SEX").unwrap().all(|v| v.as_str() == Some("M")));
         let none = select(
             &figure1(),
             &Predicate::col_eq("SEX", "M").and(Predicate::col_eq("SEX", "F")),
@@ -455,11 +439,7 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let pred = Predicate::cmp(
-            Expr::col("AGE"),
-            CmpOp::Gt,
-            Expr::lit(40.0),
-        );
+        let pred = Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(40.0));
         let serial_sel = select(&ds, &pred).unwrap();
         let serial_proj = project(&ds, &["INCOME", "AGE"]).unwrap();
         for workers in [1, 2, 4, 8] {
@@ -589,8 +569,8 @@ mod tests {
         let pop = out.value(0, "POPULATION").unwrap().as_f64().unwrap();
         assert_eq!(pop, 12_300_347.0 + 15_821_497.0);
         let sal = out.value(0, "AVE_SALARY").unwrap().as_f64().unwrap();
-        let expect = (12_300_347.0 * 33_122.0 + 15_821_497.0 * 31_762.0)
-            / (12_300_347.0 + 15_821_497.0);
+        let expect =
+            (12_300_347.0 * 33_122.0 + 15_821_497.0 * 31_762.0) / (12_300_347.0 + 15_821_497.0);
         assert!((sal - expect).abs() < 1e-6);
         // The lone (B, 1) group passes through unchanged.
         let b_sal = out.value(4, "AVE_SALARY").unwrap().as_f64().unwrap();

@@ -185,10 +185,7 @@ impl ViewDefinition {
 
     /// Execute the pipeline. `resolve` maps a source name to its data
     /// set (in `sdbms-core` this is an archive extraction).
-    pub fn execute(
-        &self,
-        resolve: &mut dyn FnMut(&str) -> Result<DataSet>,
-    ) -> Result<DataSet> {
+    pub fn execute(&self, resolve: &mut dyn FnMut(&str) -> Result<DataSet>) -> Result<DataSet> {
         let mut current = resolve(&self.source)?;
         for step in &self.steps {
             current = match step {
@@ -276,9 +273,9 @@ fn sample_rows(ds: &DataSet, k: usize, seed: u64) -> Result<DataSet> {
 mod tests {
     use super::*;
     use crate::expr::ScalarFunc;
-    use sdbms_data::DataError;
     use crate::ops::{AggFunc, Aggregate};
     use sdbms_data::census::figure1;
+    use sdbms_data::DataError;
     use sdbms_data::{CodeBook, Value};
 
     fn resolver() -> impl FnMut(&str) -> Result<DataSet> {
@@ -310,8 +307,14 @@ mod tests {
             .project(&["VALUE", "POPULATION", "LOG_SALARY"]);
         let out = def.execute(&mut resolver()).unwrap();
         assert_eq!(out.len(), 5);
-        assert_eq!(out.schema().names(), vec!["VALUE", "POPULATION", "LOG_SALARY"]);
-        assert_eq!(out.value(0, "VALUE").unwrap(), &Value::Str("0 to 20".into()));
+        assert_eq!(
+            out.schema().names(),
+            vec!["VALUE", "POPULATION", "LOG_SALARY"]
+        );
+        assert_eq!(
+            out.value(0, "VALUE").unwrap(),
+            &Value::Str("0 to 20".into())
+        );
     }
 
     #[test]
@@ -344,7 +347,10 @@ mod tests {
         let def = ViewDefinition::scan("v", "figure1")
             .join("age_codes", "AGE_GROUP", "CATEGORY")
             .join("age_codes", "AGE_GROUP", "CATEGORY");
-        assert_eq!(def.sources(), vec!["age_codes".to_string(), "figure1".to_string()]);
+        assert_eq!(
+            def.sources(),
+            vec!["age_codes".to_string(), "figure1".to_string()]
+        );
     }
 
     #[test]

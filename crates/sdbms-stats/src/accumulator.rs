@@ -78,7 +78,7 @@ impl Moments {
         if self.n < 2 {
             return Err(StatsError::NotEnoughData {
                 needed: 2,
-                got: self.n as usize,
+                got: usize::try_from(self.n).unwrap_or(usize::MAX),
             });
         }
         Ok(self.m2 / (self.n as f64 - 1.0))
@@ -193,8 +193,7 @@ impl MinMaxAcc {
     /// (`None` when empty).
     #[must_use]
     pub fn parts(&self) -> Option<(f64, u64, f64, u64)> {
-        self.state
-            .map(|s| (s.min, s.min_count, s.max, s.max_count))
+        self.state.map(|s| (s.min, s.min_count, s.max, s.max_count))
     }
 
     /// Rebuild from raw parts — for deserializing a persisted
@@ -327,9 +326,7 @@ mod tests {
         let acc = Moments::from_slice(&xs);
         assert_eq!(acc.count(), 8);
         assert_eq!(acc.mean().unwrap(), descriptive::mean(&xs).unwrap());
-        assert!(
-            (acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-12
-        );
+        assert!((acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-12);
         assert!((acc.sum() - 40.0).abs() < 1e-12);
     }
 
@@ -341,9 +338,7 @@ mod tests {
         acc.remove(99.0).unwrap();
         assert_eq!(acc.count(), 4);
         assert!((acc.mean().unwrap() - 2.5).abs() < 1e-9);
-        assert!(
-            (acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-9
-        );
+        assert!((acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -362,9 +357,7 @@ mod tests {
         acc.replace(30.0, 35.0).unwrap();
         xs[2] = 35.0;
         assert!((acc.mean().unwrap() - descriptive::mean(&xs).unwrap()).abs() < 1e-9);
-        assert!(
-            (acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-9
-        );
+        assert!((acc.variance().unwrap() - descriptive::variance(&xs).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -376,9 +369,7 @@ mod tests {
         let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
         assert_eq!(acc.count(), 7);
         assert!((acc.mean().unwrap() - descriptive::mean(&all).unwrap()).abs() < 1e-12);
-        assert!(
-            (acc.variance().unwrap() - descriptive::variance(&all).unwrap()).abs() < 1e-12
-        );
+        assert!((acc.variance().unwrap() - descriptive::variance(&all).unwrap()).abs() < 1e-12);
         // Merging an empty accumulator is a no-op in both directions.
         let mut e = Moments::new();
         e.merge(&acc);

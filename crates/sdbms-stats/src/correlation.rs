@@ -144,7 +144,9 @@ mod tests {
         // Deterministic pseudo-noise via a simple LCG.
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let xs: Vec<f64> = (0..2000).map(|_| next()).collect();

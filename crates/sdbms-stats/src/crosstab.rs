@@ -159,7 +159,10 @@ impl CrossTab {
             .zip(&self.counts)
             .map(|(label, row)| {
                 let mut r: Vec<Value> = vec![Value::Str(label.clone())];
-                r.extend(row.iter().map(|&c| Value::Int(c as i64)));
+                r.extend(
+                    row.iter()
+                        .map(|&c| Value::Int(i64::try_from(c).unwrap_or(i64::MAX))),
+                );
                 r
             })
             .collect();
@@ -180,11 +183,7 @@ impl CrossTab {
         let ct = self.col_totals();
         Ok(rt
             .iter()
-            .map(|&r| {
-                ct.iter()
-                    .map(|&c| r as f64 * c as f64 / n as f64)
-                    .collect()
-            })
+            .map(|&r| ct.iter().map(|&c| r as f64 * c as f64 / n as f64).collect())
             .collect())
     }
 }

@@ -250,7 +250,7 @@ mod tests {
     fn kahan_sum_is_accurate() {
         // 1 + 1e16 - 1e16 pattern defeats naive summation.
         let mut xs = vec![1e16, 1.0, -1e16];
-        xs.extend(std::iter::repeat(1.0).take(10));
+        xs.extend(std::iter::repeat_n(1.0, 10));
         assert_eq!(sum(&xs), 11.0);
     }
 

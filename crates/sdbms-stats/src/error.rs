@@ -41,7 +41,10 @@ impl fmt::Display for StatsError {
                 write!(f, "paired inputs differ in length: {left} vs {right}")
             }
             StatsError::NotSummarizable(attr) => {
-                write!(f, "attribute {attr:?} is not summarizable (see its metadata)")
+                write!(
+                    f,
+                    "attribute {attr:?} is not summarizable (see its metadata)"
+                )
             }
             StatsError::Data(e) => write!(f, "data error: {e}"),
         }

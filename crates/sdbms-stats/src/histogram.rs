@@ -93,11 +93,13 @@ impl Histogram {
 
     fn bin_of(&self, x: f64) -> Option<usize> {
         let lo = self.edges[0];
+        // lint: allow(no-panic): with_range rejects bins == 0, so every histogram has at least two edges
         let hi = *self.edges.last().expect("edges nonempty");
         if x < lo || x >= hi || x.is_nan() {
             return None;
         }
         let width = (hi - lo) / self.counts.len() as f64;
+        // lint: allow(lossy-cast): the truncation IS the binning operation; x in [lo, hi) bounds the quotient to [0, bins)
         let i = ((x - lo) / width) as usize;
         Some(i.min(self.counts.len() - 1))
     }
@@ -174,6 +176,7 @@ pub fn freedman_diaconis_bins(xs: &[f64]) -> Result<usize> {
         return Ok(1);
     }
     let width = 2.0 * iqr / (xs.len() as f64).cbrt();
+    // lint: allow(lossy-cast): float-to-int casts saturate, and the clamp to [1, 10_000] immediately bounds the result
     Ok((((hi - lo) / width).ceil() as usize).clamp(1, 10_000))
 }
 

@@ -189,7 +189,12 @@ mod tests {
         assert!(r.significant_at(0.001));
         assert_eq!(r.df, 1.0);
         // Perfect independence.
-        let indep = table(&[("x", "p", 20), ("x", "q", 20), ("y", "p", 20), ("y", "q", 20)]);
+        let indep = table(&[
+            ("x", "p", 20),
+            ("x", "q", 20),
+            ("y", "p", 20),
+            ("y", "q", 20),
+        ]);
         let r2 = chi_squared_independence(&indep).unwrap();
         assert!(r2.statistic < 1e-9);
         assert!((r2.p_value - 1.0).abs() < 1e-9);

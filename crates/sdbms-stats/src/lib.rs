@@ -25,6 +25,7 @@
 //!   exploratory responsiveness (§2.2).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod accumulator;
 pub mod correlation;

@@ -32,7 +32,9 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
         return sorted[0];
     }
     let h = q * (n as f64 - 1.0);
+    // lint: allow(lossy-cast): h lies in [0, n-1] under the documented q in [0,1] contract (validated by `quantile`), so floor/ceil fit in usize exactly
     let lo = h.floor() as usize;
+    // lint: allow(lossy-cast): same bound as the floor above
     let hi = h.ceil() as usize;
     if lo == hi {
         sorted[lo]

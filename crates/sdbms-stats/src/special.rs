@@ -188,7 +188,7 @@ mod tests {
     fn gamma_p_known_values() {
         // P(1, x) = 1 - e^{-x}
         for &x in &[0.1, 1.0, 3.0, 10.0] {
-            close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
         }
     }
 

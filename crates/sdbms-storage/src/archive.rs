@@ -272,7 +272,10 @@ impl ReelReader {
     fn read_attempt(&mut self) -> Result<Arc<[u8]>> {
         let index = self.position as u64;
         let len = self.blocks.get(self.position).map_or(0, |b| b.data.len());
-        match self.injector.decide(Device::Archive, IoOp::Read, index, len) {
+        match self
+            .injector
+            .decide(Device::Archive, IoOp::Read, index, len)
+        {
             Some(InjectedFault::Crash) => return Err(StorageError::Crashed),
             Some(InjectedFault::Transient) => {
                 self.tracker.count_archive_read();

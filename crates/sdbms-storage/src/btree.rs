@@ -124,25 +124,26 @@ impl Node {
 
     fn read_from(p: &Page) -> Result<Node> {
         #[allow(clippy::type_complexity)] // local helper, not API surface
-        let read_pairs = |p: &Page, mut off: usize, n: usize| -> Result<(Vec<(Vec<u8>, u64)>, usize)> {
-            let mut out = Vec::with_capacity(n);
-            for _ in 0..n {
-                if off + 2 > PAGE_SIZE {
-                    return Err(StorageError::Corrupt("entry header past page end"));
+        let read_pairs =
+            |p: &Page, mut off: usize, n: usize| -> Result<(Vec<(Vec<u8>, u64)>, usize)> {
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if off + 2 > PAGE_SIZE {
+                        return Err(StorageError::Corrupt("entry header past page end"));
+                    }
+                    let klen = p.get_u16(off) as usize;
+                    off += 2;
+                    if off + klen + 8 > PAGE_SIZE {
+                        return Err(StorageError::Corrupt("entry past page end"));
+                    }
+                    let k = p.slice(off, klen).to_vec();
+                    off += klen;
+                    let v = p.get_u64(off);
+                    off += 8;
+                    out.push((k, v));
                 }
-                let klen = p.get_u16(off) as usize;
-                off += 2;
-                if off + klen + 8 > PAGE_SIZE {
-                    return Err(StorageError::Corrupt("entry past page end"));
-                }
-                let k = p.slice(off, klen).to_vec();
-                off += klen;
-                let v = p.get_u64(off);
-                off += 8;
-                out.push((k, v));
-            }
-            Ok((out, off))
-        };
+                Ok((out, off))
+            };
         match p.bytes()[0] {
             0 => {
                 let n = p.get_u16(1) as usize;
@@ -271,9 +272,7 @@ impl BTree {
         let mut node = self.load(pid)?;
         match &mut node {
             Node::Leaf { entries, .. } => {
-                let pos = match entries
-                    .binary_search_by(|(k, v)| cmp_entry(k, *v, key, value))
-                {
+                let pos = match entries.binary_search_by(|(k, v)| cmp_entry(k, *v, key, value)) {
                     Ok(_) => return Ok(InsertOutcome::Duplicate),
                     Err(p) => p,
                 };
@@ -284,6 +283,7 @@ impl BTree {
                 }
                 // Split near the byte-size midpoint.
                 let Node::Leaf { entries, next } = node else {
+                    // lint: allow(no-panic): node was destructured as Leaf at the top of this arm; rebinding cannot change the variant
                     unreachable!()
                 };
                 let total: usize = entries.iter().map(|(k, _)| 2 + k.len() + 8).sum();
@@ -325,6 +325,7 @@ impl BTree {
                             return Ok(InsertOutcome::Done);
                         }
                         let Node::Internal { seps, children } = node else {
+                            // lint: allow(no-panic): node was destructured as Internal at the top of this arm; rebinding cannot change the variant
                             unreachable!()
                         };
                         let mid = seps.len() / 2;

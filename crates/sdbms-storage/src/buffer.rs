@@ -411,7 +411,7 @@ mod tests {
         drop(p.fetch(pid).unwrap());
         let (_, g2) = p.new_page().unwrap();
         drop(g2);
-        assert_eq!(p.tracker().snapshot().page_writes, w0 + 0);
+        assert_eq!(p.tracker().snapshot().page_writes, w0);
     }
 
     #[test]

@@ -17,6 +17,39 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// One monotone event counter.
+///
+/// The only place in the accounting layer that touches atomic memory
+/// orderings. `Relaxed` is sound here and nowhere weaker would do:
+/// each counter is independent (no cross-counter invariant is read
+/// concurrently), increments are atomic read-modify-writes (no lost
+/// updates at any ordering), and exact totals are only asserted after
+/// the producing threads have been joined — the join itself is the
+/// synchronisation edge that publishes the final values.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        // lint: allow(relaxed-ordering): independent monotone counter; RMW atomicity prevents lost updates and thread join publishes totals
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        // lint: allow(relaxed-ordering): single-counter read; exactness is only claimed for quiesced (joined) producers
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between experiment phases, while quiesced).
+    pub fn zero(&self) {
+        // lint: allow(relaxed-ordering): reset runs between phases with no concurrent producers
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Shared, thread-safe I/O counters.
 ///
 /// Cloning the wrapper [`Tracker`] shares the same counters; call
@@ -25,25 +58,25 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct IoStats {
     /// Pages fetched from the simulated disk into the buffer pool.
-    pub page_reads: AtomicU64,
+    pub page_reads: Counter,
     /// Dirty pages written back to the simulated disk.
-    pub page_writes: AtomicU64,
+    pub page_writes: Counter,
     /// Non-sequential disk accesses (head movement).
-    pub seeks: AtomicU64,
+    pub seeks: Counter,
     /// Buffer pool hits (requests satisfied without disk I/O).
-    pub pool_hits: AtomicU64,
+    pub pool_hits: Counter,
     /// Blocks read from archive (tape) reels.
-    pub archive_block_reads: AtomicU64,
+    pub archive_block_reads: Counter,
     /// Blocks skipped or rewound over to reposition an archive reel.
-    pub archive_repositioned_blocks: AtomicU64,
+    pub archive_repositioned_blocks: Counter,
     /// Tuples produced by relational / statistical operators.
-    pub tuples: AtomicU64,
+    pub tuples: Counter,
     /// I/O attempts re-issued after a transient fault.
-    pub retries: AtomicU64,
+    pub retries: Counter,
     /// Abstract backoff delay units charged by the retry policy.
-    pub backoff_units: AtomicU64,
+    pub backoff_units: Counter,
     /// Reads rejected because stored bytes failed CRC verification.
-    pub checksum_failures: AtomicU64,
+    pub checksum_failures: Counter,
 }
 
 /// A point-in-time copy of the counters in [`IoStats`].
@@ -119,33 +152,31 @@ impl IoStats {
     /// Read all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            page_reads: self.page_reads.load(Ordering::Relaxed),
-            page_writes: self.page_writes.load(Ordering::Relaxed),
-            seeks: self.seeks.load(Ordering::Relaxed),
-            pool_hits: self.pool_hits.load(Ordering::Relaxed),
-            archive_block_reads: self.archive_block_reads.load(Ordering::Relaxed),
-            archive_repositioned_blocks: self
-                .archive_repositioned_blocks
-                .load(Ordering::Relaxed),
-            tuples: self.tuples.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            backoff_units: self.backoff_units.load(Ordering::Relaxed),
-            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            page_reads: self.page_reads.get(),
+            page_writes: self.page_writes.get(),
+            seeks: self.seeks.get(),
+            pool_hits: self.pool_hits.get(),
+            archive_block_reads: self.archive_block_reads.get(),
+            archive_repositioned_blocks: self.archive_repositioned_blocks.get(),
+            tuples: self.tuples.get(),
+            retries: self.retries.get(),
+            backoff_units: self.backoff_units.get(),
+            checksum_failures: self.checksum_failures.get(),
         }
     }
 
     /// Reset every counter to zero (between experiment phases).
     pub fn reset(&self) {
-        self.page_reads.store(0, Ordering::Relaxed);
-        self.page_writes.store(0, Ordering::Relaxed);
-        self.seeks.store(0, Ordering::Relaxed);
-        self.pool_hits.store(0, Ordering::Relaxed);
-        self.archive_block_reads.store(0, Ordering::Relaxed);
-        self.archive_repositioned_blocks.store(0, Ordering::Relaxed);
-        self.tuples.store(0, Ordering::Relaxed);
-        self.retries.store(0, Ordering::Relaxed);
-        self.backoff_units.store(0, Ordering::Relaxed);
-        self.checksum_failures.store(0, Ordering::Relaxed);
+        self.page_reads.zero();
+        self.page_writes.zero();
+        self.seeks.zero();
+        self.pool_hits.zero();
+        self.archive_block_reads.zero();
+        self.archive_repositioned_blocks.zero();
+        self.tuples.zero();
+        self.retries.zero();
+        self.backoff_units.zero();
+        self.checksum_failures.zero();
     }
 }
 
@@ -179,69 +210,61 @@ impl Tracker {
 
     /// Charge one disk page read.
     pub fn count_page_read(&self) {
-        self.0.page_reads.fetch_add(1, Ordering::Relaxed);
+        self.0.page_reads.add(1);
     }
     /// Charge one disk page write.
     pub fn count_page_write(&self) {
-        self.0.page_writes.fetch_add(1, Ordering::Relaxed);
+        self.0.page_writes.add(1);
     }
     /// Charge one disk seek.
     pub fn count_seek(&self) {
-        self.0.seeks.fetch_add(1, Ordering::Relaxed);
+        self.0.seeks.add(1);
     }
     /// Charge one buffer-pool hit (no disk I/O).
     pub fn count_pool_hit(&self) {
-        self.0.pool_hits.fetch_add(1, Ordering::Relaxed);
+        self.0.pool_hits.add(1);
     }
     /// Charge one archive block transfer.
     pub fn count_archive_read(&self) {
-        self.0.archive_block_reads.fetch_add(1, Ordering::Relaxed);
+        self.0.archive_block_reads.add(1);
     }
     /// Charge `blocks` of archive repositioning (skip/rewind).
     pub fn count_archive_reposition(&self, blocks: u64) {
-        self.0
-            .archive_repositioned_blocks
-            .fetch_add(blocks, Ordering::Relaxed);
+        self.0.archive_repositioned_blocks.add(blocks);
     }
     /// Charge `n` tuples produced by an operator.
     pub fn count_tuples(&self, n: u64) {
-        self.0.tuples.fetch_add(n, Ordering::Relaxed);
+        self.0.tuples.add(n);
     }
     /// Charge one retried I/O attempt.
     pub fn count_retry(&self) {
-        self.0.retries.fetch_add(1, Ordering::Relaxed);
+        self.0.retries.add(1);
     }
     /// Charge `units` of simulated backoff delay before a retry.
     pub fn count_backoff(&self, units: u64) {
-        self.0.backoff_units.fetch_add(units, Ordering::Relaxed);
+        self.0.backoff_units.add(units);
     }
     /// Charge one CRC verification failure.
     pub fn count_checksum_failure(&self) {
-        self.0.checksum_failures.fetch_add(1, Ordering::Relaxed);
+        self.0.checksum_failures.add(1);
     }
 
     /// Add a snapshot's counts into the shared counters — used when a
     /// parallel worker accounted its I/O on a private tracker and the
     /// coordinator folds the per-worker deltas back in.
     pub fn absorb(&self, s: &IoSnapshot) {
-        self.0.page_reads.fetch_add(s.page_reads, Ordering::Relaxed);
-        self.0.page_writes.fetch_add(s.page_writes, Ordering::Relaxed);
-        self.0.seeks.fetch_add(s.seeks, Ordering::Relaxed);
-        self.0.pool_hits.fetch_add(s.pool_hits, Ordering::Relaxed);
-        self.0
-            .archive_block_reads
-            .fetch_add(s.archive_block_reads, Ordering::Relaxed);
+        self.0.page_reads.add(s.page_reads);
+        self.0.page_writes.add(s.page_writes);
+        self.0.seeks.add(s.seeks);
+        self.0.pool_hits.add(s.pool_hits);
+        self.0.archive_block_reads.add(s.archive_block_reads);
         self.0
             .archive_repositioned_blocks
-            .fetch_add(s.archive_repositioned_blocks, Ordering::Relaxed);
-        self.0.tuples.fetch_add(s.tuples, Ordering::Relaxed);
-        self.0.retries.fetch_add(s.retries, Ordering::Relaxed);
-        self.0
-            .backoff_units
-            .fetch_add(s.backoff_units, Ordering::Relaxed);
-        self.0
-            .checksum_failures
-            .fetch_add(s.checksum_failures, Ordering::Relaxed);
+            .add(s.archive_repositioned_blocks);
+        self.0.tuples.add(s.tuples);
+        self.0.retries.add(s.retries);
+        self.0.backoff_units.add(s.backoff_units);
+        self.0.checksum_failures.add(s.checksum_failures);
     }
 }
 

@@ -159,7 +159,10 @@ impl DiskManager {
 
     fn read_attempt(&self, pid: PageId, out: &mut Page) -> Result<()> {
         let mut inner = self.inner.lock();
-        match self.injector.decide(Device::Disk, IoOp::Read, u64::from(pid), 0) {
+        match self
+            .injector
+            .decide(Device::Disk, IoOp::Read, u64::from(pid), 0)
+        {
             Some(InjectedFault::Crash) => return Err(StorageError::Crashed),
             Some(InjectedFault::Permanent) => {
                 self.charge_access(&mut inner, pid);
@@ -207,9 +210,9 @@ impl DiskManager {
 
     fn write_attempt(&self, pid: PageId, src: &Page) -> Result<()> {
         let mut inner = self.inner.lock();
-        let fault = self
-            .injector
-            .decide(Device::Disk, IoOp::Write, u64::from(pid), src.bytes().len());
+        let fault =
+            self.injector
+                .decide(Device::Disk, IoOp::Write, u64::from(pid), src.bytes().len());
         match fault {
             Some(InjectedFault::Crash) => return Err(StorageError::Crashed),
             Some(InjectedFault::Transient) => {

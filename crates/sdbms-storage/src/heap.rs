@@ -255,7 +255,9 @@ impl HeapFile {
         new_guard.with_mut(init_page);
         let slot = new_guard
             .with_mut(|p| page_insert(p, bytes))
-            .ok_or(StorageError::Corrupt("record does not fit in an empty page"))?;
+            .ok_or(StorageError::Corrupt(
+                "record does not fit in an empty page",
+            ))?;
         drop(new_guard);
         let old_last = self.pool.fetch(last)?;
         old_last.with_mut(|p| set_next_page(p, new_pid));
@@ -423,8 +425,10 @@ impl Iterator for RecordIter<'_> {
                 for i in 0..slot_count(p) {
                     let (off, len) = slot(p, i);
                     if off != 0 {
-                        self.buffered
-                            .push((Rid::new(pid, i), p.slice(off as usize, len as usize).to_vec()));
+                        self.buffered.push((
+                            Rid::new(pid, i),
+                            p.slice(off as usize, len as usize).to_vec(),
+                        ));
                     }
                 }
             });

@@ -43,6 +43,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod archive;
 pub mod btree;

@@ -168,11 +168,7 @@ impl SummaryDb {
     }
 
     /// Look up only if fresh — the common fast path.
-    pub fn lookup_fresh(
-        &self,
-        attribute: &str,
-        function: &StatFunction,
-    ) -> Result<Option<Entry>> {
+    pub fn lookup_fresh(&self, attribute: &str, function: &StatFunction) -> Result<Option<Entry>> {
         Ok(self
             .lookup(attribute, function)?
             .filter(|e| e.freshness == Freshness::Fresh))
@@ -529,9 +525,16 @@ mod tests {
     #[test]
     fn put_lookup_roundtrip() {
         let db = db();
-        let e = entry("POPULATION", StatFunction::Min, SummaryValue::Scalar(2_143_924.0));
+        let e = entry(
+            "POPULATION",
+            StatFunction::Min,
+            SummaryValue::Scalar(2_143_924.0),
+        );
         db.put(&e).unwrap();
-        let got = db.lookup("POPULATION", &StatFunction::Min).unwrap().unwrap();
+        let got = db
+            .lookup("POPULATION", &StatFunction::Min)
+            .unwrap()
+            .unwrap();
         assert_eq!(got, e);
         assert_eq!(db.stats().hits, 1);
         assert!(db
@@ -600,8 +603,15 @@ mod tests {
         assert_eq!(
             attrs,
             vec![
-                "AGE", "AGE", "AGE", "AGE_GROUP", "AGE_GROUP", "AGE_GROUP", "INCOME",
-                "INCOME", "INCOME"
+                "AGE",
+                "AGE",
+                "AGE",
+                "AGE_GROUP",
+                "AGE_GROUP",
+                "AGE_GROUP",
+                "INCOME",
+                "INCOME",
+                "INCOME"
             ]
         );
     }
@@ -672,8 +682,12 @@ mod tests {
         ))
         .unwrap();
         let h = sdbms_stats::Histogram::with_range(0.0, 1.0, 100).unwrap();
-        db.put(&entry("A", StatFunction::Histogram(100), SummaryValue::Histogram(h)))
-            .unwrap();
+        db.put(&entry(
+            "A",
+            StatFunction::Histogram(100),
+            SummaryValue::Histogram(h),
+        ))
+        .unwrap();
         db.put(&entry(
             "A",
             StatFunction::Mode,

@@ -188,18 +188,15 @@ impl StatFunction {
                 if !matches!(self, StatFunction::Median | StatFunction::Quantile(500)) {
                     return None;
                 }
-                let mut w = crate::median_window::MedianWindow::new(
-                    crate::median_window::DEFAULT_WINDOW,
-                );
+                let mut w =
+                    crate::median_window::MedianWindow::new(crate::median_window::DEFAULT_WINDOW);
                 w.rebuild(&nums());
                 Some(AuxState::Window(w))
             }
             MaintenanceClass::Distributional => match self {
-                StatFunction::Histogram(bins) => {
-                    Histogram::from_data(&nums(), usize::from(*bins))
-                        .ok()
-                        .map(AuxState::Histo)
-                }
+                StatFunction::Histogram(bins) => Histogram::from_data(&nums(), usize::from(*bins))
+                    .ok()
+                    .map(AuxState::Histo),
                 _ => {
                     let t = FrequencyTable::from_values(values.iter());
                     // A frequency table over a near-key column is as
@@ -222,28 +219,18 @@ impl StatFunction {
     #[must_use]
     pub fn result_from_aux(&self, aux: &AuxState) -> Option<SummaryValue> {
         match (self, aux) {
-            (StatFunction::Count, AuxState::Moments(m)) => {
-                Some(SummaryValue::Count(m.count()))
-            }
+            (StatFunction::Count, AuxState::Moments(m)) => Some(SummaryValue::Count(m.count())),
             (StatFunction::Sum, AuxState::Moments(m)) => Some(SummaryValue::Scalar(m.sum())),
-            (StatFunction::Mean, AuxState::Moments(m)) => {
-                m.mean().ok().map(SummaryValue::Scalar)
-            }
+            (StatFunction::Mean, AuxState::Moments(m)) => m.mean().ok().map(SummaryValue::Scalar),
             (StatFunction::Variance, AuxState::Moments(m)) => {
                 m.variance().ok().map(SummaryValue::Scalar)
             }
             (StatFunction::StdDev, AuxState::Moments(m)) => {
                 m.std_dev().ok().map(SummaryValue::Scalar)
             }
-            (StatFunction::Min, AuxState::MinMax(mm)) => {
-                mm.min().ok().map(SummaryValue::Scalar)
-            }
-            (StatFunction::Max, AuxState::MinMax(mm)) => {
-                mm.max().ok().map(SummaryValue::Scalar)
-            }
-            (StatFunction::Median, AuxState::Window(w)) => {
-                w.median().map(SummaryValue::Scalar)
-            }
+            (StatFunction::Min, AuxState::MinMax(mm)) => mm.min().ok().map(SummaryValue::Scalar),
+            (StatFunction::Max, AuxState::MinMax(mm)) => mm.max().ok().map(SummaryValue::Scalar),
+            (StatFunction::Median, AuxState::Window(w)) => w.median().map(SummaryValue::Scalar),
             (StatFunction::Quantile(pm), AuxState::Window(w)) => {
                 // The window tracks the median region only; other
                 // quantiles can be answered only at the median.
@@ -288,6 +275,40 @@ pub enum AuxState {
     Freq(FrequencyTable),
     /// Incrementally maintained histogram.
     Histo(Histogram),
+}
+
+impl AuxState {
+    /// Fold another partition's auxiliary state into this one, so that
+    /// the merged state equals the state that a single pass over the
+    /// concatenated data would have built (the *merge law* — what the
+    /// parallel executor and the soundness checker both rely on).
+    ///
+    /// Errors when the two states are different variants, when the
+    /// variant has no merge law (the §4.2 median window is inherently
+    /// sequential), or when histogram edges disagree.
+    pub fn merge(&mut self, other: &AuxState) -> Result<()> {
+        match (self, other) {
+            (AuxState::Moments(a), AuxState::Moments(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (AuxState::MinMax(a), AuxState::MinMax(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (AuxState::Freq(a), AuxState::Freq(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (AuxState::Histo(a), AuxState::Histo(b)) => Ok(a.merge(b)?),
+            (AuxState::Window(_), AuxState::Window(_)) => Err(
+                crate::error::SummaryError::Unmergeable("median window is order-dependent"),
+            ),
+            _ => Err(crate::error::SummaryError::Unmergeable(
+                "auxiliary states of different kinds",
+            )),
+        }
+    }
 }
 
 /// The standing summary set §3.2 lists for every summarizable column:
@@ -432,8 +453,7 @@ mod tests {
             StatFunction::Histogram(20),
             StatFunction::TrimmedMean(50, 950),
         ];
-        let names: std::collections::HashSet<String> =
-            fns.iter().map(StatFunction::name).collect();
+        let names: std::collections::HashSet<String> = fns.iter().map(StatFunction::name).collect();
         assert_eq!(names.len(), fns.len());
         assert_eq!(StatFunction::Quantile(50).name(), "quantile_50");
     }

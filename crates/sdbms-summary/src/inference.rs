@@ -44,11 +44,7 @@ fn fresh_scalar(db: &SummaryDb, attribute: &str, f: &StatFunction) -> Result<Opt
 /// Try to infer `function(attribute)` from other fresh cache entries.
 /// Returns `None` when no rule applies — the caller then computes from
 /// data as usual.
-pub fn infer(
-    db: &SummaryDb,
-    attribute: &str,
-    function: &StatFunction,
-) -> Result<Option<Inferred>> {
+pub fn infer(db: &SummaryDb, attribute: &str, function: &StatFunction) -> Result<Option<Inferred>> {
     // ---- exact algebraic rules -------------------------------------
     match function {
         StatFunction::Mean => {
@@ -125,6 +121,7 @@ pub fn infer(
             let q = match function {
                 StatFunction::Median => 0.5,
                 StatFunction::Quantile(pm) => f64::from(*pm) / 1000.0,
+                // lint: allow(no-panic): the enclosing match arm admits only Median and Quantile
                 _ => unreachable!(),
             };
             // Overflow mass has unknown position: refuse rather than
@@ -150,10 +147,10 @@ pub fn infer(
             }
             Ok(None)
         }
-        StatFunction::Mode => Ok(h.mode_estimate().ok().map(|value| Inferred::Estimate {
-            value,
-            basis,
-        })),
+        StatFunction::Mode => Ok(h
+            .mode_estimate()
+            .ok()
+            .map(|value| Inferred::Estimate { value, basis })),
         _ => Ok(None),
     }
 }
@@ -170,13 +167,14 @@ mod tests {
     }
 
     fn column(n: usize) -> Vec<Value> {
-        (0..n).map(|i| Value::Int(((i * 37) % 1000) as i64)).collect()
+        (0..n)
+            .map(|i| Value::Int(((i * 37) % 1000) as i64))
+            .collect()
     }
 
     fn seed(db: &SummaryDb, col: &[Value], fns: &[StatFunction]) {
         for f in fns {
-            get_or_compute(db, "X", f, AccuracyPolicy::Exact, &mut || Ok(col.to_vec()))
-                .unwrap();
+            get_or_compute(db, "X", f, AccuracyPolicy::Exact, &mut || Ok(col.to_vec())).unwrap();
         }
     }
 
@@ -242,7 +240,11 @@ mod tests {
         col.push(Value::Missing);
         seed(&db, &col, &[StatFunction::Histogram(16)]);
         let c = infer(&db, "X", &StatFunction::Count).unwrap().unwrap();
-        assert_eq!(c, Inferred::Exact(SummaryValue::Count(300)), "missing excluded");
+        assert_eq!(
+            c,
+            Inferred::Exact(SummaryValue::Count(300)),
+            "missing excluded"
+        );
     }
 
     #[test]
@@ -265,7 +267,9 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Quantiles too.
-        let q9 = infer(&db, "X", &StatFunction::Quantile(900)).unwrap().unwrap();
+        let q9 = infer(&db, "X", &StatFunction::Quantile(900))
+            .unwrap()
+            .unwrap();
         let direct_q9 = StatFunction::Quantile(900)
             .compute(&col)
             .unwrap()
@@ -288,10 +292,7 @@ mod tests {
         let max_est = infer(&db, "X", &StatFunction::Max).unwrap().unwrap();
         let (true_min, true_max) = (0.0, 999.0);
         match (min_est, max_est) {
-            (
-                Inferred::Estimate { value: lo, .. },
-                Inferred::Estimate { value: hi, .. },
-            ) => {
+            (Inferred::Estimate { value: lo, .. }, Inferred::Estimate { value: hi, .. }) => {
                 // The estimates bound the truth within one bin width.
                 let bin = 999.0 / 20.0;
                 assert!((lo - true_min).abs() <= bin + 1.0);
@@ -306,7 +307,7 @@ mod tests {
         let db = db();
         let mut col = column(200);
         // Pile mass at 500.
-        col.extend(std::iter::repeat(Value::Int(500)).take(150));
+        col.extend(std::iter::repeat_n(Value::Int(500), 150));
         seed(&db, &col, &[StatFunction::Histogram(10)]);
         let est = infer(&db, "X", &StatFunction::Mode).unwrap().unwrap();
         match est {

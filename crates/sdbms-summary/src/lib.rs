@@ -10,6 +10,9 @@
 //!
 //! - [`function`] — the function catalogue with per-function
 //!   maintenance classes and auxiliary state builders.
+//! - [`contract`] — per-function maintenance contracts (strategy per
+//!   update kind) and the executable merge-law oracle the static
+//!   soundness checker audits against.
 //! - [`value`] — the varying-typed result column of paper Figure 4.
 //! - [`db`] — the disk-resident store: heap records clustered by
 //!   attribute with a B+tree secondary index on
@@ -26,21 +29,27 @@
 //!   crash-consistent: cleanly invalidated, never silently stale.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod contract;
 pub mod db;
 pub mod error;
-pub mod inference;
 pub mod function;
+pub mod inference;
 pub mod maintain;
 pub mod median_window;
 pub mod parallel;
 pub mod value;
 pub mod wal;
 
+pub use contract::{
+    verify_merge_law, FunctionContract, MaintenanceStrategy, MergeLawStatus, SummaryRegistry,
+    UpdateKind, ALL_UPDATE_KINDS,
+};
 pub use db::{CacheStats, Entry, Freshness, SummaryDb};
-pub use inference::{infer, Inferred};
 pub use error::{Result, SummaryError};
 pub use function::{standing_summary_functions, AuxState, MaintenanceClass, StatFunction};
+pub use inference::{infer, Inferred};
 pub use maintain::{
     apply_updates, get_or_compute, get_or_compute_resilient, quarantinable, refresh_entry,
     AccuracyPolicy, ComputeSource, MaintenancePolicy, MaintenanceReport, UpdateDelta,

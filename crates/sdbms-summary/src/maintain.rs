@@ -201,17 +201,15 @@ pub fn apply_updates(
 fn apply_deltas_to_aux(aux: &mut AuxState, deltas: &[UpdateDelta]) -> bool {
     for d in deltas {
         let ok = match aux {
-            AuxState::Moments(m) => {
-                match (d.old.as_f64(), d.new.as_f64()) {
-                    (Some(o), Some(n)) => m.replace(o, n).is_ok(),
-                    (Some(o), None) => m.remove(o).is_ok(),
-                    (None, Some(n)) => {
-                        m.add(n);
-                        true
-                    }
-                    (None, None) => true,
+            AuxState::Moments(m) => match (d.old.as_f64(), d.new.as_f64()) {
+                (Some(o), Some(n)) => m.replace(o, n).is_ok(),
+                (Some(o), None) => m.remove(o).is_ok(),
+                (None, Some(n)) => {
+                    m.add(n);
+                    true
                 }
-            }
+                (None, None) => true,
+            },
             AuxState::MinMax(mm) => {
                 let removed_ok = match d.old.as_f64() {
                     Some(o) => mm.remove(o) == ExtremeAfterRemove::Unchanged,
@@ -226,17 +224,15 @@ fn apply_deltas_to_aux(aux: &mut AuxState, deltas: &[UpdateDelta]) -> bool {
                     false
                 }
             }
-            AuxState::Window(w) => {
-                match (d.old.as_f64(), d.new.as_f64()) {
-                    (Some(o), Some(n)) => w.replace(o, n),
-                    (Some(o), None) => w.remove(o),
-                    (None, Some(n)) => {
-                        w.add(n);
-                        true
-                    }
-                    (None, None) => true,
+            AuxState::Window(w) => match (d.old.as_f64(), d.new.as_f64()) {
+                (Some(o), Some(n)) => w.replace(o, n),
+                (Some(o), None) => w.remove(o),
+                (None, Some(n)) => {
+                    w.add(n);
+                    true
                 }
-            }
+                (None, None) => true,
+            },
             AuxState::Freq(t) => {
                 if d.old.is_missing() && d.new.is_missing() {
                     true
@@ -290,9 +286,7 @@ pub fn get_or_compute(
     if let Some(entry) = db.lookup(attribute, function)? {
         match (entry.freshness, accuracy) {
             (Freshness::Fresh, _) => return Ok((entry.result, ComputeSource::Cache)),
-            (Freshness::Stale, AccuracyPolicy::Tolerate(k))
-                if entry.updates_since_refresh <= k =>
-            {
+            (Freshness::Stale, AccuracyPolicy::Tolerate(k)) if entry.updates_since_refresh <= k => {
                 return Ok((entry.result, ComputeSource::CacheTolerated));
             }
             (Freshness::Stale, _) => {
@@ -357,9 +351,7 @@ pub fn get_or_compute_resilient(
     if let Some(entry) = looked {
         match (entry.freshness, accuracy) {
             (Freshness::Fresh, _) => return Ok((entry.result, ComputeSource::Cache)),
-            (Freshness::Stale, AccuracyPolicy::Tolerate(k))
-                if entry.updates_since_refresh <= k =>
-            {
+            (Freshness::Stale, AccuracyPolicy::Tolerate(k)) if entry.updates_since_refresh <= k => {
                 return Ok((entry.result, ComputeSource::CacheTolerated));
             }
             (Freshness::Stale, _) => {}
@@ -425,10 +417,9 @@ mod tests {
     /// Seed the cache with a set of functions over `col`.
     fn seed(db: &SummaryDb, attr: &str, col: &[Value], fns: &[StatFunction]) {
         for f in fns {
-            let (_, src) = get_or_compute(db, attr, f, AccuracyPolicy::Exact, &mut || {
-                Ok(col.to_vec())
-            })
-            .unwrap();
+            let (_, src) =
+                get_or_compute(db, attr, f, AccuracyPolicy::Exact, &mut || Ok(col.to_vec()))
+                    .unwrap();
             assert_eq!(src, ComputeSource::Computed);
         }
     }
@@ -438,7 +429,7 @@ mod tests {
         let db = db();
         let col = int_col(&[1, 2, 3, 4, 5]);
         let f = StatFunction::Mean;
-        seed(&db, "X", &col, &[f.clone()]);
+        seed(&db, "X", &col, std::slice::from_ref(&f));
         let mut calls = 0;
         let (v, src) = get_or_compute(&db, "X", &f, AccuracyPolicy::Exact, &mut || {
             calls += 1;
@@ -660,7 +651,9 @@ mod tests {
         let count = db.lookup_fresh("X", &StatFunction::Count).unwrap().unwrap();
         assert_eq!(count.result, SummaryValue::Count(3));
         let mean = db.lookup_fresh("X", &StatFunction::Mean).unwrap().unwrap();
-        assert!(mean.result.approx_eq(&SummaryValue::Scalar(70.0 / 3.0), 1e-9));
+        assert!(mean
+            .result
+            .approx_eq(&SummaryValue::Scalar(70.0 / 3.0), 1e-9));
         // And back: Missing -> 35.
         apply_updates(
             &db,

@@ -342,11 +342,11 @@ mod tests {
         let mut w = MedianWindow::new(101);
         w.rebuild(&d);
         let mut ran_off = false;
-        for i in 0..d.len() {
-            if d[i] < 3000.0 {
-                let old = d[i];
-                d[i] = 9000.0 + i as f64 * 1e-3;
-                w.replace(old, d[i]);
+        for (i, x) in d.iter_mut().enumerate() {
+            if *x < 3000.0 {
+                let old = *x;
+                *x = 9000.0 + i as f64 * 1e-3;
+                w.replace(old, *x);
                 if w.median().is_none() {
                     ran_off = true;
                     break;

@@ -81,11 +81,9 @@ pub fn aux_from_profile(f: &StatFunction, p: &ColumnProfile) -> Option<AuxState>
             Some(AuxState::Window(w))
         }
         MaintenanceClass::Distributional => match f {
-            StatFunction::Histogram(bins) => {
-                Histogram::from_data(&p.numbers, usize::from(*bins))
-                    .ok()
-                    .map(AuxState::Histo)
-            }
+            StatFunction::Histogram(bins) => Histogram::from_data(&p.numbers, usize::from(*bins))
+                .ok()
+                .map(AuxState::Histo),
             _ => (p.freq.unique_count() <= MAX_FREQ_AUX_DISTINCT)
                 .then(|| AuxState::Freq(p.freq.clone())),
         },
@@ -166,8 +164,8 @@ pub fn warm_attribute(
 mod tests {
     use super::*;
     use crate::function::standing_summary_functions;
-    use crate::maintain::{apply_updates, get_or_compute, AccuracyPolicy, MaintenancePolicy};
     use crate::maintain::UpdateDelta;
+    use crate::maintain::{apply_updates, get_or_compute, AccuracyPolicy, MaintenancePolicy};
     use sdbms_data::Value;
     use sdbms_exec::{profile_values, ExecConfig};
     use sdbms_storage::StorageEnv;
@@ -247,8 +245,7 @@ mod tests {
         let col = mixed_col();
         let fns = all_functions();
         for f in &fns {
-            get_or_compute(&db, "X", f, AccuracyPolicy::Exact, &mut || Ok(col.clone()))
-                .unwrap();
+            get_or_compute(&db, "X", f, AccuracyPolicy::Exact, &mut || Ok(col.clone())).unwrap();
         }
         // Stale everything via the lazy policy.
         apply_updates(
@@ -269,9 +266,10 @@ mod tests {
         let report = regenerate_attribute(&db, "X", &p).unwrap();
         assert_eq!(report.recomputed, fns.len());
         for f in &fns {
-            let entry = db.lookup_fresh("X", f).unwrap().unwrap_or_else(|| {
-                panic!("{f} should be fresh after regeneration")
-            });
+            let entry = db
+                .lookup_fresh("X", f)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{f} should be fresh after regeneration"));
             assert_eq!(entry.updates_since_refresh, 0);
             let direct = f.compute(&new_col).unwrap();
             assert!(entry.result.approx_eq(&direct, 1e-12), "{f}");

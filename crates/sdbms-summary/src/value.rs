@@ -59,9 +59,7 @@ impl SummaryValue {
                         .all(|(x, y)| (x - y).abs() <= tol * y.abs().max(1.0))
             }
             (SummaryValue::Histogram(a), SummaryValue::Histogram(b)) => a == b,
-            (SummaryValue::ModalValue(v, c), SummaryValue::ModalValue(w, d)) => {
-                v == w && c == d
-            }
+            (SummaryValue::ModalValue(v, c), SummaryValue::ModalValue(w, d)) => v == w && c == d,
             (SummaryValue::Note(a), SummaryValue::Note(b)) => a == b,
             _ => false,
         }
@@ -125,8 +123,7 @@ impl SummaryValue {
             }
             3 => Ok(SummaryValue::Histogram(decode_histogram(buf, pos)?)),
             4 => {
-                let v = Value::decode(buf, pos)
-                    .map_err(|_| SummaryError::Decode("modal value"))?;
+                let v = Value::decode(buf, pos).map_err(|_| SummaryError::Decode("modal value"))?;
                 Ok(SummaryValue::ModalValue(v, take_u64(buf, pos)?))
             }
             5 => {
@@ -164,7 +161,9 @@ pub(crate) fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
         .get(*pos..*pos + 8)
         .ok_or(SummaryError::Decode("u64 truncated"))?;
     *pos += 8;
-    let b = b.try_into().map_err(|_| SummaryError::Decode("u64 truncated"))?;
+    let b = b
+        .try_into()
+        .map_err(|_| SummaryError::Decode("u64 truncated"))?;
     Ok(u64::from_le_bytes(b))
 }
 
@@ -173,7 +172,9 @@ pub(crate) fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
         .get(*pos..*pos + 4)
         .ok_or(SummaryError::Decode("u32 truncated"))?;
     *pos += 4;
-    let b = b.try_into().map_err(|_| SummaryError::Decode("u32 truncated"))?;
+    let b = b
+        .try_into()
+        .map_err(|_| SummaryError::Decode("u32 truncated"))?;
     Ok(u32::from_le_bytes(b))
 }
 

@@ -61,7 +61,9 @@ pub struct IntentLog {
 
 impl std::fmt::Debug for IntentLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("IntentLog").field("page", &self.page.get()).finish()
+        f.debug_struct("IntentLog")
+            .field("page", &self.page.get())
+            .finish()
     }
 }
 
@@ -158,9 +160,7 @@ impl IntentLog {
     /// the current one has suffered simulated media damage.
     fn write_log_page(&self, page: &Page) -> Result<()> {
         match self.disk.write_page(self.page.get(), page) {
-            Err(
-                StorageError::PermanentFault { .. } | StorageError::InvalidPageId(_),
-            ) => {
+            Err(StorageError::PermanentFault { .. } | StorageError::InvalidPageId(_)) => {
                 let fresh = self.disk.allocate();
                 self.page.set(fresh);
                 Ok(self.disk.write_page(fresh, page)?)
@@ -173,9 +173,7 @@ impl IntentLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdbms_storage::{
-        Device, FaultInjector, FaultKind, RetryPolicy, ScriptedFault, Tracker,
-    };
+    use sdbms_storage::{Device, FaultInjector, FaultKind, RetryPolicy, ScriptedFault, Tracker};
 
     fn disk() -> Arc<DiskManager> {
         Arc::new(DiskManager::new(Tracker::new()))
@@ -190,7 +188,8 @@ mod tests {
     #[test]
     fn begin_then_pending_then_clear() {
         let log = IntentLog::create(disk()).unwrap();
-        log.begin(&["AGE".to_string(), "INCOME".to_string()]).unwrap();
+        log.begin(&["AGE".to_string(), "INCOME".to_string()])
+            .unwrap();
         assert_eq!(
             log.pending().unwrap(),
             Some(Intent::Attributes(vec!["AGE".into(), "INCOME".into()]))
@@ -227,7 +226,9 @@ mod tests {
     #[test]
     fn oversized_intent_degrades_to_all() {
         let log = IntentLog::create(disk()).unwrap();
-        let attrs: Vec<String> = (0..200).map(|i| format!("ATTRIBUTE_{i:04}_{}", "x".repeat(40))).collect();
+        let attrs: Vec<String> = (0..200)
+            .map(|i| format!("ATTRIBUTE_{i:04}_{}", "x".repeat(40)))
+            .collect();
         log.begin(&attrs).unwrap();
         assert_eq!(log.pending().unwrap(), Some(Intent::All));
     }

@@ -9,8 +9,7 @@
 //! Run with: `cargo run --example census_analysis`
 
 use sdbms::core::{
-    AccuracyPolicy, CmpOp, Expr, Predicate, ScalarFunc, StatDbms, StatFunction,
-    ViewDefinition,
+    AccuracyPolicy, CmpOp, Expr, Predicate, ScalarFunc, StatDbms, StatFunction, ViewDefinition,
 };
 use sdbms::data::census::{microdata_census, region_codebook, CensusConfig};
 use sdbms::data::DataType;
@@ -32,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("loaded {} raw records onto tape", raw.len());
 
     // Materialize the working view (transposed layout by default).
-    dbms.materialize(ViewDefinition::scan("survey", "census_microdata"), "analyst")?;
+    dbms.materialize(
+        ViewDefinition::scan("survey", "census_microdata"),
+        "analyst",
+    )?;
 
     // ---- Exploratory phase -------------------------------------------------
     // First impressions from a 5% sample (§2.2: responsiveness).
@@ -47,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Data checking on the full view: histogram + range scan.
     let (ages, _) = dbms.dataset("survey")?.column_f64("AGE")?;
     let hist = sdbms::stats::Histogram::from_data(&ages, 12)?;
-    println!("\nAGE histogram (bins of {:.0}):", hist.edges()[1] - hist.edges()[0]);
+    println!(
+        "\nAGE histogram (bins of {:.0}):",
+        hist.edges()[1] - hist.edges()[0]
+    );
     for (i, &c) in hist.counts().iter().enumerate() {
         println!(
             "  [{:>5.0}, {:>5.0})  {}",
@@ -62,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Checkpoint, then invalidate the bad measurements (§3.1).
     dbms.checkpoint("survey", "before-cleaning")?;
-    dbms.annotate("survey", "ages > 110 are data-entry errors; marking missing")?;
+    dbms.annotate(
+        "survey",
+        "ages > 110 are data-entry errors; marking missing",
+    )?;
     let report = dbms.invalidate_where(
         "survey",
         &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(110i64)),
@@ -78,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rich = dbms.suspicious_rows("survey", "INCOME")?;
     dbms.annotate(
         "survey",
-        &format!("{} incomes above the plausibility range verified as real", rich.len()),
+        &format!(
+            "{} incomes above the plausibility range verified as real",
+            rich.len()
+        ),
     )?;
 
     // Standing summaries for later work — all cached.
@@ -86,8 +97,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("warmed {warmed} standing summary entries");
 
     // The M ± k·SD query of §3.1, straight from cached values.
-    let (mean, _) = dbms.compute("survey", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)?;
-    let (sd, _) = dbms.compute("survey", "INCOME", &StatFunction::StdDev, AccuracyPolicy::Exact)?;
+    let (mean, _) = dbms.compute(
+        "survey",
+        "INCOME",
+        &StatFunction::Mean,
+        AccuracyPolicy::Exact,
+    )?;
+    let (sd, _) = dbms.compute(
+        "survey",
+        "INCOME",
+        &StatFunction::StdDev,
+        AccuracyPolicy::Exact,
+    )?;
     let (m, s) = (mean.as_scalar().unwrap(), sd.as_scalar().unwrap());
     let (incomes, _) = dbms.dataset("survey")?.column_f64("INCOME")?;
     let (inside, outside) = sdbms::stats::descriptive::count_within_band(&incomes, m, s, 3.0);
@@ -142,7 +163,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in dbms.cleaning_log("survey", "colleague")?.iter().take(3) {
         println!("  {line}");
     }
-    println!("  … ({} entries total)", dbms.cleaning_log("survey", "colleague")?.len());
+    println!(
+        "  … ({} entries total)",
+        dbms.cleaning_log("survey", "colleague")?.len()
+    );
 
     let stats = dbms.cache_stats("survey")?;
     println!("\nSummary Database: {stats:?}");

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --example fault_tolerance`
 
 use sdbms::core::{
-    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate,
-    StatDbms, StatFunction, ViewDefinition,
+    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate, StatDbms,
+    StatFunction, ViewDefinition,
 };
 use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::storage::{DeviceFaults, FaultPlan, StorageEnv};
@@ -73,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.quarantined,
         dbms.io().checksum_failures
     );
-    assert_eq!(source, ComputeSource::Fallback, "answer came from the archive");
+    assert_eq!(
+        source,
+        ComputeSource::Fallback,
+        "answer came from the archive"
+    );
     assert!(served.approx_eq(&mean, 1e-9), "…and it is still correct");
 
     // ---- 3. Rebuild a healthy view and warm its cache ----------------------
@@ -91,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let crashed = dbms.update_where(
         "v",
         &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(40i64)),
-        &[("INCOME", Expr::col("INCOME").binary(BinOp::Add, Expr::lit(1_000i64)))],
+        &[(
+            "INCOME",
+            Expr::col("INCOME").binary(BinOp::Add, Expr::lit(1_000i64)),
+        )],
     );
     println!("\nupdate under a scheduled crash: {crashed:?}");
     assert!(dbms.is_crashed());

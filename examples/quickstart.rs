@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use sdbms::core::{
-    paper_demo_dbms, AccuracyPolicy, ComputeSource, StatFunction, ViewDefinition,
-};
+use sdbms::core::{paper_demo_dbms, AccuracyPolicy, ComputeSource, StatFunction, ViewDefinition};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A DBMS whose raw database ("tape") already holds Figure 1, with

@@ -12,8 +12,7 @@
 use std::time::Instant;
 
 use sdbms::core::{
-    AccuracyPolicy, Expr, MaintenancePolicy, Predicate, StatDbms, StatFunction,
-    ViewDefinition,
+    AccuracyPolicy, Expr, MaintenancePolicy, Predicate, StatDbms, StatFunction, ViewDefinition,
 };
 use sdbms::data::census::{microdata_census, CensusConfig};
 
@@ -63,7 +62,10 @@ fn run_with_policy(
         ..Default::default()
     })?;
     dbms.load_raw(&raw)?;
-    dbms.materialize(ViewDefinition::scan("survey", "census_microdata"), "analyst")?;
+    dbms.materialize(
+        ViewDefinition::scan("survey", "census_microdata"),
+        "analyst",
+    )?;
     // `None` models a system without a Summary Database: every query
     // recomputes. We emulate it by always demanding exactness and
     // invalidating eagerly after every update — worst case — plus

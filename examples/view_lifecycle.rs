@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example view_lifecycle`
 
-use sdbms::core::{
-    CmpOp, CoreError, Expr, Layout, Predicate, StatDbms, ViewDefinition,
-};
+use sdbms::core::{CmpOp, CoreError, Expr, Layout, Predicate, StatDbms, ViewDefinition};
 use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::data::NodeKind;
 
@@ -40,14 +38,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("view request from the walk: {request:?}\n");
 
     // ---- Materialization with duplicate detection --------------------------
-    let def = ViewDefinition::scan("earners", "census_microdata")
-        .select(Predicate::cmp(Expr::col("INCOME"), CmpOp::Gt, Expr::lit(0.0)));
+    let def = ViewDefinition::scan("earners", "census_microdata").select(Predicate::cmp(
+        Expr::col("INCOME"),
+        CmpOp::Gt,
+        Expr::lit(0.0),
+    ));
     dbms.materialize(def.clone(), "alice")?;
-    println!("alice materialized `earners` ({} rows)", dbms.dataset("earners")?.len());
+    println!(
+        "alice materialized `earners` ({} rows)",
+        dbms.dataset("earners")?.len()
+    );
 
     // Alice tries to rebuild the same thing under another name.
-    let dup = ViewDefinition::scan("earners_again", "census_microdata")
-        .select(Predicate::cmp(Expr::col("INCOME"), CmpOp::Gt, Expr::lit(0.0)));
+    let dup = ViewDefinition::scan("earners_again", "census_microdata").select(Predicate::cmp(
+        Expr::col("INCOME"),
+        CmpOp::Gt,
+        Expr::lit(0.0),
+    ));
     match dbms.materialize(dup, "alice") {
         Err(CoreError::EquivalentViewExists { existing, .. }) => {
             println!("duplicate detected: told to reuse {existing:?}");
@@ -63,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(110i64)),
         "AGE",
     )?;
-    dbms.annotate("earners", &format!("{} impossible ages invalidated", bad.len()))?;
+    dbms.annotate(
+        "earners",
+        &format!("{} impossible ages invalidated", bad.len()),
+    )?;
     println!("\ncleaned {} impossible ages", bad.len());
 
     // Oops — one edit too many; demonstrate rollback.
@@ -75,17 +85,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "destructive edit: mean hours now {:?}",
-        sdbms::stats::descriptive::mean(
-            &dbms.dataset("earners")?.column_f64("HOURS_WORKED")?.0
-        )?
+        sdbms::stats::descriptive::mean(&dbms.dataset("earners")?.column_f64("HOURS_WORKED")?.0)?
     );
     let undone = dbms.rollback_to_checkpoint("earners", "clean")?;
     println!(
         "rolled back {} changes: mean hours restored to {:.1}",
         undone,
-        sdbms::stats::descriptive::mean(
-            &dbms.dataset("earners")?.column_f64("HOURS_WORKED")?.0
-        )?
+        sdbms::stats::descriptive::mean(&dbms.dataset("earners")?.column_f64("HOURS_WORKED")?.0)?
     );
 
     // ---- Publishing and reuse ----------------------------------------------
@@ -96,8 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Bob now gets redirected to the published view instead of
     // re-extracting from tape.
-    let bobs = ViewDefinition::scan("bob_earners", "census_microdata")
-        .select(Predicate::cmp(Expr::col("INCOME"), CmpOp::Gt, Expr::lit(0.0)));
+    let bobs = ViewDefinition::scan("bob_earners", "census_microdata").select(Predicate::cmp(
+        Expr::col("INCOME"),
+        CmpOp::Gt,
+        Expr::lit(0.0),
+    ));
     match dbms.materialize(bobs, "bob") {
         Err(CoreError::EquivalentViewExists { existing, owner }) => {
             println!("bob redirected to {existing:?} (owner {owner})");
@@ -117,9 +126,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(layout) = dbms.auto_reorganize("rowview")? {
         println!("\n`rowview` automatically reorganized to the {layout} layout");
     }
-    println!(
-        "views in the catalog: {:?}",
-        dbms.view_names()
-    );
+    println!("views in the catalog: {:?}", dbms.view_names());
     Ok(())
 }

@@ -52,6 +52,9 @@
 //! | [`management`] | the Management Database: catalog, histories/undo, rules, finite differencing |
 //! | [`core`] | the DBMS façade tying it all together (paper Figure 3) |
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use sdbms_columnar as columnar;
 pub use sdbms_core as core;
 pub use sdbms_data as data;

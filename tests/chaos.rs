@@ -11,8 +11,8 @@
 //! wrong answer.
 
 use sdbms::core::{
-    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate,
-    StatDbms, StatFunction, ViewDefinition,
+    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate, StatDbms,
+    StatFunction, ViewDefinition,
 };
 use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::exec::ExecConfig;
@@ -88,7 +88,8 @@ fn setup() -> StatDbms {
         .expect("durability");
     for a in ATTRS {
         for f in checked_functions() {
-            dbms.compute("v", a, &f, AccuracyPolicy::Exact).expect("warm");
+            dbms.compute("v", a, &f, AccuracyPolicy::Exact)
+                .expect("warm");
         }
     }
     dbms
@@ -146,9 +147,7 @@ fn hundred_plus_seeded_fault_schedules_never_serve_wrong_summaries() {
             let attr = ATTRS[(splitmix(&mut s) % 2) as usize];
             let funcs = checked_functions();
             let f = &funcs[(splitmix(&mut s) as usize) % funcs.len()];
-            if dbms.compute("v", attr, f, AccuracyPolicy::Exact).is_err()
-                && dbms.is_crashed()
-            {
+            if dbms.compute("v", attr, f, AccuracyPolicy::Exact).is_err() && dbms.is_crashed() {
                 crashes_recovered += 1;
                 recover_until_up(&mut dbms);
             }
@@ -170,10 +169,11 @@ fn hundred_plus_seeded_fault_schedules_never_serve_wrong_summaries() {
             // If the view column itself was destroyed there is no
             // ground truth to compare against (compute() then answers
             // from the raw archive or errors — either is acceptable).
-            let Ok(col) = dbms.column("v", a) else { continue };
+            let Ok(col) = dbms.column("v", a) else {
+                continue;
+            };
             for f in checked_functions() {
-                let Ok((served, _)) = dbms.compute("v", a, &f, AccuracyPolicy::Exact)
-                else {
+                let Ok((served, _)) = dbms.compute("v", a, &f, AccuracyPolicy::Exact) else {
                     continue;
                 };
                 let fresh = f.compute(&col).expect("recompute");
@@ -191,8 +191,14 @@ fn hundred_plus_seeded_fault_schedules_never_serve_wrong_summaries() {
     // The harness must have actually exercised the machinery: faults
     // fired, retries absorbed transients, crashes were recovered, and
     // the vast majority of summaries stayed comparable.
-    assert!(total_transient > 100, "transient faults fired: {total_transient}");
-    assert!(total_retries > 100, "retries absorbed transients: {total_retries}");
+    assert!(
+        total_transient > 100,
+        "transient faults fired: {total_transient}"
+    );
+    assert!(
+        total_retries > 100,
+        "retries absorbed transients: {total_retries}"
+    );
     assert!(total_corrupt > 0, "corrupt writes fired: {total_corrupt}");
     assert!(
         crashes_recovered >= SCHEDULES / 4,
@@ -249,7 +255,9 @@ fn parallel_chaos_run() {
             morsel_rows: 32,
         });
         let base_ops = dbms.env().injector.ops();
-        dbms.env().injector.set_plan(plan_for(seed.wrapping_add(7_000), base_ops));
+        dbms.env()
+            .injector
+            .set_plan(plan_for(seed.wrapping_add(7_000), base_ops));
 
         let mut s = seed ^ 0xFEED_FACE;
         for _ in 0..STEPS {
@@ -289,10 +297,11 @@ fn parallel_chaos_run() {
             recover_until_up(&mut dbms);
         }
         for a in ATTRS {
-            let Ok(col) = dbms.column("v", a) else { continue };
+            let Ok(col) = dbms.column("v", a) else {
+                continue;
+            };
             for f in checked_functions() {
-                let Ok((served, _)) = dbms.compute("v", a, &f, AccuracyPolicy::Exact)
-                else {
+                let Ok((served, _)) = dbms.compute("v", a, &f, AccuracyPolicy::Exact) else {
                     continue;
                 };
                 let fresh = f.compute(&col).expect("recompute");
@@ -309,7 +318,10 @@ fn parallel_chaos_run() {
     // The storm must have actually hit the parallel path: operations
     // failed cleanly, crashes were recovered, and most schedules stayed
     // verifiable end-to-end.
-    assert!(clean_errors > 0, "faults surfaced as clean errors: {clean_errors}");
+    assert!(
+        clean_errors > 0,
+        "faults surfaced as clean errors: {clean_errors}"
+    );
     assert!(
         crashes_recovered > 0,
         "some schedules crashed mid-scan and recovered: {crashes_recovered}"
@@ -410,7 +422,9 @@ fn crash_between_update_and_flush_leaves_no_stale_summary() {
     // And the history shows what recovery did.
     let records = dbms.catalog().view("v").expect("record").history.records();
     assert!(
-        records.iter().any(|(_, r)| r.to_string().starts_with("recovery:")),
+        records
+            .iter()
+            .any(|(_, r)| r.to_string().starts_with("recovery:")),
         "recovery left an audit record"
     );
 }

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use sdbms::core::{
-    AccuracyPolicy, BinOp, CmpOp, DurabilityPolicy, Expr, Predicate, StatDbms,
-    StatFunction, ViewDefinition,
+    AccuracyPolicy, BinOp, CmpOp, DurabilityPolicy, Expr, Predicate, StatDbms, StatFunction,
+    ViewDefinition,
 };
 use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::storage::{FaultPlan, StorageEnv};
@@ -42,7 +42,8 @@ fn setup() -> StatDbms {
         .expect("durability");
     for a in ATTRS {
         for f in functions() {
-            dbms.compute("v", a, &f, AccuracyPolicy::Exact).expect("warm");
+            dbms.compute("v", a, &f, AccuracyPolicy::Exact)
+                .expect("warm");
         }
     }
     dbms

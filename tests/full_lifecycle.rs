@@ -2,8 +2,8 @@
 //! raw tape to confirmatory analysis, exercising every layer together.
 
 use sdbms::core::{
-    AccuracyPolicy, CmpOp, Expr, MaintenancePolicy, Predicate, ScalarFunc,
-    StatDbms, StatFunction, SummaryValue, ViewDefinition,
+    AccuracyPolicy, CmpOp, Expr, MaintenancePolicy, Predicate, ScalarFunc, StatDbms, StatFunction,
+    SummaryValue, ViewDefinition,
 };
 use sdbms::data::census::{microdata_census, region_codebook, CensusConfig};
 use sdbms::data::{CodeBook, DataType};
@@ -67,7 +67,12 @@ fn exploratory_to_confirmatory_session() {
     // Cached summaries agree with direct computation on the final
     // state.
     let (mean_cached, _) = dbms
-        .compute("survey", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)
+        .compute(
+            "survey",
+            "INCOME",
+            &StatFunction::Mean,
+            AccuracyPolicy::Exact,
+        )
         .expect("compute");
     let (col, _) = view.column_f64("INCOME").expect("col");
     let mean_direct = sdbms::stats::descriptive::mean(&col).expect("mean");
@@ -117,10 +122,7 @@ fn cached_summaries_track_any_update_sequence() {
             Predicate::cmp(Expr::col("AGE"), CmpOp::Ge, Expr::lit(95i64)),
             Expr::lit(4_321.5),
         ),
-        (
-            Predicate::col_eq("PERSON_ID", 700i64),
-            Expr::lit(31_415.9),
-        ),
+        (Predicate::col_eq("PERSON_ID", 700i64), Expr::lit(31_415.9)),
         (
             Predicate::cmp(Expr::col("INCOME"), CmpOp::Gt, Expr::lit(95_000.0)),
             Expr::col("INCOME").binary(sdbms::core::BinOp::Div, Expr::lit(2.0)),
@@ -131,11 +133,7 @@ fn cached_summaries_track_any_update_sequence() {
             .expect("update");
         // Check every function after every batch.
         let ds = dbms.dataset("survey").expect("dataset");
-        let vals: Vec<sdbms::data::Value> = ds
-            .column("INCOME")
-            .expect("col")
-            .cloned()
-            .collect();
+        let vals: Vec<sdbms::data::Value> = ds.column("INCOME").expect("col").cloned().collect();
         for f in &functions {
             let (cached, _) = dbms
                 .compute("survey", "INCOME", f, AccuracyPolicy::Exact)
@@ -212,7 +210,11 @@ fn view_pipeline_through_all_operators() {
     let mut dbms = setup(2_000);
     // select + join + extend + project + sort in one lineage.
     let def = ViewDefinition::scan("pipeline", "census_microdata")
-        .select(Predicate::cmp(Expr::col("AGE"), CmpOp::Le, Expr::lit(110i64)))
+        .select(Predicate::cmp(
+            Expr::col("AGE"),
+            CmpOp::Le,
+            Expr::lit(110i64),
+        ))
         .join("REGION_codes", "REGION", "CATEGORY")
         .extend(
             "INCOME_K",
@@ -250,12 +252,14 @@ fn view_pipeline_through_all_operators() {
 fn io_accounting_spans_the_whole_system() {
     let mut dbms = setup(2_000);
     let io0 = dbms.io();
-    assert!(
-        io0.archive_block_reads > 0,
-        "materialization read the tape"
-    );
-    dbms.compute("survey", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)
-        .expect("compute");
+    assert!(io0.archive_block_reads > 0, "materialization read the tape");
+    dbms.compute(
+        "survey",
+        "INCOME",
+        &StatFunction::Mean,
+        AccuracyPolicy::Exact,
+    )
+    .expect("compute");
     let io1 = dbms.io();
     assert!(
         io1.page_reads + io1.pool_hits > io0.page_reads + io0.pool_hits,

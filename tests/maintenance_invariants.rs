@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use sdbms::data::Value;
 use sdbms::storage::StorageEnv;
 use sdbms::summary::{
-    apply_updates, get_or_compute, AccuracyPolicy, ComputeSource, MaintenancePolicy,
-    StatFunction, SummaryDb, UpdateDelta,
+    apply_updates, get_or_compute, AccuracyPolicy, ComputeSource, MaintenancePolicy, StatFunction,
+    SummaryDb, UpdateDelta,
 };
 
 fn all_functions() -> Vec<StatFunction> {
@@ -62,7 +62,7 @@ proptest! {
             // Every FRESH entry must equal direct recomputation; stale
             // entries are permitted only where the engine declared them.
             for f in all_functions() {
-                if let Some(entry) = db.lookup(&"C".to_string(), &f).unwrap() {
+                if let Some(entry) = db.lookup("C", &f).unwrap() {
                     if entry.freshness != sdbms::summary::Freshness::Fresh {
                         continue;
                     }
@@ -161,5 +161,8 @@ fn median_window_ablation_rebuild_counts_decrease_with_size() {
             && rebuilds_by_window[1] >= rebuilds_by_window[2],
         "rebuilds must not increase with window size: {rebuilds_by_window:?}"
     );
-    assert!(rebuilds_by_window[0] > 0, "tiny window must rebuild under drift");
+    assert!(
+        rebuilds_by_window[0] > 0,
+        "tiny window must rebuild under drift"
+    );
 }

@@ -57,8 +57,8 @@ fn figure2_every_entry_and_join_decode() {
     assert_eq!(
         labels,
         vec![
-            "0 to 20", "21 to 40", "41 to 60", "over 60", "0 to 20", "21 to 40",
-            "41 to 60", "over 60", "0 to 20"
+            "0 to 20", "21 to 40", "41 to 60", "over 60", "0 to 20", "21 to 40", "41 to 60",
+            "over 60", "0 to 20"
         ]
     );
 }
@@ -96,11 +96,21 @@ fn figure4_contents_after_the_papers_queries() {
     // Figure 1's AVE_SALARY column is 29,402 — we assert the *correct*
     // value and document the discrepancy in EXPERIMENTS.md.
     let (median, _) = dbms
-        .compute("v", "AVE_SALARY", &StatFunction::Median, AccuracyPolicy::Exact)
+        .compute(
+            "v",
+            "AVE_SALARY",
+            &StatFunction::Median,
+            AccuracyPolicy::Exact,
+        )
         .expect("compute");
     assert_eq!(median.as_scalar(), Some(29_402.0));
     // Three entries, rendered like the paper's table.
-    let rendered = dbms.view("v").expect("view").summary.render_figure4().expect("render");
+    let rendered = dbms
+        .view("v")
+        .expect("view")
+        .summary
+        .render_figure4()
+        .expect("render");
     assert_eq!(rendered.lines().count(), 4, "header + 3 entries");
 }
 

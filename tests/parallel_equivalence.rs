@@ -21,9 +21,7 @@
 
 use proptest::prelude::*;
 
-use sdbms::core::{
-    AccuracyPolicy, CmpOp, Expr, Predicate, StatDbms, StatFunction, ViewDefinition,
-};
+use sdbms::core::{AccuracyPolicy, CmpOp, Expr, Predicate, StatDbms, StatFunction, ViewDefinition};
 use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::data::{dataset::DataSet, schema::Attribute, schema::Schema, DataType, Value};
 use sdbms::exec::{profile_values, ExecConfig};
@@ -59,10 +57,7 @@ fn all_functions() -> Vec<StatFunction> {
 fn is_exact_family(f: &StatFunction) -> bool {
     !matches!(
         f,
-        StatFunction::Sum
-            | StatFunction::Mean
-            | StatFunction::Variance
-            | StatFunction::StdDev
+        StatFunction::Sum | StatFunction::Mean | StatFunction::Variance | StatFunction::StdDev
     )
 }
 
@@ -160,8 +155,11 @@ fn census_dbms(rows: usize, cfg: ExecConfig) -> StatDbms {
     })
     .expect("generate");
     dbms.load_raw(&raw).expect("load");
-    dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "differential")
-        .expect("materialize");
+    dbms.materialize(
+        ViewDefinition::scan("v", "census_microdata"),
+        "differential",
+    )
+    .expect("materialize");
     dbms.set_exec_config(cfg);
     dbms
 }
@@ -296,11 +294,20 @@ fn derived_view_summaries_identical_across_workers() {
             },
         );
         let def = ViewDefinition::scan("adults", "census_microdata")
-            .select(Predicate::cmp(Expr::col("AGE"), CmpOp::Ge, Expr::lit(18i64)))
+            .select(Predicate::cmp(
+                Expr::col("AGE"),
+                CmpOp::Ge,
+                Expr::lit(18i64),
+            ))
             .project(&["AGE", "INCOME"]);
         dbms.materialize(def, "differential").expect("materialize");
         let (median, _) = dbms
-            .compute("adults", "INCOME", &StatFunction::Median, AccuracyPolicy::Exact)
+            .compute(
+                "adults",
+                "INCOME",
+                &StatFunction::Median,
+                AccuracyPolicy::Exact,
+            )
             .expect("median");
         let (mean, _) = dbms
             .compute("adults", "AGE", &StatFunction::Mean, AccuracyPolicy::Exact)

@@ -114,7 +114,8 @@ impl SampleUniform for u64 {
         }
     }
     fn successor(v: Self) -> Self {
-        v.checked_add(1).expect("gen_range: inclusive bound at type max")
+        v.checked_add(1)
+            .expect("gen_range: inclusive bound at type max")
     }
 }
 
@@ -203,10 +204,7 @@ pub mod rngs {
 
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[1]
-                .wrapping_mul(5)
-                .rotate_left(7)
-                .wrapping_mul(9);
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
