@@ -83,6 +83,9 @@ fn main() {
     if run("e12") {
         e12_full_workload();
     }
+    if run("e13") {
+        e13_zone_map_pruning();
+    }
 }
 
 fn banner(id: &str, title: &str) {
@@ -1019,6 +1022,183 @@ fn e12_full_workload() {
             &rows
         )
     );
+}
+
+fn e13_zone_map_pruning() {
+    use sdbms_columnar::Compression;
+    use sdbms_data::dataset::DataSet;
+    use sdbms_data::schema::{Attribute, Schema};
+    use sdbms_exec::{filter_indices, profile_table_column, profile_table_column_runs, ExecConfig};
+    use sdbms_relational::filter_table_rows;
+
+    banner(
+        "E13",
+        "zone-map pruning + run-aware aggregation on the scan hot path",
+    );
+
+    // A clustered table: 100 blocks of 2048 rows, eight 256-row
+    // segments per block, so equality on the clustering column refutes
+    // 99% of all zone maps.
+    const BLOCK_ROWS: i64 = 2_048;
+    const BLOCKS: i64 = 100;
+    let n_rows = (BLOCKS * BLOCK_ROWS) as usize;
+    let schema = Schema::new(vec![
+        Attribute::measured("BLOCK", DataType::Int),
+        Attribute::measured("X", DataType::Int),
+    ])
+    .expect("schema");
+    let raw: Vec<Vec<Value>> = (0..BLOCKS * BLOCK_ROWS)
+        .map(|i| {
+            vec![
+                Value::Int(i / BLOCK_ROWS),
+                Value::Int((i * 37) % 1_001 - 500),
+            ]
+        })
+        .collect();
+    let ds = DataSet::from_rows("clustered", schema.clone(), raw).expect("dataset");
+    let env = StorageEnv::new(8_192);
+    let mut store = TransposedFile::create_with(
+        env.pool.clone(),
+        schema,
+        &[Compression::Rle, Compression::None],
+    )
+    .expect("create");
+    store.bulk_append(&ds).expect("load");
+
+    // The seed path: decode every referenced column, evaluate every row.
+    let naive = |pred: &Predicate, cfg: &ExecConfig| -> Vec<usize> {
+        let schema = store.schema().clone();
+        let ref_cols = pred.referenced_columns();
+        let names: Vec<&str> = ref_cols.iter().map(String::as_str).collect();
+        let proj = schema.project(&names).expect("project");
+        let bound = pred.bind(&proj).expect("bind");
+        let cols: Vec<Vec<Value>> = names
+            .iter()
+            .map(|c| store.read_column(c).expect("column"))
+            .collect();
+        filter_indices::<sdbms_data::DataError, _>(store.len(), cfg, |i| {
+            let row: Vec<Value> = cols.iter().map(|c| c[i].clone()).collect();
+            Ok(bound.eval(&row))
+        })
+        .expect("filter")
+    };
+    let time_us = |f: &mut dyn FnMut()| -> u128 {
+        // Warm once, then take the best of three (scans are pool-hot
+        // and deterministic; best-of smooths scheduler noise).
+        f();
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_micros()
+            })
+            .min()
+            .unwrap_or(0)
+    };
+
+    let selectivities: Vec<(&str, Predicate)> = vec![
+        ("0%", Predicate::col_eq("BLOCK", -1i64)),
+        ("1%", Predicate::col_eq("BLOCK", 5i64)),
+        (
+            "50%",
+            Predicate::cmp(Expr::col("BLOCK"), CmpOp::Lt, Expr::lit(BLOCKS / 2)),
+        ),
+        ("100%", Predicate::True),
+    ];
+    let mut table = Vec::new();
+    let mut scan_json = Vec::new();
+    for workers in [1usize, 4] {
+        let cfg = ExecConfig {
+            workers,
+            morsel_rows: 1_024,
+        };
+        for (label, pred) in &selectivities {
+            let t_naive = time_us(&mut || {
+                naive(pred, &cfg);
+            });
+            let t_pruned = time_us(&mut || {
+                filter_table_rows(&store, pred, &cfg).expect("pruned scan");
+            });
+            let speedup = t_naive as f64 / t_pruned.max(1) as f64;
+            table.push(vec![
+                (*label).to_string(),
+                workers.to_string(),
+                us(t_naive),
+                us(t_pruned),
+                ratio(t_naive as f64, t_pruned.max(1) as f64),
+            ]);
+            scan_json.push(format!(
+                "    {{\"selectivity\": \"{label}\", \"workers\": {workers}, \
+                 \"naive_us\": {t_naive}, \"pruned_us\": {t_pruned}, \
+                 \"speedup\": {speedup:.2}}}"
+            ));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "selectivity",
+                "workers",
+                "naive scan",
+                "pruned scan",
+                "speedup",
+            ],
+            &table
+        )
+    );
+
+    let mut table = Vec::new();
+    let mut agg_json = Vec::new();
+    for workers in [1usize, 4] {
+        let cfg = ExecConfig {
+            workers,
+            morsel_rows: 1_024,
+        };
+        let t_decode = time_us(&mut || {
+            profile_table_column(&store, "BLOCK", &cfg).expect("profile");
+        });
+        let t_runs = time_us(&mut || {
+            profile_table_column_runs(&store, "BLOCK", &cfg).expect("profile");
+        });
+        let speedup = t_decode as f64 / t_runs.max(1) as f64;
+        table.push(vec![
+            "BLOCK (RLE)".into(),
+            workers.to_string(),
+            us(t_decode),
+            us(t_runs),
+            ratio(t_decode as f64, t_runs.max(1) as f64),
+        ]);
+        agg_json.push(format!(
+            "    {{\"column\": \"BLOCK\", \"workers\": {workers}, \
+             \"decode_us\": {t_decode}, \"runs_us\": {t_runs}, \
+             \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "aggregate over",
+                "workers",
+                "decode profile",
+                "run-aware profile",
+                "speedup",
+            ],
+            &table
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_zone_map_pruning\",\n  \"rows\": {n_rows},\n  \
+         \"scan\": [\n{}\n  ],\n  \"aggregate\": [\n{}\n  ]\n}}\n",
+        scan_json.join(",\n"),
+        agg_json.join(",\n"),
+    );
+    match std::fs::write("BENCH_scan.json", &json) {
+        Ok(()) => println!("wrote BENCH_scan.json"),
+        Err(e) => println!("could not write BENCH_scan.json: {e}"),
+    }
 }
 
 // Silence the unused-import warning for CmpOp/Layout which are used

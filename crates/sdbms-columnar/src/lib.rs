@@ -17,6 +17,8 @@
 //! - [`segment`] — the segment encoding (raw / RLE / dictionary).
 //! - [`rle`] — run-length codecs and the column-vs-row compression
 //!   ratio measurements of experiment E5.
+//! - [`zonemap`] — per-segment statistics for predicate pruning and
+//!   run-aware (compressed-domain) aggregation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,11 +28,14 @@ pub mod rowstore;
 pub mod segment;
 pub mod store;
 pub mod transposed;
+pub mod zonemap;
 
+pub use rle::RunCursor;
 pub use rowstore::RowStore;
 pub use segment::{Compression, SEGMENT_ROWS};
 pub use store::{Layout, TableStore};
 pub use transposed::TransposedFile;
+pub use zonemap::{ZoneMap, ZONE_DISTINCT_CAP};
 
 /// Read a little-endian u16 at `pos`, or fail with a decode error —
 /// the bounds check and the width conversion are one fallible step, so

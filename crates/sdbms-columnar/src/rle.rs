@@ -51,6 +51,74 @@ pub fn decompress_values(buf: &[u8]) -> Result<Vec<Value>, DataError> {
     Ok(out)
 }
 
+/// Streaming iterator over the `(value, run-length)` pairs of a
+/// [`compress_values`] body — the compressed-domain read path.
+///
+/// Unlike [`decompress_values`], the cursor never materializes a
+/// `Vec<Value>`: run-aware consumers (zone-map builders, `(value, n)`
+/// accumulators) decode one representative value per run and process
+/// the run length arithmetically, turning O(rows) work into O(runs).
+///
+/// Contract: concatenating each yielded value `len` times reproduces
+/// the original sequence exactly. Run boundaries are an encoding
+/// artifact — consumers must not assume adjacent runs hold
+/// non-[`Value::group_eq`] values (encoders split runs at `u16::MAX`).
+#[derive(Debug)]
+pub struct RunCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> RunCursor<'a> {
+    /// Open a cursor over a [`compress_values`] body. Fails fast on a
+    /// truncated header; per-run damage surfaces while iterating.
+    pub fn new(buf: &'a [u8]) -> Result<RunCursor<'a>, DataError> {
+        let n_runs = crate::read_u16(buf, 0, "rle header truncated")? as usize;
+        Ok(RunCursor {
+            buf,
+            pos: 2,
+            remaining: n_runs,
+        })
+    }
+}
+
+impl Iterator for RunCursor<'_> {
+    type Item = Result<(Value, usize), DataError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return if self.pos == self.buf.len() {
+                None
+            } else {
+                self.remaining = usize::MAX; // poison: report once
+                Some(Err(DataError::Decode("trailing bytes after rle runs")))
+            };
+        }
+        if self.remaining == usize::MAX {
+            return None;
+        }
+        self.remaining -= 1;
+        let len = match crate::read_u16(self.buf, self.pos, "rle run truncated") {
+            Ok(len) => len as usize,
+            Err(e) => {
+                self.remaining = 0;
+                self.pos = self.buf.len();
+                return Some(Err(e));
+            }
+        };
+        self.pos += 2;
+        match Value::decode(self.buf, &mut self.pos) {
+            Ok(v) => Some(Ok((v, len))),
+            Err(e) => {
+                self.remaining = 0;
+                self.pos = self.buf.len();
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Byte-level RLE (used to measure rowwise compression of row images):
 /// `(u8 run_len, u8 byte)` pairs, runs capped at 255.
 #[must_use]
@@ -181,6 +249,51 @@ mod tests {
             column_compression_ratio(&unique) < 1.0,
             "overhead on unique data"
         );
+    }
+
+    #[test]
+    fn run_cursor_yields_exact_runs() {
+        let vals = vec![
+            Value::Code(7),
+            Value::Code(7),
+            Value::Missing,
+            Value::Int(3),
+            Value::Int(3),
+            Value::Int(3),
+        ];
+        let buf = compress_values(&vals);
+        let runs: Vec<(Value, usize)> = RunCursor::new(&buf)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], (Value::Code(7), 2));
+        assert!(runs[1].0.is_missing() && runs[1].1 == 1);
+        assert_eq!(runs[2], (Value::Int(3), 3));
+        // Expanding the runs reproduces the sequence.
+        let expanded: Vec<Value> = runs
+            .iter()
+            .flat_map(|(v, n)| std::iter::repeat_n(v.clone(), *n))
+            .collect();
+        assert_eq!(expanded, vals);
+    }
+
+    #[test]
+    fn run_cursor_surfaces_damage_once() {
+        let good = compress_values(&[Value::Int(1), Value::Int(2)]);
+        // Truncation mid-run.
+        let errs: Vec<_> = RunCursor::new(&good[..good.len() - 1]).unwrap().collect();
+        assert!(errs.last().unwrap().is_err());
+        // Trailing garbage.
+        let mut junk = good.clone();
+        junk.push(0xAB);
+        let mut cursor = RunCursor::new(&junk).unwrap();
+        assert!(cursor.next().unwrap().is_ok());
+        assert!(cursor.next().unwrap().is_ok());
+        assert!(cursor.next().unwrap().is_err());
+        assert!(cursor.next().is_none());
+        // Truncated header.
+        assert!(RunCursor::new(&[9]).is_err());
     }
 
     proptest::proptest! {

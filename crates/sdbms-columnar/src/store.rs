@@ -9,6 +9,8 @@
 
 use sdbms_data::{DataError, DataSet, Schema, Value};
 
+use crate::zonemap::ZoneMap;
+
 /// Result alias matching the data-layer error type.
 pub type Result<T> = std::result::Result<T, DataError>;
 
@@ -40,6 +42,38 @@ pub trait TableStore {
             .ok_or(DataError::NoSuchRow(start.saturating_add(len).max(1) - 1))?;
         let col = self.read_column(attribute)?;
         Ok(col[start..end].to_vec())
+    }
+
+    /// Zone-map statistics covering rows `[start, start + len)` of one
+    /// column, if the layout maintains them and every overlapping
+    /// segment's map is present and readable. `None` means "no
+    /// statistics" — callers must scan unpruned, never guess. The
+    /// default layout keeps no maps.
+    fn range_stats(&self, _attribute: &str, _start: usize, _len: usize) -> Option<ZoneMap> {
+        None
+    }
+
+    /// Read rows `[start, start + len)` of one column as `(value,
+    /// run-length)` pairs whose expansion equals
+    /// [`TableStore::read_column_range`] exactly. Run boundaries are
+    /// layout-dependent and carry no meaning; run-aware consumers must
+    /// produce identical results for any partition of the sequence
+    /// into constant runs. The default coalesces a decoded range.
+    fn read_column_runs(
+        &self,
+        attribute: &str,
+        start: usize,
+        len: usize,
+    ) -> Result<Vec<(Value, usize)>> {
+        let vals = self.read_column_range(attribute, start, len)?;
+        let mut out: Vec<(Value, usize)> = Vec::new();
+        for v in vals {
+            match out.last_mut() {
+                Some((rv, n)) if rv.group_eq(&v) => *n += 1,
+                _ => out.push((v, 1)),
+            }
+        }
+        Ok(out)
     }
 
     /// Read one full row (the *informational* access pattern: every

@@ -11,20 +11,33 @@
 use std::sync::Arc;
 
 use sdbms_data::{DataError, DataSet, DataType, Schema, Value};
-use sdbms_storage::{BufferPool, HeapFile, Rid};
+use sdbms_storage::{BufferPool, HeapFile, PageId, Rid};
 
-use crate::segment::{decode_segment, encode_segment, Compression, SEGMENT_ROWS};
+use crate::segment::{
+    decode_segment, decode_segment_range, encode_segment, segment_runs, Compression, SEGMENT_ROWS,
+};
 use crate::store::{Result, TableStore};
+use crate::zonemap::ZoneMap;
 
 #[derive(Debug, Clone, Copy)]
 struct SegmentInfo {
     rid: Rid,
     start_row: usize,
     len: usize,
+    /// Record holding this segment's persisted [`ZoneMap`], in the
+    /// column's *zones* file. `None` means no map: the segment is
+    /// scanned unpruned. Writers clear this before touching segment
+    /// data and only restore it after a map for the *new* contents is
+    /// durably written, so a map is never stale.
+    zone: Option<Rid>,
 }
 
 struct Column {
     file: HeapFile,
+    /// Zone-map records, one per segment, in a separate heap file so
+    /// map pages and data pages fail independently (and fault
+    /// injection can target one without the other).
+    zones: HeapFile,
     segments: Vec<SegmentInfo>,
     compression: Compression,
 }
@@ -87,6 +100,7 @@ impl TransposedFile {
         for &compression in compressions {
             columns.push(Column {
                 file: HeapFile::create(pool.clone()).map_err(DataError::Storage)?,
+                zones: HeapFile::create(pool.clone()).map_err(DataError::Storage)?,
                 segments: Vec::new(),
                 compression,
             });
@@ -118,10 +132,12 @@ impl TransposedFile {
             for chunk in values.chunks(SEGMENT_ROWS) {
                 let bytes = encode_segment(chunk, col.compression);
                 let rid = col.file.insert(&bytes).map_err(DataError::Storage)?;
+                let zone = Self::write_zone(&mut col.zones, chunk);
                 col.segments.push(SegmentInfo {
                     rid,
                     start_row: start,
                     len: chunk.len(),
+                    zone,
                 });
                 start += chunk.len();
             }
@@ -154,6 +170,25 @@ impl TransposedFile {
         (i < col.segments.len()).then_some(i)
     }
 
+    /// Persist a zone map for `values`, returning its record id.
+    /// Returns `None` on any write failure — zone maps are advisory,
+    /// so losing one degrades scans to unpruned, never fails the data
+    /// operation that triggered it.
+    fn write_zone(zones: &mut HeapFile, values: &[Value]) -> Option<Rid> {
+        zones.insert(&ZoneMap::build(values).encode()).ok()
+    }
+
+    /// Load one segment's zone map. Returns `None` — "scan unpruned" —
+    /// when the segment has no map, the record read fails (torn or
+    /// corrupt page fails its checksum), the bytes don't decode, or
+    /// the map disagrees with the directory about the row count.
+    fn load_zone(col: &Column, si: usize) -> Option<ZoneMap> {
+        let info = col.segments[si];
+        let bytes = col.zones.get(info.zone?).ok()?;
+        let zm = ZoneMap::decode(&bytes).ok()?;
+        (zm.rows == info.len).then_some(zm)
+    }
+
     fn load_segment(col: &Column, si: usize) -> Result<Vec<Value>> {
         let info = col.segments[si];
         let bytes = col.file.get(info.rid).map_err(DataError::Storage)?;
@@ -164,7 +199,26 @@ impl TransposedFile {
         Ok(vals)
     }
 
+    /// Fetch one segment's raw record, verifying the stored row count
+    /// against the directory (partial decoders skip the full-decode
+    /// length check).
+    fn segment_bytes(col: &Column, si: usize) -> Result<Vec<u8>> {
+        let info = col.segments[si];
+        let bytes = col.file.get(info.rid).map_err(DataError::Storage)?;
+        let n = crate::read_u16(&bytes, 0, "segment header truncated")? as usize;
+        if n != info.len {
+            return Err(DataError::Decode("segment directory out of sync"));
+        }
+        Ok(bytes)
+    }
+
     fn store_segment(col: &mut Column, si: usize, values: &[Value]) -> Result<()> {
+        // Invalidate-first: drop the old zone map before the data
+        // changes so a failure between the two writes leaves the
+        // segment unpruned rather than pruned by a stale map.
+        if let Some(z) = col.segments[si].zone.take() {
+            let _ = col.zones.delete(z);
+        }
         let bytes = encode_segment(values, col.compression);
         let info = col.segments[si];
         let new_rid = col
@@ -173,6 +227,7 @@ impl TransposedFile {
             .map_err(DataError::Storage)?;
         col.segments[si].rid = new_rid;
         col.segments[si].len = values.len();
+        col.segments[si].zone = Self::write_zone(&mut col.zones, values);
         Ok(())
     }
 
@@ -188,12 +243,37 @@ impl TransposedFile {
                 let mut vals = Self::load_segment(col, col.segments.len() - 2)?;
                 vals.extend(Self::load_segment(col, col.segments.len() - 1)?);
                 col.file.delete(last.rid).map_err(DataError::Storage)?;
+                if let Some(z) = last.zone {
+                    let _ = col.zones.delete(z);
+                }
                 col.segments.pop();
                 let si = col.segments.len() - 1;
                 Self::store_segment(col, si, &vals)?;
             }
         }
         Ok(())
+    }
+
+    /// Pages holding zone-map records (across all columns), disjoint
+    /// from data pages. Exposed so fault-injection tests can corrupt
+    /// exactly the advisory statistics and assert scans degrade to
+    /// unpruned rather than answer wrongly.
+    #[must_use]
+    pub fn zone_page_ids(&self) -> Vec<PageId> {
+        let mut out: Vec<PageId> = self.columns.iter().flat_map(|c| c.zones.pages()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// How many segments of one column currently have a readable zone
+    /// map (diagnostics and tests).
+    pub fn zone_map_count(&self, attribute: &str) -> Result<usize> {
+        let ci = self.schema.require(attribute)?;
+        let col = &self.columns[ci];
+        Ok((0..col.segments.len())
+            .filter(|&si| Self::load_zone(col, si).is_some())
+            .count())
     }
 }
 
@@ -227,7 +307,8 @@ impl TableStore for TransposedFile {
         }
         // Decode only the segments overlapping [start, end) — a morsel
         // aligned to SEGMENT_ROWS touches exactly its own segments, so
-        // parallel workers never fetch each other's pages.
+        // parallel workers never fetch each other's pages — and within
+        // a partially-covered segment, decode only the covered rows.
         let col = &self.columns[ci];
         let first = Self::segment_index_for_row(col, start)
             .ok_or(DataError::Decode("segment directory out of sync"))?;
@@ -237,10 +318,74 @@ impl TableStore for TransposedFile {
             if info.start_row >= end {
                 break;
             }
-            let vals = Self::load_segment(col, si)?;
+            let bytes = Self::segment_bytes(col, si)?;
             let lo = start.saturating_sub(info.start_row);
             let hi = (end - info.start_row).min(info.len);
-            out.extend_from_slice(&vals[lo..hi]);
+            out.extend(decode_segment_range(&bytes, lo, hi)?);
+        }
+        Ok(out)
+    }
+
+    fn range_stats(&self, attribute: &str, start: usize, len: usize) -> Option<ZoneMap> {
+        let ci = self.schema.require(attribute).ok()?;
+        let end = start.checked_add(len).filter(|&e| e <= self.rows)?;
+        if start == end {
+            return Some(ZoneMap::default());
+        }
+        let col = &self.columns[ci];
+        let first = Self::segment_index_for_row(col, start)?;
+        let mut merged = ZoneMap::default();
+        for si in first..col.segments.len() {
+            let info = col.segments[si];
+            if info.start_row >= end {
+                break;
+            }
+            // Pruning decisions cover whole segments: a map describes
+            // its full segment, so partial overlap still merges the
+            // whole map (conservative — a superset of the range).
+            merged.merge(&Self::load_zone(col, si)?);
+        }
+        Some(merged)
+    }
+
+    fn read_column_runs(
+        &self,
+        attribute: &str,
+        start: usize,
+        len: usize,
+    ) -> Result<Vec<(Value, usize)>> {
+        let ci = self.schema.require(attribute)?;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.rows)
+            .ok_or(DataError::NoSuchRow(start.saturating_add(len).max(1) - 1))?;
+        if start == end {
+            return Ok(Vec::new());
+        }
+        let col = &self.columns[ci];
+        let first = Self::segment_index_for_row(col, start)
+            .ok_or(DataError::Decode("segment directory out of sync"))?;
+        let mut out: Vec<(Value, usize)> = Vec::new();
+        for si in first..col.segments.len() {
+            let info = col.segments[si];
+            if info.start_row >= end {
+                break;
+            }
+            let bytes = Self::segment_bytes(col, si)?;
+            let lo = start.saturating_sub(info.start_row);
+            let hi = (end - info.start_row).min(info.len);
+            if lo == 0 && hi == info.len {
+                // Fully-covered segment: runs come straight off the
+                // encoded record, no row materialization.
+                out.extend(segment_runs(&bytes)?);
+            } else {
+                for v in decode_segment_range(&bytes, lo, hi)? {
+                    match out.last_mut() {
+                        Some((rv, n)) if rv.group_eq(&v) => *n += 1,
+                        _ => out.push((v, 1)),
+                    }
+                }
+            }
         }
         Ok(out)
     }
@@ -250,13 +395,19 @@ impl TableStore for TransposedFile {
             return Err(DataError::NoSuchRow(row));
         }
         // One segment fetch *per column* — the informational-query
-        // penalty of transposed files.
+        // penalty of transposed files. Only the addressed row is
+        // decoded from each record.
         let mut out = Vec::with_capacity(self.columns.len());
         for col in &self.columns {
             let si = Self::segment_index_for_row(col, row)
                 .ok_or(DataError::Decode("segment directory out of sync"))?;
-            let vals = Self::load_segment(col, si)?;
-            out.push(vals[row - col.segments[si].start_row].clone());
+            let off = row - col.segments[si].start_row;
+            let bytes = Self::segment_bytes(col, si)?;
+            let mut vals = decode_segment_range(&bytes, off, off + 1)?;
+            out.push(
+                vals.pop()
+                    .ok_or(DataError::Decode("segment directory out of sync"))?,
+            );
         }
         Ok(out)
     }
@@ -269,8 +420,11 @@ impl TableStore for TransposedFile {
         let col = &self.columns[ci];
         let si = Self::segment_index_for_row(col, row)
             .ok_or(DataError::Decode("segment directory out of sync"))?;
-        let vals = Self::load_segment(col, si)?;
-        Ok(vals[row - col.segments[si].start_row].clone())
+        let off = row - col.segments[si].start_row;
+        let bytes = Self::segment_bytes(col, si)?;
+        decode_segment_range(&bytes, off, off + 1)?
+            .pop()
+            .ok_or(DataError::Decode("segment directory out of sync"))
     }
 
     fn set_cell(&mut self, row: usize, attribute: &str, value: Value) -> Result<Value> {
@@ -309,6 +463,7 @@ impl TableStore for TransposedFile {
         // layout's schema-growth advantage).
         let mut col = Column {
             file: HeapFile::create(self.pool.clone()).map_err(DataError::Storage)?,
+            zones: HeapFile::create(self.pool.clone()).map_err(DataError::Storage)?,
             segments: Vec::new(),
             compression,
         };
@@ -316,10 +471,12 @@ impl TableStore for TransposedFile {
         for chunk in values.chunks(SEGMENT_ROWS) {
             let bytes = encode_segment(chunk, compression);
             let rid = col.file.insert(&bytes).map_err(DataError::Storage)?;
+            let zone = Self::write_zone(&mut col.zones, chunk);
             col.segments.push(SegmentInfo {
                 rid,
                 start_row: start,
                 len: chunk.len(),
+                zone,
             });
             start += chunk.len();
         }
@@ -340,12 +497,14 @@ impl TableStore for TransposedFile {
                     Self::store_segment(col, si, &vals)?;
                 }
                 _ => {
-                    let bytes = encode_segment(&[v], col.compression);
+                    let bytes = encode_segment(std::slice::from_ref(&v), col.compression);
                     let rid = col.file.insert(&bytes).map_err(DataError::Storage)?;
+                    let zone = Self::write_zone(&mut col.zones, std::slice::from_ref(&v));
                     col.segments.push(SegmentInfo {
                         rid,
                         start_row: self.rows,
                         len: 1,
+                        zone,
                     });
                 }
             }
@@ -520,6 +679,101 @@ mod tests {
         );
         assert!(t.column_page_count("SEX").unwrap() >= 1);
         assert!(t.column_compression("NOPE").is_err());
+    }
+
+    #[test]
+    fn zone_maps_cover_every_segment_after_bulk_load() {
+        let env = StorageEnv::new(256);
+        let ds = micro(1000);
+        let t = TransposedFile::from_dataset(env.pool, &ds).unwrap();
+        for attr in ["AGE", "INCOME", "SEX", "REGION"] {
+            assert_eq!(t.zone_map_count(attr).unwrap(), 4, "{attr}");
+            let zm = t.range_stats(attr, 0, 1000).expect("full-column stats");
+            assert_eq!(zm.rows, 1000);
+            let col = t.read_column(attr).unwrap();
+            assert_eq!(zm, crate::zonemap::ZoneMap::build(&col), "{attr}");
+        }
+        // Per-morsel stats merge exactly too (two segments).
+        let zm = t.range_stats("AGE", 256, 512).unwrap();
+        let col = t.read_column_range("AGE", 256, 512).unwrap();
+        assert_eq!(zm, crate::zonemap::ZoneMap::build(&col));
+        // Out-of-bounds range: no stats.
+        assert!(t.range_stats("AGE", 900, 200).is_none());
+        assert!(t.range_stats("NOPE", 0, 10).is_none());
+    }
+
+    #[test]
+    fn set_cell_recomputes_zone_map_not_stale() {
+        let env = StorageEnv::new(256);
+        let ds = micro(600);
+        let mut t = TransposedFile::from_dataset(env.pool, &ds).unwrap();
+        let before = t.range_stats("AGE", 256, 256).expect("stats");
+        assert!(!before.may_contain(&Value::Int(5000)));
+        t.set_cell(300, "AGE", Value::Int(5000)).unwrap();
+        let after = t.range_stats("AGE", 256, 256).expect("stats recomputed");
+        assert!(
+            after.may_contain(&Value::Int(5000)),
+            "map must not be stale"
+        );
+        assert_eq!(after.max, Some(Value::Int(5000)));
+    }
+
+    #[test]
+    fn corrupt_zone_page_degrades_to_no_stats_reads_still_work() {
+        let env = StorageEnv::new(64);
+        let ds = micro(700);
+        let t = TransposedFile::from_dataset(env.pool.clone(), &ds).unwrap();
+        assert!(t.range_stats("AGE", 0, 700).is_some());
+        env.pool.flush_all().unwrap();
+        env.pool.discard_frames().unwrap();
+        for pid in t.zone_page_ids() {
+            env.disk.corrupt_page(pid, 5);
+        }
+        // Stats gone (checksum rejects the pages)…
+        assert!(t.range_stats("AGE", 0, 700).is_none());
+        // …but data reads are untouched: zone pages are disjoint.
+        let col = t.read_column("AGE").unwrap();
+        assert_eq!(col.len(), 700);
+    }
+
+    #[test]
+    fn column_runs_expand_to_column_values() {
+        let env = StorageEnv::new(256);
+        let ds = micro(900);
+        let t = TransposedFile::from_dataset(env.pool, &ds).unwrap();
+        for attr in ["SEX", "INCOME", "REGION"] {
+            let full = t.read_column(attr).unwrap();
+            for (start, len) in [(0, 900), (0, 256), (100, 400), (899, 1), (450, 0)] {
+                let runs = t.read_column_runs(attr, start, len).unwrap();
+                let expanded: Vec<Value> = runs
+                    .iter()
+                    .flat_map(|(v, n)| std::iter::repeat_n(v.clone(), *n))
+                    .collect();
+                assert_eq!(expanded, full[start..start + len], "{attr} ({start},{len})");
+            }
+        }
+        assert!(t.read_column_runs("SEX", 800, 200).is_err());
+    }
+
+    #[test]
+    fn append_and_repack_keep_zone_maps_fresh() {
+        let env = StorageEnv::new(128);
+        let mut t = TransposedFile::create(env.pool, figure1().schema().clone()).unwrap();
+        for row in figure1().rows() {
+            t.append_row(row.clone()).unwrap();
+        }
+        let zm = t.range_stats("AGE_GROUP", 0, t.len()).expect("stats");
+        let col = t.read_column("AGE_GROUP").unwrap();
+        assert_eq!(zm, crate::zonemap::ZoneMap::build(&col));
+        // Bulk append triggers repack of the partial tail.
+        let ds = micro(300);
+        let mut t2 = TransposedFile::from_dataset(StorageEnv::new(128).pool, &ds).unwrap();
+        t2.bulk_append(&micro(300)).unwrap();
+        let zm = t2.range_stats("AGE", 0, 600).expect("stats after repack");
+        assert_eq!(
+            zm,
+            crate::zonemap::ZoneMap::build(&t2.read_column("AGE").unwrap())
+        );
     }
 
     #[test]

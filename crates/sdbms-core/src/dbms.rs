@@ -555,7 +555,7 @@ impl StatDbms {
             let by_profile = {
                 let v = self.view_mut(view)?;
                 v.tracker.column_reads += 1;
-                match sdbms_exec::profile_table_column(&*v.store, &attr, &exec) {
+                match sdbms_exec::profile_table_column_runs(&*v.store, &attr, &exec) {
                     Ok(p) => sdbms_summary::warm_attribute(&v.summary, &attr, &p, &fns).ok(),
                     Err(_) => None,
                 }
@@ -634,30 +634,14 @@ impl StatDbms {
                     Ok((a.name.clone(), expr.bind(&schema)?, a.dtype))
                 })
                 .collect::<Result<_>>()?;
-            // Evaluate the predicate column-wise: read only the columns
-            // it references (the transposed layout's strength), then
-            // touch full rows only for the matches.
-            let ref_cols: Vec<String> = predicate.referenced_columns();
-            let ref_names: Vec<&str> = ref_cols.iter().map(String::as_str).collect();
-            let proj_schema = schema.project(&ref_names)?;
-            let bound_pred = predicate.bind(&proj_schema)?;
-            let columns: Vec<Vec<Value>> = ref_names
-                .iter()
-                .map(|c| {
-                    v.tracker.column_reads += 1;
-                    v.store.read_column(c)
-                })
-                .collect::<std::result::Result<_, _>>()?;
-            // Morsel-parallel predicate evaluation; matches come back
-            // in ascending row order regardless of worker count.
-            matching = sdbms_exec::filter_indices::<sdbms_data::DataError, _>(
-                v.store.len(),
-                &exec,
-                |i| {
-                    let proj_row: Vec<Value> = columns.iter().map(|col| col[i].clone()).collect();
-                    Ok(bound_pred.eval(&proj_row))
-                },
-            )?;
+            // Evaluate the predicate column-wise with zone-map pruning:
+            // each morsel reads only the referenced columns, and morsels
+            // whose per-segment statistics refute the predicate are
+            // skipped without decoding a page. Matches come back in
+            // ascending row order regardless of worker count, identical
+            // to an unpruned scan.
+            v.tracker.column_reads += predicate.referenced_columns().len() as u64;
+            matching = sdbms_relational::filter_table_rows(&*v.store, predicate, &exec)?;
             report.rows_matched = matching.len();
             let mut records: Vec<ChangeRecord> = Vec::new();
             for &i in &matching {
@@ -1015,7 +999,7 @@ impl StatDbms {
                 // fall through to the serial per-entry path, which
                 // carries the quarantine / rebuild degradation logic.
                 v.tracker.column_reads += 1;
-                let regenerated = sdbms_exec::profile_table_column(&*v.store, &attr, &exec)
+                let regenerated = sdbms_exec::profile_table_column_runs(&*v.store, &attr, &exec)
                     .ok()
                     .and_then(|p| sdbms_summary::regenerate_attribute(&v.summary, &attr, &p).ok());
                 if let Some(r) = regenerated {

@@ -226,6 +226,45 @@ pub struct ColumnProfile {
 }
 
 impl ColumnProfile {
+    /// Absorb `n` consecutive rows holding the same value — the
+    /// compressed-domain entry point fed by `(value, run-length)`
+    /// pairs off RLE/dictionary pages.
+    ///
+    /// Contract: feeding the runs of a sequence (under *any* partition
+    /// into constant runs) produces a profile `==` to
+    /// [`ColumnProfile::from_values`] on the expanded sequence. The
+    /// frequency table and extremes fold whole runs in O(1); the
+    /// moments deliberately replay per row (see
+    /// [`Moments::add_run`]) and `numbers` keeps every row for the
+    /// exact quantile path — so the win is skipping per-row `Value`
+    /// decode, clone, `as_f64` dispatch, and frequency-map lookups,
+    /// not the flops.
+    pub fn add_run(&mut self, v: &Value, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.rows += n;
+        self.freq.add_count(v, n as u64);
+        match v.as_f64() {
+            Some(x) => {
+                self.moments.add_run(x, n);
+                self.minmax.add_run(x, n);
+                self.numbers.extend(std::iter::repeat_n(x, n));
+            }
+            None => self.non_numeric += n,
+        }
+    }
+
+    /// Profile a morsel given as `(value, run-length)` pairs.
+    #[must_use]
+    pub fn from_runs(runs: &[(Value, usize)]) -> Self {
+        let mut p = ColumnProfile::default();
+        for (v, n) in runs {
+            p.add_run(v, *n);
+        }
+        p
+    }
+
     /// Profile one run of values (a morsel's partial state).
     #[must_use]
     pub fn from_values(values: &[Value]) -> Self {
@@ -324,6 +363,91 @@ where
     })
 }
 
+/// Run-aware parallel profile of one stored column: each morsel is
+/// consumed as `(value, run-length)` pairs straight off the encoded
+/// pages, so RLE-friendly columns aggregate in O(runs) decode work
+/// instead of O(rows). The result is `==` to
+/// [`profile_table_column`] — run boundaries never show in the
+/// profile.
+pub fn profile_table_column_runs<S>(
+    store: &S,
+    attribute: &str,
+    cfg: &ExecConfig,
+) -> sdbms_columnar::store::Result<ColumnProfile>
+where
+    S: TableStore + Sync + ?Sized,
+{
+    let partials = scan_morsels(
+        store.len(),
+        cfg,
+        |m| -> sdbms_columnar::store::Result<ColumnProfile> {
+            Ok(ColumnProfile::from_runs(
+                &store.read_column_runs(attribute, m.start, m.len)?,
+            ))
+        },
+    )?;
+    let mut profile = ColumnProfile::default();
+    for p in partials {
+        profile.merge(p);
+    }
+    Ok(profile)
+}
+
+/// Decides whether a scan morsel can be skipped outright.
+///
+/// Implementations answer "may any row in `[start, start + len)`
+/// satisfy the predicate?" from per-segment statistics. The contract
+/// is one-sided: returning `false` asserts **no** row matches (the
+/// morsel is never read), while `true` merely schedules the morsel
+/// for a normal scan. A pruner with no information must return
+/// `true` — that degrades pruning to a plain scan, never changes
+/// results.
+pub trait SegmentPruner: Sync {
+    /// True unless the statistics refute every row of the range.
+    fn may_match(&self, start: usize, len: usize) -> bool;
+}
+
+/// The trivial pruner: every morsel is scanned.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPruner;
+
+impl SegmentPruner for NoPruner {
+    fn may_match(&self, _start: usize, _len: usize) -> bool {
+        true
+    }
+}
+
+/// [`filter_indices`] with zone-map pushdown: morsels the pruner
+/// refutes contribute no indices and are never evaluated (no page
+/// reads, no decode). Because refuted morsels by contract contain no
+/// matching rows, the output is identical to the unpruned scan for
+/// every worker count.
+pub fn filter_indices_pruned<E, F, P>(
+    rows: usize,
+    cfg: &ExecConfig,
+    pruner: &P,
+    keep: F,
+) -> Result<Vec<usize>, E>
+where
+    F: Fn(usize) -> Result<bool, E> + Sync,
+    E: Send,
+    P: SegmentPruner + ?Sized,
+{
+    let chunks = scan_morsels(rows, cfg, |m| {
+        let mut hits = Vec::new();
+        if !pruner.may_match(m.start, m.len) {
+            return Ok(hits);
+        }
+        for i in m.start..m.start + m.len {
+            if keep(i)? {
+                hits.push(i);
+            }
+        }
+        Ok(hits)
+    })?;
+    Ok(chunks.into_iter().flatten().collect())
+}
+
 /// Profile an in-memory column (morsel-parallel over slices).
 #[must_use]
 pub fn profile_values(values: &[Value], cfg: &ExecConfig) -> ColumnProfile {
@@ -414,6 +538,68 @@ mod tests {
             filter_indices::<std::convert::Infallible, _>(1000, &cfg, |i| Ok(i % 3 == 0)).unwrap();
         let expect: Vec<usize> = (0..1000).filter(|i| i % 3 == 0).collect();
         assert_eq!(idx, expect);
+    }
+
+    #[test]
+    fn run_fed_profile_bit_identical_to_per_row() {
+        let col = mixed_column(4000);
+        let per_row = ColumnProfile::from_values(&col);
+        // Partition into group_eq runs…
+        let mut runs: Vec<(Value, usize)> = Vec::new();
+        for v in &col {
+            match runs.last_mut() {
+                Some((rv, n)) if rv.group_eq(v) => *n += 1,
+                _ => runs.push((v.clone(), 1)),
+            }
+        }
+        assert_eq!(ColumnProfile::from_runs(&runs), per_row);
+        // …and into an arbitrary different partition (every run split):
+        let split: Vec<(Value, usize)> = col.iter().map(|v| (v.clone(), 1)).collect();
+        assert_eq!(ColumnProfile::from_runs(&split), per_row);
+        // Zero-length runs are no-ops.
+        let mut p = ColumnProfile::from_runs(&runs);
+        p.add_run(&Value::Int(1), 0);
+        assert_eq!(p, per_row);
+    }
+
+    #[test]
+    fn pruned_filter_skips_refuted_morsels_exactly() {
+        struct EvenMorselsOnly {
+            morsel_rows: usize,
+        }
+        impl SegmentPruner for EvenMorselsOnly {
+            fn may_match(&self, start: usize, _len: usize) -> bool {
+                (start / self.morsel_rows) % 2 == 0
+            }
+        }
+        let cfg = ExecConfig {
+            workers: 4,
+            morsel_rows: 100,
+        };
+        let evaluated = AtomicUsize::new(0);
+        let pruner = EvenMorselsOnly { morsel_rows: 100 };
+        let got: Vec<usize> =
+            filter_indices_pruned::<std::convert::Infallible, _, _>(1000, &cfg, &pruner, |i| {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                Ok(i % 3 == 0)
+            })
+            .unwrap();
+        // Exactly the even-morsel rows were evaluated…
+        assert_eq!(evaluated.load(Ordering::Relaxed), 500);
+        // …and the hits are the unpruned hits restricted to them.
+        let expect: Vec<usize> = (0..1000)
+            .filter(|i| (i / 100) % 2 == 0 && i % 3 == 0)
+            .collect();
+        assert_eq!(got, expect);
+        // NoPruner reproduces plain filter_indices bit-for-bit.
+        let plain: Vec<usize> =
+            filter_indices::<std::convert::Infallible, _>(1000, &cfg, |i| Ok(i % 3 == 0)).unwrap();
+        let nopruned: Vec<usize> =
+            filter_indices_pruned::<std::convert::Infallible, _, _>(1000, &cfg, &NoPruner, |i| {
+                Ok(i % 3 == 0)
+            })
+            .unwrap();
+        assert_eq!(nopruned, plain);
     }
 
     #[test]

@@ -77,6 +77,53 @@ pub fn check_registry(registry: &SummaryRegistry) -> Vec<Diagnostic> {
             }
         }
     }
+    // Maintained physical statistics (zone maps &c.) are audited under
+    // the same rules as functions: full update-kind coverage, and a
+    // passing merge law when one is claimed.
+    for stat in registry.statistics() {
+        let name = stat.name;
+        for kind in ALL_UPDATE_KINDS {
+            if stat.strategy_for(kind).is_none() {
+                out.push(Diagnostic::new(
+                    RULE_MISSING_STRATEGY,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "statistic `{name}` declares no maintenance strategy for {kind} updates"
+                    ),
+                ));
+            }
+        }
+        if stat.declared_incremental {
+            match stat.verify_merge_law() {
+                MergeLawStatus::Verified => {}
+                MergeLawStatus::NoAuxiliaryState => out.push(Diagnostic::new(
+                    RULE_UNVERIFIED_MERGE,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "statistic `{name}` is declared incremental but builds no auxiliary state"
+                    ),
+                )),
+                MergeLawStatus::Unmergeable(why) => out.push(Diagnostic::new(
+                    RULE_UNVERIFIED_MERGE,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "statistic `{name}` is declared incremental but its state has no merge law: {why}"
+                    ),
+                )),
+                MergeLawStatus::Mismatch(why) => out.push(Diagnostic::new(
+                    RULE_UNVERIFIED_MERGE,
+                    "<summary-registry>",
+                    0,
+                    format!(
+                        "statistic `{name}` is declared incremental but merging violates the law: {why}"
+                    ),
+                )),
+            }
+        }
+    }
     out
 }
 
@@ -175,6 +222,38 @@ mod tests {
         let found = check_registry(&r);
         assert_eq!(found.len(), 1);
         assert!(found[0].message.contains("no auxiliary state"));
+    }
+
+    #[test]
+    fn statistic_missing_strategy_and_broken_law_detected() {
+        use sdbms_summary::{verify_zone_map_merge_law, StatisticContract};
+        let mut r = SummaryRegistry::new();
+        // Covers only inserts; overwrite and delete are undeclared.
+        r.register_statistic(
+            StatisticContract::new("half-covered", false, verify_zone_map_merge_law)
+                .with(UpdateKind::Insert, MaintenanceStrategy::Regenerate),
+        );
+        // Claims a merge law whose oracle reports a mismatch.
+        fn broken() -> sdbms_summary::MergeLawStatus {
+            sdbms_summary::MergeLawStatus::Mismatch("synthetic".into())
+        }
+        let mut bad = StatisticContract::new("bad-law", true, broken);
+        for k in sdbms_summary::ALL_UPDATE_KINDS {
+            bad = bad.with(k, MaintenanceStrategy::Regenerate);
+        }
+        r.register_statistic(bad);
+        let found = check_registry(&r);
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert_eq!(
+            found
+                .iter()
+                .filter(|d| d.lint.id == "rule-missing-strategy")
+                .count(),
+            2
+        );
+        assert!(found
+            .iter()
+            .any(|d| d.lint.id == "rule-unverified-merge" && d.message.contains("bad-law")));
     }
 
     #[test]

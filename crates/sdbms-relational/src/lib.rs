@@ -15,14 +15,20 @@
 //!   lineage record the Management Database stores for every concrete
 //!   view: source + ordered pipeline, with structural equality for the
 //!   §2.3 duplicate-view check.
+//! - [`prune`] — predicate pushdown against per-segment zone maps:
+//!   a three-valued analysis that lets scans skip whole morsels whose
+//!   statistics refute the predicate, bit-identically to an unpruned
+//!   scan.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod expr;
 pub mod ops;
+pub mod prune;
 pub mod viewdef;
 
 pub use expr::{BinOp, BoundExpr, BoundPredicate, CmpOp, Expr, Predicate, ScalarFunc};
 pub use ops::{par_project, par_select, AggFunc, Aggregate};
+pub use prune::{filter_table_rows, predicate_truth, Truth, ZoneMapPruner};
 pub use viewdef::{ViewDefinition, ViewStep};

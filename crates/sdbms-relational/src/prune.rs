@@ -1,0 +1,412 @@
+//! Predicate pushdown against zone maps: deciding, from per-segment
+//! statistics alone, that a whole scan morsel cannot contain a
+//! matching row.
+//!
+//! The analysis is three-valued ([`Truth`]): a predicate over a row
+//! range is *always false*, *always true*, or *unknown*. Only
+//! `AlwaysFalse` prunes; `AlwaysTrue` exists so negation stays sound
+//! (`NOT p` is always-false exactly when `p` is always-true). Every
+//! rule here mirrors [`BoundPredicate::eval`]'s semantics — the same
+//! [`Value::total_cmp`] order, the same missing-makes-comparisons-false
+//! convention — which is what makes a pruned scan bit-identical to an
+//! unpruned one.
+//!
+//! [`BoundPredicate::eval`]: crate::expr::BoundPredicate::eval
+
+use std::cmp::Ordering;
+
+use sdbms_columnar::{zonemap::ZoneMap, TableStore};
+use sdbms_data::{DataError, Schema, Value};
+use sdbms_exec::{scan_morsels, ExecConfig, SegmentPruner};
+
+use crate::expr::{CmpOp, Expr, Predicate};
+
+/// What zone-map statistics prove about a predicate over a row range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// No row in the range can satisfy the predicate.
+    AlwaysFalse,
+    /// Every row in the range satisfies the predicate.
+    AlwaysTrue,
+    /// The statistics decide nothing; the range must be scanned.
+    Unknown,
+}
+
+impl Truth {
+    fn not(self) -> Truth {
+        match self {
+            Truth::AlwaysFalse => Truth::AlwaysTrue,
+            Truth::AlwaysTrue => Truth::AlwaysFalse,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::AlwaysFalse, _) | (_, Truth::AlwaysFalse) => Truth::AlwaysFalse,
+            (Truth::AlwaysTrue, Truth::AlwaysTrue) => Truth::AlwaysTrue,
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::AlwaysTrue, _) | (_, Truth::AlwaysTrue) => Truth::AlwaysTrue,
+            (Truth::AlwaysFalse, Truth::AlwaysFalse) => Truth::AlwaysFalse,
+            _ => Truth::Unknown,
+        }
+    }
+}
+
+/// A constant-foldable side of a comparison: a literal, by value.
+fn as_literal(e: &Expr) -> Option<&Value> {
+    match e {
+        Expr::Literal(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// A plain column reference (computed expressions are not pruned —
+/// their range is not what the column's zone map bounds).
+fn as_column(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Column(name) => Some(name),
+        _ => None,
+    }
+}
+
+/// Mirror of a `CmpOp` for the flipped comparison `lit op col`
+/// rewritten as `col op' lit`.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Decide `col op lit` against the column's zone map.
+fn cmp_truth(zm: &ZoneMap, op: CmpOp, lit: &Value) -> Truth {
+    if lit.is_missing() {
+        // eval: a missing operand makes every comparison false.
+        return Truth::AlwaysFalse;
+    }
+    if zm.rows == zm.null_count {
+        // No non-missing value in the range; missing rows eval false.
+        return Truth::AlwaysFalse;
+    }
+    let (Some(min), Some(max)) = (&zm.min, &zm.max) else {
+        return Truth::Unknown;
+    };
+    let lo = min.total_cmp(lit);
+    let hi = max.total_cmp(lit);
+    let refuted = match op {
+        CmpOp::Eq => !zm.may_contain(lit),
+        // All non-missing values equal `lit` ⟺ min = lit = max.
+        CmpOp::Ne => lo == Ordering::Equal && hi == Ordering::Equal,
+        CmpOp::Lt => lo != Ordering::Less,
+        CmpOp::Le => lo == Ordering::Greater,
+        CmpOp::Gt => hi != Ordering::Greater,
+        CmpOp::Ge => hi == Ordering::Less,
+    };
+    if refuted {
+        return Truth::AlwaysFalse;
+    }
+    // Always-true additionally needs every row non-missing (a missing
+    // row evals false regardless of the op).
+    if zm.null_count == 0 {
+        let proven = match op {
+            CmpOp::Eq => lo == Ordering::Equal && hi == Ordering::Equal,
+            CmpOp::Ne => match &zm.distinct {
+                Some(set) => !set.iter().any(|v| v.total_cmp(lit) == Ordering::Equal),
+                None => lo == Ordering::Greater || hi == Ordering::Less,
+            },
+            CmpOp::Lt => hi == Ordering::Less,
+            CmpOp::Le => hi != Ordering::Greater,
+            CmpOp::Gt => lo == Ordering::Greater,
+            CmpOp::Ge => lo != Ordering::Less,
+        };
+        if proven {
+            return Truth::AlwaysTrue;
+        }
+    }
+    Truth::Unknown
+}
+
+/// Decide a predicate over a row range from per-column zone maps.
+///
+/// `stats` returns the statistics of one column over the range under
+/// decision, or `None` when unavailable (no map, unreadable map) —
+/// which yields [`Truth::Unknown`] for every test of that column.
+/// Sound by construction: `AlwaysFalse` is returned only when
+/// [`BoundPredicate::eval`] would return false for *every* row any
+/// conforming range can hold, so skipping the range changes nothing.
+///
+/// [`BoundPredicate::eval`]: crate::expr::BoundPredicate::eval
+pub fn predicate_truth(pred: &Predicate, stats: &dyn Fn(&str) -> Option<ZoneMap>) -> Truth {
+    match pred {
+        Predicate::True => Truth::AlwaysTrue,
+        Predicate::And(a, b) => predicate_truth(a, stats).and(predicate_truth(b, stats)),
+        Predicate::Or(a, b) => predicate_truth(a, stats).or(predicate_truth(b, stats)),
+        Predicate::Not(p) => predicate_truth(p, stats).not(),
+        Predicate::IsMissing(name) => match stats(name) {
+            Some(zm) if zm.null_count == 0 => Truth::AlwaysFalse,
+            Some(zm) if zm.null_count == zm.rows => Truth::AlwaysTrue,
+            _ => Truth::Unknown,
+        },
+        Predicate::Cmp { left, op, right } => {
+            match (
+                as_column(left),
+                as_literal(left),
+                as_column(right),
+                as_literal(right),
+            ) {
+                // col op lit
+                (Some(col), _, _, Some(lit)) => match stats(col) {
+                    Some(zm) => cmp_truth(&zm, *op, lit),
+                    None => Truth::Unknown,
+                },
+                // lit op col  ⟶  col flip(op) lit
+                (_, Some(lit), Some(col), _) => match stats(col) {
+                    Some(zm) => cmp_truth(&zm, flip(*op), lit),
+                    None => Truth::Unknown,
+                },
+                // lit op lit: constant-fold with eval's exact semantics.
+                (_, Some(l), _, Some(r)) => {
+                    if l.is_missing() || r.is_missing() {
+                        return Truth::AlwaysFalse;
+                    }
+                    let ord = l.total_cmp(r);
+                    let holds = match op {
+                        CmpOp::Eq => ord == Ordering::Equal,
+                        CmpOp::Ne => ord != Ordering::Equal,
+                        CmpOp::Lt => ord == Ordering::Less,
+                        CmpOp::Le => ord != Ordering::Greater,
+                        CmpOp::Gt => ord == Ordering::Greater,
+                        CmpOp::Ge => ord != Ordering::Less,
+                    };
+                    if holds {
+                        Truth::AlwaysTrue
+                    } else {
+                        Truth::AlwaysFalse
+                    }
+                }
+                // Computed expressions / column-vs-column: no pruning.
+                _ => Truth::Unknown,
+            }
+        }
+    }
+}
+
+/// A [`SegmentPruner`] that refutes morsels from a store's persisted
+/// zone maps. Missing or unreadable statistics degrade to "may match"
+/// — the scan proceeds unpruned for that morsel.
+pub struct ZoneMapPruner<'a, S: TableStore + Sync + ?Sized> {
+    store: &'a S,
+    predicate: &'a Predicate,
+}
+
+impl<'a, S: TableStore + Sync + ?Sized> ZoneMapPruner<'a, S> {
+    /// A pruner for `predicate` over `store`.
+    pub fn new(store: &'a S, predicate: &'a Predicate) -> Self {
+        ZoneMapPruner { store, predicate }
+    }
+}
+
+impl<S: TableStore + Sync + ?Sized> SegmentPruner for ZoneMapPruner<'_, S> {
+    fn may_match(&self, start: usize, len: usize) -> bool {
+        let stats = |col: &str| self.store.range_stats(col, start, len);
+        predicate_truth(self.predicate, &stats) != Truth::AlwaysFalse
+    }
+}
+
+/// Predicate scan with zone-map pushdown: the row indices satisfying
+/// `predicate`, ascending — exactly the indices an unpruned scan
+/// returns, at every worker count. Refuted morsels are skipped before
+/// any page read; scanned morsels read only the referenced columns,
+/// morsel-sized.
+pub fn filter_table_rows<S>(
+    store: &S,
+    predicate: &Predicate,
+    cfg: &ExecConfig,
+) -> Result<Vec<usize>, DataError>
+where
+    S: TableStore + Sync + ?Sized,
+{
+    let schema: &Schema = store.schema();
+    let bound = predicate.bind(schema)?;
+    // Resolve referenced columns once; rows are assembled sparsely
+    // (only referenced positions filled — eval never reads the rest).
+    let mut referenced: Vec<(usize, String)> = Vec::new();
+    for name in predicate.referenced_columns() {
+        referenced.push((schema.require(&name)?, name));
+    }
+    let width = schema.len();
+    let pruner = ZoneMapPruner::new(store, predicate);
+    let chunks = scan_morsels(store.len(), cfg, |m| -> Result<Vec<usize>, DataError> {
+        let mut hits = Vec::new();
+        if !pruner.may_match(m.start, m.len) {
+            return Ok(hits);
+        }
+        let mut cols: Vec<(usize, Vec<Value>)> = Vec::with_capacity(referenced.len());
+        for (ci, name) in &referenced {
+            cols.push((*ci, store.read_column_range(name, m.start, m.len)?));
+        }
+        let mut row = vec![Value::Missing; width];
+        for i in 0..m.len {
+            for (ci, vals) in &cols {
+                row[*ci] = vals[i].clone();
+            }
+            if bound.eval(&row) {
+                hits.push(m.start + i);
+            }
+        }
+        Ok(hits)
+    })?;
+    Ok(chunks.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zm(values: &[Value]) -> ZoneMap {
+        ZoneMap::build(values)
+    }
+
+    fn ints(xs: &[i64]) -> Vec<Value> {
+        xs.iter().copied().map(Value::Int).collect()
+    }
+
+    #[test]
+    fn bounds_refute_and_prove_comparisons() {
+        let m = zm(&ints(&[10, 20, 30]));
+        let stats = |_: &str| Some(m.clone());
+        let t = |op, lit: i64| {
+            predicate_truth(&Predicate::cmp(Expr::col("X"), op, Expr::lit(lit)), &stats)
+        };
+        assert_eq!(t(CmpOp::Lt, 10), Truth::AlwaysFalse);
+        assert_eq!(t(CmpOp::Lt, 11), Truth::Unknown);
+        assert_eq!(t(CmpOp::Lt, 31), Truth::AlwaysTrue);
+        assert_eq!(t(CmpOp::Gt, 30), Truth::AlwaysFalse);
+        assert_eq!(t(CmpOp::Ge, 10), Truth::AlwaysTrue);
+        assert_eq!(t(CmpOp::Le, 9), Truth::AlwaysFalse);
+        // Distinct-set membership beats plain bounds for equality.
+        assert_eq!(t(CmpOp::Eq, 15), Truth::AlwaysFalse);
+        assert_eq!(t(CmpOp::Eq, 20), Truth::Unknown);
+        assert_eq!(t(CmpOp::Ne, 15), Truth::AlwaysTrue);
+        assert_eq!(t(CmpOp::Ne, 20), Truth::Unknown);
+    }
+
+    #[test]
+    fn missing_semantics_respected() {
+        // All-missing range: every comparison is false.
+        let all_missing = zm(&[Value::Missing, Value::Missing]);
+        let stats = |_: &str| Some(all_missing.clone());
+        let lt = Predicate::cmp(Expr::col("X"), CmpOp::Lt, Expr::lit(100i64));
+        assert_eq!(predicate_truth(&lt, &stats), Truth::AlwaysFalse);
+        assert_eq!(
+            predicate_truth(&Predicate::IsMissing("X".into()), &stats),
+            Truth::AlwaysTrue
+        );
+        // Some missing: Lt can never be AlwaysTrue, refutation still works.
+        let some = zm(&[Value::Int(5), Value::Missing]);
+        let stats = |_: &str| Some(some.clone());
+        assert_eq!(predicate_truth(&lt, &stats), Truth::Unknown);
+        assert_eq!(
+            predicate_truth(&Predicate::IsMissing("X".into()), &stats),
+            Truth::Unknown
+        );
+        // A missing literal refutes outright (eval returns false).
+        let vs_missing = Predicate::cmp(Expr::col("X"), CmpOp::Ne, Expr::lit(Value::Missing));
+        assert_eq!(predicate_truth(&vs_missing, &stats), Truth::AlwaysFalse);
+    }
+
+    #[test]
+    fn connectives_and_flipped_literals() {
+        let m = zm(&ints(&[10, 20, 30]));
+        let stats = |_: &str| Some(m.clone());
+        let lo = Predicate::cmp(Expr::col("X"), CmpOp::Lt, Expr::lit(5i64)); // false
+        let hi = Predicate::cmp(Expr::lit(5i64), CmpOp::Gt, Expr::col("X")); // flipped: false
+        let mid = Predicate::cmp(Expr::col("X"), CmpOp::Gt, Expr::lit(15i64)); // unknown
+        assert_eq!(predicate_truth(&hi, &stats), Truth::AlwaysFalse);
+        assert_eq!(
+            predicate_truth(&lo.clone().or(hi.clone()), &stats),
+            Truth::AlwaysFalse
+        );
+        assert_eq!(
+            predicate_truth(&mid.clone().and(lo.clone()), &stats),
+            Truth::AlwaysFalse
+        );
+        assert_eq!(predicate_truth(&mid.clone().or(lo), &stats), Truth::Unknown);
+        assert_eq!(
+            predicate_truth(&Predicate::Not(Box::new(hi)), &stats),
+            Truth::AlwaysTrue
+        );
+        assert_eq!(predicate_truth(&Predicate::True, &stats), Truth::AlwaysTrue);
+        // Constant fold.
+        let konst = Predicate::cmp(Expr::lit(1i64), CmpOp::Lt, Expr::lit(2i64));
+        assert_eq!(predicate_truth(&konst, &stats), Truth::AlwaysTrue);
+    }
+
+    #[test]
+    fn no_stats_and_computed_expressions_never_prune() {
+        let none = |_: &str| None;
+        let p = Predicate::cmp(Expr::col("X"), CmpOp::Lt, Expr::lit(0i64));
+        assert_eq!(predicate_truth(&p, &none), Truth::Unknown);
+        let m = zm(&ints(&[1, 2]));
+        let stats = |_: &str| Some(m.clone());
+        let computed = Predicate::cmp(
+            Expr::col("X").binary(crate::expr::BinOp::Add, Expr::lit(1i64)),
+            CmpOp::Lt,
+            Expr::lit(0i64),
+        );
+        assert_eq!(predicate_truth(&computed, &stats), Truth::Unknown);
+        let col_vs_col = Predicate::cmp(Expr::col("X"), CmpOp::Eq, Expr::col("Y"));
+        assert_eq!(predicate_truth(&col_vs_col, &stats), Truth::Unknown);
+    }
+
+    proptest::proptest! {
+        /// Soundness oracle: whatever `predicate_truth` claims about a
+        /// range's zone map must agree with brute-force evaluation on
+        /// the range itself.
+        #[test]
+        fn prop_truth_sound_vs_eval(
+            vals in proptest::collection::vec((0u8..4, -20i64..20), 1..120),
+            op_i in 0usize..6,
+            lit in -25i64..25,
+            negate in proptest::prelude::any::<bool>(),
+        ) {
+            use sdbms_data::{Attribute, DataType};
+            let col: Vec<Value> = vals
+                .iter()
+                .map(|&(k, x)| match k {
+                    0 => Value::Missing,
+                    1 => Value::Float(x as f64 / 2.0),
+                    _ => Value::Int(x),
+                })
+                .collect();
+            let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op_i];
+            let mut pred = Predicate::cmp(Expr::col("X"), op, Expr::lit(lit));
+            if negate {
+                pred = Predicate::Not(Box::new(pred));
+            }
+            let m = zm(&col);
+            let truth = predicate_truth(&pred, &|_| Some(m.clone()));
+            let schema = Schema::new(vec![Attribute::measured("X", DataType::Float)]).unwrap();
+            let bound = pred.bind(&schema).unwrap();
+            let matches = col
+                .iter()
+                .filter(|v| bound.eval(std::slice::from_ref(v)))
+                .count();
+            match truth {
+                Truth::AlwaysFalse => proptest::prop_assert_eq!(matches, 0),
+                Truth::AlwaysTrue => proptest::prop_assert_eq!(matches, col.len()),
+                Truth::Unknown => {}
+            }
+        }
+    }
+}

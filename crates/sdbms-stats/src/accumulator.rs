@@ -127,6 +127,23 @@ impl Moments {
         Ok(())
     }
 
+    /// Add `n` observations of the same value `x` — the run-aware
+    /// entry point for consuming `(value, run-length)` pairs from
+    /// compressed pages.
+    ///
+    /// This deliberately replays the per-value Welford recurrence `n`
+    /// times rather than folding the run in closed form: the executor's
+    /// determinism contract requires a run-fed profile to be
+    /// **bit-identical** to the decoded per-row path, and the two
+    /// formulations round differently. The loop is a few flops per row
+    /// (runs are bounded by the 256-row segment), dwarfed by the value
+    /// decode and frequency-table work the run path eliminates.
+    pub fn add_run(&mut self, x: f64, n: usize) {
+        for _ in 0..n {
+            self.add(x);
+        }
+    }
+
     /// Merge another accumulator (Chan et al. parallel combination).
     pub fn merge(&mut self, other: &Moments) {
         if other.n == 0 {
@@ -250,6 +267,42 @@ impl MinMaxAcc {
                     s.max_count = 1;
                 } else if x == s.max {
                     s.max_count += 1;
+                }
+            }
+        }
+    }
+
+    /// Add `n` observations of the same value `x` in O(1) — exactly
+    /// the state `n` successive [`MinMaxAcc::add`] calls produce
+    /// (extreme comparisons are order-independent and the occurrence
+    /// counts are integers), so run-fed and per-row scans agree
+    /// bit-for-bit.
+    pub fn add_run(&mut self, x: f64, n: usize) {
+        if n == 0 || x.is_nan() {
+            return;
+        }
+        let n = n as u64; // lint: allow(lossy-cast): run lengths fit u64 on all supported targets
+        match &mut self.state {
+            None => {
+                self.state = Some(MinMaxState {
+                    min: x,
+                    min_count: n,
+                    max: x,
+                    max_count: n,
+                });
+            }
+            Some(s) => {
+                if x < s.min {
+                    s.min = x;
+                    s.min_count = n;
+                } else if x == s.min {
+                    s.min_count += n;
+                }
+                if x > s.max {
+                    s.max = x;
+                    s.max_count = n;
+                } else if x == s.max {
+                    s.max_count += n;
                 }
             }
         }
@@ -438,7 +491,54 @@ mod tests {
         assert_eq!(e, merged);
     }
 
+    #[test]
+    fn add_run_bit_identical_to_repeated_adds() {
+        let runs: [(f64, usize); 5] = [(3.5, 4), (-1.0, 1), (3.5, 2), (f64::NAN, 3), (0.25, 7)];
+        let mut by_run_m = Moments::new();
+        let mut by_one_m = Moments::new();
+        let mut by_run_x = MinMaxAcc::new();
+        let mut by_one_x = MinMaxAcc::new();
+        // NaN poisons the moments identically down both paths, so
+        // compare bit patterns, not float equality (NaN != NaN).
+        let bits = |m: &Moments| {
+            let (n, mean, m2) = m.parts();
+            (n, mean.to_bits(), m2.to_bits())
+        };
+        for &(x, n) in &runs {
+            by_run_m.add_run(x, n);
+            by_run_x.add_run(x, n);
+            for _ in 0..n {
+                by_one_m.add(x);
+                by_one_x.add(x);
+            }
+        }
+        assert_eq!(bits(&by_run_m), bits(&by_one_m));
+        assert_eq!(by_run_x, by_one_x);
+        assert_eq!(by_run_x.parts(), Some((-1.0, 1, 3.5, 6)));
+        // Zero-length runs are no-ops.
+        by_run_m.add_run(9.0, 0);
+        by_run_x.add_run(9.0, 0);
+        assert_eq!(bits(&by_run_m), bits(&by_one_m));
+        assert_eq!(by_run_x, by_one_x);
+    }
+
     proptest::proptest! {
+        #[test]
+        fn prop_minmax_add_run_matches_repeat(
+            runs in proptest::collection::vec((-50i32..50, 1usize..9), 0..40)
+        ) {
+            let mut by_run = MinMaxAcc::new();
+            let mut by_one = MinMaxAcc::new();
+            for &(x, n) in &runs {
+                let x = f64::from(x);
+                by_run.add_run(x, n);
+                for _ in 0..n {
+                    by_one.add(x);
+                }
+            }
+            proptest::prop_assert_eq!(by_run, by_one);
+        }
+
         #[test]
         fn prop_moments_merge_agrees_with_concatenation(
             a in proptest::collection::vec(-1e6f64..1e6, 0..60),

@@ -12,6 +12,7 @@
 
 use std::fmt;
 
+use sdbms_columnar::zonemap::ZoneMap;
 use sdbms_data::Value;
 
 use crate::function::{MaintenanceClass, StatFunction};
@@ -171,11 +172,121 @@ impl FunctionContract {
     }
 }
 
+/// A maintained *physical* statistic — auxiliary structures the
+/// engine keeps consistent under updates that are not summary
+/// functions (per-segment zone maps, for one). The contract shape
+/// mirrors [`FunctionContract`] so the soundness checker audits both
+/// with the same rules: a strategy per [`UpdateKind`], and a verified
+/// merge law when the statistic claims one.
+#[derive(Debug, Clone)]
+pub struct StatisticContract {
+    /// Stable name of the statistic (diagnostic subject).
+    pub name: &'static str,
+    /// Whether per-partition states claim an exact merge law (zone
+    /// maps do: per-segment maps merge into range statistics at read
+    /// time, and the merge must equal a build over the concatenation).
+    pub declared_incremental: bool,
+    strategies: Vec<(UpdateKind, MaintenanceStrategy)>,
+    /// Executable oracle for the claimed merge law.
+    verify: fn() -> MergeLawStatus,
+}
+
+impl StatisticContract {
+    /// A contract with no strategies declared yet.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        declared_incremental: bool,
+        verify: fn() -> MergeLawStatus,
+    ) -> Self {
+        StatisticContract {
+            name,
+            declared_incremental,
+            strategies: Vec::new(),
+            verify,
+        }
+    }
+
+    /// Declare (or replace) the strategy for one update kind.
+    #[must_use]
+    pub fn with(mut self, kind: UpdateKind, strategy: MaintenanceStrategy) -> Self {
+        self.strategies.retain(|(k, _)| *k != kind);
+        self.strategies.push((kind, strategy));
+        self
+    }
+
+    /// The strategy declared for one update kind, if any.
+    #[must_use]
+    pub fn strategy_for(&self, kind: UpdateKind) -> Option<MaintenanceStrategy> {
+        self.strategies
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+    }
+
+    /// Run the statistic's merge-law oracle.
+    #[must_use]
+    pub fn verify_merge_law(&self) -> MergeLawStatus {
+        (self.verify)()
+    }
+}
+
+/// Executable merge law for [`ZoneMap`]: merging per-partition maps
+/// must reproduce the map built over the concatenated values — for
+/// every field, including run counts across the seam and the
+/// distinct-set cap. This is what licenses `range_stats` to combine
+/// per-segment maps into morsel-level pruning decisions.
+#[must_use]
+pub fn verify_zone_map_merge_law() -> MergeLawStatus {
+    // Mixed deterministic column: runs, missing values, codes, floats.
+    let mut state = 0x5A4D_0001u64;
+    let mut whole = Vec::with_capacity(160);
+    for i in 0..160usize {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let draw = (state >> 33) % 100;
+        whole.push(match draw {
+            0..=14 => Value::Missing,
+            15..=44 => Value::Code((draw % 5) as u32),
+            45..=59 => Value::Float(draw as f64 / 3.0),
+            // Plateaus of i/20 give genuine runs spanning cut points.
+            _ => Value::Int((i / 20) as i64),
+        });
+    }
+    let direct = ZoneMap::build(&whole);
+    for cut in [0usize, 1, 37, 80, 159, 160] {
+        let (a, b) = whole.split_at(cut);
+        let mut merged = ZoneMap::build(a);
+        merged.merge(&ZoneMap::build(b));
+        if merged != direct {
+            return MergeLawStatus::Mismatch(format!(
+                "cut {cut}: merged map disagrees with single-pass build"
+            ));
+        }
+    }
+    MergeLawStatus::Verified
+}
+
+/// The contract the engine actually implements for per-segment zone
+/// maps: every write regenerates the touched segment's map (writers
+/// invalidate before touching data and re-persist after), and the
+/// read path merges per-segment maps under the verified merge law.
+#[must_use]
+pub fn zone_map_contract() -> StatisticContract {
+    StatisticContract::new("segment-zone-map", true, verify_zone_map_merge_law)
+        .with(UpdateKind::Insert, MaintenanceStrategy::Regenerate)
+        .with(UpdateKind::Delete, MaintenanceStrategy::Regenerate)
+        .with(UpdateKind::Overwrite, MaintenanceStrategy::Regenerate)
+}
+
 /// The registry the soundness checker audits: every function the
-/// Summary Database will maintain, each with its contract.
+/// Summary Database will maintain, each with its contract, plus the
+/// maintained physical statistics.
 #[derive(Debug, Clone, Default)]
 pub struct SummaryRegistry {
     contracts: Vec<FunctionContract>,
+    statistics: Vec<StatisticContract>,
 }
 
 impl SummaryRegistry {
@@ -186,13 +297,15 @@ impl SummaryRegistry {
     }
 
     /// The registry of the §3.2 standing summary set, each function
-    /// under its derived contract.
+    /// under its derived contract, plus the engine's maintained
+    /// physical statistics (the per-segment zone maps).
     #[must_use]
     pub fn standing() -> Self {
         let mut r = Self::new();
         for f in crate::function::standing_summary_functions() {
             r.register(FunctionContract::derived(&f));
         }
+        r.register_statistic(zone_map_contract());
         r
     }
 
@@ -206,6 +319,18 @@ impl SummaryRegistry {
     #[must_use]
     pub fn contracts(&self) -> &[FunctionContract] {
         &self.contracts
+    }
+
+    /// Add (or replace) a physical-statistic contract.
+    pub fn register_statistic(&mut self, contract: StatisticContract) {
+        self.statistics.retain(|c| c.name != contract.name);
+        self.statistics.push(contract);
+    }
+
+    /// All registered physical-statistic contracts.
+    #[must_use]
+    pub fn statistics(&self) -> &[StatisticContract] {
+        &self.statistics
     }
 }
 
@@ -409,6 +534,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zone_map_contract_covers_all_kinds_and_verifies() {
+        let c = zone_map_contract();
+        for k in ALL_UPDATE_KINDS {
+            assert_eq!(c.strategy_for(k), Some(MaintenanceStrategy::Regenerate));
+        }
+        assert!(c.declared_incremental);
+        assert!(c.verify_merge_law().verified());
+    }
+
+    #[test]
+    fn standing_registry_includes_zone_maps() {
+        let r = SummaryRegistry::standing();
+        assert!(r.statistics().iter().any(|s| s.name == "segment-zone-map"));
+    }
+
+    #[test]
+    fn statistic_registry_replaces_on_reregister() {
+        let mut r = SummaryRegistry::new();
+        r.register_statistic(zone_map_contract());
+        r.register_statistic(StatisticContract::new(
+            "segment-zone-map",
+            false,
+            verify_zone_map_merge_law,
+        ));
+        assert_eq!(r.statistics().len(), 1);
+        assert!(!r.statistics()[0].declared_incremental);
     }
 
     #[test]

@@ -43,8 +43,9 @@ pub mod value;
 pub mod wal;
 
 pub use contract::{
-    verify_merge_law, FunctionContract, MaintenanceStrategy, MergeLawStatus, SummaryRegistry,
-    UpdateKind, ALL_UPDATE_KINDS,
+    verify_merge_law, verify_zone_map_merge_law, zone_map_contract, FunctionContract,
+    MaintenanceStrategy, MergeLawStatus, StatisticContract, SummaryRegistry, UpdateKind,
+    ALL_UPDATE_KINDS,
 };
 pub use db::{CacheStats, Entry, Freshness, SummaryDb};
 pub use error::{Result, SummaryError};
