@@ -118,6 +118,10 @@ impl TableStore for RowStore {
         decode_row(&bytes)
     }
 
+    fn data_page_ids(&self) -> Vec<sdbms_storage::PageId> {
+        self.file.pages()
+    }
+
     fn get_cell(&self, row: usize, attribute: &str) -> Result<Value> {
         let col = self.schema.require(attribute)?;
         Ok(self.read_row(row)?.swap_remove(col))

@@ -8,6 +8,7 @@
 //! methods that … dynamically reorganize the storage structures").
 
 use sdbms_data::{DataError, DataSet, Schema, Value};
+use sdbms_storage::PageId;
 
 use crate::zonemap::ZoneMap;
 
@@ -100,6 +101,44 @@ pub trait TableStore {
             ds.push_row(self.read_row(i)?)?;
         }
         Ok(ds)
+    }
+
+    /// Disk pages holding the view's encoded data records (not zone
+    /// maps). Exposed for scrubbing and targeted fault injection;
+    /// layouts that don't track their pages report none, and the
+    /// scrubber skips page-level verification for them.
+    fn data_page_ids(&self) -> Vec<PageId> {
+        Vec::new()
+    }
+
+    /// Disk pages holding persisted zone-map records, disjoint from
+    /// data pages. Layouts without maps report none.
+    fn zone_map_page_ids(&self) -> Vec<PageId> {
+        Vec::new()
+    }
+
+    /// Rebuild every persisted zone map from the (intact) encoded
+    /// segment data, abandoning whatever maps were there — the repair
+    /// for damaged zone-map pages, whose authority is the segment
+    /// data. Returns the number of maps written. Layouts without maps
+    /// do nothing.
+    fn rebuild_zone_maps(&mut self) -> Result<usize> {
+        Ok(0)
+    }
+
+    /// Number of encoded segments backing one column (0 when the
+    /// layout is not segmented or the attribute is unknown).
+    fn segment_count(&self, _attribute: &str) -> usize {
+        0
+    }
+
+    /// Raw encoded bytes of one segment of one column, or `None` when
+    /// the layout is not segmented / the index is out of range.
+    /// Segment encoding is deterministic, so two stores bulk-loaded
+    /// from equal data and edited identically compare byte-for-byte —
+    /// the oracle the differential repair tests rely on.
+    fn encoded_segment(&self, _attribute: &str, _segment: usize) -> Result<Option<Vec<u8>>> {
+        Ok(None)
     }
 
     /// One column as `(numeric values, skipped)` — the hot path for

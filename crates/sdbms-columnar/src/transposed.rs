@@ -485,6 +485,55 @@ impl TableStore for TransposedFile {
         Ok(())
     }
 
+    fn data_page_ids(&self) -> Vec<PageId> {
+        let mut out: Vec<PageId> = self.columns.iter().flat_map(|c| c.file.pages()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn zone_map_page_ids(&self) -> Vec<PageId> {
+        self.zone_page_ids()
+    }
+
+    fn rebuild_zone_maps(&mut self) -> Result<usize> {
+        let pool = self.pool.clone();
+        let mut written = 0usize;
+        for col in &mut self.columns {
+            // The old zones file may hold damaged pages, and inserting
+            // into a damaged heap can itself fail — so rebuilt maps go
+            // to a fresh file and the old pages are abandoned. Maps are
+            // derived purely from segment data (the rung's authority);
+            // an unreadable segment propagates as an error, telling the
+            // caller this damage is above the zone-map rung.
+            let mut zones = HeapFile::create(pool.clone()).map_err(DataError::Storage)?;
+            for si in 0..col.segments.len() {
+                let vals = Self::load_segment(col, si)?;
+                col.segments[si].zone = Self::write_zone(&mut zones, &vals);
+                if col.segments[si].zone.is_some() {
+                    written += 1;
+                }
+            }
+            col.zones = zones;
+        }
+        Ok(written)
+    }
+
+    fn segment_count(&self, attribute: &str) -> usize {
+        self.schema
+            .require(attribute)
+            .map_or(0, |ci| self.columns[ci].segments.len())
+    }
+
+    fn encoded_segment(&self, attribute: &str, segment: usize) -> Result<Option<Vec<u8>>> {
+        let ci = self.schema.require(attribute)?;
+        let col = &self.columns[ci];
+        if segment >= col.segments.len() {
+            return Ok(None);
+        }
+        Self::segment_bytes(col, segment).map(Some)
+    }
+
     fn append_row(&mut self, row: Vec<Value>) -> Result<()> {
         self.schema.check_row(&row)?;
         for (ci, v) in row.into_iter().enumerate() {
@@ -727,7 +776,7 @@ mod tests {
         env.pool.flush_all().unwrap();
         env.pool.discard_frames().unwrap();
         for pid in t.zone_page_ids() {
-            env.disk.corrupt_page(pid, 5);
+            env.disk.corrupt_page(pid, 5).unwrap();
         }
         // Stats gone (checksum rejects the pages)…
         assert!(t.range_stats("AGE", 0, 700).is_none());

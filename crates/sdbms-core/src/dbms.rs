@@ -18,6 +18,7 @@ use sdbms_management::{
     ChangeRecord, DerivedRule, ManagementError, RuleStore, VectorGenerator, Version, ViewCatalog,
 };
 use sdbms_relational::{Expr, Predicate, ViewDefinition};
+use sdbms_repair::{CursorStore, HealthRegistry};
 use sdbms_stats::regression;
 use sdbms_storage::{IoSnapshot, StorageEnv};
 use sdbms_summary::{
@@ -63,13 +64,13 @@ pub struct RecoveryReport {
 
 /// The statistical database management system.
 pub struct StatDbms {
-    env: StorageEnv,
-    raw: RawDatabase,
-    codebooks: HashMap<String, CodeBook>,
+    pub(crate) env: StorageEnv,
+    pub(crate) raw: RawDatabase,
+    pub(crate) codebooks: HashMap<String, CodeBook>,
     metadata: MetadataGraph,
-    catalog: ViewCatalog,
-    rules: RuleStore,
-    views: HashMap<String, ConcreteView>,
+    pub(crate) catalog: ViewCatalog,
+    pub(crate) rules: RuleStore,
+    pub(crate) views: HashMap<String, ConcreteView>,
     /// Policy given to newly materialized views.
     pub default_policy: MaintenancePolicy,
     /// Layout given to newly materialized views (§2.6 recommends
@@ -77,7 +78,11 @@ pub struct StatDbms {
     pub default_layout: Layout,
     durability: DurabilityPolicy,
     /// Morsel-driven executor configuration for parallel column scans.
-    exec: sdbms_exec::ExecConfig,
+    pub(crate) exec: sdbms_exec::ExecConfig,
+    /// Per-view health states driving the self-healing subsystem.
+    pub(crate) health: HealthRegistry,
+    /// Durable scrub-resume cursor, created lazily on the first scrub.
+    pub(crate) scrub_cursor: Option<CursorStore>,
 }
 
 impl std::fmt::Debug for StatDbms {
@@ -114,6 +119,8 @@ impl StatDbms {
             default_layout: Layout::Transposed,
             durability: DurabilityPolicy::Volatile,
             exec: sdbms_exec::ExecConfig::from_env(),
+            health: HealthRegistry::new(),
+            scrub_cursor: None,
         }
     }
 
@@ -241,7 +248,10 @@ impl StatDbms {
 
     // ---- view materialization -------------------------------------------
 
-    fn resolve_source(&self, name: &str) -> std::result::Result<DataSet, sdbms_data::DataError> {
+    pub(crate) fn resolve_source(
+        &self,
+        name: &str,
+    ) -> std::result::Result<DataSet, sdbms_data::DataError> {
         if let Some(cb) = self.codebooks.get(name) {
             return Ok(cb.to_dataset());
         }
@@ -329,7 +339,7 @@ impl StatDbms {
             .ok_or_else(|| CoreError::NoSuchView(name.to_string()))
     }
 
-    fn view_mut(&mut self, name: &str) -> Result<&mut ConcreteView> {
+    pub(crate) fn view_mut(&mut self, name: &str) -> Result<&mut ConcreteView> {
         self.views
             .get_mut(name)
             .ok_or_else(|| CoreError::NoSuchView(name.to_string()))
@@ -429,6 +439,13 @@ impl StatDbms {
         function: &StatFunction,
         accuracy: AccuracyPolicy,
     ) -> Result<(SummaryValue, ComputeSource)> {
+        // Health gate: while the view is degraded, repairing, or
+        // unrecoverable, its store and cache are off-limits — serve
+        // straight from the raw archive and never touch the Summary DB,
+        // so nothing computed from suspect data can be cached.
+        if self.health.is_impaired(view) {
+            return self.compute_degraded(view, attribute, function);
+        }
         // Split borrows: the fallback closure re-executes the view's
         // definition against the raw database / code books while the
         // view itself is mutably borrowed for the primary path.
@@ -747,7 +764,7 @@ impl StatDbms {
     }
 
     /// Flush everything buffered, then durably clear the view's intent.
-    fn commit_intent(&self, view: &str) -> Result<()> {
+    pub(crate) fn commit_intent(&self, view: &str) -> Result<()> {
         self.env.pool.flush_all()?;
         if let Some(wal) = self.views.get(view).and_then(|v| v.wal.as_ref()) {
             wal.clear()?;
@@ -779,6 +796,7 @@ impl StatDbms {
         let names: Vec<String> = self.views.keys().cloned().collect();
         let pool = self.env.pool.clone();
         for name in names {
+            let mut repair_interrupted = false;
             let v = match self.views.get_mut(&name) {
                 Some(v) => v,
                 None => continue,
@@ -813,6 +831,19 @@ impl StatDbms {
                         )
                     }
                 }
+                // A whole-view repair was interrupted mid-flight: the
+                // store and caches may be half-swapped. Rebuild the
+                // cache and leave the view degraded — reads fall back
+                // to the archive until [`StatDbms::repair_view`] is
+                // re-run and verifies clean.
+                Ok(Some(Intent::Repair)) => {
+                    v.summary = SummaryDb::create(pool.clone())?;
+                    report.caches_rebuilt += 1;
+                    repair_interrupted = true;
+                    "crash recovery: a view repair was interrupted; view \
+                     degraded until the repair is re-run"
+                        .to_string()
+                }
                 // "Everything" intent, or a log page we cannot read:
                 // maximal conservatism — rebuild the cache.
                 Ok(Some(Intent::All)) | Err(_) => {
@@ -824,8 +855,15 @@ impl StatDbms {
                 }
             };
             // Make the repair durable before retiring the intent, then
-            // leave an audit trail.
-            self.commit_intent(&name)?;
+            // leave an audit trail. An interrupted *view repair* keeps
+            // its intent pending — only a verified repair_view() clears
+            // it — so the degraded marking survives further restarts.
+            if repair_interrupted {
+                self.env.pool.flush_all()?;
+                self.health.mark_degraded(&name, &detail);
+            } else {
+                self.commit_intent(&name)?;
+            }
             self.catalog
                 .view_mut(&name)?
                 .history
@@ -927,7 +965,7 @@ impl StatDbms {
         Ok(())
     }
 
-    fn regenerate_vector(
+    pub(crate) fn regenerate_vector(
         &mut self,
         view: &str,
         derived: &str,
@@ -1334,17 +1372,18 @@ impl StatDbms {
 /// Whether an error means the simulated machine went down (as opposed
 /// to data damage or a logic error). Crashes leave the write-ahead
 /// intent pending; everything else is handled in place.
-fn error_is_crash(e: &CoreError) -> bool {
+pub(crate) fn error_is_crash(e: &CoreError) -> bool {
     match e {
         CoreError::Storage(se) => se.is_crash(),
         CoreError::Summary(SummaryError::Storage(se)) => se.is_crash(),
+        CoreError::Data(sdbms_data::DataError::Storage(se)) => se.is_crash(),
         _ => false,
     }
 }
 
 /// Coerce expression results to the column type where lossless
 /// (arithmetic yields floats; integer columns take integral floats).
-fn coerce(v: Value, dtype: DataType) -> Value {
+pub(crate) fn coerce(v: Value, dtype: DataType) -> Value {
     match (&v, dtype) {
         (Value::Float(x), DataType::Int) if x.fract() == 0.0 && x.is_finite() => {
             Value::Int(*x as i64)

@@ -4,6 +4,7 @@ use std::fmt;
 
 use sdbms_data::DataError;
 use sdbms_management::ManagementError;
+use sdbms_repair::RepairGate;
 use sdbms_stats::StatsError;
 use sdbms_storage::StorageError;
 use sdbms_summary::SummaryError;
@@ -36,6 +37,33 @@ pub enum CoreError {
         /// The attribute.
         attribute: String,
     },
+    /// A repair attempt was refused by the health registry's admission
+    /// gate (backoff window, spent retry budget, or the view is already
+    /// unrecoverable).
+    RepairRefused {
+        /// View name.
+        view: String,
+        /// Why the gate refused.
+        gate: RepairGate,
+    },
+    /// A repair ran to completion but the post-repair verification
+    /// pass still found damage; the view stays degraded and a later
+    /// attempt may be admitted after backoff.
+    RepairIncomplete {
+        /// View name.
+        view: String,
+        /// Findings remaining after the attempt.
+        remaining: usize,
+    },
+    /// The view cannot be repaired: its authoritative archive copy
+    /// failed verification, so there is no sound source to regenerate
+    /// from.
+    Unrecoverable {
+        /// View name.
+        view: String,
+        /// What failed.
+        reason: String,
+    },
     /// Underlying storage failure.
     Storage(StorageError),
     /// Underlying data-model failure.
@@ -65,6 +93,17 @@ impl fmt::Display for CoreError {
                 "summary statistics are not meaningful for attribute {attribute:?} \
                  (encoded/categorical; see its metadata)"
             ),
+            CoreError::RepairRefused { view, gate } => {
+                write!(f, "repair of view {view:?} refused: {gate}")
+            }
+            CoreError::RepairIncomplete { view, remaining } => write!(
+                f,
+                "repair of view {view:?} left {remaining} finding(s); \
+                 the view remains degraded"
+            ),
+            CoreError::Unrecoverable { view, reason } => {
+                write!(f, "view {view:?} is unrecoverable: {reason}")
+            }
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::Stats(e) => write!(f, "stats error: {e}"),

@@ -27,10 +27,12 @@
 
 pub mod dbms;
 pub mod error;
+pub mod repair;
 pub mod view;
 
 pub use dbms::{paper_demo_dbms, DurabilityPolicy, RecoveryReport, StatDbms};
 pub use error::{CoreError, Result};
+pub use repair::RepairReport;
 pub use view::{AccessTracker, ConcreteView, UpdateReport};
 
 // Re-export the vocabulary types callers need, so examples and tests
@@ -38,6 +40,10 @@ pub use view::{AccessTracker, ConcreteView, UpdateReport};
 pub use sdbms_columnar::Layout;
 pub use sdbms_relational::{
     AggFunc, Aggregate, BinOp, CmpOp, Expr, Predicate, ScalarFunc, ViewDefinition, ViewStep,
+};
+pub use sdbms_repair::{
+    Authority, Component, CorruptionFinding, HealthRecord, RepairGate, RepairLadder, ScrubReport,
+    ViewHealth,
 };
 pub use sdbms_summary::{
     AccuracyPolicy, ComputeSource, MaintenancePolicy, StatFunction, SummaryValue,

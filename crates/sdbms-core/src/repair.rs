@@ -1,0 +1,632 @@
+//! Self-healing views: background scrubbing, corruption triage, and
+//! lineage-based repair with update-history replay.
+//!
+//! Everything below the raw archive in paper Figure 3 is *derived*
+//! state: concrete views come from re-executing their Management-DB
+//! definition against the raw database, zone maps come from segment
+//! data, and Summary-DB entries come from view columns. This module
+//! exploits that redundancy to survive media damage:
+//!
+//! 1. **Detect** — [`StatDbms::scrub`] walks data pages, zone-map
+//!    pages, and Summary-DB entries on a cooperative budget, verifying
+//!    checksums and cross-checking a sample of cached entries against
+//!    from-scratch recomputes. The resume cursor is persisted (same
+//!    direct-disk protocol as the summary intent log), so a paused or
+//!    crashed scrub continues where it stopped.
+//! 2. **Triage** — findings are classified by blast radius
+//!    ([`sdbms_repair::Component`]) and matched against the standard
+//!    repair ladder, which names the *authority* each repair reads
+//!    from (checked by `sdbms-lint`'s repair-soundness rule).
+//! 3. **Repair** — [`StatDbms::repair_view`] applies the cheapest
+//!    sound rung: zone maps rebuild from segment data; damaged view
+//!    data regenerates from the raw archive via the catalog's view
+//!    definition and is then **re-cleaned by replaying the view's
+//!    update history**, restoring the analyst's edits; a damaged
+//!    Summary DB is reset (entries recompute lazily from the repaired
+//!    view). Repair runs under a durable `Repair` WAL intent, so a
+//!    crash mid-repair leaves the view degraded rather than trusting
+//!    half-swapped state.
+//! 4. **Verify & readmit** — a clean post-repair detection pass flips
+//!    the view back to `Healthy`. While `Degraded`/`Repairing`, reads
+//!    are admitted from the archive as `ComputeSource::Fallback`
+//!    results that are never cached.
+//!
+//! `Unrecoverable` is reserved for the one case with no sound
+//! authority left: the archive itself fails, or the bounded retry
+//! budget is spent.
+
+use sdbms_columnar::{Layout, RowStore, TableStore, TransposedFile};
+use sdbms_data::{schema::Attribute, value::DataType, value::Value, DataError};
+use sdbms_management::{ChangeRecord, DerivedRule, VectorGenerator};
+use sdbms_repair::{
+    Component, CorruptionFinding, CursorStore, HealthRecord, RepairLadder, ScrubCursor, ScrubPhase,
+    ScrubReport, ViewHealth,
+};
+use sdbms_storage::{Page, PageId};
+use sdbms_summary::{
+    quarantinable, ComputeSource, Freshness, StatFunction, SummaryDb, SummaryValue,
+};
+
+use crate::dbms::{coerce, error_is_crash, StatDbms};
+use crate::error::{CoreError, Result};
+
+/// Every `SUMMARY_SAMPLE_EVERY`-th Summary-DB entry a scrub pass walks
+/// is semantically cross-checked against a from-scratch recompute (the
+/// rest get the cheap structural check only).
+const SUMMARY_SAMPLE_EVERY: usize = 4;
+
+/// Relative tolerance for the sampled cross-check. Recomputes follow
+/// the same code path as the original computation, so anything beyond
+/// rounding noise is damage.
+const CROSS_CHECK_TOL: f64 = 1e-9;
+
+/// What one [`StatDbms::repair_view`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Damage located by the pre-repair detection pass.
+    pub findings: Vec<CorruptionFinding>,
+    /// Descriptions of the ladder rungs applied, cheapest first.
+    pub actions: Vec<String>,
+    /// Zone maps rebuilt from segment data.
+    pub zone_maps_rebuilt: usize,
+    /// True when the store was regenerated from the raw archive and
+    /// the update history replayed onto it.
+    pub store_regenerated: bool,
+    /// History records replayed onto the regenerated store.
+    pub history_replayed: usize,
+    /// True when the Summary DB was reset (entries recompute lazily
+    /// from the repaired view).
+    pub summary_reset: bool,
+}
+
+fn data_error_is_crash(e: &DataError) -> bool {
+    matches!(e, DataError::Storage(se) if se.is_crash())
+}
+
+impl StatDbms {
+    // ---- health ---------------------------------------------------------
+
+    /// Current health of a view as tracked by the self-healing
+    /// subsystem. Views never found damaged are `Healthy`.
+    pub fn health(&self, view: &str) -> Result<ViewHealth> {
+        self.view(view)?;
+        Ok(self.health.health(view))
+    }
+
+    /// Full health record (attempt counters, backoff deadline, last
+    /// finding), if the view was ever found damaged.
+    #[must_use]
+    pub fn health_record(&self, view: &str) -> Option<&HealthRecord> {
+        self.health.record(view)
+    }
+
+    // ---- scrubbing ------------------------------------------------------
+
+    /// One budgeted scrub pass over every view's data pages, zone-map
+    /// pages, and Summary-DB entries, resuming from the persisted
+    /// cursor. `budget` is counted in pages/entries examined; the
+    /// underlying I/O is charged to the shared cost tracker like any
+    /// other work. Damage is reported and marks the view `Degraded`
+    /// (reads degrade to archive fallback until repaired) — the scrub
+    /// itself never mutates data.
+    pub fn scrub(&mut self, budget: u64) -> Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        let mut remaining = budget;
+        if self.scrub_cursor.is_none() {
+            self.scrub_cursor = Some(CursorStore::create(self.env.disk.clone())?);
+        }
+        let cursor = match &self.scrub_cursor {
+            Some(cs) => cs.load(),
+            None => ScrubCursor::start(),
+        };
+        let names: Vec<String> = {
+            let mut n: Vec<String> = self.views.keys().cloned().collect();
+            n.sort_unstable();
+            n
+        };
+        let (mut vi, mut phase, mut index) = match cursor.view {
+            Some(v) => match names.iter().position(|n| *n == v) {
+                Some(i) => (i, cursor.phase, cursor.index as usize),
+                // The cursor's view was dropped since the last pass:
+                // restart the cycle rather than skipping anything.
+                None => (0, ScrubPhase::Data, 0),
+            },
+            None => (0, ScrubPhase::Data, 0),
+        };
+        while vi < names.len() {
+            let name = names[vi].clone();
+            // Page phases: raw checksum verification through the disk.
+            while !matches!(phase, ScrubPhase::Summary) {
+                let pages: Vec<PageId> = match self.views.get(&name) {
+                    Some(v) if matches!(phase, ScrubPhase::Data) => v.store.data_page_ids(),
+                    Some(v) => v.store.zone_map_page_ids(),
+                    None => Vec::new(),
+                };
+                while index < pages.len() {
+                    if remaining == 0 {
+                        return self.scrub_pause(report, &name, phase, index);
+                    }
+                    remaining -= 1;
+                    let pid = pages[index];
+                    index += 1;
+                    let mut page = Page::new();
+                    match self.env.disk.read_page(pid, &mut page) {
+                        Ok(()) => report.pages_verified += 1,
+                        Err(e) if e.is_crash() => return Err(e.into()),
+                        Err(e) => {
+                            let component = if matches!(phase, ScrubPhase::Data) {
+                                Component::Segment
+                            } else {
+                                Component::ZoneMap
+                            };
+                            let finding = CorruptionFinding {
+                                view: name.clone(),
+                                component,
+                                page: Some(u64::from(pid)),
+                                detail: e.to_string(),
+                            };
+                            self.health.mark_degraded(&name, &finding.to_string());
+                            report.findings.push(finding);
+                        }
+                    }
+                }
+                phase = match phase {
+                    ScrubPhase::Data => ScrubPhase::Zones,
+                    _ => ScrubPhase::Summary,
+                };
+                index = 0;
+            }
+            // Summary phase: enumerate entries (structural check), and
+            // semantically cross-check a sample of fresh entries
+            // against a from-scratch recompute from the view.
+            let entries = match self.views.get(&name) {
+                Some(v) => match v.summary.all_entries() {
+                    Ok(es) => es,
+                    Err(e) if quarantinable(&e) => {
+                        let finding = CorruptionFinding {
+                            view: name.clone(),
+                            component: Component::SummaryEntry,
+                            page: None,
+                            detail: format!("summary enumeration failed: {e}"),
+                        };
+                        self.health.mark_degraded(&name, &finding.to_string());
+                        report.findings.push(finding);
+                        Vec::new()
+                    }
+                    Err(e) => return Err(e.into()),
+                },
+                None => Vec::new(),
+            };
+            while index < entries.len() {
+                if remaining == 0 {
+                    return self.scrub_pause(report, &name, ScrubPhase::Summary, index);
+                }
+                remaining -= 1;
+                let entry = &entries[index];
+                let sampled = index % SUMMARY_SAMPLE_EVERY == 0;
+                index += 1;
+                report.entries_checked += 1;
+                if !sampled || entry.freshness != Freshness::Fresh {
+                    continue;
+                }
+                if let Some(finding) = self.cross_check_entry(&name, entry)? {
+                    self.health.mark_degraded(&name, &finding.to_string());
+                    report.findings.push(finding);
+                }
+            }
+            vi += 1;
+            phase = ScrubPhase::Data;
+            index = 0;
+        }
+        // Cycle complete: reset the cursor so the next pass starts a
+        // fresh walk from the first view.
+        if let Some(cs) = &self.scrub_cursor {
+            cs.save(&ScrubCursor::start())?;
+        }
+        report.completed_cycle = true;
+        Ok(report)
+    }
+
+    /// Persist the resume point and report budget exhaustion.
+    fn scrub_pause(
+        &self,
+        mut report: ScrubReport,
+        view: &str,
+        phase: ScrubPhase,
+        index: usize,
+    ) -> Result<ScrubReport> {
+        if let Some(cs) = &self.scrub_cursor {
+            cs.save(&ScrubCursor {
+                view: Some(view.to_string()),
+                phase,
+                index: index as u64,
+            })?;
+        }
+        report.exhausted_budget = true;
+        Ok(report)
+    }
+
+    /// Recompute one fresh Summary-DB entry from the view column and
+    /// compare. `Ok(None)` means clean (or unverifiable without a
+    /// numeric recompute); `Ok(Some(_))` is a mismatch finding.
+    fn cross_check_entry(
+        &self,
+        view: &str,
+        entry: &sdbms_summary::Entry,
+    ) -> Result<Option<CorruptionFinding>> {
+        let Some(v) = self.views.get(view) else {
+            return Ok(None);
+        };
+        let col = match v.store.read_column(&entry.attribute) {
+            Ok(col) => col,
+            Err(e) if data_error_is_crash(&e) => return Err(e.into()),
+            // The column itself is unreadable — page-level damage the
+            // page phases report with better granularity; the entry
+            // cannot be judged either way.
+            Err(_) => return Ok(None),
+        };
+        let Ok(fresh) = entry.function.compute(&col) else {
+            return Ok(None);
+        };
+        if fresh.approx_eq(&entry.result, CROSS_CHECK_TOL) {
+            return Ok(None);
+        }
+        Ok(Some(CorruptionFinding {
+            view: view.to_string(),
+            component: Component::SummaryEntry,
+            page: None,
+            detail: format!(
+                "cached {} of {:?} disagrees with recompute",
+                entry.function, entry.attribute
+            ),
+        }))
+    }
+
+    // ---- repair ---------------------------------------------------------
+
+    /// Detect, triage, and repair damage to one view, then verify and
+    /// readmit it. Idempotent on a healthy view (a clean detection
+    /// pass returns an empty report without entering repair). Repair
+    /// admission is gated by the health registry's bounded-retry /
+    /// backoff policy; the whole attempt runs under a durable `Repair`
+    /// WAL intent so a crash mid-repair keeps the view degraded until
+    /// a later attempt verifies clean.
+    pub fn repair_view(&mut self, view: &str) -> Result<RepairReport> {
+        self.view(view)?;
+        let mut report = RepairReport {
+            findings: self.detect_damage(view)?,
+            ..RepairReport::default()
+        };
+        if report.findings.is_empty() && !self.health.is_impaired(view) {
+            return Ok(report);
+        }
+        for f in &report.findings {
+            self.health.mark_degraded(view, &f.to_string());
+        }
+        let now = self.env.injector.ops();
+        self.health
+            .begin_repair(view, now)
+            .map_err(|gate| CoreError::RepairRefused {
+                view: view.to_string(),
+                gate,
+            })?;
+        if let Some(wal) = self.views.get(view).and_then(|v| v.wal.as_ref()) {
+            wal.begin_repair()?;
+        }
+        match self.apply_repairs(view, &mut report) {
+            Ok(()) => {}
+            // A crash mid-repair: the Repair intent stays pending, so
+            // recovery keeps the view degraded for a re-run.
+            Err(e) if error_is_crash(&e) => return Err(e),
+            Err(e) => {
+                if !matches!(self.health.health(view), ViewHealth::Unrecoverable) {
+                    let now = self.env.injector.ops();
+                    self.health.repair_failed(view, now, &e.to_string());
+                }
+                return Err(e);
+            }
+        }
+        // Verify: only a clean detection pass readmits the view.
+        let leftover = self.detect_damage(view)?;
+        if leftover.is_empty() {
+            self.commit_intent(view)?;
+            self.health.repair_succeeded(view);
+            let detail = format!(
+                "self-heal: repaired view ({} finding(s); {} zone map(s) rebuilt; \
+                 store regenerated: {}; {} history record(s) replayed; \
+                 summary reset: {})",
+                report.findings.len(),
+                report.zone_maps_rebuilt,
+                report.store_regenerated,
+                report.history_replayed,
+                report.summary_reset,
+            );
+            self.catalog
+                .view_mut(view)?
+                .history
+                .record(ChangeRecord::Recovery { detail });
+            Ok(report)
+        } else {
+            let now = self.env.injector.ops();
+            let detail = leftover
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            self.health.repair_failed(view, now, &detail);
+            Err(CoreError::RepairIncomplete {
+                view: view.to_string(),
+                remaining: leftover.len(),
+            })
+        }
+    }
+
+    /// Checksum-verify every data and zone-map page and enumerate the
+    /// Summary DB. Pure detection — no mutation.
+    fn detect_damage(&self, view: &str) -> Result<Vec<CorruptionFinding>> {
+        let mut findings = Vec::new();
+        let v = self.view(view)?;
+        for (component, pages) in [
+            (Component::Segment, v.store.data_page_ids()),
+            (Component::ZoneMap, v.store.zone_map_page_ids()),
+        ] {
+            for pid in pages {
+                let mut page = Page::new();
+                match self.env.disk.read_page(pid, &mut page) {
+                    Ok(()) => {}
+                    Err(e) if e.is_crash() => return Err(e.into()),
+                    Err(e) => findings.push(CorruptionFinding {
+                        view: view.to_string(),
+                        component,
+                        page: Some(u64::from(pid)),
+                        detail: e.to_string(),
+                    }),
+                }
+            }
+        }
+        match v.summary.all_entries() {
+            Ok(_) => {}
+            Err(e) if quarantinable(&e) => findings.push(CorruptionFinding {
+                view: view.to_string(),
+                component: Component::SummaryEntry,
+                page: None,
+                detail: format!("summary enumeration failed: {e}"),
+            }),
+            Err(e) => return Err(e.into()),
+        }
+        Ok(findings)
+    }
+
+    /// Apply the cheapest sound rung of the standard repair ladder for
+    /// each damaged component class.
+    fn apply_repairs(&mut self, view: &str, report: &mut RepairReport) -> Result<()> {
+        let ladder = RepairLadder::standard();
+        let has_data = report.findings.iter().any(|f| {
+            matches!(
+                f.component,
+                Component::Cell | Component::Segment | Component::WholeView
+            )
+        });
+        let has_zone = report
+            .findings
+            .iter()
+            .any(|f| f.component == Component::ZoneMap);
+        let has_summary = report
+            .findings
+            .iter()
+            .any(|f| f.component == Component::SummaryEntry);
+        // A view impaired with no locatable findings (typically after
+        // an interrupted repair left half-swapped state) gets the most
+        // conservative treatment: regenerate everything.
+        let conservative = report.findings.is_empty();
+        let mut need_store = has_data || conservative;
+        let need_summary = has_summary || conservative;
+
+        if has_zone && !need_store {
+            // Cheapest rung: zone maps are pure derivations of the
+            // (intact) segment data.
+            if let Some(action) = ladder.action_for(Component::ZoneMap) {
+                report.actions.push(action.description.to_string());
+            }
+            let v = self.view_mut(view)?;
+            match v.store.rebuild_zone_maps() {
+                Ok(n) => report.zone_maps_rebuilt += n,
+                Err(e) if data_error_is_crash(&e) => return Err(e.into()),
+                // A segment the rebuild needs is itself unreadable:
+                // the damage reaches above this rung, so escalate to
+                // archive regeneration.
+                Err(_) => need_store = true,
+            }
+        }
+        if need_store {
+            let rung = if conservative {
+                Component::WholeView
+            } else {
+                Component::Segment
+            };
+            if let Some(action) = ladder.action_for(rung) {
+                report.actions.push(action.description.to_string());
+            }
+            self.regenerate_store(view, report)?;
+        }
+        if need_summary {
+            if let Some(action) = ladder.action_for(Component::SummaryEntry) {
+                report.actions.push(action.description.to_string());
+            }
+            let pool = self.env.pool.clone();
+            let v = self.view_mut(view)?;
+            v.summary = SummaryDb::create(pool)?;
+            report.summary_reset = true;
+        }
+        Ok(())
+    }
+
+    /// Regenerate the view's store from the raw archive (authority:
+    /// the Management-DB view definition over the raw database), then
+    /// replay the view's recorded update history onto it — restoring
+    /// the analyst's cleaning edits so the repaired view matches the
+    /// pre-damage one byte for byte. An archive failure here is
+    /// terminal: there is no sound source left.
+    fn regenerate_store(&mut self, view: &str, report: &mut RepairReport) -> Result<()> {
+        let def = self.catalog.view(view)?.definition.clone();
+        let ds = {
+            let mut resolve =
+                |name: &str| -> std::result::Result<sdbms_data::dataset::DataSet, DataError> {
+                    self.resolve_source(name)
+                };
+            match def.execute(&mut resolve) {
+                Ok(ds) => ds,
+                Err(e) if data_error_is_crash(&e) => return Err(e.into()),
+                Err(e) => {
+                    let reason = format!("archive regeneration failed: {e}");
+                    self.health.mark_unrecoverable(view, &reason);
+                    return Err(CoreError::Unrecoverable {
+                        view: view.to_string(),
+                        reason,
+                    });
+                }
+            }
+        };
+        let layout = self.view(view)?.layout;
+        let mut store: Box<dyn TableStore + Send + Sync> = match layout {
+            Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
+            Layout::Transposed => {
+                Box::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
+            }
+        };
+        // Replay the recorded history in order. Cell updates re-apply
+        // directly (rollbacks recorded their inverses, so replaying
+        // the whole stream reproduces them too); column appends
+        // re-derive from the column's maintenance rule; whole-vector
+        // (Regenerate) columns are filled at the end, from the final
+        // base data, exactly as live maintenance would have left them.
+        let records: Vec<ChangeRecord> = self
+            .catalog
+            .view(view)?
+            .history
+            .records()
+            .iter()
+            .map(|(_, r)| r.clone())
+            .collect();
+        let mut regenerate_at_end: Vec<(String, VectorGenerator)> = Vec::new();
+        for rec in &records {
+            match rec {
+                ChangeRecord::CellUpdate {
+                    row,
+                    attribute,
+                    new,
+                    ..
+                } if store.schema().require(attribute).is_ok() && *row < store.len() => {
+                    store.set_cell(*row, attribute, new.clone())?;
+                    report.history_replayed += 1;
+                }
+                ChangeRecord::ColumnAppended { attribute } => {
+                    if store.schema().require(attribute).is_ok() {
+                        continue; // already present (defensive)
+                    }
+                    self.replay_column_append(view, &mut store, attribute, &mut regenerate_at_end)?;
+                    report.history_replayed += 1;
+                }
+                _ => {}
+            }
+        }
+        let v = self.view_mut(view)?;
+        v.store = store;
+        report.store_regenerated = true;
+        for (attr, generator) in regenerate_at_end {
+            self.regenerate_vector(view, &attr, &generator)?;
+        }
+        Ok(())
+    }
+
+    /// Re-append one derived column during history replay, deriving
+    /// its initial values from the column's current maintenance rule
+    /// (row-local expressions re-evaluate against the replayed store
+    /// state at append time; whole-vector generators are deferred to
+    /// the end of the replay; rules with no generator come back as
+    /// missing and are refilled by the recorded cell updates).
+    fn replay_column_append(
+        &self,
+        view: &str,
+        store: &mut Box<dyn TableStore + Send + Sync>,
+        attribute: &str,
+        regenerate_at_end: &mut Vec<(String, VectorGenerator)>,
+    ) -> Result<()> {
+        // The live schema survives in memory even when the data pages
+        // are damaged, so it is the best source for the attribute's
+        // declared shape.
+        let attr: Attribute = self
+            .views
+            .get(view)
+            .and_then(|v| v.store.schema().attribute(attribute).ok().cloned())
+            .unwrap_or_else(|| Attribute::derived(attribute, DataType::Float));
+        let n = store.len();
+        let rule = self.rules.rule(view, attribute).ok().cloned();
+        let values: Vec<Value> = match &rule {
+            Some(DerivedRule::Local { expr }) => {
+                let schema = store.schema().clone();
+                let bexpr = expr.bind(&schema)?;
+                (0..n)
+                    .map(|i| {
+                        let row = store.read_row(i)?;
+                        Ok(coerce(bexpr.eval(&row), attr.dtype))
+                    })
+                    .collect::<Result<_>>()?
+            }
+            Some(DerivedRule::Regenerate { generator }) => {
+                regenerate_at_end.push((attribute.to_string(), generator.clone()));
+                vec![Value::Missing; n]
+            }
+            Some(DerivedRule::MarkStale { .. }) | None => vec![Value::Missing; n],
+        };
+        store.add_column(attr, values)?;
+        Ok(())
+    }
+
+    // ---- degraded reads -------------------------------------------------
+
+    /// Serve a read of an impaired view straight from the raw archive:
+    /// re-execute the view definition, replay the recorded cell edits
+    /// of the requested attribute, and compute. The Summary DB is
+    /// never consulted and never written — a [`ComputeSource::Fallback`]
+    /// result must not be cached while the view is suspect.
+    pub(crate) fn compute_degraded(
+        &self,
+        view: &str,
+        attribute: &str,
+        function: &StatFunction,
+    ) -> Result<(SummaryValue, ComputeSource)> {
+        let v = self
+            .views
+            .get(view)
+            .ok_or_else(|| CoreError::NoSuchView(view.to_string()))?;
+        let attr = v.store.schema().attribute(attribute)?.clone();
+        if function.needs_numeric() && !attr.is_summarizable() {
+            return Err(CoreError::NotSummarizable {
+                attribute: attribute.to_string(),
+            });
+        }
+        let def = self.catalog.view(view)?.definition.clone();
+        let mut resolve =
+            |name: &str| -> std::result::Result<sdbms_data::dataset::DataSet, DataError> {
+                self.resolve_source(name)
+            };
+        let ds = def.execute(&mut resolve)?;
+        let mut col: Vec<Value> = ds.column(&attr.name)?.cloned().collect();
+        for (_, rec) in self.catalog.view(view)?.history.records() {
+            if let ChangeRecord::CellUpdate {
+                row,
+                attribute: a,
+                new,
+                ..
+            } = rec
+            {
+                if a == &attr.name && *row < col.len() {
+                    col[*row] = new.clone();
+                }
+            }
+        }
+        let value = function.compute(&col)?;
+        Ok((value, ComputeSource::Fallback))
+    }
+}

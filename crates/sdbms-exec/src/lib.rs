@@ -569,7 +569,7 @@ mod tests {
         }
         impl SegmentPruner for EvenMorselsOnly {
             fn may_match(&self, start: usize, _len: usize) -> bool {
-                (start / self.morsel_rows) % 2 == 0
+                (start / self.morsel_rows).is_multiple_of(2)
             }
         }
         let cfg = ExecConfig {

@@ -79,6 +79,22 @@ pub const RULE_DANGLING_INPUT: Lint = Lint {
     description: "derived-attribute rule references a column with no rule and no base definition",
 };
 
+/// `repair-missing-authority`: a triage-ladder repair action that does
+/// not name the authority source it reads its replacement data from.
+pub const REPAIR_MISSING_AUTHORITY: Lint = Lint {
+    id: "repair-missing-authority",
+    description: "triage-ladder repair action names no authority source for its replacement data",
+};
+
+/// `repair-self-read`: a triage-ladder repair action whose declared
+/// authority is the component it repairs — a circular read that can
+/// launder corrupt bytes back into the "repaired" state.
+pub const REPAIR_SELF_READ: Lint = Lint {
+    id: "repair-self-read",
+    description:
+        "triage-ladder repair action reads from the component it repairs (circular authority)",
+};
+
 /// The full catalogue, for `--list` and id validation.
 pub const ALL_LINTS: &[Lint] = &[
     NO_PANIC,
@@ -90,6 +106,8 @@ pub const ALL_LINTS: &[Lint] = &[
     RULE_MISSING_STRATEGY,
     RULE_UNVERIFIED_MERGE,
     RULE_DANGLING_INPUT,
+    REPAIR_MISSING_AUTHORITY,
+    REPAIR_SELF_READ,
 ];
 
 /// One finding.

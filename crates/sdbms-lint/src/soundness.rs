@@ -14,16 +14,26 @@
 //!   the parallel executor's property tests exercise);
 //! - [`crate::diagnostics::RULE_DANGLING_INPUT`] — a derived-attribute
 //!   rule that reads a column which is neither a declared base column
-//!   nor itself a ruled derived attribute.
+//!   nor itself a ruled derived attribute;
+//! - [`crate::diagnostics::REPAIR_MISSING_AUTHORITY`] /
+//!   [`crate::diagnostics::REPAIR_SELF_READ`] — a triage-ladder repair
+//!   action ([`sdbms_repair::RepairLadder`]) that either names no
+//!   authority for its replacement data, or reads from the very
+//!   component it repairs (a circular read that would launder corrupt
+//!   bytes back into the "repaired" state).
 //!
-//! Findings carry pseudo-paths (`<summary-registry>`,
-//! `<rule-store:view>`) instead of file anchors: the defect lives in
-//! registered metadata, not in a source line.
+//! Registry and rule findings carry pseudo-paths
+//! (`<summary-registry>`, `<rule-store:view>`) — the defect lives in
+//! registered metadata, not in a source line. Ladder findings anchor
+//! at the real `file:line` of the offending registration, captured by
+//! `RepairAction::new`'s `#[track_caller]`.
 
 use crate::diagnostics::{
-    Diagnostic, RULE_DANGLING_INPUT, RULE_MISSING_STRATEGY, RULE_UNVERIFIED_MERGE,
+    Diagnostic, REPAIR_MISSING_AUTHORITY, REPAIR_SELF_READ, RULE_DANGLING_INPUT,
+    RULE_MISSING_STRATEGY, RULE_UNVERIFIED_MERGE,
 };
 use sdbms_management::RuleStore;
+use sdbms_repair::RepairLadder;
 use sdbms_summary::{verify_merge_law, MergeLawStatus, SummaryRegistry, ALL_UPDATE_KINDS};
 use std::collections::BTreeSet;
 
@@ -162,13 +172,51 @@ pub fn check_rules(
     out
 }
 
+/// Audit a repair ladder: every registered action must name the
+/// authority source it reads replacement data from, and that authority
+/// must not be the component being repaired. Findings anchor at the
+/// `(file, line)` each [`sdbms_repair::RepairAction`] captured when it
+/// was registered, so the report points at the unsound registration
+/// itself.
+#[must_use]
+pub fn check_ladder(ladder: &RepairLadder) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for action in ladder.actions() {
+        let (file, line) = action.registered_at;
+        if action.authority.is_none() {
+            out.push(Diagnostic::new(
+                REPAIR_MISSING_AUTHORITY,
+                file,
+                line,
+                format!(
+                    "repair action for {} (\"{}\") names no authority source",
+                    action.target, action.description
+                ),
+            ));
+        } else if action.is_self_read() {
+            out.push(Diagnostic::new(
+                REPAIR_SELF_READ,
+                file,
+                line,
+                format!(
+                    "repair action for {} (\"{}\") reads from the component it repairs",
+                    action.target, action.description
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Run every semantic check against the system's *actual* registered
-/// metadata: the standing summary registry and an empty rule store
-/// extended by nothing (the workspace run wires real stores in via
-/// [`check_registry`] / [`check_rules`] from the driver).
+/// metadata: the standing summary registry and the standing repair
+/// ladder that `StatDbms::repair_view` walks. (The workspace run wires
+/// real rule stores in via [`check_rules`] from the driver.)
 #[must_use]
 pub fn check_standing() -> Vec<Diagnostic> {
-    check_registry(&SummaryRegistry::standing())
+    let mut out = check_registry(&SummaryRegistry::standing());
+    out.extend(check_ladder(&RepairLadder::standard()));
+    out
 }
 
 #[cfg(test)]
@@ -179,6 +227,32 @@ mod tests {
     #[test]
     fn standing_registry_is_clean() {
         assert!(check_standing().is_empty(), "{:?}", check_standing());
+    }
+
+    #[test]
+    fn standard_repair_ladder_is_sound() {
+        assert!(check_ladder(&RepairLadder::standard()).is_empty());
+    }
+
+    #[test]
+    fn unsound_ladder_actions_detected() {
+        use sdbms_repair::{Authority, Component, RepairAction};
+        let mut ladder = RepairLadder::new();
+        ladder.register(RepairAction::new(Component::ZoneMap, None, "no authority"));
+        let circular = RepairAction::new(Component::Segment, Some(Authority::SegmentData), "x");
+        ladder.register(circular);
+        ladder.register(RepairAction::new(
+            Component::Cell,
+            Some(Authority::Archive),
+            "ok",
+        ));
+        let found = check_ladder(&ladder);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].lint.id, "repair-missing-authority");
+        assert_eq!(found[1].lint.id, "repair-self-read");
+        // Both findings anchor in this test file, where the unsound
+        // registrations actually live.
+        assert!(found.iter().all(|d| d.file.ends_with("soundness.rs")));
     }
 
     #[test]

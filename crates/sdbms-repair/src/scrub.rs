@@ -1,0 +1,339 @@
+//! Background scrubbing: cursor state, durable cursor storage, and the
+//! report/finding types the scrubber produces.
+//!
+//! The scrub walk itself lives in `sdbms-core` (it needs the whole
+//! `StatDbms` — views, caches, catalog); this module owns the pieces
+//! that don't: the **cursor** describing where a paused scrub resumes,
+//! a **durable cursor store** (one disk page written directly through
+//! the `DiskManager`, same protocol as the summary intent log, so the
+//! cursor survives crashes and restarts), and the **findings** a pass
+//! reports.
+//!
+//! A scrub runs on a cooperative budget counted in pages/entries
+//! verified. Exhausting the budget persists the cursor and returns;
+//! the next call picks up where this one stopped. All scrub I/O goes
+//! through the environment's `DiskManager`, so it is charged to the
+//! shared cost tracker like any other work.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Arc;
+
+use sdbms_storage::{DiskManager, Page, PageId, Result, StorageError, PAGE_SIZE};
+
+use crate::triage::Component;
+
+/// Magic marking a valid scrub-cursor page ("SCR1").
+const MAGIC: u32 = 0x5343_5231;
+
+/// Which class of pages the scrubber is currently walking within a
+/// view. Ordered: data pages, then zone-map pages, then Summary-DB
+/// entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubPhase {
+    /// Table-store data pages.
+    Data,
+    /// Persisted zone-map pages.
+    Zones,
+    /// Summary-DB entries (checksum via read + sampled recompute).
+    Summary,
+}
+
+impl ScrubPhase {
+    fn to_byte(self) -> u8 {
+        match self {
+            ScrubPhase::Data => 0,
+            ScrubPhase::Zones => 1,
+            ScrubPhase::Summary => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(ScrubPhase::Data),
+            1 => Some(ScrubPhase::Zones),
+            2 => Some(ScrubPhase::Summary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScrubPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScrubPhase::Data => "data",
+            ScrubPhase::Zones => "zones",
+            ScrubPhase::Summary => "summary",
+        })
+    }
+}
+
+/// Resume point of a paused scrub: the view being walked (`None`
+/// before the first view / after a completed cycle), the phase within
+/// it, and the index of the next page/entry to verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubCursor {
+    /// View currently being scrubbed, `None` at cycle start.
+    pub view: Option<String>,
+    /// Phase within that view.
+    pub phase: ScrubPhase,
+    /// Next page/entry index within the phase.
+    pub index: u64,
+}
+
+impl Default for ScrubCursor {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl ScrubCursor {
+    /// Cursor at the beginning of a fresh cycle.
+    #[must_use]
+    pub fn start() -> Self {
+        ScrubCursor {
+            view: None,
+            phase: ScrubPhase::Data,
+            index: 0,
+        }
+    }
+}
+
+/// Durable storage for a [`ScrubCursor`]: one disk page written
+/// directly through the [`DiskManager`] (bypassing the buffer pool),
+/// so a saved cursor survives crashes exactly like a WAL intent. The
+/// page relocates if its disk block suffers permanent media damage.
+pub struct CursorStore {
+    disk: Arc<DiskManager>,
+    page: Cell<PageId>,
+}
+
+impl fmt::Debug for CursorStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CursorStore")
+            .field("page", &self.page.get())
+            .finish()
+    }
+}
+
+impl CursorStore {
+    /// Allocate the cursor's disk page, initialized to a fresh-cycle
+    /// cursor.
+    pub fn create(disk: Arc<DiskManager>) -> Result<Self> {
+        let page = disk.allocate();
+        let store = CursorStore {
+            disk,
+            page: Cell::new(page),
+        };
+        store.save(&ScrubCursor::start())?;
+        Ok(store)
+    }
+
+    /// Reattach to an existing cursor page (after a restart).
+    #[must_use]
+    pub fn attach(disk: Arc<DiskManager>, page: PageId) -> Self {
+        CursorStore {
+            disk,
+            page: Cell::new(page),
+        }
+    }
+
+    /// The disk page the cursor lives on.
+    #[must_use]
+    pub fn page_id(&self) -> PageId {
+        self.page.get()
+    }
+
+    /// Durably persist `cursor`.
+    pub fn save(&self, cursor: &ScrubCursor) -> Result<()> {
+        let mut page = Page::new();
+        page.put_u32(0, MAGIC);
+        page.bytes_mut()[4] = cursor.phase.to_byte();
+        page.put_u64(6, cursor.index);
+        match &cursor.view {
+            Some(name) if 16 + name.len() <= PAGE_SIZE && name.len() <= u16::MAX as usize => {
+                page.bytes_mut()[5] = 1;
+                page.put_u16(14, name.len() as u16);
+                page.write_slice(16, name.as_bytes());
+            }
+            // An unstorable view name (absurdly long) degrades to a
+            // fresh-cycle cursor: scrubbing restarts, never skips.
+            _ => page.bytes_mut()[5] = 0,
+        }
+        self.write_cursor_page(&page)
+    }
+
+    /// Load the persisted cursor. Damage to the cursor page (checksum
+    /// failure, bad magic, torn fields) degrades to a fresh-cycle
+    /// cursor — the scrubber re-verifies from the top rather than
+    /// trusting damaged resume state.
+    #[must_use]
+    pub fn load(&self) -> ScrubCursor {
+        let mut page = Page::new();
+        if self.disk.read_page(self.page.get(), &mut page).is_err() {
+            return ScrubCursor::start();
+        }
+        if page.get_u32(0) != MAGIC {
+            return ScrubCursor::start();
+        }
+        let Some(phase) = ScrubPhase::from_byte(page.bytes()[4]) else {
+            return ScrubCursor::start();
+        };
+        let index = page.get_u64(6);
+        let view = if page.bytes()[5] == 1 {
+            let len = page.get_u16(14) as usize;
+            if 16 + len > PAGE_SIZE {
+                return ScrubCursor::start();
+            }
+            match std::str::from_utf8(page.slice(16, len)) {
+                Ok(s) => Some(s.to_string()),
+                Err(_) => return ScrubCursor::start(),
+            }
+        } else {
+            None
+        };
+        ScrubCursor { view, phase, index }
+    }
+
+    /// Write the cursor page, relocating to a fresh page if the
+    /// current one has suffered permanent media damage.
+    fn write_cursor_page(&self, page: &Page) -> Result<()> {
+        match self.disk.write_page(self.page.get(), page) {
+            Err(StorageError::PermanentFault { .. } | StorageError::InvalidPageId(_)) => {
+                let fresh = self.disk.allocate();
+                self.page.set(fresh);
+                self.disk.write_page(fresh, page)
+            }
+            other => other,
+        }
+    }
+}
+
+/// One piece of damage found by a scrub pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionFinding {
+    /// The view the damage belongs to.
+    pub view: String,
+    /// Damaged component class (drives triage).
+    pub component: Component,
+    /// Damaged page id, when the finding is page-granular.
+    pub page: Option<u64>,
+    /// What the verification saw.
+    pub detail: String,
+}
+
+impl fmt::Display for CorruptionFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view {:?}: {} damaged", self.view, self.component)?;
+        if let Some(p) = self.page {
+            write!(f, " (page {p})")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Outcome of one budgeted scrub call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Data/zone pages whose checksums were verified.
+    pub pages_verified: u64,
+    /// Summary entries enumerated (including sampled recomputes).
+    pub entries_checked: u64,
+    /// Damage found this pass.
+    pub findings: Vec<CorruptionFinding>,
+    /// True when the pass stopped because the budget ran out (the
+    /// cursor was persisted; call again to continue).
+    pub exhausted_budget: bool,
+    /// True when the pass reached the end of the last view (the cursor
+    /// was reset to a fresh cycle).
+    pub completed_cycle: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbms_storage::Tracker;
+
+    fn disk() -> Arc<DiskManager> {
+        Arc::new(DiskManager::new(Tracker::new()))
+    }
+
+    #[test]
+    fn cursor_round_trips_through_the_store() {
+        let store = CursorStore::create(disk()).unwrap();
+        assert_eq!(store.load(), ScrubCursor::start());
+        let cur = ScrubCursor {
+            view: Some("census".into()),
+            phase: ScrubPhase::Zones,
+            index: 42,
+        };
+        store.save(&cur).unwrap();
+        assert_eq!(store.load(), cur);
+        store.save(&ScrubCursor::start()).unwrap();
+        assert_eq!(store.load(), ScrubCursor::start());
+    }
+
+    #[test]
+    fn cursor_survives_reattach_on_a_second_handle() {
+        let d = disk();
+        let store = CursorStore::create(d.clone()).unwrap();
+        let cur = ScrubCursor {
+            view: Some("v".into()),
+            phase: ScrubPhase::Summary,
+            index: 7,
+        };
+        store.save(&cur).unwrap();
+        let reattached = CursorStore::attach(d, store.page_id());
+        assert_eq!(reattached.load(), cur);
+    }
+
+    #[test]
+    fn damaged_cursor_page_degrades_to_fresh_cycle() {
+        let d = disk();
+        let store = CursorStore::create(d.clone()).unwrap();
+        store
+            .save(&ScrubCursor {
+                view: Some("v".into()),
+                phase: ScrubPhase::Data,
+                index: 9,
+            })
+            .unwrap();
+        d.corrupt_page(store.page_id(), 200).unwrap();
+        assert_eq!(store.load(), ScrubCursor::start());
+    }
+
+    #[test]
+    fn cursor_store_relocates_off_a_dead_page() {
+        use sdbms_storage::{Device, FaultInjector, FaultKind, RetryPolicy, ScriptedFault};
+        let inj = Arc::new(FaultInjector::disabled());
+        let d = Arc::new(DiskManager::with_faults(
+            Tracker::new(),
+            inj.clone(),
+            RetryPolicy::default(),
+        ));
+        let store = CursorStore::create(d).unwrap();
+        let first = store.page_id();
+        inj.script(ScriptedFault::new(Device::Disk, FaultKind::Permanent).at(u64::from(first)));
+        let cur = ScrubCursor {
+            view: Some("v".into()),
+            phase: ScrubPhase::Zones,
+            index: 3,
+        };
+        store.save(&cur).unwrap();
+        assert_ne!(store.page_id(), first);
+        assert_eq!(store.load(), cur);
+    }
+
+    #[test]
+    fn findings_render_with_page_and_component() {
+        let f = CorruptionFinding {
+            view: "v".into(),
+            component: Component::Segment,
+            page: Some(12),
+            detail: "checksum mismatch".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("segment"));
+        assert!(s.contains("page 12"));
+    }
+}

@@ -52,7 +52,7 @@ impl ChainGuard {
         if self.seen.insert(pid) {
             Ok(())
         } else {
-            Err(StorageError::Corrupt("page-link cycle in b+tree"))
+            Err(StorageError::corrupt("page-link cycle in b+tree").at_page(pid))
         }
     }
 }
@@ -129,12 +129,12 @@ impl Node {
                 let mut out = Vec::with_capacity(n);
                 for _ in 0..n {
                     if off + 2 > PAGE_SIZE {
-                        return Err(StorageError::Corrupt("entry header past page end"));
+                        return Err(StorageError::corrupt("entry header past page end"));
                     }
                     let klen = p.get_u16(off) as usize;
                     off += 2;
                     if off + klen + 8 > PAGE_SIZE {
-                        return Err(StorageError::Corrupt("entry past page end"));
+                        return Err(StorageError::corrupt("entry past page end"));
                     }
                     let k = p.slice(off, klen).to_vec();
                     off += klen;
@@ -162,7 +162,7 @@ impl Node {
                 let (seps, _) = read_pairs(p, off, n)?;
                 Ok(Node::Internal { seps, children })
             }
-            _ => Err(StorageError::Corrupt("unknown node type byte")),
+            _ => Err(StorageError::corrupt("unknown node type byte")),
         }
     }
 }
@@ -219,7 +219,7 @@ impl BTree {
 
     fn load(&self, pid: PageId) -> Result<Node> {
         let guard = self.pool.fetch(pid)?;
-        guard.with(Node::read_from)
+        guard.with(Node::read_from).map_err(|e| e.at_page(pid))
     }
 
     fn store(&self, pid: PageId, node: &Node) -> Result<()> {
@@ -372,7 +372,7 @@ impl BTree {
         let leaf_pid = self.descend(key, value)?;
         let node = self.load(leaf_pid)?;
         let Node::Leaf { entries, .. } = node else {
-            return Err(StorageError::Corrupt("descend hit internal node"));
+            return Err(StorageError::corrupt("descend hit internal node").at_page(leaf_pid));
         };
         Ok(entries
             .binary_search_by(|(k, v)| cmp_entry(k, *v, key, value))
@@ -385,7 +385,7 @@ impl BTree {
         let leaf_pid = self.descend(key, value)?;
         let mut node = self.load(leaf_pid)?;
         let Node::Leaf { entries, .. } = &mut node else {
-            return Err(StorageError::Corrupt("descend hit internal node"));
+            return Err(StorageError::corrupt("descend hit internal node").at_page(leaf_pid));
         };
         if let Ok(pos) = entries.binary_search_by(|(k, v)| cmp_entry(k, *v, key, value)) {
             entries.remove(pos);
@@ -428,7 +428,7 @@ impl BTree {
             guard.visit(pid)?;
             let node = self.load(pid)?;
             let Node::Leaf { entries, next } = node else {
-                return Err(StorageError::Corrupt("leaf chain hit internal node"));
+                return Err(StorageError::corrupt("leaf chain hit internal node").at_page(pid));
             };
             for (k, v) in &entries {
                 if let Some(lo) = low {
@@ -471,7 +471,7 @@ impl BTree {
             guard.visit(pid)?;
             let node = self.load(pid)?;
             let Node::Leaf { entries, next } = node else {
-                return Err(StorageError::Corrupt("leaf chain hit internal node"));
+                return Err(StorageError::corrupt("leaf chain hit internal node").at_page(pid));
             };
             for (k, v) in &entries {
                 if k.as_slice() < prefix {

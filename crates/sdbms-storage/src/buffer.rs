@@ -202,9 +202,10 @@ impl BufferPool {
         // fetch would serve them as a pool hit.
         if let Some(&stale) = state.map.get(&pid) {
             if state.meta[stale].pin_count > 0 {
-                return Err(StorageError::Corrupt(
-                    "recycled page id still pinned in buffer pool",
-                ));
+                return Err(
+                    StorageError::corrupt("recycled page id still pinned in buffer pool")
+                        .at_page(pid),
+                );
             }
             state.map.remove(&pid);
             state.meta[stale] = FrameMeta::empty();

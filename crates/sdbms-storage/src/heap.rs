@@ -243,7 +243,7 @@ impl HeapFile {
             .pages
             .last()
             .copied()
-            .ok_or(StorageError::Corrupt("heap file has no pages"))?;
+            .ok_or_else(|| StorageError::corrupt("heap file has no pages"))?;
         let guard = self.pool.fetch(last)?;
         if let Some(slot) = guard.with_mut(|p| page_insert(p, bytes)) {
             state.records += 1;
@@ -255,9 +255,9 @@ impl HeapFile {
         new_guard.with_mut(init_page);
         let slot = new_guard
             .with_mut(|p| page_insert(p, bytes))
-            .ok_or(StorageError::Corrupt(
-                "record does not fit in an empty page",
-            ))?;
+            .ok_or_else(|| {
+                StorageError::corrupt("record does not fit in an empty page").at_page(new_pid)
+            })?;
         drop(new_guard);
         let old_last = self.pool.fetch(last)?;
         old_last.with_mut(|p| set_next_page(p, new_pid));

@@ -65,7 +65,7 @@ pub use buffer::{BufferPool, PageGuard};
 pub use checksum::crc32;
 pub use cost::{CostModel, IoSnapshot, IoStats, Tracker};
 pub use disk::DiskManager;
-pub use error::{Result, StorageError};
+pub use error::{CorruptDetail, FileRole, Result, StorageError};
 pub use fault::{
     Device, DeviceFaults, FaultInjector, FaultKind, FaultPlan, FaultStats, InjectedFault, IoOp,
     ScriptedFault,

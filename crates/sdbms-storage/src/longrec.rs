@@ -57,20 +57,20 @@ fn encode_chunk(next: Option<Rid>, payload: &[u8]) -> Vec<u8> {
 
 fn decode_chunk(bytes: &[u8]) -> Result<(Option<Rid>, &[u8])> {
     if bytes.len() < HEADER {
-        return Err(StorageError::Corrupt("long-record chunk too short"));
+        return Err(StorageError::corrupt("long-record chunk too short"));
     }
     let next = match bytes[0] {
         0 => None,
         1 => {
             let page = bytes[1..5]
                 .try_into()
-                .map_err(|_| StorageError::Corrupt("long-record header truncated"))?;
+                .map_err(|_| StorageError::corrupt("long-record header truncated"))?;
             let slot = bytes[5..7]
                 .try_into()
-                .map_err(|_| StorageError::Corrupt("long-record header truncated"))?;
+                .map_err(|_| StorageError::corrupt("long-record header truncated"))?;
             Some(Rid::new(u32::from_le_bytes(page), u16::from_le_bytes(slot)))
         }
-        _ => return Err(StorageError::Corrupt("bad long-record flag byte")),
+        _ => return Err(StorageError::corrupt("bad long-record flag byte")),
     };
     Ok((next, &bytes[HEADER..]))
 }
@@ -96,7 +96,7 @@ impl LongRecordFile {
             let rid = self.file.insert(&encode_chunk(next, chunk))?;
             next = Some(rid);
         }
-        next.ok_or(StorageError::Corrupt("long record produced no chunks"))
+        next.ok_or_else(|| StorageError::corrupt("long record produced no chunks"))
     }
 
     /// Read the full record starting at `head`.
@@ -108,10 +108,10 @@ impl LongRecordFile {
             // Corrupt or crash-torn headers can link chunks into a
             // cycle; revisiting a chunk means the chain is damaged.
             if !seen.insert(rid) {
-                return Err(StorageError::Corrupt("long-record chunk cycle"));
+                return Err(StorageError::corrupt("long-record chunk cycle").at_page(rid.page));
             }
             let bytes = self.file.get(rid)?;
-            let (next, payload) = decode_chunk(&bytes)?;
+            let (next, payload) = decode_chunk(&bytes).map_err(|e| e.at_page(rid.page))?;
             out.extend_from_slice(payload);
             cursor = next;
         }
@@ -124,10 +124,10 @@ impl LongRecordFile {
         let mut cursor = Some(head);
         while let Some(rid) = cursor {
             if !seen.insert(rid) {
-                return Err(StorageError::Corrupt("long-record chunk cycle"));
+                return Err(StorageError::corrupt("long-record chunk cycle").at_page(rid.page));
             }
             let bytes = self.file.get(rid)?;
-            let (next, _) = decode_chunk(&bytes)?;
+            let (next, _) = decode_chunk(&bytes).map_err(|e| e.at_page(rid.page))?;
             self.file.delete(rid)?;
             cursor = next;
         }

@@ -40,6 +40,12 @@ const MAGIC: u32 = 0x5357_4C31;
 /// on the page, so recovery must be maximally conservative).
 const ALL: u16 = u16::MAX;
 
+/// Sentinel count meaning "a view repair was in flight". Recovery must
+/// treat the whole view as suspect (like [`Intent::All`]) *and* knows
+/// the damage came from an interrupted repair, so the view stays
+/// degraded until the repair is re-run.
+const REPAIR: u16 = u16::MAX - 1;
+
 /// A pending maintenance intent read back from the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Intent {
@@ -47,6 +53,11 @@ pub enum Intent {
     All,
     /// Only these attributes were mid-update.
     Attributes(Vec<String>),
+    /// A repair of the whole view was interrupted mid-flight: its
+    /// store/caches may be half-swapped, so everything is suspect and
+    /// the repair must be resumed (or the rebuild redone) before the
+    /// view is healthy again.
+    Repair,
 }
 
 /// The per-view write-ahead intent log.
@@ -105,11 +116,24 @@ impl IntentLog {
             page.write_slice(off + 2, bytes);
             off += 2 + bytes.len();
         }
-        if fits && attributes.len() < ALL as usize {
+        // Counts at or above the REPAIR sentinel would collide with the
+        // reserved encodings; such sets degrade to ALL.
+        if fits && attributes.len() < REPAIR as usize {
             page.put_u16(4, attributes.len() as u16);
         } else {
             page.put_u16(4, ALL);
         }
+        self.write_log_page(&page)
+    }
+
+    /// Durably record that a whole-view repair is starting. Cleared the
+    /// same way as any other intent once the repaired state is flushed;
+    /// left pending across a crash so recovery resumes (or redoes) the
+    /// repair instead of trusting half-repaired state.
+    pub fn begin_repair(&self) -> Result<()> {
+        let mut page = Page::new();
+        page.put_u32(0, MAGIC);
+        page.put_u16(4, REPAIR);
         self.write_log_page(&page)
     }
 
@@ -136,6 +160,9 @@ impl IntentLog {
         }
         if count == ALL {
             return Ok(Some(Intent::All));
+        }
+        if count == REPAIR {
+            return Ok(Some(Intent::Repair));
         }
         let mut attrs = Vec::with_capacity(count as usize);
         let mut off = 6usize;
@@ -221,6 +248,23 @@ mod tests {
             reader.pending().unwrap(),
             Some(Intent::Attributes(vec!["X".into()]))
         );
+    }
+
+    #[test]
+    fn repair_intent_round_trips_and_clears() {
+        let log = IntentLog::create(disk()).unwrap();
+        log.begin_repair().unwrap();
+        assert_eq!(log.pending().unwrap(), Some(Intent::Repair));
+        // A later maintenance intent replaces it (the protocol never
+        // nests), and clear retires it like any other intent.
+        log.begin(&["AGE".to_string()]).unwrap();
+        assert_eq!(
+            log.pending().unwrap(),
+            Some(Intent::Attributes(vec!["AGE".into()]))
+        );
+        log.begin_repair().unwrap();
+        log.clear().unwrap();
+        assert_eq!(log.pending().unwrap(), None);
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! live analysis session: transient I/O errors absorbed by retry with
 //! backoff, silent page corruption caught by checksums and quarantined
 //! out of the Summary Database, answers recovered from the raw archive
-//! when the view itself is damaged, and a mid-update crash honored by
-//! the write-ahead intent log on recovery.
+//! when the view itself is damaged, a mid-update crash honored by the
+//! write-ahead intent log on recovery, and finally a view that
+//! *self-heals*: bit flips found by the background scrubber, triaged,
+//! and repaired from the raw archive with the analyst's edit history
+//! replayed back on top.
 //!
 //! Run with: `cargo run --example fault_tolerance`
 
@@ -118,6 +121,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("history v{ver}: {rec}");
         }
     }
+    // ---- 5. Corrupt, then self-heal ----------------------------------------
+    // Flip bits in a couple of the view's data pages, let the budgeted
+    // scrubber find them, read through the degradation, then repair:
+    // regenerate from the archive and replay the update history so the
+    // analyst's edits (part 4's surviving cells included) come back.
+    use sdbms::core::ViewHealth;
+    let before_col = dbms.column("v", "INCOME")?;
+    dbms.env().pool.flush_all()?;
+    let pages = dbms.view("v")?.store.data_page_ids();
+    for pid in pages.iter().take(2) {
+        dbms.env().disk.corrupt_page(*pid, 13)?;
+    }
+    let scrubbed = dbms.scrub(10_000)?;
+    println!(
+        "\nscrub: {} pages verified, {} finding(s), health now {:?}",
+        scrubbed.pages_verified,
+        scrubbed.findings.len(),
+        dbms.health("v")?
+    );
+    assert_eq!(dbms.health("v")?, ViewHealth::Degraded);
+
+    // Degraded reads still answer — from the archive, never cached.
+    let (degraded, src) =
+        dbms.compute("v", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)?;
+    println!("degraded read: mean(INCOME) = {degraded} (source: {src:?})");
+    assert_eq!(src, ComputeSource::Fallback);
+
+    let repaired = dbms.repair_view("v")?;
+    println!(
+        "repair: {:?}\n  store regenerated: {}, history records replayed: {}, \
+         zone maps rebuilt: {}, summary reset: {}",
+        repaired.actions,
+        repaired.store_regenerated,
+        repaired.history_replayed,
+        repaired.zone_maps_rebuilt,
+        repaired.summary_reset
+    );
+    assert_eq!(dbms.health("v")?, ViewHealth::Healthy);
+    let after_col = dbms.column("v", "INCOME")?;
+    assert_eq!(before_col, after_col, "repair restored the edited column");
+    let (healed, src) = dbms.compute("v", "INCOME", &StatFunction::Mean, AccuracyPolicy::Exact)?;
+    assert_ne!(src, ComputeSource::Fallback);
+    println!("healed read: mean(INCOME) = {healed} (source: {src:?})");
+
     println!("\ninvariant held: no fault made the cache lie.");
     Ok(())
 }

@@ -50,6 +50,7 @@
 //! | [`stats`] | the statistical functions: descriptive, quantiles, histograms, tests, regression, sampling |
 //! | [`summary`] | the Summary Database (§3.2) with incremental maintenance and the §4.2 median window |
 //! | [`management`] | the Management Database: catalog, histories/undo, rules, finite differencing |
+//! | [`repair`] | self-healing: health registry, scrub cursors, corruption triage ladder |
 //! | [`core`] | the DBMS façade tying it all together (paper Figure 3) |
 
 #![warn(missing_docs)]
@@ -61,6 +62,7 @@ pub use sdbms_data as data;
 pub use sdbms_exec as exec;
 pub use sdbms_management as management;
 pub use sdbms_relational as relational;
+pub use sdbms_repair as repair;
 pub use sdbms_stats as stats;
 pub use sdbms_storage as storage;
 pub use sdbms_summary as summary;

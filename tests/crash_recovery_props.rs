@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use sdbms::core::{
     AccuracyPolicy, BinOp, CmpOp, DurabilityPolicy, Expr, Predicate, StatDbms, StatFunction,
-    ViewDefinition,
+    ViewDefinition, ViewHealth,
 };
 use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::storage::{FaultPlan, StorageEnv};
@@ -137,6 +137,84 @@ proptest! {
         // A second recovery finds no pending intent and changes nothing.
         let again = dbms.recover().expect("second recovery");
         prop_assert!(again.views_recovered.is_empty(), "no intent left: {again:?}");
+        assert_consistent(&mut dbms)?;
+    }
+
+    /// A crash at *any* I/O operation inside `repair_view` — during
+    /// detection, archive regeneration, history replay, the summary
+    /// reset, or the verification pass — must recover to a consistent
+    /// DBMS: the interrupted repair's durable intent keeps the view
+    /// suspect, and a re-run repair restores it to `Healthy` with
+    /// summaries matching a from-scratch recompute.
+    #[test]
+    fn crash_anywhere_during_repair_recovers_consistent(
+        crash_offset in 1u64..400,
+        threshold in 18i64..60,
+        bump in 1i64..400,
+        page_pick in any::<prop::sample::Index>(),
+        bit in 0usize..(8 * 512),
+    ) {
+        let mut dbms = setup();
+        // An analyst edit, so the repair has history to replay.
+        dbms.update_where(
+            "v",
+            &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold)),
+            &[("INCOME", Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump)))],
+        )
+        .expect("edit");
+        // Damage one data page on disk.
+        dbms.env().pool.flush_all().expect("flush");
+        let pages = dbms.view("v").expect("view").store.data_page_ids();
+        prop_assert!(!pages.is_empty());
+        let pid = pages[page_pick.index(pages.len())];
+        dbms.env().disk.corrupt_page(pid, bit).expect("corrupt");
+
+        // Crash at an arbitrary operation inside the repair.
+        let ops = dbms.env().injector.ops();
+        dbms.env().injector.set_plan(FaultPlan {
+            seed: crash_offset,
+            crash_at_op: Some(ops + crash_offset),
+            ..FaultPlan::none()
+        });
+        let outcome = dbms.repair_view("v");
+        dbms.env().injector.set_plan(FaultPlan::none());
+        if dbms.is_crashed() {
+            prop_assert!(outcome.is_err(), "a crash must abort the repair");
+            dbms.recover().expect("recover on healthy hardware");
+            dbms.repair_view("v").expect("re-run the interrupted repair");
+        } else {
+            // The op budget outlived the repair: it must have succeeded.
+            outcome.expect("repair without a crash");
+        }
+        prop_assert_eq!(dbms.health("v").expect("health"), ViewHealth::Healthy);
+        assert_consistent(&mut dbms)?;
+    }
+
+    /// Repairing a healthy view is an observable no-op: no findings, no
+    /// actions, no store or summary churn, cache counters untouched —
+    /// and running it twice returns the identical (empty) report.
+    #[test]
+    fn repair_on_a_healthy_view_is_an_observable_noop(
+        preludes in prop::collection::vec((20i64..55, 1i64..200), 0..3)
+    ) {
+        let mut dbms = setup();
+        for (t, b) in preludes {
+            dbms.update_where(
+                "v",
+                &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(t)),
+                &[("INCOME", Expr::col("INCOME").binary(BinOp::Add, Expr::lit(b)))],
+            )
+            .expect("prelude update");
+        }
+        let stats_before = dbms.cache_stats("v").expect("stats");
+        let report = dbms.repair_view("v").expect("repair healthy view");
+        prop_assert!(report.findings.is_empty(), "{:?}", report);
+        prop_assert!(report.actions.is_empty(), "{:?}", report);
+        prop_assert!(!report.store_regenerated && !report.summary_reset);
+        prop_assert_eq!(dbms.cache_stats("v").expect("stats"), stats_before);
+        prop_assert_eq!(dbms.health("v").expect("health"), ViewHealth::Healthy);
+        let again = dbms.repair_view("v").expect("repair twice");
+        prop_assert_eq!(report, again);
         assert_consistent(&mut dbms)?;
     }
 }
