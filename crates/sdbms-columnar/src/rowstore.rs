@@ -158,6 +158,13 @@ impl TableStore for RowStore {
         Ok(())
     }
 
+    fn boxed_clone(&self) -> Result<Box<dyn TableStore + Send + Sync>> {
+        // Shadow copy onto fresh pages; the original's are never
+        // written, which is what makes copy-on-write installs atomic.
+        let ds = self.to_dataset("shadow")?;
+        Ok(Box::new(Self::from_dataset(self.file.pool().clone(), &ds)?))
+    }
+
     fn add_column(&mut self, attr: sdbms_data::Attribute, values: Vec<Value>) -> Result<()> {
         if values.len() != self.rids.len() {
             return Err(DataError::ArityMismatch {
@@ -245,6 +252,19 @@ mod tests {
         assert!(s.read_row(99).is_err());
         assert!(s.read_column("NOPE").is_err());
         assert!(s.append_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn boxed_clone_copies_data_onto_fresh_pages() {
+        let s = store();
+        let mut shadow = s.boxed_clone().unwrap();
+        assert_eq!(shadow.len(), s.len());
+        assert_eq!(shadow.store_generation(), 0, "row layout tracks none");
+        let s_pages: std::collections::HashSet<_> = s.data_page_ids().into_iter().collect();
+        assert!(shadow.data_page_ids().iter().all(|p| !s_pages.contains(p)));
+        let before = s.get_cell(2, "POPULATION").unwrap();
+        shadow.set_cell(2, "POPULATION", Value::Int(0)).unwrap();
+        assert_eq!(s.get_cell(2, "POPULATION").unwrap(), before);
     }
 
     #[test]

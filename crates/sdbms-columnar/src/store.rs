@@ -141,6 +141,22 @@ pub trait TableStore {
         Ok(None)
     }
 
+    /// Deep-copy this store into freshly allocated pages of the same
+    /// buffer pool, carrying the data, layout, and (for layouts that
+    /// track one) a *successor* store generation. This is the shadow
+    /// half of copy-on-write versioning: a transactional batch clones
+    /// the live store, applies its staged operations to the clone, and
+    /// installs it atomically — the original's pages are never written,
+    /// which is what makes batch commit all-or-nothing under any crash.
+    fn boxed_clone(&self) -> Result<Box<dyn TableStore + Send + Sync>>;
+
+    /// The version generation this store's persisted artifacts (zone
+    /// maps) are stamped with. Layouts without generation tracking
+    /// report 0.
+    fn store_generation(&self) -> u64 {
+        0
+    }
+
     /// One column as `(numeric values, skipped)` — the hot path for
     /// statistical functions.
     fn read_column_f64(&self, attribute: &str) -> Result<(Vec<f64>, usize)> {

@@ -48,6 +48,11 @@ pub struct TransposedFile {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    /// Version generation stamped into every persisted zone map. A map
+    /// whose stamp disagrees is ignored ("scan unpruned"), so maps from
+    /// a retired store version — or from before a rebuild — can never
+    /// prune this version's scans.
+    generation: u64,
 }
 
 impl std::fmt::Debug for TransposedFile {
@@ -110,14 +115,30 @@ impl TransposedFile {
             schema,
             columns,
             rows: 0,
+            generation: 0,
         })
     }
 
     /// Bulk-load a data set (column at a time, full segments).
     pub fn from_dataset(pool: Arc<BufferPool>, ds: &DataSet) -> Result<Self> {
+        Self::from_dataset_at(pool, ds, 0)
+    }
+
+    /// Bulk-load at a specific store generation — used when building
+    /// the successor version of an existing store, so its zone maps are
+    /// stamped correctly from the first write.
+    pub fn from_dataset_at(pool: Arc<BufferPool>, ds: &DataSet, generation: u64) -> Result<Self> {
         let mut store = Self::create(pool, ds.schema().clone())?;
+        store.generation = generation;
         store.bulk_append(ds)?;
         Ok(store)
+    }
+
+    /// The generation this store stamps into (and requires of) its
+    /// persisted zone maps.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Append all rows of `ds` (schema must match).
@@ -125,6 +146,7 @@ impl TransposedFile {
         if ds.schema() != &self.schema {
             return Err(DataError::Decode("bulk_append schema mismatch"));
         }
+        let generation = self.generation;
         for (ci, attr) in self.schema.attributes().iter().enumerate() {
             let values: Vec<Value> = ds.column(&attr.name)?.cloned().collect();
             let col = &mut self.columns[ci];
@@ -132,7 +154,7 @@ impl TransposedFile {
             for chunk in values.chunks(SEGMENT_ROWS) {
                 let bytes = encode_segment(chunk, col.compression);
                 let rid = col.file.insert(&bytes).map_err(DataError::Storage)?;
-                let zone = Self::write_zone(&mut col.zones, chunk);
+                let zone = Self::write_zone(&mut col.zones, chunk, generation);
                 col.segments.push(SegmentInfo {
                     rid,
                     start_row: start,
@@ -170,23 +192,26 @@ impl TransposedFile {
         (i < col.segments.len()).then_some(i)
     }
 
-    /// Persist a zone map for `values`, returning its record id.
-    /// Returns `None` on any write failure — zone maps are advisory,
-    /// so losing one degrades scans to unpruned, never fails the data
-    /// operation that triggered it.
-    fn write_zone(zones: &mut HeapFile, values: &[Value]) -> Option<Rid> {
-        zones.insert(&ZoneMap::build(values).encode()).ok()
+    /// Persist a zone map for `values`, stamped with `generation`,
+    /// returning its record id. Returns `None` on any write failure —
+    /// zone maps are advisory, so losing one degrades scans to
+    /// unpruned, never fails the data operation that triggered it.
+    fn write_zone(zones: &mut HeapFile, values: &[Value], generation: u64) -> Option<Rid> {
+        zones
+            .insert(&ZoneMap::build(values).encode_tagged(generation))
+            .ok()
     }
 
     /// Load one segment's zone map. Returns `None` — "scan unpruned" —
     /// when the segment has no map, the record read fails (torn or
-    /// corrupt page fails its checksum), the bytes don't decode, or
-    /// the map disagrees with the directory about the row count.
-    fn load_zone(col: &Column, si: usize) -> Option<ZoneMap> {
+    /// corrupt page fails its checksum), the bytes don't decode, the
+    /// map's generation stamp disagrees with the store's, or the map
+    /// disagrees with the directory about the row count.
+    fn load_zone(col: &Column, si: usize, generation: u64) -> Option<ZoneMap> {
         let info = col.segments[si];
         let bytes = col.zones.get(info.zone?).ok()?;
-        let zm = ZoneMap::decode(&bytes).ok()?;
-        (zm.rows == info.len).then_some(zm)
+        let (zm, stamp) = ZoneMap::decode_tagged(&bytes).ok()?;
+        (stamp == generation && zm.rows == info.len).then_some(zm)
     }
 
     fn load_segment(col: &Column, si: usize) -> Result<Vec<Value>> {
@@ -212,7 +237,7 @@ impl TransposedFile {
         Ok(bytes)
     }
 
-    fn store_segment(col: &mut Column, si: usize, values: &[Value]) -> Result<()> {
+    fn store_segment(col: &mut Column, si: usize, values: &[Value], generation: u64) -> Result<()> {
         // Invalidate-first: drop the old zone map before the data
         // changes so a failure between the two writes leaves the
         // segment unpruned rather than pruned by a stale map.
@@ -227,12 +252,13 @@ impl TransposedFile {
             .map_err(DataError::Storage)?;
         col.segments[si].rid = new_rid;
         col.segments[si].len = values.len();
-        col.segments[si].zone = Self::write_zone(&mut col.zones, values);
+        col.segments[si].zone = Self::write_zone(&mut col.zones, values, generation);
         Ok(())
     }
 
     /// Merge undersized tail segments created by row-at-a-time appends.
     fn repack_tail(&mut self) -> Result<()> {
+        let generation = self.generation;
         for col in &mut self.columns {
             while col.segments.len() >= 2 {
                 let last = col.segments[col.segments.len() - 1];
@@ -248,7 +274,7 @@ impl TransposedFile {
                 }
                 col.segments.pop();
                 let si = col.segments.len() - 1;
-                Self::store_segment(col, si, &vals)?;
+                Self::store_segment(col, si, &vals, generation)?;
             }
         }
         Ok(())
@@ -272,7 +298,7 @@ impl TransposedFile {
         let ci = self.schema.require(attribute)?;
         let col = &self.columns[ci];
         Ok((0..col.segments.len())
-            .filter(|&si| Self::load_zone(col, si).is_some())
+            .filter(|&si| Self::load_zone(col, si, self.generation).is_some())
             .count())
     }
 }
@@ -343,7 +369,7 @@ impl TableStore for TransposedFile {
             // Pruning decisions cover whole segments: a map describes
             // its full segment, so partial overlap still merges the
             // whole map (conservative — a superset of the range).
-            merged.merge(&Self::load_zone(col, si)?);
+            merged.merge(&Self::load_zone(col, si, self.generation)?);
         }
         Some(merged)
     }
@@ -440,13 +466,14 @@ impl TableStore for TransposedFile {
         if row >= self.rows {
             return Err(DataError::NoSuchRow(row));
         }
+        let generation = self.generation;
         let col = &mut self.columns[ci];
         let si = Self::segment_index_for_row(col, row)
             .ok_or(DataError::Decode("segment directory out of sync"))?;
         let mut vals = Self::load_segment(col, si)?;
         let off = row - col.segments[si].start_row;
         let old = std::mem::replace(&mut vals[off], value);
-        Self::store_segment(col, si, &vals)?;
+        Self::store_segment(col, si, &vals, generation)?;
         Ok(old)
     }
 
@@ -471,7 +498,7 @@ impl TableStore for TransposedFile {
         for chunk in values.chunks(SEGMENT_ROWS) {
             let bytes = encode_segment(chunk, compression);
             let rid = col.file.insert(&bytes).map_err(DataError::Storage)?;
-            let zone = Self::write_zone(&mut col.zones, chunk);
+            let zone = Self::write_zone(&mut col.zones, chunk, self.generation);
             col.segments.push(SegmentInfo {
                 rid,
                 start_row: start,
@@ -498,6 +525,11 @@ impl TableStore for TransposedFile {
 
     fn rebuild_zone_maps(&mut self) -> Result<usize> {
         let pool = self.pool.clone();
+        // Move to the next generation before writing anything: even if
+        // an abandoned pre-rebuild map page were somehow consulted
+        // again, its stamp no longer matches and it cannot prune.
+        self.generation += 1;
+        let generation = self.generation;
         let mut written = 0usize;
         for col in &mut self.columns {
             // The old zones file may hold damaged pages, and inserting
@@ -509,7 +541,7 @@ impl TableStore for TransposedFile {
             let mut zones = HeapFile::create(pool.clone()).map_err(DataError::Storage)?;
             for si in 0..col.segments.len() {
                 let vals = Self::load_segment(col, si)?;
-                col.segments[si].zone = Self::write_zone(&mut zones, &vals);
+                col.segments[si].zone = Self::write_zone(&mut zones, &vals, generation);
                 if col.segments[si].zone.is_some() {
                     written += 1;
                 }
@@ -517,6 +549,23 @@ impl TableStore for TransposedFile {
             col.zones = zones;
         }
         Ok(written)
+    }
+
+    fn boxed_clone(&self) -> Result<Box<dyn TableStore + Send + Sync>> {
+        // The clone is the successor version in the making: fresh pages
+        // throughout (the original's are never written) and the next
+        // generation, so its zone maps can never be confused with the
+        // original's.
+        let ds = self.to_dataset("shadow")?;
+        Ok(Box::new(Self::from_dataset_at(
+            self.pool.clone(),
+            &ds,
+            self.generation + 1,
+        )?))
+    }
+
+    fn store_generation(&self) -> u64 {
+        self.generation
     }
 
     fn segment_count(&self, attribute: &str) -> usize {
@@ -536,6 +585,7 @@ impl TableStore for TransposedFile {
 
     fn append_row(&mut self, row: Vec<Value>) -> Result<()> {
         self.schema.check_row(&row)?;
+        let generation = self.generation;
         for (ci, v) in row.into_iter().enumerate() {
             let col = &mut self.columns[ci];
             match col.segments.last().copied() {
@@ -543,12 +593,13 @@ impl TableStore for TransposedFile {
                     let si = col.segments.len() - 1;
                     let mut vals = Self::load_segment(col, si)?;
                     vals.push(v);
-                    Self::store_segment(col, si, &vals)?;
+                    Self::store_segment(col, si, &vals, generation)?;
                 }
                 _ => {
                     let bytes = encode_segment(std::slice::from_ref(&v), col.compression);
                     let rid = col.file.insert(&bytes).map_err(DataError::Storage)?;
-                    let zone = Self::write_zone(&mut col.zones, std::slice::from_ref(&v));
+                    let zone =
+                        Self::write_zone(&mut col.zones, std::slice::from_ref(&v), generation);
                     col.segments.push(SegmentInfo {
                         rid,
                         start_row: self.rows,
@@ -822,6 +873,50 @@ mod tests {
         assert_eq!(
             zm,
             crate::zonemap::ZoneMap::build(&t2.read_column("AGE").unwrap())
+        );
+    }
+
+    #[test]
+    fn boxed_clone_is_successor_version_on_fresh_pages() {
+        let env = StorageEnv::new(256);
+        let ds = micro(600);
+        let t = TransposedFile::from_dataset(env.pool, &ds).unwrap();
+        assert_eq!(t.store_generation(), 0);
+        let mut shadow = t.boxed_clone().unwrap();
+        assert_eq!(shadow.store_generation(), 1);
+        assert_eq!(shadow.len(), t.len());
+        // Disjoint pages: mutating the clone leaves the original alone.
+        let t_pages: std::collections::HashSet<_> = t
+            .data_page_ids()
+            .into_iter()
+            .chain(t.zone_map_page_ids())
+            .collect();
+        assert!(shadow
+            .data_page_ids()
+            .iter()
+            .chain(shadow.zone_map_page_ids().iter())
+            .all(|p| !t_pages.contains(p)));
+        let before = t.get_cell(10, "AGE").unwrap();
+        shadow.set_cell(10, "AGE", Value::Int(101)).unwrap();
+        assert_eq!(t.get_cell(10, "AGE").unwrap(), before);
+        // The clone's zone maps are live at its own generation.
+        let zm = shadow.range_stats("AGE", 0, 600).expect("clone has maps");
+        assert_eq!(zm.rows, 600);
+    }
+
+    #[test]
+    fn rebuild_bumps_generation_and_old_maps_cannot_prune() {
+        let env = StorageEnv::new(256);
+        let ds = micro(400);
+        let mut t = TransposedFile::from_dataset(env.pool, &ds).unwrap();
+        assert_eq!(t.generation(), 0);
+        t.rebuild_zone_maps().unwrap();
+        assert_eq!(t.generation(), 1);
+        // Rebuilt maps serve the new generation exactly.
+        let zm = t.range_stats("AGE", 0, 400).expect("rebuilt maps");
+        assert_eq!(
+            zm,
+            crate::zonemap::ZoneMap::build(&t.read_column("AGE").unwrap())
         );
     }
 

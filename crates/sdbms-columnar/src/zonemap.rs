@@ -209,6 +209,29 @@ impl ZoneMap {
         buf
     }
 
+    /// Serialize with a leading store-generation stamp. A map written
+    /// under one view version must never prune a scan of another, even
+    /// if a page holding it is somehow resurrected — readers check the
+    /// stamp via [`ZoneMap::decode_tagged`] and treat a mismatch as "no
+    /// map".
+    #[must_use]
+    pub fn encode_tagged(&self, generation: u64) -> Vec<u8> {
+        let mut buf = generation.to_le_bytes().to_vec();
+        buf.extend_from_slice(&self.encode());
+        buf
+    }
+
+    /// Decode a generation-stamped zone map, returning the map and the
+    /// generation it was written under.
+    pub fn decode_tagged(buf: &[u8]) -> Result<(ZoneMap, u64), DataError> {
+        let gen_bytes: [u8; 8] = buf
+            .get(..8)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(DataError::Decode("zone map generation truncated"))?;
+        let zm = ZoneMap::decode(&buf[8..])?;
+        Ok((zm, u64::from_le_bytes(gen_bytes)))
+    }
+
     /// Decode a persisted zone map. Any structural damage is an error —
     /// callers treat it as "no zone map" and scan unpruned.
     pub fn decode(buf: &[u8]) -> Result<ZoneMap, DataError> {
@@ -353,6 +376,19 @@ mod tests {
         junk.push(0);
         assert!(ZoneMap::decode(&junk).is_err());
         assert!(ZoneMap::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn tagged_roundtrip_carries_generation() {
+        let zm = ZoneMap::build(&mixed(80));
+        let bytes = zm.encode_tagged(7);
+        let (got, generation) = ZoneMap::decode_tagged(&bytes).unwrap();
+        assert_eq!(got, zm);
+        assert_eq!(generation, 7);
+        // Too short for even the stamp.
+        assert!(ZoneMap::decode_tagged(&bytes[..5]).is_err());
+        // An untagged record's first bytes are not a valid stamp+map.
+        assert!(ZoneMap::decode_tagged(&zm.encode()).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the shared tracker sees the whole system's I/O.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sdbms_columnar::{Layout, RowStore, TableStore, TransposedFile};
 use sdbms_data::{
@@ -26,8 +27,10 @@ use sdbms_summary::{
     ComputeSource, Intent, IntentLog, MaintenancePolicy, StatFunction, SummaryDb, SummaryError,
     SummaryValue, UpdateDelta,
 };
+use sdbms_txn::{EpochRegistry, LockTable};
 
 use crate::error::{CoreError, Result};
+use crate::session::{BatchId, PendingBatch};
 use crate::view::{ConcreteView, UpdateReport};
 
 /// How hard the DBMS works to keep Summary Databases consistent with
@@ -83,6 +86,14 @@ pub struct StatDbms {
     pub(crate) health: HealthRegistry,
     /// Durable scrub-resume cursor, created lazily on the first scrub.
     pub(crate) scrub_cursor: Option<CursorStore>,
+    /// Epoch registry retiring replaced store versions after the last
+    /// pinned snapshot drains.
+    pub(crate) epochs: Arc<EpochRegistry>,
+    /// Per-view lock table coordinating batches, legacy updates,
+    /// scrubs, and repairs.
+    pub(crate) locks: Arc<LockTable>,
+    /// Open (staged, uncommitted) update batches by id.
+    pub(crate) batches: HashMap<BatchId, PendingBatch>,
 }
 
 impl std::fmt::Debug for StatDbms {
@@ -121,6 +132,9 @@ impl StatDbms {
             exec: sdbms_exec::ExecConfig::from_env(),
             health: HealthRegistry::new(),
             scrub_cursor: None,
+            epochs: Arc::new(EpochRegistry::new()),
+            locks: Arc::new(LockTable::new()),
+            batches: HashMap::new(),
         }
     }
 
@@ -289,10 +303,10 @@ impl StatDbms {
             self.resolve_source(name)
         };
         let ds = def.execute(&mut resolve)?;
-        let store: Box<dyn TableStore + Send + Sync> = match layout {
-            Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
+        let store: Arc<dyn TableStore + Send + Sync> = match layout {
+            Layout::Row => Arc::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
             Layout::Transposed => {
-                Box::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
+                Arc::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
             }
         };
         let summary = SummaryDb::create(self.env.pool.clone())?;
@@ -308,12 +322,15 @@ impl StatDbms {
                 name: name.clone(),
                 owner: owner.to_string(),
                 store,
+                version: 0,
                 layout,
                 summary,
                 policy: self.default_policy,
                 tracker: Default::default(),
                 stale_columns: Default::default(),
                 wal,
+                epochs: Arc::clone(&self.epochs),
+                disk: self.env.disk.clone(),
             },
         );
         if matches!(self.durability, DurabilityPolicy::CrashConsistent) {
@@ -623,6 +640,11 @@ impl StatDbms {
         predicate: &Predicate,
         assignments: &[(&str, Expr)],
     ) -> Result<UpdateReport> {
+        self.view(view)?;
+        // Writers exclude each other (and scrubs/repairs) per view; a
+        // held lock surfaces immediately as `CoreError::Lock`.
+        let session = self.locks.session();
+        let _lock = self.locks.acquire(session, &[view])?;
         let intent =
             self.intent_attributes(view, assignments.iter().map(|(a, _)| (*a).to_string()));
         self.durable_section(view, &intent, |dbms| {
@@ -661,11 +683,12 @@ impl StatDbms {
             matching = sdbms_relational::filter_table_rows(&*v.store, predicate, &exec)?;
             report.rows_matched = matching.len();
             let mut records: Vec<ChangeRecord> = Vec::new();
+            let store = v.store_mut()?;
             for &i in &matching {
-                let row = v.store.read_row(i)?;
+                let row = store.read_row(i)?;
                 for (attr, bexpr, dtype) in &bound {
                     let new = coerce(bexpr.eval(&row), *dtype);
-                    let old = v.store.set_cell(i, attr, new.clone())?;
+                    let old = store.set_cell(i, attr, new.clone())?;
                     if old != new {
                         report.cells_changed += 1;
                         deltas.entry(attr.clone()).or_default().push(UpdateDelta {
@@ -844,6 +867,20 @@ impl StatDbms {
                      degraded until the repair is re-run"
                         .to_string()
                 }
+                // A transactional batch was interrupted mid-commit. The
+                // view data is whole-version atomic (the shadow store is
+                // only installed by an in-memory pointer swap after its
+                // pages are durable), so the data is either all
+                // pre-batch or all post-batch. The summary cache cannot
+                // tell which, so rebuild it conservatively — running
+                // recovery again reaches the same state (idempotent).
+                Ok(Some(Intent::Txn)) => {
+                    v.summary = SummaryDb::create(pool.clone())?;
+                    report.caches_rebuilt += 1;
+                    "crash recovery: a transactional batch was interrupted; \
+                     summary cache rebuilt (view data is version-atomic)"
+                        .to_string()
+                }
                 // "Everything" intent, or a log page we cannot read:
                 // maximal conservatism — rebuild the cache.
                 Ok(Some(Intent::All)) | Err(_) => {
@@ -863,6 +900,13 @@ impl StatDbms {
                 self.health.mark_degraded(&name, &detail);
             } else {
                 self.commit_intent(&name)?;
+                // With the intent honored, the log's history is dead
+                // weight: truncate the chain so crash after crash can
+                // never grow it without bound. Best-effort — an
+                // uncompacted chain is only longer, never wrong.
+                if let Some(wal) = self.views.get(&name).and_then(|v| v.wal.as_ref()) {
+                    let _ = wal.compact();
+                }
             }
             self.catalog
                 .view_mut(&name)?
@@ -917,10 +961,11 @@ impl StatDbms {
                         let schema = v.store.schema().clone();
                         let bexpr = expr.bind(&schema)?;
                         let dtype = schema.attribute(&derived)?.dtype;
+                        let store = v.store_mut()?;
                         for &i in affected_rows {
-                            let row = v.store.read_row(i)?;
+                            let row = store.read_row(i)?;
                             let new = coerce(bexpr.eval(&row), dtype);
-                            let old = v.store.set_cell(i, &derived, new.clone())?;
+                            let old = store.set_cell(i, &derived, new.clone())?;
                             if old != new {
                                 deltas
                                     .entry(derived.clone())
@@ -993,8 +1038,9 @@ impl StatDbms {
             }
         };
         let v = self.view_mut(view)?;
+        let store = v.store_mut()?;
         for (i, val) in values.into_iter().enumerate() {
-            v.store.set_cell(i, derived, val)?;
+            store.set_cell(i, derived, val)?;
         }
         v.stale_columns.remove(derived);
         Ok(())
@@ -1103,7 +1149,7 @@ impl StatDbms {
                 .collect::<Result<Vec<Value>>>()?
         };
         let v = self.view_mut(view)?;
-        v.store
+        v.store_mut()?
             .add_column(Attribute::derived(name, dtype), values)?;
         self.rules.register(view, name, DerivedRule::Local { expr });
         self.catalog
@@ -1126,7 +1172,7 @@ impl StatDbms {
             residual_column(&xs_raw, &ys_raw)?
         };
         let v = self.view_mut(view)?;
-        v.store
+        v.store_mut()?
             .add_column(Attribute::derived(name, DataType::Float), values)?;
         self.rules.register(
             view,
@@ -1210,6 +1256,8 @@ impl StatDbms {
     /// history stays append-only and an undo can itself be undone.
     pub fn rollback_to(&mut self, view: &str, version: Version) -> Result<usize> {
         self.view(view)?;
+        let session = self.locks.session();
+        let _lock = self.locks.acquire(session, &[view])?;
         // The inverse records are known before anything is applied, so
         // a rollback can follow the same write-ahead intent protocol as
         // a forward update.
@@ -1233,6 +1281,7 @@ impl StatDbms {
         let mut deltas: HashMap<String, Vec<UpdateDelta>> = HashMap::new();
         {
             let v = self.view_mut(view)?;
+            let store = v.store_mut()?;
             for inv in &inverses {
                 if let ChangeRecord::CellUpdate {
                     row,
@@ -1241,7 +1290,7 @@ impl StatDbms {
                     ..
                 } = inv
                 {
-                    let old = v.store.set_cell(*row, attribute, new.clone())?;
+                    let old = store.set_cell(*row, attribute, new.clone())?;
                     deltas
                         .entry(attribute.clone())
                         .or_default()
@@ -1341,14 +1390,14 @@ impl StatDbms {
             return Ok(());
         }
         let ds = v.store.to_dataset(view)?;
-        let store: Box<dyn TableStore + Send + Sync> = match layout {
-            Layout::Row => Box::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
+        let store: Arc<dyn TableStore + Send + Sync> = match layout {
+            Layout::Row => Arc::new(RowStore::from_dataset(self.env.pool.clone(), &ds)?),
             Layout::Transposed => {
-                Box::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
+                Arc::new(TransposedFile::from_dataset(self.env.pool.clone(), &ds)?)
             }
         };
         let v = self.view_mut(view)?;
-        v.store = store;
+        v.install_store(store);
         v.layout = layout;
         v.tracker = Default::default();
         Ok(())

@@ -8,6 +8,7 @@ use sdbms_repair::RepairGate;
 use sdbms_stats::StatsError;
 use sdbms_storage::StorageError;
 use sdbms_summary::SummaryError;
+use sdbms_txn::LockError;
 
 /// Errors raised by the statistical DBMS.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,14 @@ pub enum CoreError {
         /// What failed.
         reason: String,
     },
+    /// A view lock could not be taken (another batch, scrub, or
+    /// repair holds it, or the acquisition violated the documented
+    /// lock order). Acquisition never blocks, so this surfaces
+    /// immediately and the caller may retry.
+    Lock(LockError),
+    /// No open update batch with this id (never begun, or already
+    /// committed/aborted).
+    NoSuchBatch(u64),
     /// Underlying storage failure.
     Storage(StorageError),
     /// Underlying data-model failure.
@@ -104,6 +113,8 @@ impl fmt::Display for CoreError {
             CoreError::Unrecoverable { view, reason } => {
                 write!(f, "view {view:?} is unrecoverable: {reason}")
             }
+            CoreError::Lock(e) => write!(f, "lock error: {e}"),
+            CoreError::NoSuchBatch(id) => write!(f, "no open update batch {id}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::Stats(e) => write!(f, "stats error: {e}"),
@@ -116,6 +127,7 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            CoreError::Lock(e) => Some(e),
             CoreError::Storage(e) => Some(e),
             CoreError::Data(e) => Some(e),
             CoreError::Stats(e) => Some(e),
@@ -149,6 +161,11 @@ impl From<SummaryError> for CoreError {
 impl From<ManagementError> for CoreError {
     fn from(e: ManagementError) -> Self {
         CoreError::Management(e)
+    }
+}
+impl From<LockError> for CoreError {
+    fn from(e: LockError) -> Self {
+        CoreError::Lock(e)
     }
 }
 

@@ -28,11 +28,13 @@
 pub mod dbms;
 pub mod error;
 pub mod repair;
+pub mod session;
 pub mod view;
 
 pub use dbms::{paper_demo_dbms, DurabilityPolicy, RecoveryReport, StatDbms};
 pub use error::{CoreError, Result};
 pub use repair::RepairReport;
+pub use session::{BatchId, BatchOp, Snapshot};
 pub use view::{AccessTracker, ConcreteView, UpdateReport};
 
 // Re-export the vocabulary types callers need, so examples and tests
@@ -48,3 +50,4 @@ pub use sdbms_repair::{
 pub use sdbms_summary::{
     AccuracyPolicy, ComputeSource, MaintenancePolicy, StatFunction, SummaryValue,
 };
+pub use sdbms_txn::{LockError, SessionId};

@@ -133,8 +133,23 @@ impl StatDbms {
             },
             None => (0, ScrubPhase::Data, 0),
         };
+        let scrub_session = self.locks.session();
         while vi < names.len() {
             let name = names[vi].clone();
+            // The scrubber takes the same per-view lock class as update
+            // batches and repairs. A view someone is writing is simply
+            // skipped this pass (never blocked on) and comes back on
+            // the next cycle.
+            let _view_lock = match self.locks.acquire(scrub_session, &[name.as_str()]) {
+                Ok(g) => g,
+                Err(_) => {
+                    report.views_skipped += 1;
+                    vi += 1;
+                    phase = ScrubPhase::Data;
+                    index = 0;
+                    continue;
+                }
+            };
             // Page phases: raw checksum verification through the disk.
             while !matches!(phase, ScrubPhase::Summary) {
                 let pages: Vec<PageId> = match self.views.get(&name) {
@@ -293,6 +308,10 @@ impl StatDbms {
     /// a later attempt verifies clean.
     pub fn repair_view(&mut self, view: &str) -> Result<RepairReport> {
         self.view(view)?;
+        // Repairs exclude writers (and the scrubber) on this view for
+        // the whole detect → repair → verify span.
+        let session = self.locks.session();
+        let _lock = self.locks.acquire(session, &[view])?;
         let mut report = RepairReport {
             findings: self.detect_damage(view)?,
             ..RepairReport::default()
@@ -429,7 +448,7 @@ impl StatDbms {
                 report.actions.push(action.description.to_string());
             }
             let v = self.view_mut(view)?;
-            match v.store.rebuild_zone_maps() {
+            match v.store_mut().and_then(|s| s.rebuild_zone_maps()) {
                 Ok(n) => report.zone_maps_rebuilt += n,
                 Err(e) if data_error_is_crash(&e) => return Err(e.into()),
                 // A segment the rebuild needs is itself unreadable:
@@ -527,11 +546,15 @@ impl StatDbms {
                     self.replay_column_append(view, &mut store, attribute, &mut regenerate_at_end)?;
                     report.history_replayed += 1;
                 }
+                ChangeRecord::RowAppended { values } => {
+                    store.append_row(values.clone())?;
+                    report.history_replayed += 1;
+                }
                 _ => {}
             }
         }
         let v = self.view_mut(view)?;
-        v.store = store;
+        v.install_store(std::sync::Arc::from(store));
         report.store_regenerated = true;
         for (attr, generator) in regenerate_at_end {
             self.regenerate_vector(view, &attr, &generator)?;
@@ -613,17 +636,24 @@ impl StatDbms {
             };
         let ds = def.execute(&mut resolve)?;
         let mut col: Vec<Value> = ds.column(&attr.name)?.cloned().collect();
+        let ci = v.store.schema().require(&attr.name)?;
         for (_, rec) in self.catalog.view(view)?.history.records() {
-            if let ChangeRecord::CellUpdate {
-                row,
-                attribute: a,
-                new,
-                ..
-            } = rec
-            {
-                if a == &attr.name && *row < col.len() {
+            match rec {
+                ChangeRecord::CellUpdate {
+                    row,
+                    attribute: a,
+                    new,
+                    ..
+                } if a == &attr.name && *row < col.len() => {
                     col[*row] = new.clone();
                 }
+                // Batch-appended rows are not in the archive-derived
+                // data set; extend the column from the recorded values
+                // (schema order at append time).
+                ChangeRecord::RowAppended { values } => {
+                    col.push(values.get(ci).cloned().unwrap_or(Value::Missing));
+                }
+                _ => {}
             }
         }
         let value = function.compute(&col)?;

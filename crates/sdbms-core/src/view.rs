@@ -1,9 +1,13 @@
 //! Concrete views and their access-pattern bookkeeping.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use sdbms_columnar::{Layout, TableStore};
+use sdbms_data::DataError;
+use sdbms_storage::DiskManager;
 use sdbms_summary::{IntentLog, MaintenancePolicy, SummaryDb};
+use sdbms_txn::EpochRegistry;
 
 /// Counts of how a view has been accessed, driving the §2.3
 /// "intelligent access methods that interpret reference patterns to
@@ -44,8 +48,14 @@ pub struct ConcreteView {
     /// Owning analyst.
     pub owner: String,
     /// The on-disk data in its current layout. `Send + Sync` so the
-    /// morsel-driven executor can scan it from worker threads.
-    pub store: Box<dyn TableStore + Send + Sync>,
+    /// morsel-driven executor can scan it from worker threads, and
+    /// behind an `Arc` so a [`crate::Snapshot`] can pin the version it
+    /// opened against while later commits install successors.
+    pub store: Arc<dyn TableStore + Send + Sync>,
+    /// Monotone version counter, bumped every time a new store is
+    /// installed (batch commit, copy-on-write mutation, reorganize,
+    /// repair regeneration). A snapshot records the version it pinned.
+    pub version: u64,
     /// Current layout.
     pub layout: Layout,
     /// The view's Summary Database.
@@ -61,6 +71,56 @@ pub struct ConcreteView {
     /// [`crate::DurabilityPolicy::CrashConsistent`]. `None` means the
     /// view's summaries are volatile (the historical default).
     pub wal: Option<IntentLog>,
+    /// The DBMS-wide epoch registry, for retiring replaced store
+    /// versions only after the last pinned snapshot drains.
+    pub(crate) epochs: Arc<EpochRegistry>,
+    /// The disk, so retired versions can return their pages.
+    pub(crate) disk: Arc<DiskManager>,
+}
+
+impl ConcreteView {
+    /// Mutable access to the store for in-place edits. If a pinned
+    /// snapshot still shares the current version, the store is first
+    /// shadow-copied onto fresh pages (copy-on-write) so the
+    /// snapshot's version stays byte-stable; the displaced version is
+    /// retired through the epoch registry.
+    pub fn store_mut(
+        &mut self,
+    ) -> std::result::Result<&mut (dyn TableStore + Send + Sync), DataError> {
+        if Arc::get_mut(&mut self.store).is_none() {
+            let clone = self.store.boxed_clone()?;
+            self.install_store(Arc::from(clone));
+        }
+        match Arc::get_mut(&mut self.store) {
+            Some(s) => Ok(s),
+            // Unreachable: the shadow copy above leaves exactly one
+            // strong reference. Kept as an error, not a panic.
+            None => Err(DataError::Decode(
+                "store version still shared after shadow copy",
+            )),
+        }
+    }
+
+    /// Install `store` as the view's current version: bump the version
+    /// counter, and retire the displaced version through the epoch
+    /// registry — its pages return to the free list only once every
+    /// snapshot pinned before the install has dropped.
+    pub fn install_store(&mut self, store: Arc<dyn TableStore + Send + Sync>) {
+        // lint: allow(snapshot-bypass): this IS the sanctioned install point every other site routes through
+        let old = std::mem::replace(&mut self.store, store);
+        self.version += 1;
+        let mut pages = old.data_page_ids();
+        pages.extend(old.zone_map_page_ids());
+        let disk = Arc::clone(&self.disk);
+        self.epochs.retire(move || {
+            drop(old);
+            for pid in pages {
+                // Best-effort: a page that cannot be zeroed right now
+                // is merely leaked, never reused while referenced.
+                let _ = disk.deallocate(pid);
+            }
+        });
+    }
 }
 
 impl std::fmt::Debug for ConcreteView {

@@ -58,6 +58,23 @@ pub const UNJUSTIFIED_ALLOW: Lint = Lint {
     description: "inline lint allow directive carries no justification",
 };
 
+/// `txn-lock-order`: library code outside `sdbms-txn` must acquire
+/// view locks through `LockTable::acquire` (which enforces ascending
+/// acquisition order), never the unchecked `acquire_raw` primitive.
+pub const TXN_LOCK_ORDER: Lint = Lint {
+    id: "txn-lock-order",
+    description: "acquire_raw skips the ordered-acquisition check; call LockTable::acquire so the deadlock-avoidance discipline holds",
+};
+
+/// `snapshot-bypass`: core code must not mutate a view's table store
+/// in place — every mutation goes through `store_mut()` (copy-on-write
+/// when readers are pinned) or `install_store` (the version swap), so
+/// pinned snapshots stay immutable.
+pub const SNAPSHOT_BYPASS: Lint = Lint {
+    id: "snapshot-bypass",
+    description: "direct mutation of a view's store bypasses snapshot isolation; route through store_mut()/install_store",
+};
+
 /// `rule-missing-strategy`: a `(function, update-kind)` pair in the
 /// summary registry has no declared maintenance strategy.
 pub const RULE_MISSING_STRATEGY: Lint = Lint {
@@ -103,6 +120,8 @@ pub const ALL_LINTS: &[Lint] = &[
     LOSSY_CAST,
     MISSING_DOCS,
     UNJUSTIFIED_ALLOW,
+    TXN_LOCK_ORDER,
+    SNAPSHOT_BYPASS,
     RULE_MISSING_STRATEGY,
     RULE_UNVERIFIED_MERGE,
     RULE_DANGLING_INPUT,

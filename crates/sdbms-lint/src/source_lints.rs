@@ -11,7 +11,7 @@
 
 use crate::diagnostics::{
     Diagnostic, Lint, FAULT_SEAM_BYPASS, LOSSY_CAST, MISSING_DOCS, NO_PANIC, RELAXED_ORDERING,
-    UNJUSTIFIED_ALLOW,
+    SNAPSHOT_BYPASS, TXN_LOCK_ORDER, UNJUSTIFIED_ALLOW,
 };
 use crate::tokenizer::{Tok, TokKind, TokenStream};
 
@@ -40,6 +40,10 @@ pub struct FileLintSet {
     pub lossy_cast: bool,
     /// `missing-docs` applies (core crates).
     pub missing_docs: bool,
+    /// `txn-lock-order` applies (everything but `sdbms-txn` itself).
+    pub txn_lock_order: bool,
+    /// `snapshot-bypass` applies (only `sdbms-core`, which owns views).
+    pub snapshot_bypass: bool,
 }
 
 /// Run the configured source lints over one tokenized file. `file` is
@@ -69,6 +73,12 @@ pub fn lint_file(file: &str, ts: &TokenStream, set: &FileLintSet) -> Vec<Diagnos
         }
         if set.missing_docs {
             missing_docs_at(file, toks, i, &mut raw);
+        }
+        if set.txn_lock_order {
+            lock_order_at(file, toks, i, &mut raw);
+        }
+        if set.snapshot_bypass {
+            snapshot_bypass_at(file, toks, i, &mut raw);
         }
     }
 
@@ -290,6 +300,68 @@ fn missing_docs_at(file: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>
     }
 }
 
+/// `txn-lock-order`: any mention of `acquire_raw` outside `sdbms-txn`.
+/// The raw primitive skips the ordered-acquisition check, so library
+/// code composing locks through it can create wait-for cycles if a
+/// blocking mode is ever added.
+fn lock_order_at(file: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    if toks[i].is_ident("acquire_raw") {
+        push(
+            out,
+            TXN_LOCK_ORDER,
+            file,
+            toks[i].line,
+            "acquire_raw bypasses ordered lock acquisition; use LockTable::acquire".to_string(),
+        );
+    }
+}
+
+/// Store methods that mutate a view's pages in place. Reads
+/// (`read_column`, `read_row`, `schema`, …) are fine on a shared store;
+/// only these change bytes a pinned snapshot may be reading.
+const STORE_MUTATORS: &[&str] = &["set_cell", "append_row", "add_column", "rebuild_zone_maps"];
+
+/// `snapshot-bypass`: `.store.<mutator>(…)` or a direct `.store = …`
+/// assignment in core code. Both sidestep the copy-on-write /
+/// version-swap discipline (`store_mut()` / `install_store`) that
+/// keeps pinned snapshots immutable.
+fn snapshot_bypass_at(file: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    if !(toks[i].is_punct('.') && i + 1 < toks.len() && toks[i + 1].is_ident("store")) {
+        return;
+    }
+    if i + 3 < toks.len()
+        && toks[i + 2].is_punct('.')
+        && toks[i + 3].kind == TokKind::Ident
+        && STORE_MUTATORS.contains(&toks[i + 3].text.as_str())
+    {
+        push(
+            out,
+            SNAPSHOT_BYPASS,
+            file,
+            toks[i + 3].line,
+            format!(
+                ".store.{}() mutates a possibly-pinned store in place; go through store_mut()",
+                toks[i + 3].text
+            ),
+        );
+        return;
+    }
+    // `.store = …` replaces the store without the version bump /
+    // epoch retire (`==` comparisons are fine).
+    if i + 2 < toks.len()
+        && toks[i + 2].is_punct('=')
+        && !(i + 3 < toks.len() && toks[i + 3].is_punct('='))
+    {
+        push(
+            out,
+            SNAPSHOT_BYPASS,
+            file,
+            toks[i + 2].line,
+            "direct `.store = …` assignment skips the version swap; use install_store".to_string(),
+        );
+    }
+}
+
 /// Token-index spans covered by `#[cfg(test)]` / `#[test]` items
 /// (test modules, test functions, and anything else gated on `test`).
 fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
@@ -404,6 +476,10 @@ pub fn lints_for(class: FileClass, crate_name: &str) -> FileLintSet {
         fault_seam: lib,
         lossy_cast: lib && crate_name == "sdbms-stats",
         missing_docs: lib && crate_name != "sdbms-bench",
+        // sdbms-txn defines acquire_raw; everyone else must not call it.
+        txn_lock_order: lib && crate_name != "sdbms-txn",
+        // Only sdbms-core owns views (and so can bypass their stores).
+        snapshot_bypass: lib && crate_name == "sdbms-core",
     }
 }
 
@@ -419,6 +495,8 @@ mod tests {
             fault_seam: true,
             lossy_cast: true,
             missing_docs: true,
+            txn_lock_order: true,
+            snapshot_bypass: true,
         }
     }
 
@@ -529,5 +607,46 @@ mod tests {
     fn stats_gets_lossy_cast() {
         assert!(lints_for(FileClass::Lib, "sdbms-stats").lossy_cast);
         assert!(!lints_for(FileClass::Lib, "sdbms-storage").lossy_cast);
+    }
+
+    #[test]
+    fn acquire_raw_flagged_outside_txn_crate() {
+        let src = "fn f() { let g = locks.acquire_raw(s, \"v\"); }\n";
+        assert_eq!(ids(src), vec![("txn-lock-order".into(), 1)]);
+        assert!(!lints_for(FileClass::Lib, "sdbms-txn").txn_lock_order);
+        assert!(lints_for(FileClass::Lib, "sdbms-core").txn_lock_order);
+    }
+
+    #[test]
+    fn store_mutators_flagged_reads_not() {
+        let src =
+            "fn f(v: &mut V) { v.store.set_cell(0, 1, x); let c = v.store.read_column(2); }\n";
+        assert_eq!(ids(src), vec![("snapshot-bypass".into(), 1)]);
+        let src = "fn g(v: &mut V) { v.store.append_row(r); v.store.rebuild_zone_maps(); }\n";
+        assert_eq!(
+            ids(src),
+            vec![("snapshot-bypass".into(), 1), ("snapshot-bypass".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn store_assignment_flagged_comparison_not() {
+        let src = "fn f(v: &mut V) { v.store = s; }\n";
+        assert_eq!(ids(src), vec![("snapshot-bypass".into(), 1)]);
+        let src = "fn g(v: &V) -> bool { v.store == other }\n";
+        assert!(ids(src).is_empty());
+    }
+
+    #[test]
+    fn sanctioned_install_point_uses_allow() {
+        let src = "// lint: allow(snapshot-bypass): the one sanctioned install point\nfn f(v: &mut V) { v.store = s; }\n";
+        assert!(ids(src).is_empty());
+    }
+
+    #[test]
+    fn only_core_gets_snapshot_bypass() {
+        assert!(lints_for(FileClass::Lib, "sdbms-core").snapshot_bypass);
+        assert!(!lints_for(FileClass::Lib, "sdbms-repair").snapshot_bypass);
+        assert!(!lints_for(FileClass::Bin, "sdbms-core").snapshot_bypass);
     }
 }

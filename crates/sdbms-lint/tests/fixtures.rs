@@ -21,6 +21,8 @@ fn all_lints() -> FileLintSet {
         fault_seam: true,
         lossy_cast: true,
         missing_docs: true,
+        txn_lock_order: true,
+        snapshot_bypass: true,
     }
 }
 
@@ -76,10 +78,27 @@ fn lossy_and_docs_fixture_fires_at_expected_lines() {
 }
 
 #[test]
+fn txn_and_snapshot_fixture_fires_at_expected_lines() {
+    assert_eq!(
+        findings("txn_and_snapshot.rs"),
+        vec![
+            ("txn-lock-order".to_string(), 12),
+            ("snapshot-bypass".to_string(), 17),
+            ("snapshot-bypass".to_string(), 22),
+        ]
+    );
+}
+
+#[test]
 fn fixture_headers_agree_with_findings() {
     // Each fixture documents its expected findings in its header;
     // keep the documentation honest by re-deriving it.
-    for name in ["no_panic.rs", "relaxed_and_seam.rs", "lossy_and_docs.rs"] {
+    for name in [
+        "no_panic.rs",
+        "relaxed_and_seam.rs",
+        "lossy_and_docs.rs",
+        "txn_and_snapshot.rs",
+    ] {
         let src = fixture(name);
         for (id, line) in findings(name) {
             let expected = format!("line {line}");

@@ -39,6 +39,12 @@ pub enum ChangeRecord {
         /// The new attribute's name.
         attribute: String,
     },
+    /// A whole row was appended (transactional batch inserts). The
+    /// values are kept so history replay can reconstruct the row.
+    RowAppended {
+        /// The appended row, in schema order.
+        values: Vec<Value>,
+    },
     /// A free annotation (data-checking notes other analysts read).
     Annotation {
         /// The note text.
@@ -92,6 +98,9 @@ impl fmt::Display for ChangeRecord {
             } => write!(f, "row {row}: {attribute} {old} -> {new}"),
             ChangeRecord::ColumnAppended { attribute } => {
                 write!(f, "appended column {attribute}")
+            }
+            ChangeRecord::RowAppended { values } => {
+                write!(f, "appended row of {} values", values.len())
             }
             ChangeRecord::Annotation { text } => write!(f, "note: {text}"),
             ChangeRecord::Checkpoint { label } => write!(f, "checkpoint {label:?}"),

@@ -247,6 +247,9 @@ pub struct ScrubReport {
     /// True when the pass reached the end of the last view (the cursor
     /// was reset to a fresh cycle).
     pub completed_cycle: bool,
+    /// Views skipped because a writer (batch, update, repair) held
+    /// their lock; they come back on the next cycle.
+    pub views_skipped: u64,
 }
 
 #[cfg(test)]

@@ -14,8 +14,19 @@
 //! transfers, and tape (archive) access is dominated by serpentine
 //! rewinds.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread stack of session-scoped accounting sinks. Every
+    /// charge made through a [`Tracker`] on this thread is mirrored
+    /// into each active scope, which is how a snapshot session learns
+    /// *its own* I/O on counters shared by every analyst — the global
+    /// totals stay exact, and each session's scope sees exactly the
+    /// operations the current thread performed while it was entered.
+    static SCOPES: RefCell<Vec<Arc<IoStats>>> = const { RefCell::new(Vec::new()) };
+}
 
 /// One monotone event counter.
 ///
@@ -184,11 +195,66 @@ impl IoStats {
 #[derive(Debug, Clone, Default)]
 pub struct Tracker(Arc<IoStats>);
 
+/// An RAII marker that routes a copy of this thread's I/O charges into
+/// a private [`IoStats`] until dropped. Scopes nest (an inner scope's
+/// charges also land in the outer one) and are cheap: entering pushes
+/// one `Arc` onto a thread-local stack.
+///
+/// This is what gives per-session I/O accounting on shared storage:
+/// the global tracker keeps exact totals for the whole system, while
+/// each open snapshot enters a scope around its reads and sees only
+/// the I/O *it* incurred — never another analyst's.
+#[derive(Debug)]
+pub struct IoScope {
+    stats: Arc<IoStats>,
+}
+
+impl IoScope {
+    /// Enter a scope on the current thread: until the returned guard
+    /// drops, every charge made on this thread is mirrored into
+    /// `stats`.
+    #[must_use]
+    pub fn enter(stats: Arc<IoStats>) -> IoScope {
+        SCOPES.with(|stack| stack.borrow_mut().push(Arc::clone(&stats)));
+        IoScope { stats }
+    }
+
+    /// The scope's private stats sink.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+}
+
+impl Drop for IoScope {
+    fn drop(&mut self) {
+        SCOPES.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards usually drop LIFO, but search from the top so an
+            // out-of-order drop removes its own entry, not a peer's.
+            if let Some(i) = stack.iter().rposition(|s| Arc::ptr_eq(s, &self.stats)) {
+                stack.remove(i);
+            }
+        });
+    }
+}
+
 impl Tracker {
     /// Create a fresh tracker with zeroed counters.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Apply one charge to the shared counters and mirror it into
+    /// every [`IoScope`] active on the current thread.
+    fn charge(&self, f: impl Fn(&IoStats)) {
+        f(&self.0);
+        SCOPES.with(|stack| {
+            for scope in stack.borrow().iter() {
+                f(scope);
+            }
+        });
     }
 
     /// The underlying shared stats.
@@ -210,61 +276,64 @@ impl Tracker {
 
     /// Charge one disk page read.
     pub fn count_page_read(&self) {
-        self.0.page_reads.add(1);
+        self.charge(|s| s.page_reads.add(1));
     }
     /// Charge one disk page write.
     pub fn count_page_write(&self) {
-        self.0.page_writes.add(1);
+        self.charge(|s| s.page_writes.add(1));
     }
     /// Charge one disk seek.
     pub fn count_seek(&self) {
-        self.0.seeks.add(1);
+        self.charge(|s| s.seeks.add(1));
     }
     /// Charge one buffer-pool hit (no disk I/O).
     pub fn count_pool_hit(&self) {
-        self.0.pool_hits.add(1);
+        self.charge(|s| s.pool_hits.add(1));
     }
     /// Charge one archive block transfer.
     pub fn count_archive_read(&self) {
-        self.0.archive_block_reads.add(1);
+        self.charge(|s| s.archive_block_reads.add(1));
     }
     /// Charge `blocks` of archive repositioning (skip/rewind).
     pub fn count_archive_reposition(&self, blocks: u64) {
-        self.0.archive_repositioned_blocks.add(blocks);
+        self.charge(|s| s.archive_repositioned_blocks.add(blocks));
     }
     /// Charge `n` tuples produced by an operator.
     pub fn count_tuples(&self, n: u64) {
-        self.0.tuples.add(n);
+        self.charge(|s| s.tuples.add(n));
     }
     /// Charge one retried I/O attempt.
     pub fn count_retry(&self) {
-        self.0.retries.add(1);
+        self.charge(|s| s.retries.add(1));
     }
     /// Charge `units` of simulated backoff delay before a retry.
     pub fn count_backoff(&self, units: u64) {
-        self.0.backoff_units.add(units);
+        self.charge(|s| s.backoff_units.add(units));
     }
     /// Charge one CRC verification failure.
     pub fn count_checksum_failure(&self) {
-        self.0.checksum_failures.add(1);
+        self.charge(|s| s.checksum_failures.add(1));
     }
 
     /// Add a snapshot's counts into the shared counters — used when a
     /// parallel worker accounted its I/O on a private tracker and the
-    /// coordinator folds the per-worker deltas back in.
+    /// coordinator folds the per-worker deltas back in. The folded
+    /// work belongs to the calling session, so active scopes on this
+    /// thread are charged too.
     pub fn absorb(&self, s: &IoSnapshot) {
-        self.0.page_reads.add(s.page_reads);
-        self.0.page_writes.add(s.page_writes);
-        self.0.seeks.add(s.seeks);
-        self.0.pool_hits.add(s.pool_hits);
-        self.0.archive_block_reads.add(s.archive_block_reads);
-        self.0
-            .archive_repositioned_blocks
-            .add(s.archive_repositioned_blocks);
-        self.0.tuples.add(s.tuples);
-        self.0.retries.add(s.retries);
-        self.0.backoff_units.add(s.backoff_units);
-        self.0.checksum_failures.add(s.checksum_failures);
+        self.charge(|t| {
+            t.page_reads.add(s.page_reads);
+            t.page_writes.add(s.page_writes);
+            t.seeks.add(s.seeks);
+            t.pool_hits.add(s.pool_hits);
+            t.archive_block_reads.add(s.archive_block_reads);
+            t.archive_repositioned_blocks
+                .add(s.archive_repositioned_blocks);
+            t.tuples.add(s.tuples);
+            t.retries.add(s.retries);
+            t.backoff_units.add(s.backoff_units);
+            t.checksum_failures.add(s.checksum_failures);
+        });
     }
 }
 
@@ -461,6 +530,101 @@ mod tests {
         // counters — exact integer accounting end to end.
         shared.absorb(&merged);
         assert_eq!(shared.snapshot().page_reads, 2 * THREADS * OPS);
+    }
+
+    #[test]
+    fn scope_mirrors_only_this_threads_charges() {
+        let t = Tracker::new();
+        t.count_page_read(); // before the scope — not mirrored
+        let scope = IoScope::enter(Arc::new(IoStats::default()));
+        t.count_page_read();
+        t.count_tuples(3);
+        t.absorb(&IoSnapshot {
+            seeks: 2,
+            ..IoSnapshot::default()
+        });
+        let scoped = scope.stats().snapshot();
+        drop(scope);
+        t.count_page_read(); // after the scope — not mirrored
+        assert_eq!(scoped.page_reads, 1);
+        assert_eq!(scoped.tuples, 3);
+        assert_eq!(scoped.seeks, 2);
+        // Global totals stay exact regardless of scoping.
+        let s = t.snapshot();
+        assert_eq!(s.page_reads, 3);
+        assert_eq!(s.tuples, 3);
+        assert_eq!(s.seeks, 2);
+    }
+
+    #[test]
+    fn nested_scopes_both_see_inner_charges() {
+        let t = Tracker::new();
+        let outer = IoScope::enter(Arc::new(IoStats::default()));
+        t.count_seek();
+        let inner = IoScope::enter(Arc::new(IoStats::default()));
+        t.count_page_write();
+        assert_eq!(inner.stats().snapshot().page_writes, 1);
+        assert_eq!(inner.stats().snapshot().seeks, 0);
+        drop(inner);
+        t.count_pool_hit();
+        let o = outer.stats().snapshot();
+        assert_eq!(o.seeks, 1);
+        assert_eq!(o.page_writes, 1);
+        assert_eq!(o.pool_hits, 1);
+    }
+
+    #[test]
+    fn out_of_order_drop_removes_the_right_scope() {
+        let t = Tracker::new();
+        let a = IoScope::enter(Arc::new(IoStats::default()));
+        let b = IoScope::enter(Arc::new(IoStats::default()));
+        // Drop the *outer* guard first; the inner one must keep
+        // receiving charges.
+        drop(a);
+        t.count_page_read();
+        assert_eq!(b.stats().snapshot().page_reads, 1);
+        drop(b);
+        t.count_page_read();
+        assert_eq!(t.snapshot().page_reads, 2);
+    }
+
+    #[test]
+    fn scoped_hammer_attributes_io_per_session_exactly() {
+        // Eight analyst sessions on one shared tracker, each scoping
+        // its own thread's work: every session's scope must sum to
+        // exactly its own operations, and the shared totals to the
+        // grand total — no charge lost, none double-attributed.
+        const THREADS: u64 = 8;
+        const OPS: u64 = 10_000;
+        let shared = Tracker::new();
+        let per_session = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|i| {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        let guard = IoScope::enter(Arc::new(IoStats::default()));
+                        for _ in 0..OPS {
+                            shared.count_page_read();
+                            shared.count_tuples(i + 1);
+                        }
+                        let s = guard.stats().snapshot();
+                        (i, s)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scoped hammer worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, s) in &per_session {
+            assert_eq!(s.page_reads, OPS, "session {i} page reads");
+            assert_eq!(s.tuples, (i + 1) * OPS, "session {i} tuples");
+        }
+        let total = shared.snapshot();
+        assert_eq!(total.page_reads, THREADS * OPS);
+        let tuple_sum: u64 = (1..=THREADS).map(|k| k * OPS).sum();
+        assert_eq!(total.tuples, tuple_sum);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use archive::{ArchiveStore, ReelReader};
 pub use btree::BTree;
 pub use buffer::{BufferPool, PageGuard};
 pub use checksum::crc32;
-pub use cost::{CostModel, IoSnapshot, IoStats, Tracker};
+pub use cost::{CostModel, IoScope, IoSnapshot, IoStats, Tracker};
 pub use disk::DiskManager;
 pub use error::{CorruptDetail, FileRole, Result, StorageError};
 pub use fault::{

@@ -7,9 +7,10 @@
 //! that window with a classic intent-logging protocol:
 //!
 //! 1. **Begin**: before any view cell or summary entry changes, the
-//!    affected attribute names are written to a dedicated disk page
-//!    *directly* through the [`DiskManager`] — bypassing the volatile
-//!    buffer pool, so the intent is durable immediately.
+//!    intent (affected attribute names, or a repair/transaction marker)
+//!    is written to dedicated disk pages *directly* through the
+//!    [`DiskManager`] — bypassing the volatile buffer pool, so the
+//!    intent is durable immediately.
 //! 2. **Apply**: view cells are updated and summary maintenance runs
 //!    (all through the pool; a crash here may tear anything).
 //! 3. **Commit**: the pool is flushed (view + summary pages reach the
@@ -21,23 +22,46 @@
 //! enumerate) — the Summary Database is then *cleanly invalidated*,
 //! never stale.
 //!
-//! The log page carries its own magic number; the disk adds CRC32
+//! ## Chained, append-only layout
+//!
+//! The log is an append-only chain of pages: every `begin*`/`clear`
+//! appends a *record*, and the pending intent is simply the **last**
+//! record in the chain. Appends touch only the tail page (whose content
+//! the log mirrors in memory, so the durable write path never reads),
+//! and a full tail grows the chain by one page. Long-running systems
+//! would otherwise accumulate unbounded intent history, so
+//! [`IntentLog::compact`] rewrites the current state into a single
+//! fresh head page and returns every older page to the disk's free
+//! list; [`IntentLog::clear`] compacts automatically once the chain
+//! passes a small threshold. The chain's page list itself is in-memory
+//! state — like the rest of the catalog it survives the simulated
+//! crash (which loses only unflushed buffer frames), while the records
+//! are durable the moment `begin` returns.
+//!
+//! Each log page carries its own magic number; the disk adds CRC32
 //! verification underneath, so a corrupted log surfaces as a checksum
 //! error and recovery falls back to conservative whole-cache
 //! invalidation.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use sdbms_storage::{DiskManager, Page, PageId, StorageError, PAGE_SIZE};
 
 use crate::error::{Result, SummaryError};
 
-/// Magic marking a valid intent-log page ("SWL1").
-const MAGIC: u32 = 0x5357_4C31;
+/// Magic marking a valid intent-log page ("SWL2").
+const MAGIC: u32 = 0x5357_4C32;
+
+/// First record byte offset: magic `u32` then used-bytes `u16`.
+const HEADER: usize = 6;
+
+/// Record tag meaning "intent cleared" (also what an attribute record
+/// with zero names would encode — the two are semantically identical).
+const CLEAR: u16 = 0;
 
 /// Sentinel count meaning "every attribute" (the intent set did not fit
-/// on the page, so recovery must be maximally conservative).
+/// on one page, so recovery must be maximally conservative).
 const ALL: u16 = u16::MAX;
 
 /// Sentinel count meaning "a view repair was in flight". Recovery must
@@ -45,6 +69,15 @@ const ALL: u16 = u16::MAX;
 /// the damage came from an interrupted repair, so the view stays
 /// degraded until the repair is re-run.
 const REPAIR: u16 = u16::MAX - 1;
+
+/// Sentinel count meaning "an update batch was committing". Recovery
+/// treats the summary cache as suspect (like [`Intent::All`]); the view
+/// data itself is safe because batch commit builds a shadow store and
+/// installs it only after the flush.
+const TXN: u16 = u16::MAX - 2;
+
+/// Compact automatically once the chain grows past this many pages.
+const COMPACT_CHAIN: usize = 4;
 
 /// A pending maintenance intent read back from the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,72 +91,95 @@ pub enum Intent {
     /// the repair must be resumed (or the rebuild redone) before the
     /// view is healthy again.
     Repair,
+    /// A transactional update batch was interrupted mid-commit. The
+    /// view store is all-or-nothing by construction (shadow versions),
+    /// but the summary cache may be torn and must be conservatively
+    /// invalidated.
+    Txn,
 }
 
 /// The per-view write-ahead intent log.
 ///
-/// One durable disk page holding the set of attributes whose summary
-/// entries are currently being brought up to date. See the module docs
-/// for the protocol.
+/// An append-only chain of durable disk pages holding intent records;
+/// the last record is the pending intent. See the module docs for the
+/// protocol and layout.
 pub struct IntentLog {
     disk: Arc<DiskManager>,
-    page: Cell<PageId>,
+    /// The page chain, head first; the last entry is the append tail.
+    pages: RefCell<Vec<PageId>>,
+    /// In-memory mirror of the tail page, so appends never read disk.
+    tail: RefCell<Page>,
 }
 
 impl std::fmt::Debug for IntentLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IntentLog")
-            .field("page", &self.page.get())
+            .field("pages", &self.pages.borrow())
             .finish()
     }
 }
 
+fn empty_log_page() -> Page {
+    let mut page = Page::new();
+    page.put_u32(0, MAGIC);
+    page.put_u16(4, HEADER as u16);
+    page
+}
+
 impl IntentLog {
-    /// Allocate the log's disk page and write an empty (no-intent)
-    /// record to it.
+    /// Allocate the log's first disk page and write an empty (no
+    /// records, hence no-intent) head to it.
     pub fn create(disk: Arc<DiskManager>) -> Result<Self> {
-        let page = disk.allocate();
+        let tail = empty_log_page();
+        let preferred = disk.allocate();
         let log = IntentLog {
             disk,
-            page: Cell::new(page),
+            pages: RefCell::new(vec![preferred]),
+            tail: RefCell::new(tail),
         };
-        log.clear()?;
+        let page = log.tail.borrow().clone();
+        log.rewrite_tail(&page)?;
         Ok(log)
     }
 
-    /// The disk page the log lives on.
+    /// Re-attach to an existing chain (a second handle onto the same
+    /// disk pages — e.g. for read-only inspection). The tail mirror is
+    /// rebuilt from disk, so the last page must be readable.
+    pub fn attach(disk: Arc<DiskManager>, pages: Vec<PageId>) -> Result<Self> {
+        let Some(&last) = pages.last() else {
+            return Err(SummaryError::Decode("intent log chain is empty"));
+        };
+        let mut tail = Page::new();
+        disk.read_page(last, &mut tail)?;
+        if tail.get_u32(0) != MAGIC {
+            return Err(SummaryError::Decode("intent log magic mismatch"));
+        }
+        Ok(IntentLog {
+            disk,
+            pages: RefCell::new(pages),
+            tail: RefCell::new(tail),
+        })
+    }
+
+    /// The disk pages the log currently occupies, head first.
     #[must_use]
-    pub fn page_id(&self) -> PageId {
-        self.page.get()
+    pub fn log_pages(&self) -> Vec<PageId> {
+        self.pages.borrow().clone()
+    }
+
+    /// How many pages the chain spans (1 after creation or compaction).
+    #[must_use]
+    pub fn chain_len(&self) -> usize {
+        self.pages.borrow().len()
     }
 
     /// Durably record that the summary entries of `attributes` are
-    /// about to be brought up to date. Overwrites any previous intent
-    /// (the protocol never nests). If the names do not fit on one page
-    /// the log records the conservative "all attributes" sentinel.
+    /// about to be brought up to date. Appends a record; the newest
+    /// record always wins (the protocol never nests). If the names do
+    /// not fit on one page the log records the conservative "all
+    /// attributes" sentinel.
     pub fn begin(&self, attributes: &[String]) -> Result<()> {
-        let mut page = Page::new();
-        page.put_u32(0, MAGIC);
-        let mut off = 6usize;
-        let mut fits = true;
-        for a in attributes {
-            let bytes = a.as_bytes();
-            if bytes.len() > u16::MAX as usize || off + 2 + bytes.len() > PAGE_SIZE {
-                fits = false;
-                break;
-            }
-            page.put_u16(off, bytes.len() as u16);
-            page.write_slice(off + 2, bytes);
-            off += 2 + bytes.len();
-        }
-        // Counts at or above the REPAIR sentinel would collide with the
-        // reserved encodings; such sets degrade to ALL.
-        if fits && attributes.len() < REPAIR as usize {
-            page.put_u16(4, attributes.len() as u16);
-        } else {
-            page.put_u16(4, ALL);
-        }
-        self.write_log_page(&page)
+        self.append_record(&encode_attributes_record(attributes))
     }
 
     /// Durably record that a whole-view repair is starting. Cleared the
@@ -131,70 +187,209 @@ impl IntentLog {
     /// left pending across a crash so recovery resumes (or redoes) the
     /// repair instead of trusting half-repaired state.
     pub fn begin_repair(&self) -> Result<()> {
-        let mut page = Page::new();
-        page.put_u32(0, MAGIC);
-        page.put_u16(4, REPAIR);
-        self.write_log_page(&page)
+        self.append_record(&REPAIR.to_le_bytes())
+    }
+
+    /// Durably record that a transactional update batch is committing.
+    /// Pending across a crash, it tells recovery the summary cache may
+    /// be torn (the shadow-versioned store itself cannot be).
+    pub fn begin_txn(&self) -> Result<()> {
+        self.append_record(&TXN.to_le_bytes())
     }
 
     /// Durably clear the intent: maintenance completed and was flushed.
+    /// Compacts the chain opportunistically once it grows long.
     pub fn clear(&self) -> Result<()> {
-        let mut page = Page::new();
-        page.put_u32(0, MAGIC);
-        page.put_u16(4, 0);
-        self.write_log_page(&page)
+        self.append_record(&CLEAR.to_le_bytes())?;
+        if self.chain_len() > COMPACT_CHAIN {
+            self.compact()?;
+        }
+        Ok(())
     }
 
-    /// The pending intent, if any. An unreadable or unrecognizable log
-    /// page surfaces as an error; recovery should treat that exactly
-    /// like [`Intent::All`].
+    /// The pending intent, if any: the last record across the chain. An
+    /// unreadable or unrecognizable log page surfaces as an error;
+    /// recovery should treat that exactly like [`Intent::All`].
     pub fn pending(&self) -> Result<Option<Intent>> {
-        let mut page = Page::new();
-        self.disk.read_page(self.page.get(), &mut page)?;
-        if page.get_u32(0) != MAGIC {
-            return Err(SummaryError::Decode("intent log magic mismatch"));
+        let pages = self.pages.borrow().clone();
+        let mut last = None;
+        for pid in pages {
+            let mut page = Page::new();
+            self.disk.read_page(pid, &mut page)?;
+            last = last_record_on_page(&page)?.or(last);
         }
-        let count = page.get_u16(4);
-        if count == 0 {
-            return Ok(None);
-        }
-        if count == ALL {
-            return Ok(Some(Intent::All));
-        }
-        if count == REPAIR {
-            return Ok(Some(Intent::Repair));
-        }
-        let mut attrs = Vec::with_capacity(count as usize);
-        let mut off = 6usize;
-        for _ in 0..count {
-            if off + 2 > PAGE_SIZE {
-                return Err(SummaryError::Decode("intent log truncated"));
-            }
-            let len = page.get_u16(off) as usize;
-            off += 2;
-            if off + len > PAGE_SIZE {
-                return Err(SummaryError::Decode("intent log truncated"));
-            }
-            let name = std::str::from_utf8(page.slice(off, len))
-                .map_err(|_| SummaryError::Decode("intent log attribute not UTF-8"))?;
-            attrs.push(name.to_string());
-            off += len;
-        }
-        Ok(Some(Intent::Attributes(attrs)))
+        Ok(last.flatten())
     }
 
-    /// Write the log page, relocating to a freshly allocated page if
-    /// the current one has suffered simulated media damage.
-    fn write_log_page(&self, page: &Page) -> Result<()> {
-        match self.disk.write_page(self.page.get(), page) {
+    /// Rewrite the current state onto a single fresh head page and
+    /// return every older chain page to the disk's free list. Returns
+    /// how many pages were freed. Idempotent: compacting a compact log
+    /// swaps one page for another. The new head is written before the
+    /// old chain is released, so a crash mid-compaction leaves either
+    /// the old chain or the new head fully in place.
+    pub fn compact(&self) -> Result<usize> {
+        let current = self.pending()?;
+        let mut page = empty_log_page();
+        if let Some(intent) = &current {
+            let rec = encode_intent_record(intent);
+            page.write_slice(HEADER, &rec);
+            page.put_u16(4, (HEADER + rec.len()) as u16);
+        }
+        let pid = self.write_fresh(&page)?;
+        let old = std::mem::replace(&mut *self.pages.borrow_mut(), vec![pid]);
+        *self.tail.borrow_mut() = page;
+        let mut freed = 0;
+        for p in old {
+            // Best effort: a page lost to media damage cannot be freed,
+            // but the chain no longer references it either way.
+            if self.disk.deallocate(p).is_ok() {
+                freed += 1;
+            }
+        }
+        Ok(freed)
+    }
+
+    /// Append one record, growing the chain if the tail page is full.
+    fn append_record(&self, rec: &[u8]) -> Result<()> {
+        let grown = {
+            let mut tail = self.tail.borrow_mut();
+            let used = tail.get_u16(4) as usize;
+            if used + rec.len() <= PAGE_SIZE {
+                tail.write_slice(used, rec);
+                tail.put_u16(4, (used + rec.len()) as u16);
+                None
+            } else {
+                let mut fresh = empty_log_page();
+                fresh.write_slice(HEADER, rec);
+                fresh.put_u16(4, (HEADER + rec.len()) as u16);
+                Some(fresh)
+            }
+        };
+        match grown {
+            None => {
+                let page = self.tail.borrow().clone();
+                self.rewrite_tail(&page)
+            }
+            Some(fresh) => {
+                let pid = self.write_fresh(&fresh)?;
+                self.pages.borrow_mut().push(pid);
+                *self.tail.borrow_mut() = fresh;
+                Ok(())
+            }
+        }
+    }
+
+    /// Write the tail page in place, relocating to a freshly allocated
+    /// page if the current one has suffered simulated media damage.
+    fn rewrite_tail(&self, page: &Page) -> Result<()> {
+        let mut pages = self.pages.borrow_mut();
+        let Some(last) = pages.last_mut() else {
+            return Err(SummaryError::Decode("intent log chain is empty"));
+        };
+        match self.disk.write_page(*last, page) {
             Err(StorageError::PermanentFault { .. } | StorageError::InvalidPageId(_)) => {
                 let fresh = self.disk.allocate();
-                self.page.set(fresh);
-                Ok(self.disk.write_page(fresh, page)?)
+                self.disk.write_page(fresh, page)?;
+                *last = fresh;
+                Ok(())
             }
             other => Ok(other?),
         }
     }
+
+    /// Write `page` onto a newly allocated disk page, retrying once on
+    /// simulated media damage. Returns the page id actually used.
+    fn write_fresh(&self, page: &Page) -> Result<PageId> {
+        let pid = self.disk.allocate();
+        match self.disk.write_page(pid, page) {
+            Err(StorageError::PermanentFault { .. } | StorageError::InvalidPageId(_)) => {
+                let retry = self.disk.allocate();
+                self.disk.write_page(retry, page)?;
+                Ok(retry)
+            }
+            Err(e) => Err(e.into()),
+            Ok(()) => Ok(pid),
+        }
+    }
+}
+
+/// Encode an attribute-set record, degrading to the [`ALL`] sentinel
+/// when the set cannot be represented on a single page.
+fn encode_attributes_record(attributes: &[String]) -> Vec<u8> {
+    // Counts at or above the lowest sentinel would collide with the
+    // reserved encodings; such sets degrade to ALL.
+    if attributes.len() >= TXN as usize {
+        return ALL.to_le_bytes().to_vec();
+    }
+    let mut buf = Vec::with_capacity(HEADER);
+    buf.extend_from_slice(&(attributes.len() as u16).to_le_bytes());
+    for a in attributes {
+        let bytes = a.as_bytes();
+        if bytes.len() > u16::MAX as usize || buf.len() + 2 + bytes.len() > PAGE_SIZE - HEADER {
+            return ALL.to_le_bytes().to_vec();
+        }
+        buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        buf.extend_from_slice(bytes);
+    }
+    buf
+}
+
+/// Encode any intent back into its record form (used by compaction).
+fn encode_intent_record(intent: &Intent) -> Vec<u8> {
+    match intent {
+        Intent::All => ALL.to_le_bytes().to_vec(),
+        Intent::Repair => REPAIR.to_le_bytes().to_vec(),
+        Intent::Txn => TXN.to_le_bytes().to_vec(),
+        Intent::Attributes(attrs) => encode_attributes_record(attrs),
+    }
+}
+
+/// Parse every record on one page, returning the last one:
+/// `None` = no records here, `Some(None)` = last record was a clear,
+/// `Some(Some(i))` = last record was intent `i`.
+#[allow(clippy::option_option)]
+fn last_record_on_page(page: &Page) -> Result<Option<Option<Intent>>> {
+    if page.get_u32(0) != MAGIC {
+        return Err(SummaryError::Decode("intent log magic mismatch"));
+    }
+    let used = page.get_u16(4) as usize;
+    if !(HEADER..=PAGE_SIZE).contains(&used) {
+        return Err(SummaryError::Decode("intent log used-bytes out of range"));
+    }
+    let mut last = None;
+    let mut off = HEADER;
+    while off < used {
+        if off + 2 > used {
+            return Err(SummaryError::Decode("intent log truncated"));
+        }
+        let count = page.get_u16(off);
+        off += 2;
+        last = Some(match count {
+            CLEAR => None,
+            ALL => Some(Intent::All),
+            REPAIR => Some(Intent::Repair),
+            TXN => Some(Intent::Txn),
+            n => {
+                let mut attrs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    if off + 2 > used {
+                        return Err(SummaryError::Decode("intent log truncated"));
+                    }
+                    let len = page.get_u16(off) as usize;
+                    off += 2;
+                    if off + len > used {
+                        return Err(SummaryError::Decode("intent log truncated"));
+                    }
+                    let name = std::str::from_utf8(page.slice(off, len))
+                        .map_err(|_| SummaryError::Decode("intent log attribute not UTF-8"))?;
+                    attrs.push(name.to_string());
+                    off += len;
+                }
+                Some(Intent::Attributes(attrs))
+            }
+        });
+    }
+    Ok(last)
 }
 
 #[cfg(test)]
@@ -210,6 +405,7 @@ mod tests {
     fn empty_log_has_no_pending_intent() {
         let log = IntentLog::create(disk()).unwrap();
         assert_eq!(log.pending().unwrap(), None);
+        assert_eq!(log.chain_len(), 1);
     }
 
     #[test]
@@ -221,7 +417,7 @@ mod tests {
             log.pending().unwrap(),
             Some(Intent::Attributes(vec!["AGE".into(), "INCOME".into()]))
         );
-        // Begin replaces, never nests.
+        // A newer record replaces the pending intent, never nests.
         log.begin(&["SALARY".to_string()]).unwrap();
         assert_eq!(
             log.pending().unwrap(),
@@ -236,14 +432,11 @@ mod tests {
         // The log writes through the DiskManager directly, so its state
         // is durable the moment begin() returns — there is nothing
         // buffered to lose. Reading through a *second* handle to the
-        // same disk proves it.
+        // same disk pages proves it.
         let d = disk();
         let log = IntentLog::create(d.clone()).unwrap();
         log.begin(&["X".to_string()]).unwrap();
-        let reader = IntentLog {
-            disk: d,
-            page: Cell::new(log.page_id()),
-        };
+        let reader = IntentLog::attach(d, log.log_pages()).unwrap();
         assert_eq!(
             reader.pending().unwrap(),
             Some(Intent::Attributes(vec!["X".into()]))
@@ -251,10 +444,12 @@ mod tests {
     }
 
     #[test]
-    fn repair_intent_round_trips_and_clears() {
+    fn repair_and_txn_intents_round_trip_and_clear() {
         let log = IntentLog::create(disk()).unwrap();
         log.begin_repair().unwrap();
         assert_eq!(log.pending().unwrap(), Some(Intent::Repair));
+        log.begin_txn().unwrap();
+        assert_eq!(log.pending().unwrap(), Some(Intent::Txn));
         // A later maintenance intent replaces it (the protocol never
         // nests), and clear retires it like any other intent.
         log.begin(&["AGE".to_string()]).unwrap();
@@ -282,7 +477,7 @@ mod tests {
         let d = disk();
         let log = IntentLog::create(d.clone()).unwrap();
         log.begin(&["X".to_string()]).unwrap();
-        d.corrupt_page(log.page_id(), 123).unwrap();
+        d.corrupt_page(log.log_pages()[0], 123).unwrap();
         assert!(matches!(
             log.pending(),
             Err(SummaryError::Storage(StorageError::ChecksumMismatch { .. }))
@@ -299,15 +494,72 @@ mod tests {
             RetryPolicy::default(),
         ));
         let log = IntentLog::create(d).unwrap();
-        let first = log.page_id();
+        let first = log.log_pages()[0];
         inj.script(ScriptedFault::new(Device::Disk, FaultKind::Permanent).at(u64::from(first)));
         // The scripted permanent fault fires on the next write to the
         // old page; the log moves to a fresh page and stays usable.
         log.begin(&["X".to_string()]).unwrap();
-        assert_ne!(log.page_id(), first);
+        assert_ne!(log.log_pages()[0], first);
         assert_eq!(
             log.pending().unwrap(),
             Some(Intent::Attributes(vec!["X".into()]))
         );
+    }
+
+    #[test]
+    fn chain_grows_and_compacts_back_to_one_page() {
+        let d = disk();
+        let log = IntentLog::create(d.clone()).unwrap();
+        // Fat records overflow the tail page quickly.
+        let fat: Vec<String> = (0..20)
+            .map(|i| format!("COL_{i:02}_{}", "y".repeat(80)))
+            .collect();
+        for _ in 0..20 {
+            log.begin(&fat).unwrap();
+        }
+        assert!(log.chain_len() > 1, "chain grew: {}", log.chain_len());
+        let before = d.allocated_pages();
+        let freed = log.compact().unwrap();
+        assert!(freed > 0);
+        assert_eq!(log.chain_len(), 1);
+        assert!(
+            d.allocated_pages() < before,
+            "pages went back to the free list"
+        );
+        // The pending intent survives compaction byte-for-byte.
+        assert_eq!(log.pending().unwrap(), Some(Intent::Attributes(fat)));
+        // Compacting a compact log is a harmless no-op swap.
+        log.compact().unwrap();
+        assert_eq!(log.chain_len(), 1);
+    }
+
+    #[test]
+    fn clear_auto_compacts_a_long_chain() {
+        let log = IntentLog::create(disk()).unwrap();
+        let fat: Vec<String> = (0..20)
+            .map(|i| format!("COL_{i:02}_{}", "z".repeat(80)))
+            .collect();
+        for _ in 0..40 {
+            log.begin(&fat).unwrap();
+        }
+        assert!(log.chain_len() > COMPACT_CHAIN);
+        log.clear().unwrap();
+        assert_eq!(log.chain_len(), 1, "clear() compacted the chain");
+        assert_eq!(log.pending().unwrap(), None);
+    }
+
+    #[test]
+    fn compaction_preserves_each_intent_kind() {
+        for make in [
+            |l: &IntentLog| l.begin_repair(),
+            |l: &IntentLog| l.begin_txn(),
+            |l: &IntentLog| l.begin(&["A".to_string()]),
+        ] {
+            let log = IntentLog::create(disk()).unwrap();
+            make(&log).unwrap();
+            let before = log.pending().unwrap();
+            log.compact().unwrap();
+            assert_eq!(log.pending().unwrap(), before);
+        }
     }
 }

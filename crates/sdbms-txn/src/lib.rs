@@ -1,0 +1,30 @@
+//! # sdbms-txn — epochs and locks for multi-analyst sessions
+//!
+//! The paper's workload is many analysts sharing long-lived cleaned
+//! views. Two small primitives make that safe without ever blocking a
+//! reader:
+//!
+//! - [`EpochRegistry`] — epoch-based reclamation. A reader opening a
+//!   snapshot takes an [`EpochPin`]; a writer installing a new view
+//!   version *retires* the old one with a deferred destructor that
+//!   runs only once every pin taken before the retirement has been
+//!   dropped. Readers therefore never observe a freed page, and
+//!   writers never wait for readers.
+//! - [`LockTable`] — a try-lock table over view names coordinating
+//!   writer/writer and writer/repair. Acquisition never blocks
+//!   (conflicts surface as [`LockError::Conflict`] immediately), and
+//!   multi-view acquisition is forced into ascending name order
+//!   ([`LockError::OrderViolation`] otherwise), so the schedule space
+//!   contains no deadlock by construction.
+//!
+//! Both structures are `Send + Sync`; the DBMS shares one of each
+//! across every view.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod epoch;
+pub mod lock;
+
+pub use epoch::{EpochPin, EpochRegistry};
+pub use lock::{LockError, LockGuard, LockTable, SessionId};

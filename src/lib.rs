@@ -51,6 +51,7 @@
 //! | [`summary`] | the Summary Database (§3.2) with incremental maintenance and the §4.2 median window |
 //! | [`management`] | the Management Database: catalog, histories/undo, rules, finite differencing |
 //! | [`repair`] | self-healing: health registry, scrub cursors, corruption triage ladder |
+//! | [`txn`] | multi-analyst concurrency: epoch registry/pins for snapshot reclamation, the per-view lock table |
 //! | [`core`] | the DBMS façade tying it all together (paper Figure 3) |
 
 #![warn(missing_docs)]
@@ -66,3 +67,4 @@ pub use sdbms_repair as repair;
 pub use sdbms_stats as stats;
 pub use sdbms_storage as storage;
 pub use sdbms_summary as summary;
+pub use sdbms_txn as txn;

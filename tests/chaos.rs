@@ -11,8 +11,8 @@
 //! wrong answer.
 
 use sdbms::core::{
-    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate, StatDbms,
-    StatFunction, ViewDefinition, ViewHealth,
+    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate, Snapshot,
+    StatDbms, StatFunction, ViewDefinition, ViewHealth,
 };
 use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::exec::ExecConfig;
@@ -627,15 +627,15 @@ fn corrupted_summary_pages_are_quarantined_and_recomputed() {
     // Silently flip a bit in every disk page except the intent log —
     // summary store and view store alike — then restart so the next
     // reads hit the damaged disk instead of clean pool frames.
-    let wal_page = dbms
+    let wal_pages = dbms
         .view("v")
         .expect("view")
         .wal
         .as_ref()
         .expect("wal")
-        .page_id();
+        .log_pages();
     for pid in 0..dbms.env().disk.allocated_pages() as u32 {
-        if pid != wal_page {
+        if !wal_pages.contains(&pid) {
             // Never-written pages have no image to damage; skip them.
             let _ = dbms.env().disk.corrupt_page(pid, 3);
         }
@@ -657,6 +657,205 @@ fn corrupted_summary_pages_are_quarantined_and_recomputed() {
     assert!(
         dbms.cache_stats("v").expect("stats").quarantined > 0,
         "damaged entries were quarantined"
+    );
+}
+
+/// Multi-analyst chaos: pinned snapshot readers on their own threads
+/// race transactional update batches and the background scrubber on
+/// the main thread, under seeded transient-fault and crash injection.
+///
+/// The serial-equivalence oracle: every store version a snapshot can
+/// pin has exactly one committed column state, recorded at commit time
+/// in a shared map. Every successful read from any snapshot must equal
+/// its version's recorded state **exactly** — a torn batch
+/// (half-applied ops), an in-place mutation of a pinned store, or a
+/// premature epoch reclaim of its pages would all break the equality.
+/// Faults may cost a read (an error) but may never change what a
+/// successful read returns.
+#[test]
+fn concurrent_snapshot_readers_never_see_torn_or_uncommitted_state() {
+    use sdbms::data::Value;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{mpsc, Arc, Mutex};
+
+    const READERS: usize = 3;
+    const COMMITS: u64 = 4;
+    let n = (schedules() / 10).max(6);
+    let mut total_commits = 0u64;
+    let mut crashes_recovered = 0u64;
+    let mut mid_scrub_skips = 0u64;
+    let verified = Arc::new(AtomicU64::new(0));
+
+    for seed in 0..n {
+        let mut dbms = setup();
+        // version → the exact committed INCOME column of that version.
+        let oracle: Arc<Mutex<HashMap<u64, Vec<Value>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut last = dbms.column("v", "INCOME").expect("baseline column");
+        let template = dbms.snapshot("v").expect("snapshot").row(0).expect("row");
+        oracle.lock().expect("oracle").insert(
+            dbms.snapshot("v").expect("snapshot").version(),
+            last.clone(),
+        );
+
+        std::thread::scope(|scope| {
+            let mut senders = Vec::new();
+            for reader in 0..READERS {
+                let (tx, rx) = mpsc::channel::<Snapshot>();
+                senders.push(tx);
+                let oracle = Arc::clone(&oracle);
+                let verified = Arc::clone(&verified);
+                scope.spawn(move || {
+                    while let Ok(snap) = rx.recv() {
+                        let want = oracle
+                            .lock()
+                            .expect("oracle")
+                            .get(&snap.version())
+                            .cloned()
+                            .expect("every pinnable version has a recorded committed state");
+                        if let (Ok(a), Ok(b)) = (snap.column("INCOME"), snap.column("INCOME")) {
+                            assert_eq!(
+                                a, b,
+                                "reader {reader}: repeated reads inside one snapshot differ"
+                            );
+                            assert_eq!(
+                                a,
+                                want,
+                                "reader {reader}: snapshot v{} served a state that was \
+                                 never committed",
+                                snap.version()
+                            );
+                            verified.fetch_add(1, Ordering::Relaxed);
+                        }
+                        assert_eq!(
+                            snap.len(),
+                            want.len(),
+                            "reader {reader}: row count moved under a pinned snapshot"
+                        );
+                        if let Ok((m, _)) = snap.compute("INCOME", &StatFunction::Mean) {
+                            let fresh = StatFunction::Mean.compute(&want).expect("oracle mean");
+                            assert!(
+                                m.approx_eq(&fresh, 1e-9),
+                                "reader {reader}: snapshot mean {m} != committed mean {fresh}"
+                            );
+                            let (memo, src) =
+                                snap.compute("INCOME", &StatFunction::Mean).expect("memo");
+                            assert_eq!(src, ComputeSource::Cache, "repeat serves the memo");
+                            assert!(memo.approx_eq(&m, 0.0), "memoized value is byte-stable");
+                        }
+                    }
+                });
+            }
+
+            let mut s = seed ^ 0x5EED_CAFE;
+            for step in 0..COMMITS {
+                // Each analyst pins the current committed version.
+                for tx in &senders {
+                    tx.send(dbms.snapshot("v").expect("snapshot"))
+                        .expect("reader alive");
+                }
+                let base_ops = dbms.env().injector.ops();
+                let crash = seed % 3 == 1 && step == 2;
+                dbms.env().injector.set_plan(FaultPlan {
+                    seed: seed ^ (step << 8),
+                    disk: DeviceFaults {
+                        transient_read: 0.03,
+                        transient_write: 0.03,
+                        ..DeviceFaults::default()
+                    },
+                    crash_at_op: crash.then(|| base_ops + 10 + splitmix(&mut s) % 120),
+                    ..FaultPlan::none()
+                });
+
+                // A batch mixing all three op kinds, so a torn commit
+                // would change values *and* the row count.
+                let threshold = 20 + (splitmix(&mut s) % 45) as i64;
+                let bump = 1 + (splitmix(&mut s) % 300) as i64;
+                let row = (splitmix(&mut s) as usize) % last.len();
+                let poke = match &last[row] {
+                    Value::Int(i) => Value::Int(i + 7),
+                    Value::Float(f) => Value::Float(f + 7.0),
+                    other => other.clone(),
+                };
+                let outcome = dbms.begin_batch("v").and_then(|b| {
+                    dbms.batch_update_where(
+                        b,
+                        &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold)),
+                        &[(
+                            "INCOME",
+                            Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump)),
+                        )],
+                    )?;
+                    dbms.batch_set_cell(b, row, "INCOME", poke)?;
+                    dbms.batch_append_row(b, template.clone())?;
+                    // The scrubber runs while the batch holds the view
+                    // lock: it must skip the view, never block or peek.
+                    if let Ok(mid) = dbms.scrub(2_000) {
+                        mid_scrub_skips += mid.views_skipped;
+                    }
+                    dbms.commit_batch(b)
+                });
+                match outcome {
+                    Ok(_) => total_commits += 1,
+                    Err(_) => {
+                        if dbms.is_crashed() {
+                            crashes_recovered += 1;
+                            dbms.env().injector.set_plan(FaultPlan::none());
+                            recover_until_up(&mut dbms);
+                        }
+                        // A staging failure would leave the batch open
+                        // and the lock held; drop it.
+                        let open: Vec<u64> =
+                            dbms.open_batches().iter().map(|(id, _, _)| *id).collect();
+                        for id in open {
+                            let _ = dbms.abort_batch(id);
+                        }
+                    }
+                }
+
+                // Record the committed state of the (possibly new) live
+                // version, fault-free. A version seen before must hold
+                // identical bytes — recovery may not invent state.
+                dbms.env().injector.set_plan(FaultPlan::none());
+                let col = dbms.column("v", "INCOME").expect("committed read");
+                let ver = dbms.snapshot("v").expect("snapshot").version();
+                {
+                    let mut map = oracle.lock().expect("oracle");
+                    if let Some(prev) = map.get(&ver) {
+                        assert_eq!(
+                            prev, &col,
+                            "schedule {seed}: version {ver} changed content after the fact"
+                        );
+                    } else {
+                        map.insert(ver, col.clone());
+                    }
+                }
+                last = col;
+                // Between commits nothing holds the lock: the scrub
+                // pass actually runs.
+                let _ = dbms.scrub(5_000);
+            }
+            drop(senders);
+        });
+        assert_eq!(dbms.pinned_snapshots(), 0, "all reader pins drained");
+    }
+
+    assert!(
+        total_commits >= n * 2,
+        "batches committed under fire: {total_commits}"
+    );
+    assert!(
+        crashes_recovered > 0,
+        "some schedules crashed mid-commit and recovered: {crashes_recovered}"
+    );
+    assert!(
+        mid_scrub_skips > 0,
+        "the scrubber skipped writer-locked views: {mid_scrub_skips}"
+    );
+    let verified = verified.load(Ordering::Relaxed);
+    assert!(
+        verified >= n * COMMITS,
+        "readers verified against the oracle: {verified}"
     );
 }
 

@@ -190,6 +190,87 @@ proptest! {
         assert_consistent(&mut dbms)?;
     }
 
+    /// The batch-commit acceptance property: a crash at *any* I/O
+    /// operation inside `commit_batch` recovers **all-or-nothing** —
+    /// the post-recovery column equals either the exact pre-batch
+    /// state or the exact post-batch state (computed by a fault-free
+    /// twin running the identical batch), never a mix of the two —
+    /// and recovery is idempotent.
+    #[test]
+    fn crash_anywhere_in_a_batch_commit_recovers_all_or_nothing(
+        crash_offset in 1u64..220,
+        threshold in 18i64..60,
+        bump in 1i64..400,
+        row in 0usize..60,
+        preludes in prop::collection::vec((20i64..55, 1i64..200), 0..2)
+    ) {
+        use sdbms::data::Value;
+        let mut primary = setup();
+        let mut twin = setup();
+        for (t, b) in &preludes {
+            for dbms in [&mut primary, &mut twin] {
+                dbms.update_where(
+                    "v",
+                    &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(*t)),
+                    &[("INCOME", Expr::col("INCOME").binary(BinOp::Add, Expr::lit(*b)))],
+                )
+                .expect("prelude update");
+            }
+        }
+        let pre = primary.column("v", "INCOME").expect("pre-batch column");
+        prop_assert_eq!(&pre, &twin.column("v", "INCOME").expect("twin pre"));
+        let template = primary.snapshot("v").expect("snapshot").row(0).expect("row");
+        let poke = match &pre[row] {
+            Value::Int(i) => Value::Int(i + 11),
+            Value::Float(f) => Value::Float(f + 11.0),
+            other => other.clone(),
+        };
+        let pred = Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold));
+        let assign = Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump));
+
+        // The fault-free twin computes the exact post-batch state.
+        let tb = twin.begin_batch("v").expect("twin batch");
+        twin.batch_update_where(tb, &pred, &[("INCOME", assign.clone())]).expect("stage");
+        twin.batch_set_cell(tb, row, "INCOME", poke.clone()).expect("stage");
+        twin.batch_append_row(tb, template.clone()).expect("stage");
+        twin.commit_batch(tb).expect("fault-free commit");
+        let post = twin.column("v", "INCOME").expect("post-batch column");
+
+        // Crash the primary at an arbitrary I/O op inside its commit
+        // (shadow clone, cell writes, the durability flush, the intent
+        // retire — wherever `crash_offset` lands).
+        let ops = primary.env().injector.ops();
+        primary.env().injector.set_plan(FaultPlan {
+            seed: crash_offset,
+            crash_at_op: Some(ops + crash_offset),
+            ..FaultPlan::none()
+        });
+        let b = primary.begin_batch("v").expect("begin does no I/O");
+        primary.batch_update_where(b, &pred, &[("INCOME", assign)]).expect("staging does no I/O");
+        primary.batch_set_cell(b, row, "INCOME", poke).expect("staging does no I/O");
+        primary.batch_append_row(b, template).expect("staging does no I/O");
+        let outcome = primary.commit_batch(b);
+
+        primary.env().injector.set_plan(FaultPlan::none());
+        if primary.is_crashed() {
+            prop_assert!(outcome.is_err(), "a crash must abort the commit");
+            primary.recover().expect("recover on healthy hardware");
+        } else {
+            outcome.expect("the op budget outlived the commit");
+        }
+        let after = primary.column("v", "INCOME").expect("post-recovery column");
+        prop_assert!(
+            after == pre || after == post,
+            "crash at +{} left a torn batch: {} rows (pre {}, post {})",
+            crash_offset, after.len(), pre.len(), post.len()
+        );
+        // Idempotent: a second recovery finds nothing and moves nothing.
+        let again = primary.recover().expect("second recovery");
+        prop_assert!(again.views_recovered.is_empty(), "{:?}", again);
+        prop_assert_eq!(&primary.column("v", "INCOME").expect("column"), &after);
+        assert_consistent(&mut primary)?;
+    }
+
     /// Repairing a healthy view is an observable no-op: no findings, no
     /// actions, no store or summary churn, cache counters untouched —
     /// and running it twice returns the identical (empty) report.
@@ -216,5 +297,64 @@ proptest! {
         let again = dbms.repair_view("v").expect("repair twice");
         prop_assert_eq!(report, again);
         assert_consistent(&mut dbms)?;
+    }
+}
+
+/// Recovery compacts the intent-log chain back to one page, and a
+/// recovery run *after* compaction is a no-op: repeated crash/recover
+/// cycles never let the chain grow without bound and never re-apply a
+/// retired intent.
+#[test]
+fn wal_chain_compacts_after_recovery_and_recovery_stays_idempotent() {
+    let mut dbms = setup();
+    for round in 0..3u64 {
+        let ops = dbms.env().injector.ops();
+        dbms.env().injector.set_plan(FaultPlan {
+            seed: round,
+            crash_at_op: Some(ops + 35 + round * 23),
+            ..FaultPlan::none()
+        });
+        let _ = dbms.update_where(
+            "v",
+            &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(25i64 + round as i64)),
+            &[(
+                "INCOME",
+                Expr::col("INCOME").binary(BinOp::Add, Expr::lit(3i64)),
+            )],
+        );
+        dbms.env().injector.set_plan(FaultPlan::none());
+        assert!(dbms.is_crashed(), "round {round}: the crash budget fired");
+        dbms.recover().expect("recovery");
+        let chain = dbms
+            .view("v")
+            .expect("view")
+            .wal
+            .as_ref()
+            .expect("wal")
+            .chain_len();
+        assert_eq!(
+            chain, 1,
+            "round {round}: recovery compacted the chain to one page"
+        );
+        // Recovery after compaction: nothing pending, nothing moves.
+        let col_before = dbms.column("v", "INCOME").expect("column");
+        let again = dbms.recover().expect("post-compaction recovery");
+        assert!(again.views_recovered.is_empty(), "{again:?}");
+        assert_eq!(
+            dbms.column("v", "INCOME").expect("column"),
+            col_before,
+            "round {round}: idempotent recovery moved data"
+        );
+    }
+    let col = dbms.column("v", "INCOME").expect("column");
+    for f in functions() {
+        let (served, _) = dbms
+            .compute("v", "INCOME", &f, AccuracyPolicy::Exact)
+            .expect("compute");
+        let fresh = f.compute(&col).expect("recompute");
+        assert!(
+            served.approx_eq(&fresh, 1e-9),
+            "{f:?} served {served} != recompute {fresh}"
+        );
     }
 }
