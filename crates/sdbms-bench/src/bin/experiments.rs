@@ -86,6 +86,9 @@ fn main() {
     if run("e13") {
         e13_zone_map_pruning();
     }
+    if run("e14") {
+        e14_serving();
+    }
 }
 
 fn banner(id: &str, title: &str) {
@@ -1198,6 +1201,122 @@ fn e13_zone_map_pruning() {
     match std::fs::write("BENCH_scan.json", &json) {
         Ok(()) => println!("wrote BENCH_scan.json"),
         Err(e) => println!("could not write BENCH_scan.json: {e}"),
+    }
+}
+
+fn e14_serving() {
+    use sdbms_serve::{run_traffic, QuotaConfig, ServeConfig, Server, TrafficConfig};
+    use sdbms_testkit::{CensusFixture, CENSUS_VIEW};
+
+    banner(
+        "E14",
+        "serving layer: front result cache vs uncached under a Zipfian analyst mix",
+    );
+
+    // A serving-scale fixture: enough rows that a summary recompute
+    // costs real column work, so the front cache has something to save.
+    // No WAL — this experiment measures the read path, and the
+    // crash-consistent commit flushes would dominate wall clock
+    // identically in both modes, washing out the cache signal.
+    const ROWS: usize = 20_000;
+    const REQUESTS: usize = 1_000;
+    let fixture = || {
+        CensusFixture::new()
+            .rows(ROWS)
+            .pool_pages(8_192)
+            .crash_consistent(false)
+            .build()
+            .expect("fixture")
+    };
+
+    let mut table = Vec::new();
+    let mut entries = Vec::new();
+    for sessions in [2usize, 4, 8] {
+        // The same deterministic closed-loop Zipfian mix (reads plus a
+        // writer analyst committing an update batch mid-run) against a
+        // cached and an uncached server over identical fixtures. The
+        // commit cadence is deliberately sparse: a commit rewrites the
+        // store in both modes, so a write-heavy mix would measure the
+        // commit path rather than the cache.
+        let traffic = TrafficConfig::new(CENSUS_VIEW)
+            .analysts(sessions)
+            .requests_per_analyst(REQUESTS)
+            .update_every(600)
+            .seed(0xE14);
+        let mut reports = Vec::new();
+        for cached in [true, false] {
+            let mut cfg = ServeConfig {
+                workers: 4,
+                queue_capacity: 4_096,
+                quota: QuotaConfig::unlimited(),
+                ..ServeConfig::default()
+            };
+            if !cached {
+                cfg = cfg.uncached();
+            }
+            let server = Server::start(fixture(), cfg);
+            let report = run_traffic(&server, &traffic);
+            assert_eq!(
+                report.completed as usize,
+                sessions * REQUESTS,
+                "deep queue + unlimited quota: nothing may be rejected"
+            );
+            drop(server.shutdown());
+            reports.push(report);
+        }
+        let (cached, uncached) = (&reports[0], &reports[1]);
+        let speedup = uncached.wall_us as f64 / cached.wall_us.max(1) as f64;
+        for (label, r) in [("cached", cached), ("uncached", uncached)] {
+            table.push(vec![
+                sessions.to_string(),
+                label.to_string(),
+                us(u128::from(r.latency_us(50.0))),
+                us(u128::from(r.latency_us(99.0))),
+                format!("{:.0}", r.throughput_rps),
+                format!("{:.0}%", r.hit_rate() * 100.0),
+            ]);
+        }
+        table.push(vec![
+            sessions.to_string(),
+            "speedup".to_string(),
+            String::new(),
+            String::new(),
+            ratio(uncached.wall_us as f64, cached.wall_us.max(1) as f64),
+            String::new(),
+        ]);
+        entries.push(format!(
+            "    {{\"sessions\": {sessions}, \
+             \"cached\": {{\"p50_us\": {}, \"p99_us\": {}, \
+             \"throughput_rps\": {:.1}, \"hit_rate\": {:.3}}}, \
+             \"uncached\": {{\"p50_us\": {}, \"p99_us\": {}, \
+             \"throughput_rps\": {:.1}, \"hit_rate\": {:.3}}}, \
+             \"speedup\": {speedup:.2}}}",
+            cached.latency_us(50.0),
+            cached.latency_us(99.0),
+            cached.throughput_rps,
+            cached.hit_rate(),
+            uncached.latency_us(50.0),
+            uncached.latency_us(99.0),
+            uncached.throughput_rps,
+            uncached.hit_rate(),
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["sessions", "mode", "p50", "p99", "rps", "hit rate"],
+            &table
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e14_serving\",\n  \"rows\": {ROWS},\n  \
+         \"requests_per_analyst\": {REQUESTS},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => println!("could not write BENCH_serve.json: {e}"),
     }
 }
 

@@ -216,6 +216,30 @@ impl StatDbms {
         self.epochs.pinned()
     }
 
+    /// The current global epoch and the oldest still-pinned epoch, if
+    /// any. Their difference is the *pin lag* — how far behind the
+    /// slowest reader sits, and therefore how much superseded store
+    /// state reclamation must retain. The serving layer reports this
+    /// in its metrics.
+    #[must_use]
+    pub fn epoch_status(&self) -> (u64, Option<u64>) {
+        (self.epochs.epoch(), self.epochs.oldest_pinned())
+    }
+
+    /// A view's current store version, without pinning a snapshot.
+    /// The serving layer polls this on every request to decide whether
+    /// a session's pinned snapshot is still current.
+    pub fn view_version(&self, view: &str) -> Result<u64> {
+        Ok(self.view(view)?.version)
+    }
+
+    /// A view's current Summary-DB generation, without pinning a
+    /// snapshot. Together with [`StatDbms::view_version`] this forms
+    /// the freshness half of the serving layer's cache key.
+    pub fn view_summary_generation(&self, view: &str) -> Result<u64> {
+        Ok(self.view(view)?.summary.generation())
+    }
+
     // ---- update batches --------------------------------------------------
 
     /// Open a transactional update batch on a view, taking its
@@ -282,6 +306,15 @@ impl StatDbms {
     /// Stage one row append in a batch.
     pub fn batch_append_row(&mut self, batch: BatchId, values: Vec<Value>) -> Result<()> {
         let op = BatchOp::AppendRow { values };
+        self.batch_mut(batch)?.ops.push(op);
+        Ok(())
+    }
+
+    /// Stage an already-constructed [`BatchOp`]. The serving layer's
+    /// commit requests carry ops in this form; the typed
+    /// `batch_update_where` / `batch_set_cell` / `batch_append_row`
+    /// helpers all reduce to it.
+    pub fn batch_stage(&mut self, batch: BatchId, op: BatchOp) -> Result<()> {
         self.batch_mut(batch)?.ops.push(op);
         Ok(())
     }

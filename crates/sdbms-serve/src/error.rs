@@ -1,0 +1,110 @@
+//! The serving layer's typed back-pressure contract.
+//!
+//! A request is refused *before* any work happens, with an error that
+//! tells the client exactly what to do next:
+//!
+//! - [`ServeError::Overloaded`] — the bounded request queue is full.
+//!   The server never queues without bound; retry after a backoff.
+//! - [`ServeError::QuotaExceeded`] — this tenant's token bucket is
+//!   empty. Other tenants are unaffected; retry after the bucket
+//!   refills.
+//! - [`ServeError::NoSuchSession`] / [`ServeError::ShuttingDown`] —
+//!   client-side lifecycle mistakes; do not retry.
+//!
+//! Everything that goes wrong *inside* the engine surfaces unchanged
+//! as [`ServeError::Core`].
+
+use sdbms_core::CoreError;
+
+use crate::server::SessionId;
+
+/// Errors returned by [`crate::Server`] request methods.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded request queue is full; the request was rejected at
+    /// the door rather than queued without bound. Retry later.
+    Overloaded {
+        /// The queue's capacity (requests in flight + waiting).
+        capacity: usize,
+    },
+    /// The tenant's token bucket is exhausted. The balance can be
+    /// negative: a request is admitted on a positive balance and then
+    /// charged its *actual* cost, which may overdraw the bucket.
+    QuotaExceeded {
+        /// The tenant whose bucket is empty.
+        tenant: String,
+        /// The bucket balance at rejection time, in cost milli-units.
+        balance_milli: i64,
+    },
+    /// No open session with this id (never opened, or already closed).
+    NoSuchSession(SessionId),
+    /// The server is shutting down; no further requests are accepted.
+    ShuttingDown,
+    /// The engine itself failed; the inner error is unchanged.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "request queue full ({capacity} slots); retry later")
+            }
+            ServeError::QuotaExceeded {
+                tenant,
+                balance_milli,
+            } => write!(
+                f,
+                "tenant {tenant:?} is out of quota (balance {balance_milli} milli-units)"
+            ),
+            ServeError::NoSuchSession(id) => write!(f, "no open session {id}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Core(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Serving-layer result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = ServeError::Overloaded { capacity: 8 };
+        assert!(e.to_string().contains("8 slots"));
+        let e = ServeError::QuotaExceeded {
+            tenant: "alice".into(),
+            balance_milli: -250,
+        };
+        assert!(e.to_string().contains("alice"));
+        assert!(e.to_string().contains("-250"));
+        let e = ServeError::NoSuchSession(9);
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn core_errors_pass_through_with_source() {
+        use std::error::Error;
+        let e = ServeError::from(CoreError::NoSuchView("v".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("engine error"));
+    }
+}

@@ -1,0 +1,347 @@
+//! A deterministic closed-loop traffic generator for the serving
+//! layer.
+//!
+//! *Closed loop*: each simulated analyst is one thread issuing its
+//! next request only after the previous response (or rejection)
+//! arrives — the 1982 paper's interactive-analyst model, not an open
+//! arrival process. Determinism comes from seeding: analyst `i` draws
+//! from `SplitMix64::new(seed ^ i)`, query choice is a seeded Zipfian
+//! over a fixed universe (statistical workloads are heavily skewed —
+//! everyone asks for mean income), and writer analysts derive their
+//! update batches from [`sdbms_testkit::seeded_income_update`]. Two
+//! runs with the same config against equal fixtures issue the *same
+//! logical request sequence per analyst*; only thread interleaving
+//! differs, which is exactly the degree of freedom the differential
+//! harness must prove irrelevant.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use sdbms_core::BatchOp;
+use sdbms_testkit::{seeded_income_update, SplitMix64, Zipfian};
+
+use crate::server::{Query, Response, Served, Server};
+
+/// Traffic shape. [`TrafficConfig::new`] gives a small deterministic
+/// default; builder methods override.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Simulated analysts (threads). Analyst 0 is the writer when
+    /// `update_every > 0`.
+    pub analysts: usize,
+    /// Requests each analyst issues.
+    pub requests_per_analyst: usize,
+    /// Master seed; analyst `i` uses `seed ^ i`.
+    pub seed: u64,
+    /// Zipfian exponent over the query universe (≈1.1 is a realistic
+    /// hot-query skew).
+    pub zipf_exponent: f64,
+    /// Analyst 0 issues a commit every this-many requests (0 = a pure
+    /// read-only workload).
+    pub update_every: usize,
+    /// The view every analyst queries.
+    pub view: String,
+    /// One tenant name per analyst, cycled — `analysts` beyond the
+    /// list reuse it modulo its length.
+    pub tenants: Vec<String>,
+}
+
+impl TrafficConfig {
+    /// A small deterministic default over view `view`.
+    #[must_use]
+    pub fn new(view: &str) -> Self {
+        TrafficConfig {
+            analysts: 4,
+            requests_per_analyst: 50,
+            seed: 1982,
+            zipf_exponent: 1.1,
+            update_every: 10,
+            view: view.to_string(),
+            tenants: vec!["tenant".to_string()],
+        }
+    }
+
+    /// Set the analyst count.
+    #[must_use]
+    pub fn analysts(mut self, n: usize) -> Self {
+        self.analysts = n;
+        self
+    }
+
+    /// Set requests per analyst.
+    #[must_use]
+    pub fn requests_per_analyst(mut self, n: usize) -> Self {
+        self.requests_per_analyst = n;
+        self
+    }
+
+    /// Set the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the writer cadence (0 disables writes).
+    #[must_use]
+    pub fn update_every(mut self, n: usize) -> Self {
+        self.update_every = n;
+        self
+    }
+
+    /// Set the tenant cycle.
+    #[must_use]
+    pub fn tenants(mut self, tenants: &[&str]) -> Self {
+        self.tenants = tenants.iter().map(|t| (*t).to_string()).collect();
+        self
+    }
+
+    fn tenant_for(&self, analyst: usize) -> &str {
+        if self.tenants.is_empty() {
+            "tenant"
+        } else {
+            &self.tenants[analyst % self.tenants.len()]
+        }
+    }
+}
+
+/// The fixed query universe the Zipfian ranks: summaries over the
+/// census fixture's checked attributes, hottest first.
+#[must_use]
+pub fn census_query_universe() -> Vec<Query> {
+    let mut universe = Vec::new();
+    for attr in sdbms_testkit::CENSUS_ATTRS {
+        for function in sdbms_testkit::checked_functions() {
+            universe.push(Query::summary(attr, function));
+        }
+    }
+    // A couple of point reads at the cold tail.
+    universe.push(Query::Row { index: 0 });
+    universe.push(Query::Row { index: 7 });
+    universe
+}
+
+/// One analyst's recorded outcome for one request.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// A successful response plus its latency in microseconds.
+    Ok(Box<Response>, u64),
+    /// A typed rejection (by display string, so the record is `Clone`).
+    Rejected(String),
+}
+
+/// What one traffic run produced, per analyst and in aggregate.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Every analyst's outcomes in issue order (`outcomes[i][j]` is
+    /// analyst `i`'s `j`-th request).
+    pub outcomes: Vec<Vec<Outcome>>,
+    /// Successful-response latencies in microseconds, sorted.
+    pub latencies_us: Vec<u64>,
+    /// Successful responses.
+    pub completed: u64,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub overloaded: u64,
+    /// Requests rejected with [`ServeError::QuotaExceeded`].
+    pub quota_rejected: u64,
+    /// Responses served from the front cache.
+    pub front_cache_hits: u64,
+    /// Wall-clock duration of the whole run, microseconds.
+    pub wall_us: u64,
+    /// Responses per second of wall clock.
+    pub throughput_rps: f64,
+}
+
+impl TrafficReport {
+    /// Nearest-rank percentile over the successful latencies.
+    #[must_use]
+    pub fn latency_us(&self, pct: f64) -> u64 {
+        sdbms_testkit::percentile(&self.latencies_us, pct)
+    }
+
+    /// Fraction of successful responses served from the front cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.front_cache_hits as f64 / self.completed as f64
+        }
+    }
+}
+
+/// One planned request in an analyst's schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A read query.
+    Query(Query),
+    /// An update batch (the writer analyst, on its cadence).
+    Commit(Vec<BatchOp>),
+}
+
+/// The exact request sequence analyst `analyst` issues under `cfg`.
+/// [`run_traffic`] executes precisely this schedule, so a differential
+/// oracle can regenerate it to learn which logical request produced
+/// each recorded outcome.
+#[must_use]
+pub fn request_schedule(cfg: &TrafficConfig, universe: &[Query], analyst: usize) -> Vec<Request> {
+    let zipf = Zipfian::new(universe.len(), cfg.zipf_exponent);
+    let mut rng = SplitMix64::new(cfg.seed ^ analyst as u64);
+    (0..cfg.requests_per_analyst)
+        .map(|step| next_request(cfg, universe, &zipf, &mut rng, analyst, step))
+        .collect()
+}
+
+fn next_request(
+    cfg: &TrafficConfig,
+    universe: &[Query],
+    zipf: &Zipfian,
+    rng: &mut SplitMix64,
+    analyst: usize,
+    step: usize,
+) -> Request {
+    let writes =
+        cfg.update_every > 0 && analyst == 0 && step % cfg.update_every == cfg.update_every - 1;
+    if writes {
+        let mut state = rng.next_u64();
+        let update = seeded_income_update(&mut state);
+        return Request::Commit(vec![update.batch_op()]);
+    }
+    Request::Query(universe[zipf.sample(rng)].clone())
+}
+
+/// Drive `server` with `cfg`'s closed-loop workload and collect the
+/// report. Sessions are opened before and closed after; the server
+/// keeps running.
+#[must_use]
+pub fn run_traffic(server: &Server, cfg: &TrafficConfig) -> TrafficReport {
+    let universe = census_query_universe();
+    let start = Instant::now();
+    let mut per_analyst: HashMap<usize, Vec<Outcome>> = HashMap::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for analyst in 0..cfg.analysts {
+            let schedule = request_schedule(cfg, &universe, analyst);
+            let handle = scope.spawn(move || {
+                let mut outcomes = Vec::with_capacity(schedule.len());
+                let session = match server.open_session(cfg.tenant_for(analyst), &cfg.view) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        outcomes.push(Outcome::Rejected(e.to_string()));
+                        return (analyst, outcomes);
+                    }
+                };
+                for request in schedule {
+                    let issued = Instant::now();
+                    let result = match request {
+                        Request::Query(query) => server.query(session, query),
+                        Request::Commit(ops) => server.commit(session, ops),
+                    };
+                    let latency_us = issued.elapsed().as_micros() as u64;
+                    match result {
+                        Ok(resp) => outcomes.push(Outcome::Ok(Box::new(resp), latency_us)),
+                        Err(e) => outcomes.push(Outcome::Rejected(e.to_string())),
+                    }
+                }
+                let _ = server.close_session(session);
+                (analyst, outcomes)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            if let Ok((analyst, outcomes)) = handle.join() {
+                per_analyst.insert(analyst, outcomes);
+            }
+        }
+    });
+    let wall_us = start.elapsed().as_micros() as u64;
+    let mut outcomes = Vec::with_capacity(cfg.analysts);
+    for analyst in 0..cfg.analysts {
+        outcomes.push(per_analyst.remove(&analyst).unwrap_or_default());
+    }
+    summarize(outcomes, wall_us)
+}
+
+fn summarize(outcomes: Vec<Vec<Outcome>>, wall_us: u64) -> TrafficReport {
+    let mut latencies_us = Vec::new();
+    let mut completed = 0u64;
+    let mut overloaded = 0u64;
+    let mut quota_rejected = 0u64;
+    let mut front_cache_hits = 0u64;
+    for outcome in outcomes.iter().flatten() {
+        match outcome {
+            Outcome::Ok(resp, lat) => {
+                completed += 1;
+                latencies_us.push(*lat);
+                if resp.served == Served::FrontCache {
+                    front_cache_hits += 1;
+                }
+            }
+            // Rejections are recorded by display string (the error is
+            // not Clone); these fragments are fixed by the Display
+            // impls in `error.rs`, which has tests pinning them.
+            Outcome::Rejected(msg) => {
+                if msg.contains("queue full") {
+                    overloaded += 1;
+                } else if msg.contains("out of quota") {
+                    quota_rejected += 1;
+                }
+            }
+        }
+    }
+    latencies_us.sort_unstable();
+    let throughput_rps = if wall_us == 0 {
+        0.0
+    } else {
+        completed as f64 * 1_000_000.0 / wall_us as f64
+    };
+    TrafficReport {
+        outcomes,
+        latencies_us,
+        completed,
+        overloaded,
+        quota_rejected,
+        front_cache_hits,
+        wall_us,
+        throughput_rps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_is_stable_and_nonempty() {
+        let u = census_query_universe();
+        assert!(u.len() >= 10);
+        assert_eq!(u, census_query_universe());
+    }
+
+    #[test]
+    fn writer_schedule_is_deterministic() {
+        let cfg = TrafficConfig::new("v")
+            .update_every(5)
+            .requests_per_analyst(20);
+        let universe = census_query_universe();
+        let a = request_schedule(&cfg, &universe, 0);
+        let b = request_schedule(&cfg, &universe, 0);
+        assert_eq!(a, b);
+        for (step, request) in a.iter().enumerate() {
+            let is_write = matches!(request, Request::Commit(_));
+            assert_eq!(is_write, step % 5 == 4, "writes land on the cadence");
+        }
+        // A different analyst draws a different (but also stable) mix.
+        let other = request_schedule(&cfg, &universe, 1);
+        assert!(other.iter().all(|r| matches!(r, Request::Query(_))));
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn report_percentiles_and_hit_rate() {
+        let report = summarize(Vec::new(), 1);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.hit_rate(), 0.0);
+        assert_eq!(report.latency_us(99.0), 0);
+    }
+}

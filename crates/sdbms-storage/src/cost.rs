@@ -385,6 +385,26 @@ impl CostModel {
             + s.archive_repositioned_blocks as f64 * self.archive_reposition_block
             + s.backoff_units as f64 * self.backoff_unit
     }
+
+    /// The same cost in integer **milli-units** (1/1000 of a cost
+    /// unit), computed with integer arithmetic only. Unlike the float
+    /// form, milli-costs are exact and associative: charging a tenant
+    /// request-by-request sums to precisely the cost of the merged
+    /// counters, which is the property the serving layer's
+    /// token-bucket quota accounting asserts. Weights are rounded to
+    /// the nearest milli-unit once, up front.
+    #[must_use]
+    pub fn cost_milli(&self, s: &IoSnapshot) -> u64 {
+        fn milli(w: f64) -> u64 {
+            (w * 1000.0).round().max(0.0) as u64
+        }
+        s.page_reads * milli(self.page_read)
+            + s.page_writes * milli(self.page_write)
+            + s.seeks * milli(self.seek)
+            + s.archive_block_reads * milli(self.archive_block_read)
+            + s.archive_repositioned_blocks * milli(self.archive_reposition_block)
+            + s.backoff_units * milli(self.backoff_unit)
+    }
 }
 
 #[cfg(test)]
@@ -459,6 +479,43 @@ mod tests {
         };
         let expected = 10.0 + 2.0 + 4.0 + 4.0 * 1.5 + 8.0 * 0.5 + 8.0 * 0.25;
         assert!((m.cost(&s) - expected).abs() < 1e-12);
+        // The integer form agrees with the float form at default
+        // weights (all of which are exact multiples of a milli-unit).
+        assert_eq!(m.cost_milli(&s), (expected * 1000.0).round() as u64);
+    }
+
+    #[test]
+    fn milli_cost_is_exactly_associative() {
+        // Charging piecewise must sum to exactly the cost of the
+        // merged counters — the serving layer's quota ledgers assert
+        // this equality across thousands of requests.
+        let m = CostModel::default();
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut merged = IoSnapshot::default();
+        let mut piecewise = 0u64;
+        for _ in 0..1000 {
+            let s = IoSnapshot {
+                page_reads: next() % 50,
+                page_writes: next() % 20,
+                seeks: next() % 10,
+                pool_hits: next() % 100,
+                archive_block_reads: next() % 8,
+                archive_repositioned_blocks: next() % 30,
+                tuples: next() % 1000,
+                retries: next() % 4,
+                backoff_units: next() % 12,
+                checksum_failures: 0,
+            };
+            piecewise += m.cost_milli(&s);
+            merged.merge(&s);
+        }
+        assert_eq!(piecewise, m.cost_milli(&merged));
     }
 
     #[test]

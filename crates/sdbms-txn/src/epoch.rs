@@ -98,6 +98,16 @@ impl EpochRegistry {
         self.inner.lock().retired.len()
     }
 
+    /// The oldest epoch a live [`EpochPin`] still protects, if any.
+    /// `epoch() - oldest_pinned()` is the *pin lag*: how far the
+    /// slowest pinned reader trails the live version — the serving
+    /// layer exports it so operators can spot a session holding back
+    /// page reclamation.
+    #[must_use]
+    pub fn oldest_pinned(&self) -> Option<u64> {
+        self.inner.lock().pins.keys().next().copied()
+    }
+
     /// Pin the current epoch. The returned guard keeps every version
     /// retired at or after this epoch alive until it drops.
     #[must_use]
@@ -267,6 +277,22 @@ mod tests {
         assert!(order.lock().is_empty());
         drop(pin);
         assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oldest_pinned_tracks_the_slowest_reader() {
+        let reg = Arc::new(EpochRegistry::new());
+        assert_eq!(reg.oldest_pinned(), None);
+        let old = reg.pin();
+        reg.retire(|| {});
+        reg.retire(|| {});
+        let newer = reg.pin();
+        assert_eq!(reg.oldest_pinned(), Some(old.epoch()));
+        assert_eq!(reg.epoch(), 2);
+        drop(old);
+        assert_eq!(reg.oldest_pinned(), Some(newer.epoch()));
+        drop(newer);
+        assert_eq!(reg.oldest_pinned(), None);
     }
 
     #[test]

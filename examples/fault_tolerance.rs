@@ -13,24 +13,20 @@
 //! Run with: `cargo run --example fault_tolerance`
 
 use sdbms::core::{
-    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate, StatDbms,
-    StatFunction, ViewDefinition,
+    AccuracyPolicy, BinOp, CmpOp, ComputeSource, Expr, Predicate, StatFunction, ViewDefinition,
 };
-use sdbms::data::census::{microdata_census, CensusConfig};
-use sdbms::storage::{DeviceFaults, FaultPlan, StorageEnv};
+use sdbms::storage::{DeviceFaults, FaultPlan};
+use sdbms_testkit::CensusFixture;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- A DBMS on faulty hardware ----------------------------------------
-    let mut dbms = StatDbms::with_env(StorageEnv::new(256));
-    let raw = microdata_census(&CensusConfig {
-        rows: 500,
-        invalid_fraction: 0.0,
-        outlier_fraction: 0.0,
-        ..Default::default()
-    })?;
-    dbms.load_raw(&raw)?;
-    dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "alice")?;
-    dbms.set_durability(DurabilityPolicy::CrashConsistent)?;
+    // The shared census fixture, demo-sized and cold (no warmed
+    // summaries — each section below earns its own cache state).
+    let mut dbms = CensusFixture::new()
+        .rows(500)
+        .owner("alice")
+        .warm(false)
+        .build()?;
 
     // ---- 1. Transients are retried, not surfaced ---------------------------
     // Drop the (clean, just-flushed) pool frames so the computation

@@ -53,6 +53,7 @@
 //! | [`repair`] | self-healing: health registry, scrub cursors, corruption triage ladder |
 //! | [`txn`] | multi-analyst concurrency: epoch registry/pins for snapshot reclamation, the per-view lock table |
 //! | [`core`] | the DBMS façade tying it all together (paper Figure 3) |
+//! | [`serve`] | the serving layer: thread-pool request loop, front result cache, per-tenant admission control |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -64,6 +65,7 @@ pub use sdbms_exec as exec;
 pub use sdbms_management as management;
 pub use sdbms_relational as relational;
 pub use sdbms_repair as repair;
+pub use sdbms_serve as serve;
 pub use sdbms_stats as stats;
 pub use sdbms_storage as storage;
 pub use sdbms_summary as summary;

@@ -11,12 +11,14 @@
 //! wrong answer.
 
 use sdbms::core::{
-    AccuracyPolicy, BinOp, CmpOp, ComputeSource, DurabilityPolicy, Expr, Predicate, Snapshot,
-    StatDbms, StatFunction, ViewDefinition, ViewHealth,
+    AccuracyPolicy, BinOp, CmpOp, ComputeSource, Expr, Predicate, Snapshot, StatDbms, StatFunction,
+    ViewHealth,
 };
-use sdbms::data::census::{microdata_census, CensusConfig};
 use sdbms::exec::ExecConfig;
 use sdbms::storage::{DeviceFaults, FaultPlan, StorageEnv};
+use sdbms_testkit::{
+    checked_functions, seeded_income_update, splitmix, unit, CensusFixture, CENSUS_ATTRS,
+};
 
 /// Fault schedules to run (the acceptance bar is 100). PR runs use the
 /// default; the nightly CI chaos job raises it through the
@@ -30,18 +32,6 @@ fn schedules() -> u64 {
 
 /// Updates driven through each schedule.
 const STEPS: u64 = 6;
-
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-fn unit(state: &mut u64) -> f64 {
-    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
-}
 
 /// The deterministic fault plan for one schedule. `base_ops` is the
 /// injector's current operation count, so crashes land inside the
@@ -65,41 +55,16 @@ fn plan_for(seed: u64, base_ops: u64) -> FaultPlan {
     }
 }
 
-const ATTRS: [&str; 2] = ["AGE", "INCOME"];
-
-fn checked_functions() -> Vec<StatFunction> {
-    vec![
-        StatFunction::Count,
-        StatFunction::Mean,
-        StatFunction::Min,
-        StatFunction::Max,
-        StatFunction::Median,
-    ]
-}
+const ATTRS: [&str; 2] = CENSUS_ATTRS;
 
 /// A DBMS with a clean 160-row census view, crash-consistent
-/// durability, and warmed summaries. Built fault-free.
+/// durability, and warmed summaries. Built fault-free — the testkit's
+/// default fixture, which was extracted from this harness.
 fn setup() -> StatDbms {
-    let mut dbms = StatDbms::with_env(StorageEnv::new(256));
-    let raw = microdata_census(&CensusConfig {
-        rows: 160,
-        invalid_fraction: 0.0,
-        outlier_fraction: 0.0,
-        ..Default::default()
-    })
-    .expect("generate");
-    dbms.load_raw(&raw).expect("load");
-    dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "chaos")
-        .expect("materialize");
-    dbms.set_durability(DurabilityPolicy::CrashConsistent)
-        .expect("durability");
-    for a in ATTRS {
-        for f in checked_functions() {
-            dbms.compute("v", a, &f, AccuracyPolicy::Exact)
-                .expect("warm");
-        }
-    }
-    dbms
+    CensusFixture::new()
+        .owner("chaos")
+        .build()
+        .expect("fixture")
 }
 
 /// Bring a crashed DBMS back up; if recovery itself keeps faulting,
@@ -138,16 +103,8 @@ fn hundred_plus_seeded_fault_schedules_never_serve_wrong_summaries() {
         // crash is recovered and the workload continues.
         let mut s = seed ^ 0xC0FF_EE00;
         for _ in 0..STEPS {
-            let threshold = 20 + (splitmix(&mut s) % 45) as i64;
-            let bump = 1 + (splitmix(&mut s) % 500) as i64;
-            let outcome = dbms.update_where(
-                "v",
-                &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold)),
-                &[(
-                    "INCOME",
-                    Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump)),
-                )],
-            );
+            let edit = seeded_income_update(&mut s);
+            let outcome = edit.apply(&mut dbms, "v");
             if outcome.is_err() && dbms.is_crashed() {
                 crashes_recovered += 1;
                 recover_until_up(&mut dbms);
@@ -269,16 +226,8 @@ fn parallel_chaos_run() {
 
         let mut s = seed ^ 0xFEED_FACE;
         for _ in 0..STEPS {
-            let threshold = 20 + (splitmix(&mut s) % 45) as i64;
-            let bump = 1 + (splitmix(&mut s) % 500) as i64;
-            let outcome = dbms.update_where(
-                "v",
-                &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold)),
-                &[(
-                    "INCOME",
-                    Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump)),
-                )],
-            );
+            let edit = seeded_income_update(&mut s);
+            let outcome = edit.apply(&mut dbms, "v");
             if outcome.is_err() {
                 clean_errors += 1;
                 if dbms.is_crashed() {
@@ -358,18 +307,9 @@ fn seeded_data_page_bit_flips_are_scrubbed_and_self_healed() {
         let mut reference = setup();
         let mut s = seed ^ 0xAB5E_11ED;
         for _ in 0..3 {
-            let threshold = 20 + (splitmix(&mut s) % 45) as i64;
-            let bump = 1 + (splitmix(&mut s) % 500) as i64;
+            let edit = seeded_income_update(&mut s);
             for dbms in [&mut primary, &mut reference] {
-                dbms.update_where(
-                    "v",
-                    &Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold)),
-                    &[(
-                        "INCOME",
-                        Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump)),
-                    )],
-                )
-                .expect("edit workload");
+                edit.apply(dbms, "v").expect("edit workload");
             }
         }
 

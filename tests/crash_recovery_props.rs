@@ -6,47 +6,19 @@
 
 use proptest::prelude::*;
 
-use sdbms::core::{
-    AccuracyPolicy, BinOp, CmpOp, DurabilityPolicy, Expr, Predicate, StatDbms, StatFunction,
-    ViewDefinition, ViewHealth,
-};
-use sdbms::data::census::{microdata_census, CensusConfig};
-use sdbms::storage::{FaultPlan, StorageEnv};
+use sdbms::core::{AccuracyPolicy, BinOp, CmpOp, Expr, Predicate, StatDbms, ViewHealth};
+use sdbms::storage::FaultPlan;
+use sdbms_testkit::{checked_functions as functions, CensusFixture, CENSUS_ATTRS as ATTRS};
 
-const ATTRS: [&str; 2] = ["AGE", "INCOME"];
-
-fn functions() -> Vec<StatFunction> {
-    vec![
-        StatFunction::Count,
-        StatFunction::Mean,
-        StatFunction::Min,
-        StatFunction::Max,
-        StatFunction::Median,
-    ]
-}
-
-/// A crash-consistent DBMS over a small census view with warm caches.
+/// A crash-consistent DBMS over a small census view with warm caches —
+/// the testkit fixture at this harness's historical sizing.
 fn setup() -> StatDbms {
-    let mut dbms = StatDbms::with_env(StorageEnv::new(192));
-    let raw = microdata_census(&CensusConfig {
-        rows: 60,
-        invalid_fraction: 0.0,
-        outlier_fraction: 0.0,
-        ..Default::default()
-    })
-    .expect("generate");
-    dbms.load_raw(&raw).expect("load");
-    dbms.materialize(ViewDefinition::scan("v", "census_microdata"), "props")
-        .expect("materialize");
-    dbms.set_durability(DurabilityPolicy::CrashConsistent)
-        .expect("durability");
-    for a in ATTRS {
-        for f in functions() {
-            dbms.compute("v", a, &f, AccuracyPolicy::Exact)
-                .expect("warm");
-        }
-    }
-    dbms
+    CensusFixture::new()
+        .rows(60)
+        .pool_pages(192)
+        .owner("props")
+        .build()
+        .expect("fixture")
 }
 
 /// Every summary the recovered DBMS serves must match a recompute of

@@ -143,23 +143,20 @@ proptest! {
 
 /// A DBMS with one materialized census view and an explicit executor
 /// configuration. The census generator is deterministic, so every
-/// instance holds identical bytes.
+/// instance holds identical bytes — the shared testkit fixture at this
+/// harness's historical knobs (dirty data, cold caches, no WAL).
 fn census_dbms(rows: usize, cfg: ExecConfig) -> StatDbms {
-    let mut dbms = StatDbms::with_env(StorageEnv::new(512));
-    let raw = microdata_census(&CensusConfig {
-        rows,
-        seed: 42,
-        invalid_fraction: 0.01,
-        outlier_fraction: 0.01,
-        ..Default::default()
-    })
-    .expect("generate");
-    dbms.load_raw(&raw).expect("load");
-    dbms.materialize(
-        ViewDefinition::scan("v", "census_microdata"),
-        "differential",
-    )
-    .expect("materialize");
+    let mut dbms = sdbms_testkit::CensusFixture::new()
+        .rows(rows)
+        .pool_pages(512)
+        .seed(42)
+        .invalid_fraction(0.01)
+        .outlier_fraction(0.01)
+        .owner("differential")
+        .crash_consistent(false)
+        .warm(false)
+        .build()
+        .expect("fixture");
     dbms.set_exec_config(cfg);
     dbms
 }

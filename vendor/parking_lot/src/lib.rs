@@ -85,6 +85,14 @@ impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
         RwLock(sync::RwLock::new(value))
     }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {
