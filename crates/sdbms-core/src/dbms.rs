@@ -776,9 +776,11 @@ impl StatDbms {
                 // intent — all best-effort; a pending intent is safe.
                 if let Some(v) = self.views.get(view) {
                     for a in intent {
+                        // lint: allow(swallowed-error): invalidation failure only widens the recompute set; the pending intent already guards correctness
                         let _ = v.summary.invalidate_attribute(a);
                     }
                 }
+                // lint: allow(swallowed-error): retiring the intent is best-effort on this path — a pending intent is safe and recovery replays it
                 let _ = self.commit_intent(view);
             }
             Err(_) => {} // crash: intent stays pending

@@ -385,6 +385,7 @@ impl StatDbms {
                 // The shadow apply failed without a crash: the live
                 // version was never touched, so just retire the
                 // intent. Best-effort — pending is safe.
+                // lint: allow(swallowed-error): a pending intent is safe (recovery replays it); the apply error is the one to surface
                 let _ = self.commit_intent(&view);
             }
             Err(_) => {} // crash: intent stays pending

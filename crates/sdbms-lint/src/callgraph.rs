@@ -1,0 +1,406 @@
+//! Workspace call graph and per-function effect summaries.
+//!
+//! Built over [`crate::syntax`]: every parsed function is indexed by
+//! bare name and by `Type::name`, calls are resolved conservatively
+//! (qualified paths exactly; methods by name with a denylist for
+//! ubiquitous std names like `get`/`insert`/`len` that would otherwise
+//! alias half the standard library), and a fixpoint computes each
+//! function's [`Effects`] — the lock classes it may acquire, the
+//! blocking operations it may perform, and the `Result` discards it
+//! contains — transitively through everything it calls. The held-lock
+//! walks in [`crate::locks`] and [`crate::flow`] consume these
+//! summaries to reason interprocedurally without inlining.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::syntax::{Block, Call, FnDef, Node};
+
+/// Method names too generic to resolve by name: they would alias
+/// `HashMap::get`, `Vec::push`, `Option::map`, … and drag unrelated
+/// effects into every caller. Calls to them resolve to nothing.
+const AMBIENT_METHODS: &[&str] = &[
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clear",
+    "clone",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "contains",
+    "contains_key",
+    "entry",
+    "drain",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "take",
+    "replace",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "ok_or",
+    "ok_or_else",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "collect",
+    "extend",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "into",
+    "from",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "fmt",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "min",
+    "max",
+    "abs",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "field",
+    "finish",
+    "count",
+    "sum",
+    "any",
+    "all",
+    "find",
+    "position",
+    "chars",
+    "lines",
+    "split",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "get_or_insert_with",
+    "retain",
+    "truncate",
+    "resize",
+    "reserve",
+    "keys",
+    "values",
+    "values_mut",
+    "first",
+    "last",
+    "write",
+    "flush_buf",
+    // `merge` aliases accumulator folds across five crates and
+    // `with` aliases `thread_local!`/builder patterns; both drag
+    // unrelated effects into every caller when resolved by name.
+    "merge",
+    "with",
+];
+
+/// Blocking operations by method name: the catalogue the
+/// `blocking-under-lock` pass matches call sites against directly
+/// (resolution-independent — `recv` blocks whether or not the callee
+/// is in this workspace).
+const BLOCKING_METHODS: &[(&str, &str)] = &[
+    ("recv", "a blocking channel receive"),
+    ("recv_timeout", "a blocking channel receive"),
+    ("join", "a thread join"),
+    ("read_page", "disk I/O"),
+    ("write_page", "disk I/O"),
+    ("flush_all", "disk I/O"),
+    ("read_block", "tape I/O"),
+    ("append_block", "tape I/O"),
+    ("rewind", "tape I/O"),
+    ("compact", "WAL disk I/O"),
+];
+
+/// The blocking kind of a direct call, if it is in the catalogue.
+#[must_use]
+pub fn blocking_kind(name: &str) -> Option<&'static str> {
+    BLOCKING_METHODS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, k)| *k)
+}
+
+/// What a function may do, transitively through its calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Lock classes acquired somewhere inside.
+    pub acquires: BTreeSet<String>,
+    /// Blocking-operation kinds reachable inside.
+    pub blocking: BTreeSet<String>,
+    /// `Result` discard sites reachable inside *with no lock held
+    /// locally on their own path* — a caller holding a lock turns each
+    /// into a finding at its own `(file, line, description)`.
+    pub discards: BTreeSet<(String, u32, String)>,
+}
+
+/// The parsed workspace: functions, indexes, resolved effects.
+pub struct Program {
+    /// Every parsed function.
+    pub fns: Vec<FnDef>,
+    /// Effect summary per function (same indexing as `fns`).
+    pub effects: Vec<Effects>,
+    by_name: HashMap<String, Vec<usize>>,
+    by_qual: HashMap<String, Vec<usize>>,
+}
+
+impl Program {
+    /// Build the program and run the effects fixpoint.
+    /// `local_effects(f)` supplies each function's *local* effects
+    /// (its own acquires/blocking/discards, no propagation) — computed
+    /// by the lock pass, which owns lock classification.
+    #[must_use]
+    pub fn build(fns: Vec<FnDef>, local_effects: impl Fn(&Program, &FnDef) -> Effects) -> Program {
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some(q) = &f.qual {
+                by_qual.entry(q.clone()).or_default().push(i);
+            }
+        }
+        let mut prog = Program {
+            effects: vec![Effects::default(); fns.len()],
+            fns,
+            by_name,
+            by_qual,
+        };
+        let locals: Vec<Effects> = prog.fns.iter().map(|f| local_effects(&prog, f)).collect();
+        prog.effects = locals.clone();
+        // Fixpoint: union callee effects into callers until stable.
+        // Effects only grow and the universe is finite, so this
+        // terminates; workspace depth keeps iteration counts small.
+        loop {
+            let mut changed = false;
+            for i in 0..prog.fns.len() {
+                if prog.fns[i].is_test {
+                    continue;
+                }
+                let mut next = prog.effects[i].clone();
+                for call in collect_calls(&prog.fns[i].body) {
+                    for j in prog.resolve(&call, &prog.fns[i]) {
+                        let callee = prog.effects[j].clone();
+                        next.acquires.extend(callee.acquires);
+                        next.blocking.extend(callee.blocking);
+                        next.discards.extend(callee.discards);
+                    }
+                }
+                if next != prog.effects[i] {
+                    prog.effects[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        prog
+    }
+
+    /// Resolve a call to candidate function indices. Conservative:
+    /// qualified paths resolve exactly (with `Self` mapped through the
+    /// caller's impl type); methods resolve by name across the
+    /// workspace unless the name is ambient-std; bare calls resolve to
+    /// free functions, preferring the caller's file, then its crate.
+    #[must_use]
+    pub fn resolve(&self, call: &Call, caller: &FnDef) -> Vec<usize> {
+        if let Some(q) = &call.qualifier {
+            let ty = if q == "Self" {
+                match caller.impl_type() {
+                    Some(t) => t.to_string(),
+                    None => return Vec::new(),
+                }
+            } else {
+                q.clone()
+            };
+            if ty.chars().next().is_some_and(char::is_uppercase) {
+                return self
+                    .by_qual
+                    .get(&format!("{ty}::{}", call.name))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            // Module-path call (`mem::take`, `descriptive::mean`):
+            // resolve by bare name below.
+        }
+        let is_method = call.method;
+        if is_method && AMBIENT_METHODS.contains(&call.name.as_str()) {
+            return Vec::new();
+        }
+        let Some(all) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        // A function is excluded from its own candidate set:
+        // self-recursion adds nothing to an effects fixpoint, and
+        // wrapper methods that forward through a lock guard
+        // (`self.inner.dbms.lock().epoch_status()`) must not resolve
+        // back to the wrapper and report a phantom re-entrant cycle.
+        let candidates: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                !f.is_test
+                    && f.qual.is_some() == is_method
+                    && !(f.file == caller.file && f.line == caller.line)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        // `self.foo()` prefers the caller's own impl.
+        if call.receiver.as_deref() == Some("self") {
+            if let Some(ty) = caller.impl_type() {
+                let own: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].impl_type() == Some(ty))
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+        }
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].file == caller.file)
+            .collect();
+        if !is_method && !same_file.is_empty() {
+            return same_file;
+        }
+        let same_crate: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].crate_name == caller.crate_name)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        candidates
+    }
+}
+
+/// Every call node in a block, nested blocks included.
+#[must_use]
+pub fn collect_calls(block: &Block) -> Vec<Call> {
+    let mut out = Vec::new();
+    collect_calls_into(block, &mut out);
+    out
+}
+
+fn collect_calls_into(block: &Block, out: &mut Vec<Call>) {
+    for stmt in &block.stmts {
+        for node in &stmt.nodes {
+            match node {
+                Node::Call(c) => out.push(c.clone()),
+                Node::Block(b) => collect_calls_into(b, out),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_lints::test_spans;
+    use crate::tokenizer::tokenize;
+
+    fn program(srcs: &[(&str, &str, &str)]) -> Program {
+        let mut fns = Vec::new();
+        for (krate, file, src) in srcs {
+            let ts = tokenize(src);
+            let spans = test_spans(&ts.toks);
+            fns.extend(crate::syntax::parse_file(krate, file, &ts.toks, &spans));
+        }
+        Program::build(fns, |_, _| Effects::default())
+    }
+
+    fn call(name: &str, receiver: Option<&str>, qualifier: Option<&str>) -> Call {
+        Call {
+            name: name.into(),
+            qualifier: qualifier.map(Into::into),
+            method: receiver.is_some(),
+            receiver: receiver.map(Into::into),
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn qualified_resolution_is_exact() {
+        let p = program(&[
+            ("a", "a.rs", "impl Pool { fn fetch(&self) {} }\n"),
+            ("b", "b.rs", "impl Store { fn fetch(&self) {} }\n"),
+        ]);
+        let caller = &p.fns[1];
+        let got = p.resolve(&call("fetch", None, Some("Pool")), caller);
+        assert_eq!(got.len(), 1);
+        assert_eq!(p.fns[got[0]].qual.as_deref(), Some("Pool::fetch"));
+    }
+
+    #[test]
+    fn self_receiver_prefers_own_impl() {
+        let p = program(&[
+            ("a", "a.rs", "impl Pool { fn flush(&self) {} }\n"),
+            (
+                "b",
+                "b.rs",
+                "impl Wal {\nfn flush(&self) {}\nfn go(&self) { self.flush(); }\n}\n",
+            ),
+        ]);
+        let caller = p.fns.iter().find(|f| f.name == "go").unwrap();
+        let got = p.resolve(&call("flush", Some("self"), None), caller);
+        assert_eq!(got.len(), 1);
+        assert_eq!(p.fns[got[0]].qual.as_deref(), Some("Wal::flush"));
+    }
+
+    #[test]
+    fn ambient_methods_do_not_resolve() {
+        let p = program(&[(
+            "a",
+            "a.rs",
+            "impl M { fn get(&self) {} }\nfn f(m: &M) { m.get(); }\n",
+        )]);
+        let caller = p.fns.iter().find(|f| f.name == "f").unwrap();
+        assert!(p.resolve(&call("get", Some("m"), None), caller).is_empty());
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_free_fns() {
+        let p = program(&[
+            ("a", "a.rs", "fn helper() {}\nfn f() { helper(); }\n"),
+            ("b", "b.rs", "fn helper() {}\n"),
+        ]);
+        let caller = p.fns.iter().find(|f| f.name == "f").unwrap();
+        let got = p.resolve(&call("helper", None, None), caller);
+        assert_eq!(got.len(), 1);
+        assert_eq!(p.fns[got[0]].file, "a.rs");
+    }
+
+    #[test]
+    fn blocking_catalogue() {
+        assert_eq!(blocking_kind("recv"), Some("a blocking channel receive"));
+        assert_eq!(blocking_kind("write_page"), Some("disk I/O"));
+        assert_eq!(blocking_kind("charge"), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Held-lock dataflow: the `swallowed-error` pass (Layer 1.5, pass 3).
+//!
+//! A discarded `Result` — `let _ = fallible(…)`, a statement-terminal
+//! `.ok()`, or a bare `fallible(…);` statement — is tolerable on a
+//! cold path, but on a path that holds a lock or a WAL intent it
+//! usually means a critical section proceeds as if an invariant still
+//! held after the operation that maintained it failed (an abort that
+//! didn't abort, an invalidation that didn't invalidate). This pass
+//! reports exactly those discards:
+//!
+//! - *Direct*: the discarding statement itself runs under a non-empty
+//!   held-lock set (via the shared walk in [`crate::locks`]).
+//! - *Bubbled*: the discard sits in a helper whose own path is
+//!   lock-free, but some caller reaches the helper while holding a
+//!   lock. The [`crate::callgraph::Effects`] fixpoint carries each
+//!   lock-free discard site upward; the finding is reported at the
+//!   discard site, naming the lock-holding entry point.
+//!
+//! `?` propagation, bound `.ok()` values (`if x.ok() …`), and
+//! assignments are all uses, not discards, and never fire. Deliberate
+//! discards carry a justified inline allow
+//! (`// lint: allow(swallowed-error): <why>`), same as every other
+//! lint in the catalogue.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::Program;
+use crate::diagnostics::{Diagnostic, SWALLOWED_ERROR};
+use crate::locks::{walk_program, Event};
+
+/// Run the swallowed-error pass over a resolved program.
+#[must_use]
+pub fn check(prog: &Program) -> Vec<Diagnostic> {
+    let mut out: BTreeMap<(String, u32), Diagnostic> = BTreeMap::new();
+    walk_program(prog, &mut |ev| match ev {
+        Event::Discard {
+            f,
+            line,
+            desc,
+            held,
+        } => {
+            if held.is_empty() {
+                return;
+            }
+            let classes: Vec<String> = held.iter().map(|h| h.class.clone()).collect();
+            out.entry((f.file.clone(), line)).or_insert_with(|| {
+                Diagnostic::new(
+                    SWALLOWED_ERROR,
+                    &f.file,
+                    line,
+                    format!("{desc} while `{}` is held", classes.join("`, `")),
+                )
+                .with_held(classes.clone())
+            });
+        }
+        Event::Call { f, call, held } => {
+            if held.is_empty() {
+                return;
+            }
+            let classes: Vec<String> = held.iter().map(|h| h.class.clone()).collect();
+            for j in prog.resolve(call, f) {
+                for (file, line, desc) in &prog.effects[j].discards {
+                    out.entry((file.clone(), *line)).or_insert_with(|| {
+                        Diagnostic::new(
+                            SWALLOWED_ERROR,
+                            file,
+                            *line,
+                            format!(
+                                "{desc}, reached from `{}` ({}:{}) with `{}` held",
+                                f.name,
+                                f.file,
+                                call.line,
+                                classes.join("`, `")
+                            ),
+                        )
+                        .with_held(classes.clone())
+                    });
+                }
+            }
+        }
+        Event::Acquire { .. } => {}
+    });
+    out.into_values().collect()
+}

@@ -1,0 +1,682 @@
+//! The global lock-order analysis (Layer 1.5, pass 1 + 2).
+//!
+//! Every mutex in the workspace is mapped to a *lock class* — the
+//! engine `Mutex<StatDbms>` is `engine`, the serving layer's front
+//! cache is `serve-cache`, the buffer pool's table lock is
+//! `pool-state`, and so on ([`classify`]). A held-lock walk over every
+//! function ([`walk_program`]) then records an edge `A → B` whenever
+//! `B` is acquired (directly, or anywhere inside a callee, via the
+//! [`crate::callgraph::Effects`] summaries) while `A` is held. The
+//! resulting global order graph is checked against the *sanctioned
+//! hierarchy* ([`SANCTIONED`], documented in DESIGN.md §14):
+//!
+//! - `lock-cycle` — the graph has a cycle (two locks each held while
+//!   the other is acquired, or a longer loop, or the degenerate
+//!   re-entrant acquisition of a non-reentrant class).
+//! - `lock-order-divergence` — an edge contradicts the sanctioned
+//!   ranks: some path acquires the pair in the opposite of the
+//!   blessed order, even if no reverse edge exists *yet*.
+//! - `blocking-under-lock` — a blocking operation (disk or tape I/O,
+//!   an engine-lock acquisition, a channel wait) is reachable while a
+//!   *fast* lock ([`FAST_LOCKS`]) is held: exactly the monitoring-
+//!   deadlock shape `Server::epoch_status()` was split from
+//!   `metrics()` to avoid.
+//!
+//! Multi-instance classes (`view-lock`, `epoch-pin`, `pool-frame`)
+//! are exempt from the re-entrancy rule — acquiring two *different*
+//! per-view locks or pinning two frames is legal; the `LockTable`
+//! enforces its own ascending-name order internally.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{blocking_kind, Effects, Program};
+use crate::diagnostics::{Diagnostic, BLOCKING_UNDER_LOCK, LOCK_CYCLE, LOCK_ORDER_DIVERGENCE};
+use crate::syntax::{Block, Call, FnDef, Node};
+
+/// The sanctioned lock hierarchy, outermost (acquired first) to
+/// innermost. An edge `A → B` is conformant iff `rank(A) < rank(B)`.
+/// Mirrors the lock-hierarchy diagram in DESIGN.md §14; the
+/// `engine → serve-cache → serve-admission/serve-sessions` prefix is
+/// the PR-7 serving-layer ordering pinned by regression test.
+pub const SANCTIONED: &[(&str, u32)] = &[
+    ("engine", 0),
+    ("view-lock", 10),
+    ("wal-intent", 20),
+    ("serve-cache", 30),
+    ("serve-admission", 31),
+    ("serve-sessions", 32),
+    ("serve-commit-log", 33),
+    ("serve-queue-tx", 34),
+    ("serve-queue-rx", 35),
+    ("serve-workers", 36),
+    ("snapshot-memo", 40),
+    ("txn-lock-table", 50),
+    ("epoch-pin", 55),
+    ("txn-epoch", 60),
+    ("archive-reels", 70),
+    ("heap-state", 72),
+    ("btree-state", 74),
+    ("pool-state", 80),
+    ("pool-frame", 82),
+    ("disk-inner", 90),
+    ("fault-inner", 95),
+];
+
+/// Classes that name many instances (one lock per view / frame / pin):
+/// holding two at once is legal, so the re-entrancy rule skips them.
+pub const MULTI_INSTANCE: &[&str] = &["view-lock", "epoch-pin", "pool-frame"];
+
+/// Fast locks: held for pointer-chasing moments only, never across
+/// blocking work. A blocking operation reachable under one of these is
+/// a `blocking-under-lock` finding.
+pub const FAST_LOCKS: &[&str] = &[
+    "serve-cache",
+    "serve-admission",
+    "serve-sessions",
+    "serve-commit-log",
+    "serve-queue-tx",
+    "serve-queue-rx",
+    "serve-workers",
+    "snapshot-memo",
+    "txn-lock-table",
+    "txn-epoch",
+];
+
+/// The sanctioned rank of a class, if it is in the hierarchy.
+#[must_use]
+pub fn rank(class: &str) -> Option<u32> {
+    SANCTIONED
+        .iter()
+        .find(|(c, _)| *c == class)
+        .map(|(_, r)| *r)
+}
+
+/// Map a raw acquisition tag from [`crate::syntax`] (`recv:<field>`,
+/// or an already-final class like `view-lock`) to its lock class.
+/// Unknown fields get a stable per-field generic class so they still
+/// participate in the graph, just unranked.
+#[must_use]
+pub fn classify(raw: &str, file: &str) -> String {
+    let Some(recv) = raw.strip_prefix("recv:") else {
+        return raw.to_string();
+    };
+    let stem = file
+        .rsplit('/')
+        .next()
+        .unwrap_or(file)
+        .trim_end_matches(".rs");
+    let known = match recv {
+        "dbms" => Some("engine"),
+        "cache" => Some("serve-cache"),
+        "admission" => Some("serve-admission"),
+        "sessions" => Some("serve-sessions"),
+        "commit_log" => Some("serve-commit-log"),
+        "tx" => Some("serve-queue-tx"),
+        "rx" => Some("serve-queue-rx"),
+        "workers" => Some("serve-workers"),
+        "memo" => Some("snapshot-memo"),
+        "reels" => Some("archive-reels"),
+        "frames" => Some("pool-frame"),
+        "state" => match stem {
+            "buffer" => Some("pool-state"),
+            "heap" => Some("heap-state"),
+            "btree" => Some("btree-state"),
+            _ => None,
+        },
+        "inner" => match stem {
+            "lock" => Some("txn-lock-table"),
+            "epoch" => Some("txn-epoch"),
+            "disk" => Some("disk-inner"),
+            "fault" => Some("fault-inner"),
+            _ => None,
+        },
+        _ => None,
+    };
+    known.map_or_else(|| format!("mutex:{stem}.{recv}"), str::to_string)
+}
+
+/// One lock held at a point in the walk.
+#[derive(Debug, Clone)]
+pub struct Held {
+    /// Lock class.
+    pub class: String,
+    /// Block-scoped (survives to end of block) vs statement-temporary.
+    pub bound: bool,
+    /// The `let` binding name, for `drop(name)` releases.
+    pub name: Option<String>,
+    /// Acquisition line.
+    pub line: u32,
+}
+
+/// One event surfaced by the held-lock walk.
+pub enum Event<'a> {
+    /// A lock acquisition under the current held set.
+    Acquire {
+        /// Function being walked.
+        f: &'a FnDef,
+        /// Classified lock class being acquired.
+        class: String,
+        /// Acquisition line.
+        line: u32,
+        /// Locks held at this point (acquisition not yet included).
+        held: &'a [Held],
+    },
+    /// A call under the current held set.
+    Call {
+        /// Function being walked.
+        f: &'a FnDef,
+        /// The call.
+        call: &'a Call,
+        /// Locks held at this point.
+        held: &'a [Held],
+    },
+    /// A `Result` discard under the current held set.
+    Discard {
+        /// Function being walked.
+        f: &'a FnDef,
+        /// Discard line.
+        line: u32,
+        /// What was discarded (`abort_batch`, `.ok()`, …).
+        desc: String,
+        /// Locks held at this point.
+        held: &'a [Held],
+    },
+}
+
+/// Walk every non-test library function, tracking held-lock sets per
+/// the guard-lifetime model in [`crate::syntax`], and surface events.
+pub fn walk_program<F: for<'e> FnMut(Event<'e>)>(prog: &Program, visit: &mut F) {
+    for f in &prog.fns {
+        if f.is_test {
+            continue;
+        }
+        let mut held: Vec<Held> = Vec::new();
+        walk_block(prog, f, &f.body, &mut held, visit);
+    }
+}
+
+fn walk_block<F: for<'e> FnMut(Event<'e>)>(
+    prog: &Program,
+    f: &FnDef,
+    block: &Block,
+    held: &mut Vec<Held>,
+    visit: &mut F,
+) {
+    let base = held.len();
+    for stmt in &block.stmts {
+        let stmt_base = held.len();
+        for node in &stmt.nodes {
+            match node {
+                Node::Acquire(a) => {
+                    let class = classify(&a.class, &f.file);
+                    visit(Event::Acquire {
+                        f,
+                        class: class.clone(),
+                        line: a.line,
+                        held,
+                    });
+                    held.push(Held {
+                        class,
+                        bound: a.bound,
+                        name: if a.bound { stmt.binds.clone() } else { None },
+                        line: a.line,
+                    });
+                }
+                Node::Call(c) => visit(Event::Call { f, call: c, held }),
+                Node::DropGuard(name) => {
+                    if let Some(pos) = held
+                        .iter()
+                        .rposition(|h| h.name.as_deref() == Some(name.as_str()))
+                    {
+                        held.remove(pos);
+                    }
+                }
+                Node::OkDiscard { line } => {
+                    // `x.ok();` as a whole statement is a discard; a
+                    // bound `.ok()` value is a use.
+                    if stmt.binds.is_none() && !stmt.has_assign {
+                        visit(Event::Discard {
+                            f,
+                            line: *line,
+                            desc: "terminal `.ok()`".to_string(),
+                            held,
+                        });
+                    }
+                }
+                Node::Block(b) => walk_block(prog, f, b, held, visit),
+            }
+        }
+        // `let _ = fallible(…)` / bare `fallible(…);` discards.
+        if let Some((line, desc)) = stmt_discard(prog, f, stmt) {
+            visit(Event::Discard {
+                f,
+                line,
+                desc,
+                held,
+            });
+        }
+        // Statement temporaries die here; bound guards live on.
+        let mut idx = held.len();
+        while idx > stmt_base {
+            idx -= 1;
+            if !held[idx].bound {
+                held.remove(idx);
+            }
+        }
+    }
+    held.truncate(base);
+}
+
+/// If `stmt` discards a `Result`, the `(line, description)` of the
+/// discard. `?` anywhere in the statement propagates instead.
+fn stmt_discard(prog: &Program, f: &FnDef, stmt: &crate::syntax::Stmt) -> Option<(u32, String)> {
+    if stmt.has_question {
+        return None;
+    }
+    let top_calls: Vec<&Call> = stmt
+        .nodes
+        .iter()
+        .filter_map(|n| match n {
+            Node::Call(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    let fallible = |c: &Call| {
+        prog.resolve(c, f)
+            .iter()
+            .any(|&j| prog.fns[j].returns_result)
+    };
+    if stmt.let_underscore {
+        if let Some(c) = top_calls.iter().find(|c| fallible(c)) {
+            return Some((
+                stmt.line,
+                format!("`let _ = …{}(…)` discards a Result", c.name),
+            ));
+        }
+        return None;
+    }
+    // A bare `fallible(…);` statement (value unused, no `?`, no
+    // binding): the trailing call decides. `return f();` hands the
+    // value to the caller — not a discard.
+    if !stmt.is_let && !stmt.starts_return && !stmt.has_assign && stmt.ends_semi {
+        if let Some(Node::Call(c)) = stmt.nodes.last() {
+            if fallible(c) {
+                return Some((
+                    c.line,
+                    format!("bare `{}(…);` statement discards a Result", c.name),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Compute one function's *local* effects (no propagation): acquires,
+/// direct blocking operations, and discard sites on lock-free local
+/// paths (a caller holding a lock turns those into findings).
+#[must_use]
+pub fn local_effects(prog: &Program, f: &FnDef) -> Effects {
+    let mut eff = Effects::default();
+    let mut held: Vec<Held> = Vec::new();
+    walk_block(prog, f, &f.body, &mut held, &mut |ev| match ev {
+        Event::Acquire { class, .. } => {
+            if class == "engine" {
+                eff.blocking
+                    .insert("an engine-lock acquisition".to_string());
+            }
+            eff.acquires.insert(class);
+        }
+        Event::Call { call, .. } => {
+            if let Some(kind) = blocking_kind(&call.name) {
+                eff.blocking.insert(kind.to_string());
+            }
+        }
+        Event::Discard {
+            line, desc, held, ..
+        } => {
+            if held.is_empty() {
+                eff.discards.insert((f.file.clone(), line, desc));
+            }
+        }
+    });
+    eff
+}
+
+/// An order-graph edge's first witness site.
+struct EdgeSite {
+    file: String,
+    line: u32,
+    via: Option<String>,
+}
+
+/// Run the lock-order and blocking-under-lock passes over a resolved
+/// program.
+#[must_use]
+pub fn check(prog: &Program) -> Vec<Diagnostic> {
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    let mut blocking: BTreeMap<(String, u32, String), Diagnostic> = BTreeMap::new();
+
+    let record = |edges: &mut BTreeMap<(String, String), EdgeSite>,
+                  from: &str,
+                  to: &str,
+                  f: &FnDef,
+                  line: u32,
+                  via: Option<&str>| {
+        if from == to && MULTI_INSTANCE.contains(&from) {
+            return;
+        }
+        edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert_with(|| EdgeSite {
+                file: f.file.clone(),
+                line,
+                via: via.map(str::to_string),
+            });
+    };
+
+    walk_program(prog, &mut |ev| match ev {
+        Event::Acquire {
+            f,
+            class,
+            line,
+            held,
+        } => {
+            for h in held {
+                record(&mut edges, &h.class, &class, f, line, None);
+            }
+            // Acquiring the engine lock is itself blocking work — a
+            // contended engine stalls whoever holds a fast lock here.
+            if class == "engine" {
+                if let Some(fast) = held.iter().find(|h| FAST_LOCKS.contains(&h.class.as_str())) {
+                    let held_classes: Vec<String> = held.iter().map(|h| h.class.clone()).collect();
+                    blocking
+                        .entry((f.file.clone(), line, "engine-direct".to_string()))
+                        .or_insert_with(|| {
+                            Diagnostic::new(
+                                BLOCKING_UNDER_LOCK,
+                                &f.file,
+                                line,
+                                format!(
+                                    "acquiring the engine lock while the fast lock `{}` (line {}) is held",
+                                    fast.class, fast.line
+                                ),
+                            )
+                            .with_held(held_classes)
+                        });
+                }
+            }
+        }
+        Event::Call { f, call, held } => {
+            if held.is_empty() {
+                return;
+            }
+            let held_classes: Vec<String> = held.iter().map(|h| h.class.clone()).collect();
+            // Direct blocking operations.
+            if let Some(kind) = blocking_kind(&call.name) {
+                if let Some(fast) = held.iter().find(|h| FAST_LOCKS.contains(&h.class.as_str())) {
+                    blocking
+                        .entry((f.file.clone(), call.line, call.name.clone()))
+                        .or_insert_with(|| {
+                            Diagnostic::new(
+                                BLOCKING_UNDER_LOCK,
+                                &f.file,
+                                call.line,
+                                format!(
+                                    "`.{}()` is {kind} while the fast lock `{}` (line {}) is held",
+                                    call.name, fast.class, fast.line
+                                ),
+                            )
+                            .with_held(held_classes.clone())
+                        });
+                }
+            }
+            // Effects reachable through the callee.
+            for j in prog.resolve(call, f) {
+                for acquired in &prog.effects[j].acquires {
+                    for h in held {
+                        record(
+                            &mut edges,
+                            &h.class,
+                            acquired,
+                            f,
+                            call.line,
+                            Some(&call.name),
+                        );
+                    }
+                }
+                for kind in &prog.effects[j].blocking {
+                    if let Some(fast) = held.iter().find(|h| FAST_LOCKS.contains(&h.class.as_str()))
+                    {
+                        blocking
+                            .entry((f.file.clone(), call.line, kind.clone()))
+                            .or_insert_with(|| {
+                                Diagnostic::new(
+                                    BLOCKING_UNDER_LOCK,
+                                    &f.file,
+                                    call.line,
+                                    format!(
+                                        "{kind} is reachable through `{}()` while the fast lock `{}` (line {}) is held",
+                                        call.name, fast.class, fast.line
+                                    ),
+                                )
+                                .with_held(held_classes.clone())
+                            });
+                    }
+                }
+            }
+        }
+        Event::Discard { .. } => {}
+    });
+
+    let mut out: Vec<Diagnostic> = blocking.into_values().collect();
+    out.extend(order_graph_findings(&edges));
+    out
+}
+
+/// Turn the recorded edge set into `lock-cycle` /
+/// `lock-order-divergence` findings.
+fn order_graph_findings(edges: &BTreeMap<(String, String), EdgeSite>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let nodes: BTreeSet<&str> = edges
+        .keys()
+        .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+        .collect();
+    let sccs = strongly_connected(&nodes, edges);
+    let in_cycle = |a: &str, b: &str| {
+        sccs.iter()
+            .any(|scc| scc.len() >= 2 && scc.contains(a) && scc.contains(b))
+    };
+    let conformant =
+        |a: &str, b: &str| matches!((rank(a), rank(b)), (Some(ra), Some(rb)) if ra < rb);
+
+    for ((from, to), site) in edges {
+        let via = site
+            .via
+            .as_ref()
+            .map(|v| format!(" (through `{v}()`)"))
+            .unwrap_or_default();
+        if from == to {
+            out.push(
+                Diagnostic::new(
+                    LOCK_CYCLE,
+                    &site.file,
+                    site.line,
+                    format!(
+                        "re-entrant acquisition of `{from}`{via}: parking_lot mutexes are not \
+                         re-entrant, this self-deadlocks"
+                    ),
+                )
+                .with_held(vec![from.clone()]),
+            );
+        } else if in_cycle(from, to) && !conformant(from, to) {
+            let cycle: Vec<&str> = sccs
+                .iter()
+                .find(|scc| scc.contains(from.as_str()))
+                .map(|scc| scc.iter().copied().collect())
+                .unwrap_or_default();
+            out.push(
+                Diagnostic::new(
+                    LOCK_CYCLE,
+                    &site.file,
+                    site.line,
+                    format!(
+                        "acquiring `{to}` while holding `{from}`{via} closes a lock-order cycle \
+                         among {{{}}}; another thread can hold them in the sanctioned order and \
+                         deadlock",
+                        cycle.join(", ")
+                    ),
+                )
+                .with_held(vec![from.clone()]),
+            );
+        } else if !in_cycle(from, to) {
+            if let (Some(ra), Some(rb)) = (rank(from), rank(to)) {
+                if ra > rb {
+                    out.push(
+                        Diagnostic::new(
+                            LOCK_ORDER_DIVERGENCE,
+                            &site.file,
+                            site.line,
+                            format!(
+                                "acquires `{to}` while holding `{from}`{via}, but the sanctioned \
+                                 hierarchy (DESIGN.md \u{a7}14) orders `{to}` (rank {rb}) before \
+                                 `{from}` (rank {ra})"
+                            ),
+                        )
+                        .with_held(vec![from.clone()]),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Strongly connected components of the class graph (Tarjan, sized for
+/// a few dozen nodes).
+fn strongly_connected<'a>(
+    nodes: &BTreeSet<&'a str>,
+    edges: &'a BTreeMap<(String, String), EdgeSite>,
+) -> Vec<BTreeSet<&'a str>> {
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let names: Vec<&str> = nodes.iter().copied().collect();
+    let n = names.len();
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in edges.keys() {
+        if a != b {
+            succ[index_of[a.as_str()]].push(index_of[b.as_str()]);
+        }
+    }
+    let mut sccs = Vec::new();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut counter = 0usize;
+
+    // Iterative Tarjan with an explicit work stack.
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut pi)) = work.last_mut() {
+            if *pi == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succ[v].get(*pi) {
+                *pi += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            work.pop();
+            if let Some(&(parent, _)) = work.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut scc = BTreeSet::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    scc.insert(names[w]);
+                    if w == v {
+                        break;
+                    }
+                }
+                sccs.push(scc);
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_known_fields() {
+        assert_eq!(
+            classify("recv:dbms", "crates/sdbms-serve/src/server.rs"),
+            "engine"
+        );
+        assert_eq!(
+            classify("recv:state", "crates/sdbms-storage/src/buffer.rs"),
+            "pool-state"
+        );
+        assert_eq!(
+            classify("recv:state", "crates/sdbms-storage/src/heap.rs"),
+            "heap-state"
+        );
+        assert_eq!(
+            classify("recv:inner", "crates/sdbms-txn/src/lock.rs"),
+            "txn-lock-table"
+        );
+        assert_eq!(
+            classify("recv:inner", "crates/sdbms-txn/src/epoch.rs"),
+            "txn-epoch"
+        );
+        assert_eq!(classify("view-lock", "x.rs"), "view-lock");
+        assert_eq!(
+            classify("recv:oddball", "crates/x/src/y.rs"),
+            "mutex:y.oddball"
+        );
+    }
+
+    #[test]
+    fn sanctioned_ranks_are_strictly_increasing_and_unique() {
+        let mut seen = BTreeSet::new();
+        for (c, r) in SANCTIONED {
+            assert!(seen.insert(*r), "duplicate rank {r} for {c}");
+        }
+    }
+
+    #[test]
+    fn engine_before_cache_before_metrics_locks() {
+        // The DESIGN.md §13/§14 serving-layer order, pinned: the engine
+        // is outermost, then the front cache, then the admission and
+        // session ("metrics") locks.
+        let engine = rank("engine").unwrap();
+        let cache = rank("serve-cache").unwrap();
+        let admission = rank("serve-admission").unwrap();
+        let sessions = rank("serve-sessions").unwrap();
+        assert!(engine < cache);
+        assert!(cache < admission);
+        assert!(cache < sessions);
+    }
+
+    #[test]
+    fn fast_locks_never_rank_above_slow_storage() {
+        for fast in FAST_LOCKS {
+            assert!(rank(fast).is_some(), "{fast} must be ranked");
+        }
+        assert!(!FAST_LOCKS.contains(&"engine"));
+        assert!(!FAST_LOCKS.contains(&"pool-state"));
+    }
+}

@@ -4,24 +4,75 @@
 //! cargo run -p sdbms-lint -- --deny-all            # CI gate
 //! cargo run -p sdbms-lint -- --deny-all --allow missing-docs
 //! cargo run -p sdbms-lint -- --list                # lint catalogue
+//! cargo run -p sdbms-lint -- --format json        # machine output
 //! cargo run -p sdbms-lint -- --root /path/to/repo
 //! ```
 //!
 //! Exit codes: 0 clean (or findings while not in `--deny-all`),
 //! 1 findings under `--deny-all`, 2 usage or I/O error.
+//!
+//! `--format json` emits one stable document on stdout:
+//! `{"version":1,"findings":[{"rule","file","line","message","held":[…]}]}`
+//! (held is the lock-class context of the concurrency passes, empty
+//! for token and soundness lints). The summary lines are suppressed;
+//! exit codes are unchanged.
 
-use sdbms_lint::{filter_allowed, run, ALL_LINTS};
+use sdbms_lint::{filter_allowed, run, Diagnostic, ALL_LINTS};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: sdbms-lint [--deny-all] [--allow <lint-id>]... [--root <dir>] [--list]"
+    "usage: sdbms-lint [--deny-all] [--allow <lint-id>]... [--format <text|json>] [--root <dir>] [--list]"
+}
+
+/// Escape a string for a JSON string literal (the workspace carries no
+/// JSON dependency; the schema needs only this).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the findings as the versioned JSON document.
+fn render_json(findings: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, d) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let held: Vec<String> = d
+            .held
+            .iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect();
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"held\":[{}]}}",
+            json_escape(d.lint.id),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            held.join(",")
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 fn main() -> ExitCode {
     let mut deny_all = false;
     let mut list = false;
+    let mut json = false;
     let mut allowed: BTreeSet<String> = BTreeSet::new();
     let mut root: Option<PathBuf> = None;
 
@@ -30,6 +81,18 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
             "--list" => list = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => {
+                    eprintln!("error: unknown format `{other}` (text|json)\n{}", usage());
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --format needs text|json\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--allow" => match args.next() {
                 Some(id) if ALL_LINTS.iter().any(|l| l.id == id) => {
                     allowed.insert(id);
@@ -82,6 +145,15 @@ fn main() -> ExitCode {
         }
     };
     let findings = filter_allowed(findings, &allowed);
+
+    if json {
+        println!("{}", render_json(&findings));
+        return if findings.is_empty() || !deny_all {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for d in &findings {
         println!("{d}");

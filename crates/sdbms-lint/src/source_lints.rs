@@ -364,7 +364,8 @@ fn snapshot_bypass_at(file: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnost
 
 /// Token-index spans covered by `#[cfg(test)]` / `#[test]` items
 /// (test modules, test functions, and anything else gated on `test`).
-fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+/// Shared with the concurrency passes, which apply the same exemption.
+pub(crate) fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {

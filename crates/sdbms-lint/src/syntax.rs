@@ -1,0 +1,848 @@
+//! A lightweight item/expression tree over the tokenizer (Layer 1.5).
+//!
+//! The concurrency passes ([`crate::locks`], [`crate::flow`]) need more
+//! shape than flat token patterns: which function a token belongs to,
+//! how long a lock guard lives, what a statement binds and whether its
+//! errors propagate. This module parses each file's
+//! [`crate::tokenizer::TokenStream`] into a list of [`FnDef`]s, each
+//! carrying a nested [`Block`]/[`Stmt`] tree of the *events* the
+//! analyses care about — lock acquisitions, calls, guard drops, and
+//! `Result` discards — in source order. It is deliberately not a full
+//! Rust parser (same zero-dependency discipline as the tokenizer);
+//! everything it cannot model it drops on the floor, and the analyses
+//! are written to stay useful under that conservatism.
+//!
+//! Guard-lifetime model (edition 2021):
+//! - `let g = x.lock();` (or any `let` whose acquisition is not
+//!   immediately method-chained) binds the guard: it is held until the
+//!   end of the enclosing block, or an explicit `drop(g)`.
+//! - Any other acquisition is a *temporary*: the guard lives to the end
+//!   of the whole statement — including nested blocks, which is exactly
+//!   the `if let Some(v) = m.lock().get(k) { … }` scrutinee-lifetime
+//!   rule that makes critical sections wider than they look.
+//! - Closures passed to `retire(…)` / `spawn(…)` run later, on another
+//!   stack, outside the caller's locks: events inside their argument
+//!   lists are not attributed to the enclosing function.
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// One parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Owning crate (`sdbms-serve`, …).
+    pub crate_name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` when defined inside an `impl` block.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the return type mentions `Result`.
+    pub returns_result: bool,
+    /// Inside a `#[test]` / `#[cfg(test)]` span — excluded from the
+    /// concurrency passes (the same exemption the token lints apply).
+    pub is_test: bool,
+    /// The function body.
+    pub body: Block,
+}
+
+impl FnDef {
+    /// The impl type this method belongs to, if any (`"Server"` for
+    /// `Server::query`).
+    #[must_use]
+    pub fn impl_type(&self) -> Option<&str> {
+        self.qual.as_deref().and_then(|q| q.split("::").next())
+    }
+}
+
+/// A `{ … }` block: an ordered list of statements.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement (split on `;` and, for match arms / struct fields, on
+/// `,` at paren depth zero).
+#[derive(Debug, Clone, Default)]
+pub struct Stmt {
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// The statement starts with `let` (any pattern).
+    pub is_let: bool,
+    /// The statement starts with `return` or `break` — its trailing
+    /// expression is consumed by the caller, not discarded.
+    pub starts_return: bool,
+    /// `let [mut] <name> = …` simple binding target.
+    pub binds: Option<String>,
+    /// The statement is exactly `let _ = …` (a value discard).
+    pub let_underscore: bool,
+    /// A `?` occurs in this statement (outside nested blocks) — its
+    /// errors propagate, so it is never a swallowed-error site.
+    pub has_question: bool,
+    /// A top-level `=` occurs (assignment or `let` binder).
+    pub has_assign: bool,
+    /// The statement ended with `;` (vs being a block-tail value or a
+    /// match-arm expression, whose value is consumed).
+    pub ends_semi: bool,
+    /// Events and nested blocks, in source order.
+    pub nodes: Vec<Node>,
+}
+
+/// One event inside a statement.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A lock/pin/intent acquisition site.
+    Acquire(Acquire),
+    /// A function or method call.
+    Call(Call),
+    /// `drop(<name>)` — releases the named bound guard.
+    DropGuard(String),
+    /// A statement-terminal `.ok()` — a `Result` discard.
+    OkDiscard {
+        /// 1-based line of the `.ok()`.
+        line: u32,
+    },
+    /// A nested `{ … }` block (loop/if/match body, closure body, …).
+    Block(Block),
+}
+
+/// One acquisition event.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Lock class (see [`crate::locks::classify`]).
+    pub class: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Block-scoped (`let g = x.lock();`) vs statement-temporary.
+    pub bound: bool,
+}
+
+/// One call event.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (`acquire`, `finish`, …).
+    pub name: String,
+    /// `Type::name(…)` qualifier, when path-called.
+    pub qualifier: Option<String>,
+    /// `recv.name(…)` receiver identifier, when recoverable.
+    pub receiver: Option<String>,
+    /// A `.name(…)` method call (even when the receiver could not be
+    /// recovered from a chain).
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Calls whose argument lists run *deferred* (another thread, or the
+/// epoch registry's reclaim step, both outside the caller's locks):
+/// events inside them must not inherit the caller's held set.
+const DEFERRED_ARG_CALLS: &[&str] = &["retire", "spawn"];
+
+/// Keywords that can directly precede `(` without being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "let", "move", "fn", "impl", "pub",
+    "use", "mod", "struct", "enum", "const", "static", "type", "trait", "where", "unsafe", "async",
+    "await", "break", "continue", "in", "as", "ref", "mut", "dyn", "box",
+];
+
+/// Parse every function in a tokenized file. `test_spans` are the
+/// token-index ranges covered by `#[test]` / `#[cfg(test)]` (from
+/// [`crate::source_lints::test_spans`]).
+#[must_use]
+pub fn parse_file(
+    crate_name: &str,
+    file: &str,
+    toks: &[Tok],
+    test_spans: &[(usize, usize)],
+) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    // Stack of (impl type, index of the impl block's closing brace).
+    let mut impls: Vec<(Option<String>, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while impls.last().is_some_and(|&(_, close)| i > close) {
+            impls.pop();
+        }
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some((ty, open)) = impl_header(toks, i) {
+                if let Some(close) = matching_brace(toks, open) {
+                    impls.push((ty, close));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some((def, next)) = parse_fn(crate_name, file, toks, i, &impls, test_spans) {
+                fns.push(def);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parse the header of the `impl` at `i`: the implemented type name
+/// and the index of the body's `{`.
+fn impl_header(toks: &[Tok], i: usize) -> Option<(Option<String>, usize)> {
+    let mut j = i + 1;
+    let mut angle: i32 = 0;
+    let mut ty: Option<String> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') && angle == 0 {
+            return Some((ty, j));
+        }
+        if t.is_punct(';') {
+            return None; // `impl Trait for Type;`-style oddity; skip
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            // `->` inside generic bounds (`impl<F: Fn() -> R>`) is an
+            // arrow, not a closing angle.
+            if !(j > 0 && toks[j - 1].is_punct('-')) {
+                angle -= 1;
+            }
+        } else if angle == 0 && t.kind == TokKind::Ident {
+            if t.text == "for" {
+                ty = None; // the trait path came first; the type follows
+            } else if t.text != "dyn" && t.text != "mut" {
+                ty = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse the `fn` at index `i`. Returns the definition and the index
+/// to resume scanning from.
+fn parse_fn(
+    crate_name: &str,
+    file: &str,
+    toks: &[Tok],
+    i: usize,
+    impls: &[(Option<String>, usize)],
+    test_spans: &[(usize, usize)],
+) -> Option<(FnDef, usize)> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    // Find the parameter list, skipping generics.
+    let mut j = i + 2;
+    let mut angle: i32 = 0;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') && angle == 0 {
+            break;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+            angle -= 1;
+        } else if t.is_punct('{') || t.is_punct(';') {
+            return None; // not a function item after all
+        }
+        j += 1;
+    }
+    let params_close = matching_paren(toks, j)?;
+    // Return type: tokens between the params and the body / `;`.
+    let mut k = params_close + 1;
+    let mut returns_result = false;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('{') {
+            break;
+        }
+        if t.is_punct(';') {
+            return None; // trait method declaration without a body
+        }
+        if t.is_ident("Result") {
+            returns_result = true;
+        }
+        k += 1;
+    }
+    if k >= toks.len() {
+        return None;
+    }
+    let (body, close) = parse_block(toks, k);
+    let qual = impls
+        .last()
+        .and_then(|(ty, _)| ty.as_ref())
+        .map(|ty| format!("{ty}::{name}"));
+    let is_test = test_spans.iter().any(|&(s, e)| i >= s && i <= e);
+    Some((
+        FnDef {
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            name,
+            qual,
+            line: toks[i].line,
+            returns_result,
+            is_test,
+            body,
+        },
+        close + 1,
+    ))
+}
+
+/// One piece of a statement under construction: a token index or an
+/// already-parsed nested block.
+enum Piece {
+    Tok(usize),
+    Block(Block),
+}
+
+/// Parse the block whose `{` is at `open`. Returns the block and the
+/// index of its closing `}`.
+fn parse_block(toks: &[Tok], open: usize) -> (Block, usize) {
+    let mut stmts = Vec::new();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut paren: i32 = 0;
+    let mut i = open + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            let (inner, close) = parse_block(toks, i);
+            pieces.push(Piece::Block(inner));
+            i = close + 1;
+            // A block expression ends its statement unless the next
+            // token continues it (`.method()`, `?`, `else`) or a
+            // delimiter the main loop already splits on follows. This
+            // keeps `if let Some(v) = m.lock().get(k) { … }` from
+            // merging with the statement after it — statement
+            // temporaries must die at the `}`.
+            if paren == 0 {
+                let continues = toks
+                    .get(i)
+                    .is_some_and(|n| n.is_punct('.') || n.is_punct('?') || n.is_ident("else"));
+                let delimited = toks
+                    .get(i)
+                    .is_none_or(|n| n.is_punct('}') || n.is_punct(';') || n.is_punct(','));
+                if !continues && !delimited {
+                    if let Some(stmt) = build_stmt(toks, &pieces, false) {
+                        stmts.push(stmt);
+                    }
+                    pieces.clear();
+                }
+            }
+            continue;
+        }
+        if t.is_punct('}') {
+            // Inner braces are consumed by recursion, so this `}`
+            // closes the current block (a block-tail value ends here
+            // without `;`).
+            if let Some(stmt) = build_stmt(toks, &pieces, false) {
+                stmts.push(stmt);
+            }
+            return (Block { stmts }, i);
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren = (paren - 1).max(0);
+        } else if paren == 0 && (t.is_punct(';') || t.is_punct(',')) {
+            if let Some(stmt) = build_stmt(toks, &pieces, t.is_punct(';')) {
+                stmts.push(stmt);
+            }
+            pieces.clear();
+            i += 1;
+            continue;
+        }
+        pieces.push(Piece::Tok(i));
+        i += 1;
+    }
+    if let Some(stmt) = build_stmt(toks, &pieces, false) {
+        stmts.push(stmt);
+    }
+    (Block { stmts }, toks.len().saturating_sub(1))
+}
+
+/// Assemble one [`Stmt`] from its pieces.
+fn build_stmt(toks: &[Tok], pieces: &[Piece], ends_semi: bool) -> Option<Stmt> {
+    if pieces.is_empty() {
+        return None;
+    }
+    let mut stmt = Stmt {
+        ends_semi,
+        ..Stmt::default()
+    };
+    for p in pieces {
+        if let Piece::Tok(idx) = p {
+            stmt.line = toks[*idx].line;
+            stmt.starts_return = toks[*idx].is_ident("return") || toks[*idx].is_ident("break");
+            break;
+        }
+    }
+    scan_binding(toks, pieces, &mut stmt);
+
+    // Event scan. Paren depth is tracked across token pieces so that
+    // deferred-call argument lists can be suppressed as a span.
+    let mut depth: i32 = 0;
+    let mut suppress_below: Option<i32> = None;
+    for (pi, p) in pieces.iter().enumerate() {
+        match p {
+            Piece::Block(b) => {
+                if suppress_below.is_none() {
+                    stmt.nodes.push(Node::Block(b.clone()));
+                }
+            }
+            Piece::Tok(idx) => {
+                let t = &toks[*idx];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                    if suppress_below.is_some_and(|d| depth <= d) {
+                        suppress_below = None;
+                    }
+                } else if t.is_punct('?') && suppress_below.is_none() {
+                    stmt.has_question = true;
+                } else if t.is_punct('=') && depth == 0 && !eq_is_comparison(toks, *idx) {
+                    stmt.has_assign = true;
+                }
+                if suppress_below.is_some() {
+                    continue;
+                }
+                if t.kind == TokKind::Ident {
+                    if let Some(node) = event_at(toks, pieces, pi, *idx, &stmt) {
+                        let defer = matches!(
+                            &node,
+                            Node::Call(c) if DEFERRED_ARG_CALLS.contains(&c.name.as_str())
+                        );
+                        stmt.nodes.push(node);
+                        if defer {
+                            suppress_below = Some(depth);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(stmt)
+}
+
+/// `=` that is part of `==`, `<=`, `>=`, `!=`, `+=`, `=>`, … rather
+/// than a binder/assignment.
+fn eq_is_comparison(toks: &[Tok], idx: usize) -> bool {
+    let prev_op = idx > 0
+        && matches!(
+            toks[idx - 1].text.as_str(),
+            "=" | "<" | ">" | "!" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+        )
+        && toks[idx - 1].kind == TokKind::Punct;
+    let next_op =
+        idx + 1 < toks.len() && (toks[idx + 1].is_punct('=') || toks[idx + 1].is_punct('>'));
+    prev_op || next_op
+}
+
+/// Detect `let [mut] <name> =` / `let _ =` at the head of a statement.
+fn scan_binding(toks: &[Tok], pieces: &[Piece], stmt: &mut Stmt) {
+    let head: Vec<usize> = pieces
+        .iter()
+        .filter_map(|p| match p {
+            Piece::Tok(i) => Some(*i),
+            Piece::Block(_) => None,
+        })
+        .take(8)
+        .collect();
+    if head.is_empty() || !toks[head[0]].is_ident("let") {
+        return;
+    }
+    stmt.is_let = true;
+    let mut h = 1;
+    if head.get(h).is_some_and(|&i| toks[i].is_ident("mut")) {
+        h += 1;
+    }
+    let Some(&name_idx) = head.get(h) else { return };
+    let name_tok = &toks[name_idx];
+    if name_tok.kind != TokKind::Ident {
+        return; // tuple / struct pattern
+    }
+    // The candidate must be followed by `=` (binder) or `:` (type
+    // annotation, binder further right) — `let Some(v) = …` and
+    // `let Ok(x) = …` destructure and bind nothing we track.
+    match head.get(h + 1) {
+        Some(&ni) if toks[ni].is_punct('=') && !eq_is_comparison(toks, ni) => {}
+        Some(&ni) if toks[ni].is_punct(':') => {}
+        _ => return,
+    }
+    if name_tok.text == "_" {
+        stmt.let_underscore = true;
+    } else {
+        stmt.binds = Some(name_tok.text.clone());
+    }
+}
+
+/// Blocking/acquisition/call event starting at ident `idx` (piece
+/// index `pi`), if any.
+fn event_at(toks: &[Tok], pieces: &[Piece], pi: usize, idx: usize, stmt: &Stmt) -> Option<Node> {
+    let t = &toks[idx];
+    let next_is = |c: char| toks.get(idx + 1).is_some_and(|n| n.is_punct(c));
+    if !next_is('(') {
+        return None;
+    }
+    let prev_dot = idx > 0 && toks[idx - 1].is_punct('.');
+    let line = t.line;
+
+    // `drop(name)` — an explicit guard release.
+    if !prev_dot && t.text == "drop" {
+        if let (Some(arg), Some(close)) = (toks.get(idx + 2), toks.get(idx + 3)) {
+            if arg.kind == TokKind::Ident && close.is_punct(')') {
+                return Some(Node::DropGuard(arg.text.clone()));
+            }
+        }
+    }
+
+    if prev_dot {
+        let receiver = receiver_of(toks, idx - 1);
+        match t.text.as_str() {
+            // `.lock()` — classify by receiver field at analysis time.
+            "lock" => {
+                return receiver.map(|recv| {
+                    Node::Acquire(Acquire {
+                        class: format!("recv:{recv}"),
+                        line,
+                        bound: acquire_is_bound(toks, pieces, pi, idx, stmt),
+                    })
+                });
+            }
+            // LockTable::acquire / acquire_raw — the per-view lock.
+            // (The table's brief internal inner-mutex hold is modelled
+            // from LockTable's own body, not propagated to callers.)
+            "acquire" | "acquire_raw" => {
+                return Some(Node::Acquire(Acquire {
+                    class: "view-lock".to_string(),
+                    line,
+                    bound: acquire_is_bound(toks, pieces, pi, idx, stmt),
+                }));
+            }
+            // EpochRegistry::pin — a reclamation pin.
+            "pin" if receiver.as_deref() == Some("epochs") => {
+                return Some(Node::Acquire(Acquire {
+                    class: "epoch-pin".to_string(),
+                    line,
+                    bound: acquire_is_bound(toks, pieces, pi, idx, stmt),
+                }));
+            }
+            // WriteAheadLog::begin — a WAL intent, pending until the
+            // commit clears it; modelled as held for the rest of the
+            // function.
+            "begin" if receiver.as_deref() == Some("wal") => {
+                return Some(Node::Acquire(Acquire {
+                    class: "wal-intent".to_string(),
+                    line,
+                    bound: true,
+                }));
+            }
+            // Statement-terminal `.ok()` — a discard.
+            "ok" => {
+                let close_semi = toks.get(idx + 2).is_some_and(|c| c.is_punct(')'))
+                    && toks.get(idx + 3).is_none_or(|s| s.is_punct(';'));
+                if close_semi {
+                    return Some(Node::OkDiscard { line });
+                }
+                return None;
+            }
+            _ => {}
+        }
+        return Some(Node::Call(Call {
+            name: t.text.clone(),
+            qualifier: None,
+            receiver,
+            method: true,
+            line,
+        }));
+    }
+
+    // `Qual::name(…)` path call.
+    if idx >= 3 && toks[idx - 1].is_punct(':') && toks[idx - 2].is_punct(':') {
+        if toks[idx - 3].kind == TokKind::Ident {
+            return Some(Node::Call(Call {
+                name: t.text.clone(),
+                qualifier: Some(toks[idx - 3].text.clone()),
+                receiver: None,
+                method: false,
+                line,
+            }));
+        }
+        return None;
+    }
+
+    // Bare call. Skip keywords and tuple-struct constructors
+    // (`Some(x)`, `Ok(v)` — uppercase initial).
+    if NON_CALL_KEYWORDS.contains(&t.text.as_str())
+        || t.text.chars().next().is_some_and(char::is_uppercase)
+    {
+        return None;
+    }
+    Some(Node::Call(Call {
+        name: t.text.clone(),
+        qualifier: None,
+        receiver: None,
+        method: false,
+        line,
+    }))
+}
+
+/// The receiver identifier of a method call, walking back from the `.`
+/// at `dot`: `inner.cache.lock()` → `cache`;
+/// `self.frames[f].lock()` → `frames`. Chained-call receivers
+/// (`foo().lock()`) are unrecoverable.
+fn receiver_of(toks: &[Tok], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let mut k = dot - 1;
+    if toks[k].is_punct(']') {
+        // Index expression: back to the matching `[`.
+        let mut depth = 1;
+        while k > 0 && depth > 0 {
+            k -= 1;
+            if toks[k].is_punct(']') {
+                depth += 1;
+            } else if toks[k].is_punct('[') {
+                depth -= 1;
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    (toks[k].kind == TokKind::Ident).then(|| toks[k].text.clone())
+}
+
+/// Is the acquisition at `idx` bound to the statement's `let` binding
+/// (block-scoped guard) rather than a statement temporary? True when
+/// the statement binds a simple name and the acquisition's value is
+/// not immediately method-chained onward.
+fn acquire_is_bound(toks: &[Tok], pieces: &[Piece], pi: usize, idx: usize, stmt: &Stmt) -> bool {
+    if stmt.binds.is_none() {
+        return false;
+    }
+    // Only an acquisition at the statement's own level can be the bound
+    // value; one inside an argument list is a temporary regardless.
+    let mut depth = 0i32;
+    for p in pieces.iter().take(pi) {
+        if let Piece::Tok(i) = p {
+            if toks[*i].is_punct('(') || toks[*i].is_punct('[') {
+                depth += 1;
+            } else if toks[*i].is_punct(')') || toks[*i].is_punct(']') {
+                depth -= 1;
+            }
+        }
+    }
+    if depth > 0 {
+        return false;
+    }
+    let Some(close) = matching_paren(toks, idx + 1) else {
+        return false;
+    };
+    let mut after = close + 1;
+    while toks.get(after).is_some_and(|t| t.is_punct('?')) {
+        after += 1;
+    }
+    !toks.get(after).is_some_and(|t| t.is_punct('.'))
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    if !toks.get(open).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let mut depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_lints::test_spans;
+    use crate::tokenizer::tokenize;
+
+    fn parse(src: &str) -> Vec<FnDef> {
+        let ts = tokenize(src);
+        let spans = test_spans(&ts.toks);
+        parse_file("c", "f.rs", &ts.toks, &spans)
+    }
+
+    fn acquires(stmt: &Stmt) -> Vec<(&str, bool)> {
+        stmt.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Acquire(a) => Some((a.class.as_str(), a.bound)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fn_and_impl_structure() {
+        let src = "impl fmt::Debug for Server { fn fmt(&self) -> Result<(), E> { ok() } }\n\
+                   impl Pool { fn fetch(&self) {} }\nfn free() {}\n";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].qual.as_deref(), Some("Server::fmt"));
+        assert!(fns[0].returns_result);
+        assert_eq!(fns[1].qual.as_deref(), Some("Pool::fetch"));
+        assert!(!fns[1].returns_result);
+        assert_eq!(fns[2].qual, None);
+        assert_eq!(fns[2].name, "free");
+    }
+
+    #[test]
+    fn bound_vs_temporary_guards() {
+        let src = "fn f(&self) {\n\
+                   let mut state = self.state.lock();\n\
+                   let v = self.dbms.lock().version()?;\n\
+                   let g = match self.locks.acquire(s, &[v]) { Ok(g) => g, Err(e) => return };\n\
+                   self.cache.lock().purge(v);\n\
+                   }\n";
+        let fns = parse(src);
+        let b = &fns[0].body;
+        assert_eq!(acquires(&b.stmts[0]), vec![("recv:state", true)]);
+        assert_eq!(acquires(&b.stmts[1]), vec![("recv:dbms", false)]);
+        assert!(b.stmts[1].has_question);
+        assert_eq!(acquires(&b.stmts[2]), vec![("view-lock", true)]);
+        assert_eq!(b.stmts[2].binds.as_deref(), Some("g"));
+        let purge = &b.stmts[3];
+        assert_eq!(acquires(purge), vec![("recv:cache", false)]);
+    }
+
+    #[test]
+    fn if_let_scrutinee_keeps_temporary_with_nested_block() {
+        let src = "fn f() { if let Some(v) = m.lock().get(k) { finish(v); } }\n";
+        let fns = parse(src);
+        let stmt = &fns[0].body.stmts[0];
+        assert_eq!(acquires(stmt), vec![("recv:m", false)]);
+        // Acquire precedes the nested block in node order.
+        let order: Vec<&str> = stmt
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Acquire(_) => "acq",
+                Node::Call(_) => "call",
+                Node::Block(_) => "block",
+                _ => "other",
+            })
+            .collect();
+        // The `.get(k)` call is recorded too (resolution drops it as
+        // ambient); what matters is the acquire precedes the block.
+        assert_eq!(order, vec!["acq", "call", "block"]);
+    }
+
+    #[test]
+    fn let_underscore_and_drop_and_ok() {
+        let src =
+            "fn f() { let _ = dbms.abort_batch(b); drop(state); tell(x).ok(); v.ok().map(g); }\n";
+        let fns = parse(src);
+        let b = &fns[0].body;
+        assert!(b.stmts[0].let_underscore);
+        assert!(!b.stmts[0].has_question);
+        assert!(matches!(&b.stmts[1].nodes[0], Node::DropGuard(n) if n == "state"));
+        assert!(b.stmts[2]
+            .nodes
+            .iter()
+            .any(|n| matches!(n, Node::OkDiscard { .. })));
+        // `.ok().map(…)` is a value use, not a discard.
+        assert!(!b.stmts[3]
+            .nodes
+            .iter()
+            .any(|n| matches!(n, Node::OkDiscard { .. })));
+    }
+
+    #[test]
+    fn deferred_retire_args_are_suppressed() {
+        let src = "fn f(&mut self) { self.epochs.retire(move || { let _ = disk.deallocate(p); }); next(); }\n";
+        let fns = parse(src);
+        let b = &fns[0].body;
+        let names: Vec<&str> = b
+            .stmts
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .filter_map(|n| match n {
+                Node::Call(c) => Some(c.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"retire"));
+        assert!(names.contains(&"next"));
+        assert!(!names.contains(&"deallocate"));
+        assert!(!b
+            .stmts
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .any(|n| matches!(n, Node::Block(_))));
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "#[cfg(test)]\nmod tests { fn helper() { x.lock(); } }\nfn live() {}\n";
+        let fns = parse(src);
+        let helper = fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(helper.is_test);
+        assert!(!fns.iter().find(|f| f.name == "live").unwrap().is_test);
+    }
+
+    #[test]
+    fn nested_block_guard_scopes() {
+        let src =
+            "fn f(rx: &M) { let job = { let guard = rx.lock(); guard.recv() }; use_it(job); }\n";
+        let fns = parse(src);
+        let outer = &fns[0].body.stmts[0];
+        // The outer stmt has no top-level acquire; the nested block has
+        // the bound guard and the recv call.
+        assert!(acquires(outer).is_empty());
+        let Node::Block(inner) = outer
+            .nodes
+            .iter()
+            .find(|n| matches!(n, Node::Block(_)))
+            .unwrap()
+        else {
+            unreachable!()
+        };
+        assert_eq!(acquires(&inner.stmts[0]), vec![("recv:rx", true)]);
+        assert!(inner.stmts[1]
+            .nodes
+            .iter()
+            .any(|n| matches!(n, Node::Call(c) if c.name == "recv")));
+    }
+}

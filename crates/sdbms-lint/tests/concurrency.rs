@@ -1,0 +1,455 @@
+//! Fixture tests for the concurrency passes: each rule id must fire on
+//! a known-bad fixture at the exact `file:line`, conformant code must
+//! stay clean, and reordering two acquisitions must flip the verdict
+//! (the refactoring-coverage guarantee of DESIGN.md §14).
+
+use sdbms_lint::analyze_sources;
+
+/// `(rule id, file, line)` triples, sorted.
+fn findings(files: &[(&str, &str, &str)]) -> Vec<(String, String, u32)> {
+    analyze_sources(files)
+        .into_iter()
+        .map(|d| (d.lint.id.to_string(), d.file.clone(), d.line))
+        .collect()
+}
+
+// ---- lock-cycle -----------------------------------------------------
+
+#[test]
+fn seeded_three_lock_cycle_across_crates() {
+    // alpha: cache → sessions (conformant edge), sessions → admission
+    // (rank-violating); beta closes the loop: admission → cache. The
+    // SCC {serve-admission, serve-cache, serve-sessions} must be
+    // reported on its non-conformant edges, at the acquisition sites.
+    let alpha = "\
+pub struct A;\n\
+impl A {\n\
+    pub fn forward(&self) {\n\
+        let c = self.cache.lock();\n\
+        let s = self.sessions.lock();\n\
+        let a = self.admission.lock();\n\
+        use_all(c, s, a);\n\
+    }\n\
+}\n\
+fn use_all(_c: G, _s: G, _a: G) {}\n";
+    let beta = "\
+pub struct B;\n\
+impl B {\n\
+    pub fn backward(&self) {\n\
+        let a = self.admission.lock();\n\
+        let c = self.cache.lock();\n\
+        touch(a, c);\n\
+    }\n\
+}\n\
+fn touch(_a: G, _c: G) {}\n";
+    let got = findings(&[
+        ("alpha", "alpha/src/lib.rs", alpha),
+        ("beta", "beta/src/lib.rs", beta),
+    ]);
+    // sessions(32) → admission(31) in alpha and admission(31) →
+    // cache(30) in beta are the rank-violating edges of the cycle.
+    assert!(
+        got.contains(&("lock-cycle".into(), "alpha/src/lib.rs".into(), 6)),
+        "{got:?}"
+    );
+    assert!(
+        got.contains(&("lock-cycle".into(), "beta/src/lib.rs".into(), 5)),
+        "{got:?}"
+    );
+    // The conformant cache → sessions edge is not blamed.
+    assert!(
+        !got.iter()
+            .any(|(id, f, l)| id == "lock-cycle" && f == "alpha/src/lib.rs" && *l == 5),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn reentrant_acquisition_is_a_self_cycle() {
+    let src = "\
+pub fn twice(srv: &S) {\n\
+    let first = srv.cache.lock();\n\
+    let again = srv.cache.lock();\n\
+    use_both(first, again);\n\
+}\n\
+fn use_both(_a: G, _b: G) {}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert_eq!(
+        got,
+        vec![("lock-cycle".into(), "c/src/lib.rs".into(), 3)],
+        "{got:?}"
+    );
+}
+
+#[test]
+fn multi_instance_classes_may_nest() {
+    // Two different per-view locks (LockTable::acquire) held together
+    // are legal — the table orders them internally.
+    let src = "\
+pub fn both(locks: &T) {\n\
+    let a = locks.acquire(s, names_a);\n\
+    let b = locks.acquire(s, names_b);\n\
+    use_both(a, b);\n\
+}\n\
+fn use_both(_a: G, _b: G) {}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn cycle_through_a_callee_is_interprocedural() {
+    // f holds the engine and calls helper, which (transitively) locks
+    // the engine again — the effects fixpoint must carry it across the
+    // crate boundary.
+    let one = "\
+pub fn entry(srv: &S) {\n\
+    let dbms = srv.dbms.lock();\n\
+    deep_helper(&dbms);\n\
+}\n";
+    let two = "\
+pub fn deep_helper(x: &D) {\n\
+    inner_most(x);\n\
+}\n\
+pub fn inner_most(x: &D) {\n\
+    let d = x.dbms.lock();\n\
+    poke(d);\n\
+}\n\
+fn poke(_d: G) {}\n";
+    let got = findings(&[
+        ("one", "one/src/lib.rs", one),
+        ("two", "two/src/lib.rs", two),
+    ]);
+    assert!(
+        got.iter()
+            .any(|(id, f, l)| id == "lock-cycle" && f == "one/src/lib.rs" && *l == 3),
+        "{got:?}"
+    );
+}
+
+// ---- lock-order-divergence ------------------------------------------
+
+#[test]
+fn divergent_order_flagged_without_a_reverse_edge() {
+    // serve-sessions (rank 32) held while acquiring serve-cache
+    // (rank 30): contradicts the sanctioned hierarchy even though no
+    // path acquires them the other way round in this fixture.
+    let src = "\
+pub fn skewed(srv: &S) {\n\
+    let sessions = srv.sessions.lock();\n\
+    let cache = srv.cache.lock();\n\
+    use_both(sessions, cache);\n\
+}\n\
+fn use_both(_a: G, _b: G) {}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert_eq!(
+        got,
+        vec![("lock-order-divergence".into(), "c/src/lib.rs".into(), 3)],
+        "{got:?}"
+    );
+}
+
+#[test]
+fn reordering_two_acquisitions_flips_the_verdict() {
+    // The refactoring-coverage pair: identical function, only the two
+    // acquisition lines swapped. Sanctioned order (engine before
+    // cache) is clean; the swap is a divergence at the exact line.
+    let sanctioned = "\
+pub fn refresh(srv: &S) {\n\
+    let dbms = srv.dbms.lock();\n\
+    let cache = srv.cache.lock();\n\
+    fill(dbms, cache);\n\
+}\n\
+fn fill(_d: G, _c: G) {}\n";
+    let swapped = "\
+pub fn refresh(srv: &S) {\n\
+    let cache = srv.cache.lock();\n\
+    let dbms = srv.dbms.lock();\n\
+    fill(dbms, cache);\n\
+}\n\
+fn fill(_d: G, _c: G) {}\n";
+    assert!(
+        findings(&[("c", "c/src/lib.rs", sanctioned)]).is_empty(),
+        "sanctioned engine→cache order must be clean"
+    );
+    let got = findings(&[("c", "c/src/lib.rs", swapped)]);
+    // The swap is a divergence, and taking the engine under the fast
+    // cache lock is blocking work — both at the swapped line.
+    assert_eq!(
+        got,
+        vec![
+            ("blocking-under-lock".into(), "c/src/lib.rs".into(), 3),
+            ("lock-order-divergence".into(), "c/src/lib.rs".into(), 3),
+        ],
+        "{got:?}"
+    );
+}
+
+#[test]
+fn sanctioned_serving_layer_order_is_pinned() {
+    // Regression pin for DESIGN.md §13/§14: the engine is outermost,
+    // then the front cache, then the admission/session metrics locks.
+    // A refactor that reverses any of these ranks breaks this test.
+    use sdbms_lint::locks::rank;
+    let engine = rank("engine").expect("engine ranked");
+    let cache = rank("serve-cache").expect("cache ranked");
+    let admission = rank("serve-admission").expect("admission ranked");
+    let sessions = rank("serve-sessions").expect("sessions ranked");
+    assert!(engine < cache, "engine must rank before the front cache");
+    assert!(cache < admission, "cache must rank before admission");
+    assert!(cache < sessions, "cache must rank before sessions");
+    // And the analyzer agrees: engine → cache → sessions nested in
+    // sanctioned order produces no findings.
+    let src = "\
+pub fn conformant(srv: &S) {\n\
+    let dbms = srv.dbms.lock();\n\
+    let cache = srv.cache.lock();\n\
+    let sessions = srv.sessions.lock();\n\
+    use_all(dbms, cache, sessions);\n\
+}\n\
+fn use_all(_a: G, _b: G, _c: G) {}\n";
+    assert!(findings(&[("c", "c/src/lib.rs", src)]).is_empty());
+}
+
+// ---- blocking-under-lock --------------------------------------------
+
+#[test]
+fn disk_io_under_fast_lock_direct_and_via_callee() {
+    let src = "\
+pub fn hot(srv: &S, pid: P, out: &mut Page) {\n\
+    let cache = srv.cache.lock();\n\
+    srv.disk.read_page(pid, out);\n\
+    drop(cache);\n\
+}\n\
+pub fn indirect(srv: &S, pid: P, out: &mut Page) {\n\
+    let sessions = srv.sessions.lock();\n\
+    fetch_for(srv, pid, out);\n\
+    drop(sessions);\n\
+}\n\
+fn fetch_for(srv: &S, pid: P, out: &mut Page) {\n\
+    srv.disk.read_page(pid, out);\n\
+}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(
+        got.contains(&("blocking-under-lock".into(), "c/src/lib.rs".into(), 3)),
+        "direct disk I/O under serve-cache: {got:?}"
+    );
+    assert!(
+        got.contains(&("blocking-under-lock".into(), "c/src/lib.rs".into(), 8)),
+        "disk I/O through fetch_for under serve-sessions: {got:?}"
+    );
+}
+
+#[test]
+fn engine_acquisition_under_fast_lock_is_blocking() {
+    // The mechanized epoch_status() hazard: reading engine state while
+    // a monitoring lock is held.
+    let src = "\
+pub fn status(srv: &S) -> u64 {\n\
+    let sessions = srv.sessions.lock();\n\
+    let dbms = srv.dbms.lock();\n\
+    report(sessions, dbms)\n\
+}\n\
+fn report(_s: G, _d: G) -> u64 { 0 }\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(
+        got.iter()
+            .any(|(id, _, l)| id == "blocking-under-lock" && *l == 3),
+        "{got:?}"
+    );
+    // It is also a divergence (sessions rank 32 → engine rank 0).
+    assert!(
+        got.iter()
+            .any(|(id, _, l)| id == "lock-order-divergence" && *l == 3),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn blocking_after_guard_drop_is_clean() {
+    let src = "\
+pub fn cold(srv: &S, pid: P, out: &mut Page) {\n\
+    let cache = srv.cache.lock();\n\
+    let hit = cache.peek(pid);\n\
+    drop(cache);\n\
+    srv.disk.read_page(pid, out);\n\
+    consume(hit);\n\
+}\n\
+fn consume(_h: H) {}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn engine_lock_is_not_fast() {
+    // Blocking work under the engine lock is the engine's job — only
+    // the fast monitoring/queue locks forbid it.
+    let src = "\
+pub fn commit(srv: &S, pid: P, out: &mut Page) {\n\
+    let dbms = srv.dbms.lock();\n\
+    srv.disk.read_page(pid, out);\n\
+    finishing(dbms);\n\
+}\n\
+fn finishing(_d: G) {}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+// ---- swallowed-error -------------------------------------------------
+
+#[test]
+fn discards_under_lock_fire_and_clean_forms_do_not() {
+    let src = "\
+impl Engine {\n\
+    pub fn apply(&self) -> Result<(), E> {\n\
+        let dbms = self.dbms.lock();\n\
+        let _ = self.flush_side(1);\n\
+        self.flush_side(2)?;\n\
+        release(dbms);\n\
+        Ok(())\n\
+    }\n\
+    pub fn unlocked(&self) {\n\
+        let _ = self.flush_side(3);\n\
+    }\n\
+    fn flush_side(&self, n: u32) -> Result<(), E> {\n\
+        side(n)\n\
+    }\n\
+}\n\
+fn side(_n: u32) -> Result<(), E> { Ok(()) }\n\
+fn release(_d: G) {}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    // Line 4 discards under the engine lock; line 5 propagates with
+    // `?`; line 10 discards with no lock held. Exactly one finding.
+    assert_eq!(
+        got,
+        vec![("swallowed-error".into(), "c/src/lib.rs".into(), 4)],
+        "{got:?}"
+    );
+}
+
+#[test]
+fn terminal_ok_and_bare_result_statement_under_lock() {
+    let src = "\
+impl Engine {\n\
+    pub fn apply(&self) {\n\
+        let dbms = self.dbms.lock();\n\
+        self.flush_side(1).ok();\n\
+        self.flush_side(2);\n\
+        release(dbms);\n\
+    }\n\
+    fn flush_side(&self, n: u32) -> Result<(), E> {\n\
+        side(n)\n\
+    }\n\
+}\n\
+fn side(_n: u32) -> Result<(), E> { Ok(()) }\n\
+fn release(_d: G) {}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(
+        got.contains(&("swallowed-error".into(), "c/src/lib.rs".into(), 4)),
+        "terminal .ok(): {got:?}"
+    );
+    assert!(
+        got.contains(&("swallowed-error".into(), "c/src/lib.rs".into(), 5)),
+        "bare Result statement: {got:?}"
+    );
+}
+
+#[test]
+fn lock_free_helper_discard_bubbles_to_locked_caller() {
+    // The discard lives in a helper with no lock of its own; the
+    // caller reaches it under the engine lock. Reported at the discard
+    // site in the helper's file.
+    let helper = "\
+pub fn retire_intent(w: &W) {\n\
+    let _ = w.flush_intent();\n\
+}\n";
+    let caller = "\
+pub fn commit(srv: &S, w: &W) {\n\
+    let dbms = srv.dbms.lock();\n\
+    retire_intent(w);\n\
+    seal(dbms);\n\
+}\n\
+fn seal(_d: G) {}\n\
+impl W {\n\
+    pub fn flush_intent(&self) -> Result<(), E> {\n\
+        Ok(())\n\
+    }\n\
+}\n";
+    let got = findings(&[
+        ("helper", "helper/src/lib.rs", helper),
+        ("caller", "caller/src/lib.rs", caller),
+    ]);
+    assert_eq!(
+        got,
+        vec![("swallowed-error".into(), "helper/src/lib.rs".into(), 2)],
+        "{got:?}"
+    );
+}
+
+#[test]
+fn justified_allow_suppresses_a_concurrency_finding() {
+    let flagged = "\
+pub fn apply(srv: &S) {\n\
+    let dbms = srv.dbms.lock();\n\
+    let _ = srv.side_step();\n\
+    release(dbms);\n\
+}\n\
+fn release(_d: G) {}\n\
+impl S {\n\
+    pub fn side_step(&self) -> Result<(), E> { Ok(()) }\n\
+}\n";
+    let allowed = "\
+pub fn apply(srv: &S) {\n\
+    let dbms = srv.dbms.lock();\n\
+    // lint: allow(swallowed-error): rollback is best-effort here\n\
+    let _ = srv.side_step();\n\
+    release(dbms);\n\
+}\n\
+fn release(_d: G) {}\n\
+impl S {\n\
+    pub fn side_step(&self) -> Result<(), E> { Ok(()) }\n\
+}\n";
+    assert_eq!(
+        findings(&[("c", "c/src/lib.rs", flagged)]).len(),
+        1,
+        "unsuppressed fixture must fire"
+    );
+    assert!(
+        findings(&[("c", "c/src/lib.rs", allowed)]).is_empty(),
+        "justified inline allow must suppress"
+    );
+}
+
+#[test]
+fn deferred_closures_do_not_inherit_the_held_set() {
+    // Work handed to `retire(…)` runs outside the caller's locks; a
+    // discard inside the closure must not be attributed to this path.
+    let src = "\
+pub fn swap(srv: &S) {\n\
+    let dbms = srv.dbms.lock();\n\
+    srv.epochs.retire(move || {\n\
+        let _ = srv.old_store_drop();\n\
+    });\n\
+    release(dbms);\n\
+}\n\
+fn release(_d: G) {}\n\
+impl S {\n\
+    pub fn old_store_drop(&self) -> Result<(), E> { Ok(()) }\n\
+}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn helper(srv: &S) {\n\
+        let sessions = srv.sessions.lock();\n\
+        let cache = srv.cache.lock();\n\
+        use_both(sessions, cache);\n\
+    }\n\
+}\n";
+    let got = findings(&[("c", "c/src/lib.rs", src)]);
+    assert!(got.is_empty(), "{got:?}");
+}

@@ -598,6 +598,7 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Mutex<Receiver<Job>>) {
         // execute with the queue free for other workers.
         let job = {
             let guard = rx.lock();
+            // lint: allow(blocking-under-lock): idling in recv() here is the designed handoff — the lock guards only this receiver, and every worker blocked on it is exactly the idle pool
             guard.recv()
         };
         let Ok(job) = job else {
@@ -791,7 +792,10 @@ fn process_commit(inner: &Inner, job: &Job, ops: &[BatchOp]) -> Result<Response>
         let batch = dbms.begin_batch(&job.view)?;
         for op in ops {
             if let Err(e) = dbms.batch_stage(batch, op.clone()) {
-                let _ = dbms.abort_batch(batch);
+                // A failed abort leaves the batch wedged in the
+                // engine — graver than the stage error, so it takes
+                // precedence when both fail.
+                dbms.abort_batch(batch)?;
                 return Err(e.into());
             }
         }

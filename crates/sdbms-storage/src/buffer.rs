@@ -214,6 +214,7 @@ impl BufferPool {
             Ok(f) => f,
             Err(e) => {
                 // Roll back the allocation so the disk doesn't leak.
+                // lint: allow(swallowed-error): best-effort rollback of a just-made allocation; the eviction error is the one the caller must see
                 let _ = self.disk.deallocate(pid);
                 return Err(e);
             }
