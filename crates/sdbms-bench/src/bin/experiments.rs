@@ -89,6 +89,9 @@ fn main() {
     if run("e14") {
         e14_serving();
     }
+    if run("e15") {
+        e15_vectorized_kernels();
+    }
 }
 
 fn banner(id: &str, title: &str) {
@@ -1317,6 +1320,243 @@ fn e14_serving() {
     match std::fs::write("BENCH_serve.json", &json) {
         Ok(()) => println!("wrote BENCH_serve.json"),
         Err(e) => println!("could not write BENCH_serve.json: {e}"),
+    }
+}
+
+fn e15_vectorized_kernels() {
+    use sdbms_columnar::Compression;
+    use sdbms_data::dataset::DataSet;
+    use sdbms_data::schema::{Attribute, Schema};
+    use sdbms_exec::{
+        profile_table_column, scan_morsels, ColumnProfile, ExecConfig, SegmentPruner,
+    };
+    use sdbms_relational::{filter_table_rows, ZoneMapPruner};
+
+    banner(
+        "E15",
+        "vectorized batch kernels vs per-cell Value decode (filter + aggregate)",
+    );
+
+    // The same clustered shape E13 uses (doubled, so that on small
+    // boxes worker spawn overhead does not dominate the morsel loops):
+    // RLE on the clustering column, raw encoding on the noisy one. A
+    // third raw column G holds a low-cardinality code (16 distinct
+    // values) — the shape where the frequency table stops dominating
+    // and the kernels' typed lanes show.
+    const BLOCK_ROWS: i64 = 2_048;
+    const BLOCKS: i64 = 100;
+    let n_rows = (BLOCKS * BLOCK_ROWS) as usize;
+    let schema = Schema::new(vec![
+        Attribute::measured("BLOCK", DataType::Int),
+        Attribute::measured("X", DataType::Int),
+        Attribute::measured("G", DataType::Int),
+    ])
+    .expect("schema");
+    let raw: Vec<Vec<Value>> = (0..BLOCKS * BLOCK_ROWS)
+        .map(|i| {
+            vec![
+                Value::Int(i / BLOCK_ROWS),
+                Value::Int((i * 37) % 1_001 - 500),
+                Value::Int((i * 7) % 16),
+            ]
+        })
+        .collect();
+    let ds = DataSet::from_rows("clustered", schema.clone(), raw).expect("dataset");
+    let env = StorageEnv::new(8_192);
+    let mut store = TransposedFile::create_with(
+        env.pool.clone(),
+        schema,
+        &[Compression::Rle, Compression::None, Compression::None],
+    )
+    .expect("create");
+    store.bulk_append(&ds).expect("load");
+
+    // The pre-kernel scan path, preserved as the baseline: zone-map
+    // pruned exactly like the live path, but every surviving morsel
+    // decodes its referenced columns to `Value`s and evaluates the
+    // bound predicate row by row over an assembled row buffer.
+    let percell_filter = |pred: &Predicate, cfg: &ExecConfig| -> Vec<usize> {
+        let schema = store.schema();
+        let bound = pred.bind(schema).expect("bind");
+        let referenced: Vec<(usize, String)> = pred
+            .referenced_columns()
+            .into_iter()
+            .map(|name| (schema.require(&name).expect("column"), name))
+            .collect();
+        let width = schema.len();
+        let pruner = ZoneMapPruner::new(&store, pred);
+        let chunks = scan_morsels(
+            store.len(),
+            cfg,
+            |m| -> Result<Vec<usize>, sdbms_data::DataError> {
+                let mut hits = Vec::new();
+                if !pruner.may_match(m.start, m.len) {
+                    return Ok(hits);
+                }
+                let mut cols: Vec<(usize, Vec<Value>)> = Vec::with_capacity(referenced.len());
+                for (ci, name) in &referenced {
+                    cols.push((*ci, store.read_column_range(name, m.start, m.len)?));
+                }
+                let mut row = vec![Value::Missing; width];
+                for i in 0..m.len {
+                    for (ci, vals) in &cols {
+                        row[*ci] = vals[i].clone();
+                    }
+                    if bound.eval(&row) {
+                        hits.push(m.start + i);
+                    }
+                }
+                Ok(hits)
+            },
+        )
+        .expect("per-cell scan");
+        chunks.into_iter().flatten().collect()
+    };
+
+    // The pre-kernel aggregation path: decode each morsel to `Value`s
+    // and feed the per-row profile accumulators.
+    let percell_profile = |attr: &str, cfg: &ExecConfig| -> ColumnProfile {
+        let partials = scan_morsels(
+            store.len(),
+            cfg,
+            |m| -> Result<ColumnProfile, sdbms_data::DataError> {
+                let vals = store.read_column_range(attr, m.start, m.len)?;
+                Ok(ColumnProfile::from_values(&vals))
+            },
+        )
+        .expect("per-cell profile");
+        let mut profile = ColumnProfile::default();
+        for p in partials {
+            profile.merge(p);
+        }
+        profile
+    };
+
+    let time_us = |f: &mut dyn FnMut()| -> u128 {
+        f();
+        (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_micros()
+            })
+            .min()
+            .unwrap_or(0)
+    };
+
+    let selectivities: Vec<(&str, Predicate)> = vec![
+        ("0%", Predicate::col_eq("BLOCK", -1i64)),
+        ("1%", Predicate::col_eq("BLOCK", 5i64)),
+        (
+            "50%",
+            Predicate::cmp(Expr::col("BLOCK"), CmpOp::Lt, Expr::lit(BLOCKS / 2)),
+        ),
+        ("100%", Predicate::True),
+        (
+            "100% (X ≥ min)",
+            Predicate::cmp(Expr::col("X"), CmpOp::Ge, Expr::lit(-500i64)),
+        ),
+    ];
+    let mut table = Vec::new();
+    let mut scan_json = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let cfg = ExecConfig {
+            workers,
+            morsel_rows: 1_024,
+        };
+        for (label, pred) in &selectivities {
+            // Both paths prune identically; the difference under
+            // measurement is the per-morsel inner loop.
+            let want = percell_filter(pred, &cfg);
+            let got = filter_table_rows(&store, pred, &cfg).expect("batch scan");
+            assert_eq!(got, want, "{label}: kernel path diverged");
+            let t_cell = time_us(&mut || {
+                percell_filter(pred, &cfg);
+            });
+            let t_batch = time_us(&mut || {
+                filter_table_rows(&store, pred, &cfg).expect("batch scan");
+            });
+            let speedup = t_cell as f64 / t_batch.max(1) as f64;
+            table.push(vec![
+                (*label).to_string(),
+                workers.to_string(),
+                us(t_cell),
+                us(t_batch),
+                ratio(t_cell as f64, t_batch.max(1) as f64),
+            ]);
+            scan_json.push(format!(
+                "    {{\"selectivity\": \"{label}\", \"workers\": {workers}, \
+                 \"percell_us\": {t_cell}, \"batch_us\": {t_batch}, \
+                 \"speedup\": {speedup:.2}}}"
+            ));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "selectivity",
+                "workers",
+                "per-cell scan",
+                "batch-kernel scan",
+                "speedup",
+            ],
+            &table
+        )
+    );
+
+    let mut table = Vec::new();
+    let mut agg_json = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let cfg = ExecConfig {
+            workers,
+            morsel_rows: 1_024,
+        };
+        for (attr, label) in [("BLOCK", "BLOCK (RLE)"), ("G", "G (raw, low-card)")] {
+            let t_cell = time_us(&mut || {
+                percell_profile(attr, &cfg);
+            });
+            let t_batch = time_us(&mut || {
+                profile_table_column(&store, attr, &cfg).expect("batch profile");
+            });
+            let speedup = t_cell as f64 / t_batch.max(1) as f64;
+            table.push(vec![
+                label.to_string(),
+                workers.to_string(),
+                us(t_cell),
+                us(t_batch),
+                ratio(t_cell as f64, t_batch.max(1) as f64),
+            ]);
+            agg_json.push(format!(
+                "    {{\"column\": \"{attr}\", \"workers\": {workers}, \
+                 \"percell_us\": {t_cell}, \"batch_us\": {t_batch}, \
+                 \"speedup\": {speedup:.2}}}"
+            ));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "aggregate over",
+                "workers",
+                "per-cell profile",
+                "batch-kernel profile",
+                "speedup",
+            ],
+            &table
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e15_vectorized_kernels\",\n  \"rows\": {n_rows},\n  \
+         \"scan\": [\n{}\n  ],\n  \"aggregate\": [\n{}\n  ]\n}}\n",
+        scan_json.join(",\n"),
+        agg_json.join(",\n"),
+    );
+    match std::fs::write("BENCH_scan.json", &json) {
+        Ok(()) => println!("wrote BENCH_scan.json"),
+        Err(e) => println!("could not write BENCH_scan.json: {e}"),
     }
 }
 

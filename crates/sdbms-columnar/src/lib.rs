@@ -19,10 +19,14 @@
 //!   ratio measurements of experiment E5.
 //! - [`zonemap`] — per-segment statistics for predicate pruning and
 //!   run-aware (compressed-domain) aggregation.
+//! - [`batch`] — typed column batches ([`batch::ColumnBatch`]) decoded
+//!   straight from segment bytes, the unit the vectorized kernels in
+//!   `sdbms-exec` consume.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod rle;
 pub mod rowstore;
 pub mod segment;
@@ -30,6 +34,7 @@ pub mod store;
 pub mod transposed;
 pub mod zonemap;
 
+pub use batch::{decode_batch, decode_batch_range, BatchValues, ColumnBatch};
 pub use rle::RunCursor;
 pub use rowstore::RowStore;
 pub use segment::{Compression, SEGMENT_ROWS};

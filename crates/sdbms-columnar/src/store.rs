@@ -10,6 +10,7 @@
 use sdbms_data::{DataError, DataSet, Schema, Value};
 use sdbms_storage::PageId;
 
+use crate::batch::ColumnBatch;
 use crate::zonemap::ZoneMap;
 
 /// Result alias matching the data-layer error type.
@@ -75,6 +76,36 @@ pub trait TableStore {
             }
         }
         Ok(out)
+    }
+
+    /// Read rows `[start, start + len)` of one column as a typed
+    /// [`ColumnBatch`] whose expansion
+    /// ([`ColumnBatch::to_values`]) equals
+    /// [`TableStore::read_column_range`] exactly, bit for bit. This is
+    /// the vectorized scan unit: segmented layouts override it to
+    /// decode straight from segment bytes with no per-row `Value`
+    /// materialization; the default wraps the scalar range read.
+    fn read_column_batch(&self, attribute: &str, start: usize, len: usize) -> Result<ColumnBatch> {
+        Ok(ColumnBatch::from_values(
+            &self.read_column_range(attribute, start, len)?,
+        ))
+    }
+
+    /// Seal the store for scanning: capture CRC-verified page images
+    /// so subsequent batch reads bypass the buffer pool entirely (the
+    /// simulated-mmap read path). Returns `true` if the layout
+    /// supports sealing and the seal is now in place; the default
+    /// layout does not. Any mutation unseals. Errors (corrupt pages,
+    /// injected faults during the capture) leave the store unsealed —
+    /// callers degrade to the buffer-pool path.
+    fn seal_for_scan(&mut self) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// True while a scan seal from [`TableStore::seal_for_scan`] is in
+    /// place (reads are served from the mapped images).
+    fn scan_sealed(&self) -> bool {
+        false
     }
 
     /// Read one full row (the *informational* access pattern: every

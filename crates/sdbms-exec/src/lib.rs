@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod kernels;
+
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use sdbms_columnar::TableStore;
@@ -350,6 +352,13 @@ where
 }
 
 /// Single-pass parallel profile of one stored column.
+///
+/// Each morsel is fetched as a typed [`sdbms_columnar::ColumnBatch`]
+/// — decoded straight from segment bytes on segmented layouts, no
+/// per-row `Value` materialization — and folded by the vectorized
+/// [`kernels::add_batch`] kernel. The result is `==` to the scalar
+/// path (`profile_with` over `read_column_range`) bit for bit, at
+/// every worker count.
 pub fn profile_table_column<S>(
     store: &S,
     attribute: &str,
@@ -358,9 +367,26 @@ pub fn profile_table_column<S>(
 where
     S: TableStore + Sync + ?Sized,
 {
-    profile_with(store.len(), cfg, |start, len| {
-        store.read_column_range(attribute, start, len)
-    })
+    let partials = scan_morsels(
+        store.len(),
+        cfg,
+        |m| -> sdbms_columnar::store::Result<ColumnProfile> {
+            let batch = store.read_column_batch(attribute, m.start, m.len)?;
+            let mut p = ColumnProfile::default();
+            kernels::add_batch(&mut p, &batch);
+            Ok(p)
+        },
+    )?;
+    let mut profile = ColumnProfile {
+        // Upper bound (non-numeric rows contribute nothing); spares
+        // the merge loop its reallocation copies.
+        numbers: Vec::with_capacity(store.len()),
+        ..ColumnProfile::default()
+    };
+    for p in partials {
+        profile.merge(p);
+    }
+    Ok(profile)
 }
 
 /// Run-aware parallel profile of one stored column: each morsel is

@@ -23,6 +23,7 @@ fn all_lints() -> FileLintSet {
         missing_docs: true,
         txn_lock_order: true,
         snapshot_bypass: true,
+        mmap_seam: true,
     }
 }
 
@@ -90,6 +91,17 @@ fn txn_and_snapshot_fixture_fires_at_expected_lines() {
 }
 
 #[test]
+fn mmap_seam_fixture_fires_at_expected_lines() {
+    assert_eq!(
+        findings("mmap_seam.rs"),
+        vec![
+            ("mmap-seam-bypass".to_string(), 10),
+            ("mmap-seam-bypass".to_string(), 15),
+        ]
+    );
+}
+
+#[test]
 fn fixture_headers_agree_with_findings() {
     // Each fixture documents its expected findings in its header;
     // keep the documentation honest by re-deriving it.
@@ -98,6 +110,7 @@ fn fixture_headers_agree_with_findings() {
         "relaxed_and_seam.rs",
         "lossy_and_docs.rs",
         "txn_and_snapshot.rs",
+        "mmap_seam.rs",
     ] {
         let src = fixture(name);
         for (id, line) in findings(name) {

@@ -1,0 +1,23 @@
+//! Known-bad fixture: zero-copy mmap sources constructed outside the
+//! sealed-scan seam. Expected findings (see ../fixtures.rs):
+//!   line 10  mmap-seam-bypass    (MmapSegmentSource::map)
+//!   line 15  mmap-seam-bypass    (MmapSegmentSource::new)
+//! The justified allow at the bottom is the sanctioned door and
+//! must not fire.
+
+/// Maps a segment directly: nothing flushed, nothing CRC-verified.
+pub fn bare_map(pool: &BufferPool, pages: &[PageId]) -> Mapped {
+    MmapSegmentSource::map(pool, pages)
+}
+
+/// Builds a source by hand, dodging the seal entirely.
+pub fn bare_new() -> MmapSegmentSource {
+    MmapSegmentSource::new()
+}
+
+/// The sanctioned door: the caller's seal flushed the pool and
+/// CRC-verified every page before this map call.
+pub fn sealed_map(pool: &BufferPool, pages: &[PageId]) -> Mapped {
+    // lint: allow(mmap-seam-bypass): pool flushed and pages CRC-verified by seal_for_scan
+    MmapSegmentSource::map(pool, pages)
+}

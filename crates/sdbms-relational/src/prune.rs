@@ -17,6 +17,7 @@ use std::cmp::Ordering;
 
 use sdbms_columnar::{zonemap::ZoneMap, TableStore};
 use sdbms_data::{DataError, Schema, Value};
+use sdbms_exec::kernels::{KernelCmp, KernelPredicate};
 use sdbms_exec::{scan_morsels, ExecConfig, SegmentPruner};
 
 use crate::expr::{CmpOp, Expr, Predicate};
@@ -223,11 +224,78 @@ impl<S: TableStore + Sync + ?Sized> SegmentPruner for ZoneMapPruner<'_, S> {
     }
 }
 
+/// Map a scalar comparison operator onto its kernel twin (same truth
+/// table over a [`Value::total_cmp`] ordering).
+fn kernel_op(op: CmpOp) -> KernelCmp {
+    match op {
+        CmpOp::Eq => KernelCmp::Eq,
+        CmpOp::Ne => KernelCmp::Ne,
+        CmpOp::Lt => KernelCmp::Lt,
+        CmpOp::Le => KernelCmp::Le,
+        CmpOp::Gt => KernelCmp::Gt,
+        CmpOp::Ge => KernelCmp::Ge,
+    }
+}
+
+/// Compile a predicate into the executor's batch-kernel IR, with
+/// column names mapped to positions in `slots` (the fetched-batch
+/// order). `None` when any comparison involves a computed expression,
+/// a column-vs-column test, or a literal-vs-literal fold — those keep
+/// the row-at-a-time path. The compiled form evaluates to exactly the
+/// rows [`BoundPredicate::eval`] selects (same [`Value::total_cmp`]
+/// order, same missing-makes-comparisons-false convention).
+fn compile_kernel(pred: &Predicate, slots: &[String]) -> Option<KernelPredicate> {
+    let slot = |name: &str| slots.iter().position(|n| n == name);
+    Some(match pred {
+        Predicate::True => KernelPredicate::True,
+        Predicate::IsMissing(name) => KernelPredicate::IsMissing(slot(name)?),
+        Predicate::And(a, b) => KernelPredicate::And(
+            Box::new(compile_kernel(a, slots)?),
+            Box::new(compile_kernel(b, slots)?),
+        ),
+        Predicate::Or(a, b) => KernelPredicate::Or(
+            Box::new(compile_kernel(a, slots)?),
+            Box::new(compile_kernel(b, slots)?),
+        ),
+        Predicate::Not(p) => KernelPredicate::Not(Box::new(compile_kernel(p, slots)?)),
+        Predicate::Cmp { left, op, right } => {
+            match (
+                as_column(left),
+                as_literal(left),
+                as_column(right),
+                as_literal(right),
+            ) {
+                // col op lit
+                (Some(col), _, _, Some(lit)) => KernelPredicate::Cmp {
+                    col: slot(col)?,
+                    op: kernel_op(*op),
+                    lit: lit.clone(),
+                },
+                // lit op col  ⟶  col flip(op) lit
+                (_, Some(lit), Some(col), _) => KernelPredicate::Cmp {
+                    col: slot(col)?,
+                    op: kernel_op(flip(*op)),
+                    lit: lit.clone(),
+                },
+                _ => return None,
+            }
+        }
+    })
+}
+
 /// Predicate scan with zone-map pushdown: the row indices satisfying
 /// `predicate`, ascending — exactly the indices an unpruned scan
 /// returns, at every worker count. Refuted morsels are skipped before
 /// any page read; scanned morsels read only the referenced columns,
 /// morsel-sized.
+///
+/// Simple predicates (column-vs-literal comparisons, missing tests,
+/// connectives) compile to the executor's vectorized batch kernels:
+/// each morsel fetches the referenced columns as typed
+/// [`sdbms_columnar::ColumnBatch`]es and evaluates to a selection
+/// bitmap with no per-row `Value` materialization. Computed
+/// expressions keep the row-at-a-time path. Both paths return
+/// identical indices.
 pub fn filter_table_rows<S>(
     store: &S,
     predicate: &Predicate,
@@ -246,6 +314,21 @@ where
     }
     let width = schema.len();
     let pruner = ZoneMapPruner::new(store, predicate);
+    let names: Vec<String> = referenced.iter().map(|(_, n)| n.clone()).collect();
+    if let Some(kpred) = compile_kernel(predicate, &names) {
+        return sdbms_exec::kernels::filter_batches_pruned(
+            store.len(),
+            cfg,
+            &pruner,
+            &kpred,
+            |m| {
+                names
+                    .iter()
+                    .map(|n| store.read_column_batch(n, m.start, m.len))
+                    .collect::<Result<Vec<_>, DataError>>()
+            },
+        );
+    }
     let chunks = scan_morsels(store.len(), cfg, |m| -> Result<Vec<usize>, DataError> {
         let mut hits = Vec::new();
         if !pruner.may_match(m.start, m.len) {

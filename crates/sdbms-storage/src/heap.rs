@@ -82,6 +82,31 @@ fn set_slot(p: &mut Page, i: u16, offset: u16, len: u16) {
     p.put_u16(off + 2, len);
 }
 
+/// Borrow the record at `rid.slot` from a slotted page image without
+/// copying it out.
+///
+/// This is the zero-copy counterpart of [`HeapFile::get`] for callers
+/// that already hold the page bytes (the sealed-segment scan source
+/// keeps verified page images outside the buffer pool and parses
+/// records in place). The error behaviour matches `HeapFile::get`:
+/// an out-of-range or vacant slot is `InvalidRid`.
+pub fn record_in_page(p: &Page, rid: Rid) -> Result<&[u8]> {
+    if rid.slot >= slot_count(p) {
+        return Err(StorageError::InvalidRid {
+            page: rid.page,
+            slot: rid.slot,
+        });
+    }
+    let (off, len) = slot(p, rid.slot);
+    if off == 0 {
+        return Err(StorageError::InvalidRid {
+            page: rid.page,
+            slot: rid.slot,
+        });
+    }
+    Ok(p.slice(off as usize, len as usize))
+}
+
 /// Initialize raw bytes as an empty slotted page.
 fn init_page(p: &mut Page) {
     set_slot_count(p, 0);

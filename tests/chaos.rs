@@ -558,6 +558,148 @@ fn corrupted_zone_map_pages_degrade_to_unpruned_scans_never_wrong() {
     }
 }
 
+/// A small transposed store for the mmap chaos schedules, built on its
+/// own fault-free environment so each schedule controls its own damage.
+fn mmap_chaos_store() -> (StorageEnv, sdbms::columnar::TransposedFile) {
+    use sdbms::columnar::{Compression, TransposedFile};
+    use sdbms::data::dataset::DataSet;
+    use sdbms::data::schema::{Attribute, Schema};
+    use sdbms::data::{DataType, Value};
+
+    let schema = Schema::new(vec![
+        Attribute::measured("BLOCK", DataType::Int),
+        Attribute::measured("X", DataType::Int),
+    ])
+    .expect("schema");
+    let rows: Vec<Vec<Value>> = (0..1200i64)
+        .map(|i| {
+            let x = if i % 13 == 5 {
+                Value::Missing
+            } else {
+                Value::Int((i * 17) % 301 - 150)
+            };
+            vec![Value::Int(i / 50), x]
+        })
+        .collect();
+    let ds = DataSet::from_rows("mmapchaos", schema.clone(), rows).expect("dataset");
+    let env = StorageEnv::new(512);
+    let mut store = TransposedFile::create_with(
+        env.pool.clone(),
+        schema,
+        &[Compression::Rle, Compression::None],
+    )
+    .expect("create");
+    store.bulk_append(&ds).expect("load");
+    (env, store)
+}
+
+/// Seeded schedules against the zero-copy seal: flipping bits in a data
+/// page makes `seal_for_scan` fail with a **clean CRC error at map
+/// time** — the store stays unsealed and keeps serving through the
+/// buffer-pool path, where the same checksum turns the damage into a
+/// clean read error, never torn data.
+#[test]
+fn corrupt_pages_fail_the_mmap_seal_cleanly_and_pool_path_still_serves() {
+    use sdbms::columnar::TableStore;
+
+    let n = (schedules() / 10).max(8);
+    for seed in 0..n {
+        let (env, mut store) = mmap_chaos_store();
+        let want_x = store
+            .read_column_range("X", 0, store.len())
+            .expect("baseline");
+        let want_block = store
+            .read_column_range("BLOCK", 0, store.len())
+            .expect("baseline");
+
+        // Put the images on disk, then flip a bit in one data page and
+        // drop the clean pool frames so every path sees the damage.
+        env.pool.flush_all().expect("flush");
+        let pages = store.data_page_ids();
+        assert!(!pages.is_empty());
+        let mut s = seed ^ 0x3AD_5EA1;
+        let pid = pages[(splitmix(&mut s) as usize) % pages.len()];
+        let bit = (splitmix(&mut s) % (8 * 256)) as usize;
+        env.disk.corrupt_page(pid, bit).expect("corrupt data page");
+        env.pool.discard_frames().expect("drop frames");
+
+        // The seal walks every page through the CRC check and must
+        // refuse — no partially-mapped image may ever be installed.
+        assert!(
+            store.seal_for_scan().is_err(),
+            "schedule {seed}: seal accepted a corrupt page"
+        );
+        assert!(
+            !store.scan_sealed(),
+            "schedule {seed}: failed seal left the store sealed"
+        );
+
+        // The pool path still answers: either a clean checksum error or
+        // exactly the original bytes (when the read misses the damaged
+        // page) — never silently different data.
+        for (attr, want) in [("X", &want_x), ("BLOCK", &want_block)] {
+            // A clean error is the other acceptable outcome.
+            if let Ok(got) = store.read_column_range(attr, 0, store.len()) {
+                assert_eq!(
+                    &got, want,
+                    "schedule {seed}: {attr} silently changed after corruption"
+                );
+            }
+        }
+    }
+}
+
+/// Once sealed on healthy hardware, zero-copy scans perform **no disk
+/// operations at all** — so fault schedules are excluded from the mmap
+/// read path by construction: under a brutal transient/corrupt/
+/// permanent-fault plan, sealed batch reads return bit-identical data
+/// and the injector's operation counter never moves.
+#[test]
+fn sealed_mmap_scans_are_excluded_from_fault_schedules_by_construction() {
+    use sdbms::columnar::TableStore;
+
+    let n = (schedules() / 10).max(8);
+    for seed in 0..n {
+        let (env, mut store) = mmap_chaos_store();
+        let want_x = store
+            .read_column_range("X", 0, store.len())
+            .expect("baseline");
+        let want_block = store
+            .read_column_range("BLOCK", 0, store.len())
+            .expect("baseline");
+        assert!(store.seal_for_scan().expect("seal"), "clean store seals");
+
+        // A plan that would wreck any I/O-bound scan.
+        env.injector.set_plan(FaultPlan {
+            seed,
+            disk: DeviceFaults {
+                transient_read: 0.9,
+                transient_write: 0.9,
+                corrupt_write: 0.5,
+                permanent_read: 0.5,
+            },
+            ..FaultPlan::none()
+        });
+        let ops_before = env.injector.ops();
+        for (attr, want) in [("X", &want_x), ("BLOCK", &want_block)] {
+            let batch = store
+                .read_column_batch(attr, 0, store.len())
+                .expect("sealed scan never touches the disk");
+            assert_eq!(
+                &batch.to_values(),
+                want,
+                "schedule {seed}: sealed {attr} scan diverged under faults"
+            );
+        }
+        assert_eq!(
+            env.injector.ops(),
+            ops_before,
+            "schedule {seed}: a sealed scan performed disk operations"
+        );
+        env.injector.set_plan(FaultPlan::none());
+    }
+}
+
 #[test]
 fn corrupted_summary_pages_are_quarantined_and_recomputed() {
     let mut dbms = setup();

@@ -523,6 +523,295 @@ fn zone_maps_stay_fresh_across_update_where() {
     }
 }
 
+// ---- vectorized batch kernels & zero-copy mmap reads -----------------------
+//
+// The typed-batch kernel path (`read_column_batch` + fused
+// filter/aggregate loops) carries the same contract as everything
+// above: bit-identical to the per-cell Value path at every worker
+// count, including the adversarial float inputs (NaN, signed zero)
+// that a fast path is most likely to get wrong. And a scan-sealed
+// mmap read must serve exactly the bytes the buffer pool serves.
+
+use sdbms::columnar::TableStore;
+use sdbms::exec::ColumnProfile;
+
+/// `==` on profiles is too strict once NaN is in play: derived float
+/// equality makes a NaN-bearing profile unequal even to itself. Compare
+/// the accumulator *bits* instead, grouping NaN with NaN.
+fn profile_bits_eq(a: &ColumnProfile, b: &ColumnProfile) -> bool {
+    let bits4 = |p: Option<(f64, u64, f64, u64)>| {
+        p.map(|(lo, ln, hi, hn)| (lo.to_bits(), ln, hi.to_bits(), hn))
+    };
+    let (an, am, aq) = a.moments.parts();
+    let (bn, bm, bq) = b.moments.parts();
+    a.rows == b.rows
+        && a.non_numeric == b.non_numeric
+        && an == bn
+        && am.to_bits() == bm.to_bits()
+        && aq.to_bits() == bq.to_bits()
+        && bits4(a.minmax.parts()) == bits4(b.minmax.parts())
+        && a.freq.entries().count() == b.freq.entries().count()
+        && a.freq
+            .entries()
+            .zip(b.freq.entries())
+            .all(|((va, ca), (vb, cb))| va.group_eq(vb) && ca == cb)
+        && a.numbers.len() == b.numbers.len()
+        && a.numbers
+            .iter()
+            .zip(&b.numbers)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// A float column seeded with NaN, signed zero, and missing values,
+/// next to an RLE plateau column — the inputs that distinguish a
+/// careless f64 fast path from a `total_cmp`-faithful one.
+fn nan_dataset(rows: usize) -> DataSet {
+    let schema = Schema::new(vec![
+        Attribute::measured("BLOCK", DataType::Int),
+        Attribute::measured("F", DataType::Float),
+    ])
+    .expect("schema");
+    let rows: Vec<Vec<Value>> = (0..rows as i64)
+        .map(|i| {
+            let f = match i % 9 {
+                0 => Value::Missing,
+                3 => Value::Float(f64::NAN),
+                6 => Value::Float(-0.0),
+                _ => Value::Float((i * 13 % 103) as f64 / 8.0 - 6.0),
+            };
+            vec![Value::Int(i / 64), f]
+        })
+        .collect();
+    DataSet::from_rows("nanvals", schema, rows).expect("dataset")
+}
+
+fn nan_store(ds: &DataSet) -> TransposedFile {
+    let env = StorageEnv::new(512);
+    let mut store = TransposedFile::create_with(
+        env.pool.clone(),
+        ds.schema().clone(),
+        &[Compression::Rle, Compression::None],
+    )
+    .expect("create");
+    store.bulk_append(ds).expect("load");
+    store
+}
+
+/// Batch-kernel profiles over NaN / signed-zero / missing floats are
+/// bit-identical to the scalar per-cell path at every worker count —
+/// and so is the run-aware path over the RLE column.
+#[test]
+fn batch_profiles_with_nan_floats_bit_identical_to_scalar() {
+    let ds = nan_dataset(2148); // ragged tail segment
+    let store = nan_store(&ds);
+    for attr in ["BLOCK", "F"] {
+        let col: Vec<Value> = ds.column(attr).expect("column").cloned().collect();
+        let reference = profile_values(
+            &col,
+            &ExecConfig {
+                workers: 1,
+                morsel_rows: 256,
+            },
+        );
+        for workers in WORKER_COUNTS {
+            let cfg = ExecConfig {
+                workers,
+                morsel_rows: 256,
+            };
+            let batched = profile_table_column(&store, attr, &cfg).expect("batch profile");
+            assert!(
+                profile_bits_eq(&batched, &reference),
+                "{attr}: batch path diverged at {workers} workers"
+            );
+            let by_runs = profile_table_column_runs(&store, attr, &cfg).expect("run profile");
+            assert!(
+                profile_bits_eq(&by_runs, &reference),
+                "{attr}: run path diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Compiled-predicate bitmap filters agree with the scalar oracle on
+/// NaN floats: `total_cmp` ordering (NaN above +inf, -0.0 below +0.0)
+/// survives the typed fast path, at every comparison op and worker
+/// count.
+#[test]
+fn batch_filters_with_nan_floats_match_scalar_oracle() {
+    let ds = nan_dataset(2148);
+    let store = nan_store(&ds);
+    let preds: Vec<(&str, Predicate)> = vec![
+        (
+            "F > 0.0 (NaN sorts above)",
+            Predicate::cmp(Expr::col("F"), CmpOp::Gt, Expr::lit(Value::Float(0.0))),
+        ),
+        (
+            "F <= 1.5",
+            Predicate::cmp(Expr::col("F"), CmpOp::Le, Expr::lit(Value::Float(1.5))),
+        ),
+        (
+            "F == -0.0 (total order separates zeros)",
+            Predicate::cmp(Expr::col("F"), CmpOp::Eq, Expr::lit(Value::Float(-0.0))),
+        ),
+        (
+            "F != 0.0 (missing still excluded)",
+            Predicate::cmp(Expr::col("F"), CmpOp::Ne, Expr::lit(Value::Float(0.0))),
+        ),
+        (
+            "negated Ge picks up NaN and missing arm",
+            Predicate::cmp(Expr::col("F"), CmpOp::Ge, Expr::lit(Value::Float(-6.0)))
+                .negate()
+                .or(Predicate::IsMissing("F".into())),
+        ),
+    ];
+    for (label, pred) in preds {
+        let want = naive_matches(&ds, &pred);
+        for workers in WORKER_COUNTS {
+            let got = filter_table_rows(
+                &store,
+                &pred,
+                &ExecConfig {
+                    workers,
+                    morsel_rows: 256,
+                },
+            )
+            .expect("kernel filter");
+            assert_eq!(got, want, "{label} at {workers} workers");
+        }
+    }
+}
+
+/// A scan-sealed mmap image serves byte-identical data to the buffer
+/// pool: every column, every encoding, both the Value read path and the
+/// typed batch path. Mutation drops the seal and the next read sees the
+/// new bytes through the pool again.
+#[test]
+fn mmap_reads_byte_identical_to_buffer_pool_reads() {
+    let ds = pruning_dataset(2148, 64);
+    let mut store = pruning_store(&ds);
+    let attrs = ["BLOCK", "X", "F", "TAG"];
+    let pool_cols: Vec<Vec<Value>> = attrs
+        .iter()
+        .map(|a| {
+            store
+                .read_column_range(a, 0, store.len())
+                .expect("pool read")
+        })
+        .collect();
+    assert!(
+        store.seal_for_scan().expect("seal"),
+        "transposed file seals"
+    );
+    assert!(store.scan_sealed());
+    for (i, attr) in attrs.iter().enumerate() {
+        let sealed_vals = store
+            .read_column_range(attr, 0, store.len())
+            .expect("sealed read");
+        assert_eq!(sealed_vals, pool_cols[i], "{attr}: sealed read diverged");
+        let batch = store
+            .read_column_batch(attr, 0, store.len())
+            .expect("sealed batch");
+        assert_eq!(
+            batch.to_values(),
+            pool_cols[i],
+            "{attr}: sealed batch diverged"
+        );
+    }
+    // Sealing is idempotent and survives repeated reads.
+    assert!(store.seal_for_scan().expect("re-seal"));
+    // Mutation unseals; the write is immediately visible via the pool.
+    let old = store.set_cell(0, "X", Value::Int(777)).expect("set_cell");
+    assert_ne!(old, Value::Int(777));
+    assert!(!store.scan_sealed(), "mutation must drop the seal");
+    assert_eq!(
+        store.read_column_range("X", 0, 1).expect("post-write read")[0],
+        Value::Int(777)
+    );
+}
+
+/// Full stack: with mmap scans enabled and the view sealed, every
+/// summary function returns exactly what the buffer-pool path returns,
+/// at every worker count.
+#[test]
+fn mmap_scans_serve_identical_summaries_at_every_worker_count() {
+    let attrs = ["AGE", "INCOME", "HOURS_WORKED"];
+    let mut reference: Option<Vec<String>> = None;
+    for mmap in [false, true] {
+        for workers in WORKER_COUNTS {
+            let mut dbms = census_dbms(
+                3000,
+                ExecConfig {
+                    workers,
+                    morsel_rows: 256,
+                },
+            );
+            dbms.set_mmap_scans(mmap);
+            if mmap {
+                assert!(dbms.seal_view_for_scan("v").expect("seal"));
+                assert!(dbms.view_scan_sealed("v").expect("sealed?"));
+            }
+            let mut out = Vec::new();
+            for a in attrs {
+                for f in all_functions() {
+                    let served = dbms
+                        .compute("v", a, &f, AccuracyPolicy::Exact)
+                        .map(|(value, _)| format!("{value:?}"))
+                        .unwrap_or_else(|e| format!("error: {e}"));
+                    out.push(format!("{f}({a}) = {served}"));
+                }
+            }
+            match &reference {
+                None => reference = Some(out),
+                Some(want) => {
+                    assert_eq!(&out, want, "mmap={mmap} workers={workers} diverged")
+                }
+            }
+        }
+    }
+}
+
+/// Epoch safety: while a snapshot pins the view's store, sealing is
+/// refused (the mmap image can never be installed under a reader);
+/// once the snapshot drops, the seal succeeds, and a subsequent write
+/// unseals again.
+#[test]
+fn mmap_seal_refused_while_snapshot_pinned() {
+    let mut dbms = census_dbms(
+        1500,
+        ExecConfig {
+            workers: 4,
+            morsel_rows: 256,
+        },
+    );
+    let snap = dbms.snapshot("v").expect("snapshot");
+    assert!(
+        !dbms.seal_view_for_scan("v").expect("seal attempt"),
+        "seal must be refused while a snapshot pins the store"
+    );
+    assert!(!dbms.view_scan_sealed("v").expect("sealed?"));
+    // The pinned snapshot still reads its version undisturbed.
+    assert_eq!(snap.column("AGE").expect("snapshot read").len(), 1500);
+    drop(snap);
+    assert!(
+        dbms.seal_view_for_scan("v").expect("seal"),
+        "seal must succeed once the pin drains"
+    );
+    assert!(dbms.view_scan_sealed("v").expect("sealed?"));
+    // A write through the DBMS drops the seal before touching bytes.
+    let report = dbms
+        .update_where(
+            "v",
+            &Predicate::cmp(Expr::col("AGE"), CmpOp::Ge, Expr::lit(80i64)),
+            &[("INCOME", Expr::lit(0.0f64))],
+        )
+        .expect("update");
+    assert!(report.rows_matched > 0, "test needs rows with AGE >= 80");
+    assert!(
+        !dbms.view_scan_sealed("v").expect("sealed?"),
+        "writes must unseal the view"
+    );
+}
+
 /// A view materialized through a relational pipeline (select + project)
 /// behaves identically under the parallel executor — the scan side of
 /// selection is morsel-parallel inside the DBMS too.
