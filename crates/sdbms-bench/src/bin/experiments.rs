@@ -92,6 +92,9 @@ fn main() {
     if run("e15") {
         e15_vectorized_kernels();
     }
+    if run("e16") {
+        e16_lifecycle();
+    }
 }
 
 fn banner(id: &str, title: &str) {
@@ -1557,6 +1560,172 @@ fn e15_vectorized_kernels() {
     match std::fs::write("BENCH_scan.json", &json) {
         Ok(()) => println!("wrote BENCH_scan.json"),
         Err(e) => println!("could not write BENCH_scan.json: {e}"),
+    }
+}
+
+fn e16_lifecycle() {
+    use sdbms_serve::{
+        run_traffic, BreakerConfig, Outcome, QuotaConfig, ServeConfig, Server, TrafficConfig,
+        TrafficReport,
+    };
+    use sdbms_storage::{DeviceFaults, FaultPlan};
+    use sdbms_testkit::{CensusFixture, CENSUS_VIEW};
+
+    banner(
+        "E16",
+        "request lifecycle: deadlines + circuit breaker vs unguarded, under 5% slow-read faults",
+    );
+
+    // The working set deliberately overflows the pool, so queries keep
+    // hitting the (fault-injectable) disk for the whole run instead of
+    // going quiet after one warm-up pass. Slow faults stall in
+    // *simulated* time units — the deterministic clock deadlines are
+    // counted in — so the guarded arm's win shows up as typed trips,
+    // breaker fast-fails, and a bounded per-request simulated cost,
+    // while the unguarded arm silently absorbs every stall.
+    const ROWS: usize = 8_000;
+    const REQUESTS: usize = 400;
+    const SLOW_UNITS: u64 = 400;
+    let fixture = || {
+        CensusFixture::new()
+            .rows(ROWS)
+            .pool_pages(64)
+            .crash_consistent(false)
+            .build()
+            .expect("fixture")
+    };
+    // 4 analysts: analyst 0 is the protected "good" tenant, the rest
+    // share a "busy" tenant — the goodput column tracks analyst 0.
+    let traffic = |honor| {
+        TrafficConfig::new(CENSUS_VIEW)
+            .analysts(4)
+            .requests_per_analyst(REQUESTS)
+            .update_every(0)
+            .tenants(&["good", "busy", "busy", "busy"])
+            .honor_retry_hints(honor)
+            .seed(0xE16)
+    };
+    let good_completed = |r: &TrafficReport| {
+        r.outcomes[0]
+            .iter()
+            .filter(|o| matches!(o, Outcome::Ok(..)))
+            .count() as u64
+    };
+    let max_backoff = |r: &TrafficReport| {
+        r.outcomes
+            .iter()
+            .flatten()
+            .filter_map(|o| match o {
+                Outcome::Ok(resp, _) => Some(resp.io.backoff_units),
+                Outcome::Rejected { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    };
+
+    let mut table = Vec::new();
+    let mut entries = Vec::new();
+    for guarded in [false, true] {
+        let mut cfg = ServeConfig {
+            workers: 4,
+            queue_capacity: 4_096,
+            quota: QuotaConfig::unlimited(),
+            ..ServeConfig::default().uncached()
+        };
+        if guarded {
+            // A deadline that admits a clean 32-page scan plus one slow
+            // stall but trips on a multi-stall request, and a breaker
+            // that opens after a run of consecutive trips.
+            cfg.deadline_ops = Some(1_000);
+            cfg.breaker = BreakerConfig {
+                failure_threshold: 4,
+                open_ticks: 50,
+                half_open_probes: 2,
+            };
+        }
+        let server = Server::start(fixture(), cfg);
+        server.with_dbms_mut(|dbms| {
+            dbms.env().injector.set_plan(FaultPlan {
+                seed: 0xE16,
+                disk: DeviceFaults {
+                    slow_read: 0.05,
+                    slow_read_units: SLOW_UNITS,
+                    ..DeviceFaults::default()
+                },
+                ..FaultPlan::none()
+            });
+        });
+        // The guarded arm honors retry hints — the satellite contract:
+        // a shed analyst backs off the hinted time instead of hammering.
+        let report = run_traffic(&server, &traffic(guarded));
+        let total = 4 * REQUESTS as u64;
+        assert_eq!(
+            report.completed + report.budget_tripped + report.shed + report.overloaded,
+            total,
+            "every request is served or typed-rejected"
+        );
+        let metrics = server.metrics();
+        drop(server.shutdown());
+
+        let label = if guarded { "guarded" } else { "unguarded" };
+        table.push(vec![
+            label.to_string(),
+            us(u128::from(report.latency_us(50.0))),
+            us(u128::from(report.latency_us(99.0))),
+            us(u128::from(report.latency_us(99.9))),
+            format!("{:.0}", report.throughput_rps),
+            format!("{}/{}", good_completed(&report), REQUESTS),
+            report.budget_tripped.to_string(),
+            report.shed.to_string(),
+            max_backoff(&report).to_string(),
+        ]);
+        entries.push(format!(
+            "    {{\"mode\": \"{label}\", \"p50_us\": {}, \"p99_us\": {}, \
+             \"p999_us\": {}, \"throughput_rps\": {:.1}, \
+             \"completed\": {}, \"good_tenant_completed\": {}, \
+             \"deadline_tripped\": {}, \"breaker_or_brownout_shed\": {}, \
+             \"backoffs_honored\": {}, \"breaker_opened\": {}, \
+             \"max_completed_backoff_units\": {}}}",
+            report.latency_us(50.0),
+            report.latency_us(99.0),
+            report.latency_us(99.9),
+            report.throughput_rps,
+            report.completed,
+            good_completed(&report),
+            report.budget_tripped,
+            report.shed,
+            report.backoffs_honored,
+            metrics.breaker.opened,
+            max_backoff(&report),
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mode",
+                "p50",
+                "p99",
+                "p99.9",
+                "rps",
+                "good tenant",
+                "tripped",
+                "shed",
+                "max backoff",
+            ],
+            &table
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e16_lifecycle\",\n  \"rows\": {ROWS},\n  \
+         \"requests_per_analyst\": {REQUESTS},\n  \"slow_read\": 0.05,\n  \
+         \"slow_read_units\": {SLOW_UNITS},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_lifecycle.json", &json) {
+        Ok(()) => println!("wrote BENCH_lifecycle.json"),
+        Err(e) => println!("could not write BENCH_lifecycle.json: {e}"),
     }
 }
 

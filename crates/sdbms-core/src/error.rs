@@ -73,6 +73,17 @@ pub enum CoreError {
     /// No open update batch with this id (never begun, or already
     /// committed/aborted).
     NoSuchBatch(u64),
+    /// The request driving this operation was cancelled. A cooperative
+    /// stop, not a failure: storage state is intact, an in-flight batch
+    /// aborts cleanly, and no partial result is ever returned. Budget
+    /// trips arriving from any lower layer (storage, data, summary) are
+    /// normalised to this variant at the `From` boundary so callers can
+    /// match one shape.
+    Cancelled,
+    /// The request driving this operation ran out of deadline budget.
+    /// Like [`CoreError::Cancelled`], a clean typed stop — never a
+    /// partial result.
+    DeadlineExceeded,
     /// Underlying storage failure.
     Storage(StorageError),
     /// Underlying data-model failure.
@@ -115,6 +126,8 @@ impl fmt::Display for CoreError {
             }
             CoreError::Lock(e) => write!(f, "lock error: {e}"),
             CoreError::NoSuchBatch(id) => write!(f, "no open update batch {id}"),
+            CoreError::Cancelled => write!(f, "request cancelled"),
+            CoreError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::Stats(e) => write!(f, "stats error: {e}"),
@@ -138,13 +151,40 @@ impl std::error::Error for CoreError {
     }
 }
 
+impl CoreError {
+    /// True for the cooperative-stop errors ([`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`]). These are *not* engine faults:
+    /// the circuit breaker counts deadline trips against a view but
+    /// must never count client cancellations, and neither may trigger
+    /// quarantine or repair.
+    #[must_use]
+    pub fn is_budget(&self) -> bool {
+        matches!(self, CoreError::Cancelled | CoreError::DeadlineExceeded)
+    }
+}
+
+/// Normalise a budget-tripped [`StorageError`] to the typed core
+/// variant; `None` for everything else.
+fn budget_core(e: &StorageError) -> Option<CoreError> {
+    match e {
+        StorageError::Cancelled => Some(CoreError::Cancelled),
+        StorageError::DeadlineExceeded => Some(CoreError::DeadlineExceeded),
+        _ => None,
+    }
+}
+
 impl From<StorageError> for CoreError {
     fn from(e: StorageError) -> Self {
-        CoreError::Storage(e)
+        budget_core(&e).unwrap_or(CoreError::Storage(e))
     }
 }
 impl From<DataError> for CoreError {
     fn from(e: DataError) -> Self {
+        if let DataError::Storage(se) = &e {
+            if let Some(b) = budget_core(se) {
+                return b;
+            }
+        }
         CoreError::Data(e)
     }
 }
@@ -155,7 +195,20 @@ impl From<StatsError> for CoreError {
 }
 impl From<SummaryError> for CoreError {
     fn from(e: SummaryError) -> Self {
+        match &e {
+            SummaryError::Storage(se) | SummaryError::Data(DataError::Storage(se)) => {
+                if let Some(b) = budget_core(se) {
+                    return b;
+                }
+            }
+            _ => {}
+        }
         CoreError::Summary(e)
+    }
+}
+impl From<sdbms_storage::budget::CancelError> for CoreError {
+    fn from(e: sdbms_storage::budget::CancelError) -> Self {
+        CoreError::from(StorageError::from(e))
     }
 }
 impl From<ManagementError> for CoreError {

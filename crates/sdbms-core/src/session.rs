@@ -468,6 +468,14 @@ impl StatDbms {
         // Durability point: every shadow page reaches disk before the
         // in-memory swap makes the version reachable.
         self.env.pool.flush_all()?;
+        // Last cancellation checkpoint: past this line the install is
+        // pure in-memory and must run to completion (a half-installed
+        // version would be torn state). A budget trip here aborts the
+        // batch cleanly — the shadow pages are orphaned, the live
+        // version was never touched, and the typed error takes the
+        // non-crash path in `commit_batch` (intent retired, lock
+        // released), indistinguishable from any other aborted batch.
+        sdbms_storage::budget::charge_ambient_ops(0)?;
         // Derived columns triggered by the touched attributes are not
         // recomputed inside a batch — they are marked stale for
         // on-demand regeneration, the cheapest sound rule.

@@ -88,5 +88,11 @@ impl From<StorageError> for DataError {
     }
 }
 
+impl From<sdbms_storage::budget::CancelError> for DataError {
+    fn from(e: sdbms_storage::budget::CancelError) -> Self {
+        DataError::Storage(e.into())
+    }
+}
+
 /// Convenient result alias for data-layer operations.
 pub type Result<T> = std::result::Result<T, DataError>;

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use sdbms_columnar::TableStore;
 use sdbms_data::Value;
 use sdbms_stats::{FrequencyTable, MinMaxAcc, Moments};
+use sdbms_storage::budget::{ambient_token, BudgetScope, CancelError, CancelToken};
 
 /// Environment variable overriding the worker count
 /// (`SDBMS_WORKERS=4`). Unset, empty, unparsable, or `0` all fall back
@@ -149,12 +150,17 @@ where
 
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
+    // The calling thread's ambient request budget (if any) is
+    // re-installed in every worker, so a deadline caps the scan's
+    // storage I/O no matter how many threads it fans out over.
+    let ambient = ambient_token();
     let mut slots: Vec<Option<Result<T, E>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _budget = ambient.clone().map(BudgetScope::enter);
                     let mut produced: Vec<(usize, Result<T, E>)> = Vec::new();
                     // lint: allow(relaxed-ordering): abort is a best-effort shutdown hint; a stale read only costs one extra morsel, never correctness
                     while !abort.load(Ordering::Relaxed) {
@@ -201,6 +207,31 @@ where
         Some(e) => Err(e),
         None => Ok(out),
     }
+}
+
+/// [`scan_morsels`] with an injectable [`CancelToken`]: the token is
+/// checked once per morsel, *before* the morsel's work runs, and a
+/// trip surfaces as a typed error (`E::from(CancelError)`) through the
+/// same cooperative-abort machinery internal worker errors use — one
+/// shared stop path for external cancellation, deadline exhaustion,
+/// and engine errors. A cancelled scan therefore stops within one
+/// in-flight morsel per worker and never returns a partial result:
+/// the typed error wins, exactly like any other morsel error.
+pub fn scan_morsels_with<T, E, F>(
+    rows: usize,
+    cfg: &ExecConfig,
+    token: &CancelToken,
+    work: F,
+) -> Result<Vec<T>, E>
+where
+    F: Fn(Morsel) -> Result<T, E> + Sync,
+    T: Send,
+    E: Send + From<CancelError>,
+{
+    scan_morsels(rows, cfg, |m| {
+        token.check().map_err(E::from)?;
+        work(m)
+    })
 }
 
 /// Single-pass, mergeable summary state for one column — the paper's
@@ -647,6 +678,71 @@ mod tests {
         assert!(err.starts_with("morsel "), "{err}");
         // Cooperative abort: nowhere near all 625 morsels ran.
         assert!(calls.load(Ordering::Relaxed) < 600);
+    }
+
+    #[test]
+    fn cancelled_scan_stops_within_one_morsel_per_worker() {
+        use sdbms_storage::StorageError;
+        let cfg = ExecConfig {
+            workers: 4,
+            morsel_rows: 16,
+        };
+        let token = CancelToken::unbounded();
+        let calls = AtomicUsize::new(0);
+        // The very first morsel to run cancels the scan; everything
+        // else must stop at its next per-morsel token check.
+        let r: Result<Vec<()>, StorageError> = scan_morsels_with(10_000, &cfg, &token, |_m| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            token.cancel();
+            Ok(())
+        });
+        assert_eq!(r.unwrap_err(), StorageError::Cancelled);
+        assert!(
+            calls.load(Ordering::SeqCst) <= cfg.workers,
+            "at most the one in-flight morsel per worker may finish, got {}",
+            calls.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn op_budget_exhaustion_surfaces_typed_deadline_error() {
+        use sdbms_storage::StorageError;
+        for workers in [1, 4] {
+            let cfg = ExecConfig {
+                workers,
+                morsel_rows: 16,
+            };
+            let token = CancelToken::with_op_budget(5);
+            let r: Result<Vec<()>, StorageError> = scan_morsels_with(10_000, &cfg, &token, |_m| {
+                token.consume_ops(2);
+                Ok(())
+            });
+            assert_eq!(
+                r.unwrap_err(),
+                StorageError::DeadlineExceeded,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_inherit_the_ambient_budget() {
+        use sdbms_storage::budget::charge_ambient_ops;
+        use sdbms_storage::StorageError;
+        let cfg = ExecConfig {
+            workers: 4,
+            morsel_rows: 16,
+        };
+        let token = CancelToken::with_op_budget(10);
+        let _scope = BudgetScope::enter(token);
+        // Each morsel plays one device attempt on whatever worker
+        // thread it lands on; the charges must reach the calling
+        // thread's ambient budget or the scan would never trip.
+        let r: Result<Vec<()>, StorageError> = scan_morsels(10_000, &cfg, |_m| {
+            charge_ambient_ops(1)?;
+            Ok(())
+        });
+        assert_eq!(r.unwrap_err(), StorageError::DeadlineExceeded);
     }
 
     #[test]

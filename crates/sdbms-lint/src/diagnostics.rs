@@ -157,6 +157,16 @@ pub const SWALLOWED_ERROR: Lint = Lint {
         "Result discarded (let _ = / .ok() / bare call) on a path holding a lock or WAL intent",
 };
 
+/// `deadline-bypass`: a serving-layer function meters I/O (enters an
+/// `IoScope`) without first installing a request budget
+/// (`BudgetScope::enter`), so work on that path cannot observe its
+/// deadline or a client cancellation (DESIGN.md \u{a7}16).
+pub const DEADLINE_BYPASS: Lint = Lint {
+    id: "deadline-bypass",
+    description:
+        "serving-layer fn enters an IoScope without a BudgetScope: work there cannot be cancelled",
+};
+
 /// The full catalogue, for `--list` and id validation.
 pub const ALL_LINTS: &[Lint] = &[
     NO_PANIC,
@@ -177,6 +187,7 @@ pub const ALL_LINTS: &[Lint] = &[
     RULE_DANGLING_INPUT,
     REPAIR_MISSING_AUTHORITY,
     REPAIR_SELF_READ,
+    DEADLINE_BYPASS,
 ];
 
 /// One finding.

@@ -10,8 +10,9 @@
 //! audited.
 
 use crate::diagnostics::{
-    Diagnostic, Lint, FAULT_SEAM_BYPASS, LOSSY_CAST, MISSING_DOCS, MMAP_SEAM_BYPASS, NO_PANIC,
-    RELAXED_ORDERING, SNAPSHOT_BYPASS, TXN_LOCK_ORDER, UNJUSTIFIED_ALLOW,
+    Diagnostic, Lint, DEADLINE_BYPASS, FAULT_SEAM_BYPASS, LOSSY_CAST, MISSING_DOCS,
+    MMAP_SEAM_BYPASS, NO_PANIC, RELAXED_ORDERING, SNAPSHOT_BYPASS, TXN_LOCK_ORDER,
+    UNJUSTIFIED_ALLOW,
 };
 use crate::tokenizer::{Tok, TokKind, TokenStream};
 
@@ -46,6 +47,9 @@ pub struct FileLintSet {
     pub snapshot_bypass: bool,
     /// `mmap-seam-bypass` applies.
     pub mmap_seam: bool,
+    /// `deadline-bypass` applies (only `sdbms-serve`, where every
+    /// request carries a budget).
+    pub deadline_bypass: bool,
 }
 
 /// Run the configured source lints over one tokenized file. `file` is
@@ -85,6 +89,13 @@ pub fn lint_file(file: &str, ts: &TokenStream, set: &FileLintSet) -> Vec<Diagnos
         if set.mmap_seam {
             mmap_seam_at(file, toks, i, &mut raw);
         }
+    }
+
+    // The deadline-bypass lint is a per-function property (does the
+    // body that meters I/O also install a budget?), so it runs as a
+    // whole-file pass rather than a per-token pattern.
+    if set.deadline_bypass {
+        deadline_bypass_pass(file, toks, &test_spans, &mut raw);
     }
 
     // Apply the inline allowlist: a justified allow(id) on the finding
@@ -391,6 +402,58 @@ fn snapshot_bypass_at(file: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnost
     }
 }
 
+/// `deadline-bypass`: a function whose body enters an [`IoScope`]
+/// (metering real engine/storage work) without first installing a
+/// `BudgetScope`. In the serving layer every request carries a
+/// deadline/cancellation budget (DESIGN.md §16); metered work outside
+/// a budget scope can neither observe its deadline nor be cancelled,
+/// so it silently escapes the whole lifecycle contract. The check is
+/// per `fn` item: any body containing `IoScope::enter` must also
+/// contain `BudgetScope::enter` (the RAII pair is installed at the top
+/// of each `process_*` entry point).
+fn deadline_bypass_pass(
+    file: &str,
+    toks: &[Tok],
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let in_test = |idx: usize| test_spans.iter().any(|&(s, e)| idx >= s && idx <= e);
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") || in_test(i) {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let end = item_end(toks, i);
+        let body = &toks[i..=end];
+        if scope_enter(body, "IoScope") && !scope_enter(body, "BudgetScope") {
+            push(
+                out,
+                DEADLINE_BYPASS,
+                file,
+                name.line,
+                format!(
+                    "fn {} enters an IoScope without a BudgetScope; \
+                     metered work here cannot observe its deadline or be cancelled",
+                    name.text
+                ),
+            );
+        }
+        i = end + 1;
+    }
+}
+
+/// Does the token slice contain the path-call `ty::enter`?
+fn scope_enter(toks: &[Tok], ty: &str) -> bool {
+    toks.windows(4).any(|w| {
+        w[0].is_ident(ty) && w[1].is_punct(':') && w[2].is_punct(':') && w[3].is_ident("enter")
+    })
+}
+
 /// Token-index spans covered by `#[cfg(test)]` / `#[test]` items
 /// (test modules, test functions, and anything else gated on `test`).
 /// Shared with the concurrency passes, which apply the same exemption.
@@ -511,6 +574,9 @@ pub fn lints_for(class: FileClass, crate_name: &str) -> FileLintSet {
         // Only sdbms-core owns views (and so can bypass their stores).
         snapshot_bypass: lib && crate_name == "sdbms-core",
         mmap_seam: lib,
+        // Only the serving layer threads a budget through every
+        // request; engine code may meter I/O without one.
+        deadline_bypass: lib && crate_name == "sdbms-serve",
     }
 }
 
@@ -529,6 +595,7 @@ mod tests {
             txn_lock_order: true,
             snapshot_bypass: true,
             mmap_seam: true,
+            deadline_bypass: true,
         }
     }
 
@@ -688,5 +755,40 @@ mod tests {
         assert!(lints_for(FileClass::Lib, "sdbms-core").snapshot_bypass);
         assert!(!lints_for(FileClass::Lib, "sdbms-repair").snapshot_bypass);
         assert!(!lints_for(FileClass::Bin, "sdbms-core").snapshot_bypass);
+    }
+
+    #[test]
+    fn io_scope_without_budget_scope_flagged() {
+        let src = "fn worker(job: &Job) -> Result<()> {\n    let _scope = IoScope::enter(Arc::clone(&stats));\n    compute()\n}\n";
+        assert_eq!(ids(src), vec![("deadline-bypass".into(), 1)]);
+    }
+
+    #[test]
+    fn budget_scope_anywhere_in_the_fn_satisfies_the_lint() {
+        let src = "fn worker(job: &Job) -> Result<()> {\n    let _budget = BudgetScope::enter(job.token.clone());\n    let _scope = IoScope::enter(Arc::clone(&stats));\n    compute()\n}\n";
+        assert!(ids(src).is_empty());
+        // A fn with no metering at all is also fine.
+        assert!(ids("fn f() { plain(); }\n").is_empty());
+    }
+
+    #[test]
+    fn deadline_bypass_exempts_tests_and_honors_allow() {
+        let src = "#[test]\nfn t() { let _s = IoScope::enter(x); }\n";
+        assert!(ids(src).is_empty());
+        let src = "// lint: allow(deadline-bypass): repair runs unbounded by design\nfn repair_all() { let _s = IoScope::enter(x); go(); }\n";
+        assert!(ids(src).is_empty());
+    }
+
+    #[test]
+    fn deadline_bypass_flags_each_offending_fn_independently() {
+        let src = "fn good() { let _b = BudgetScope::enter(t); let _s = IoScope::enter(x); }\nfn bad() { let _s = IoScope::enter(x); }\n";
+        assert_eq!(ids(src), vec![("deadline-bypass".into(), 2)]);
+    }
+
+    #[test]
+    fn only_serve_gets_deadline_bypass() {
+        assert!(lints_for(FileClass::Lib, "sdbms-serve").deadline_bypass);
+        assert!(!lints_for(FileClass::Lib, "sdbms-core").deadline_bypass);
+        assert!(!lints_for(FileClass::Bin, "sdbms-serve").deadline_bypass);
     }
 }

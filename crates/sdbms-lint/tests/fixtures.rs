@@ -24,6 +24,7 @@ fn all_lints() -> FileLintSet {
         txn_lock_order: true,
         snapshot_bypass: true,
         mmap_seam: true,
+        deadline_bypass: true,
     }
 }
 
@@ -102,6 +103,17 @@ fn mmap_seam_fixture_fires_at_expected_lines() {
 }
 
 #[test]
+fn deadline_bypass_fixture_fires_at_expected_lines() {
+    assert_eq!(
+        findings("deadline_bypass.rs"),
+        vec![
+            ("deadline-bypass".to_string(), 9),
+            ("deadline-bypass".to_string(), 24),
+        ]
+    );
+}
+
+#[test]
 fn fixture_headers_agree_with_findings() {
     // Each fixture documents its expected findings in its header;
     // keep the documentation honest by re-deriving it.
@@ -111,6 +123,7 @@ fn fixture_headers_agree_with_findings() {
         "lossy_and_docs.rs",
         "txn_and_snapshot.rs",
         "mmap_seam.rs",
+        "deadline_bypass.rs",
     ] {
         let src = fixture(name);
         for (id, line) in findings(name) {

@@ -1,0 +1,35 @@
+//! Known-bad fixture: serving-layer functions that meter I/O without
+//! installing a request budget. Expected findings (see ../fixtures.rs):
+//!   line 9   deadline-bypass    (IoScope without BudgetScope)
+//!   line 24  deadline-bypass    (budget installed in a sibling, not here)
+//! The budgeted function and the justified allow must not fire.
+
+/// Meters engine work with no budget in scope: a deadline or a client
+/// cancellation can never interrupt anything done here.
+pub fn unbudgeted_compute(stats: &Arc<IoStats>) -> Result<Payload> {
+    let _scope = IoScope::enter(Arc::clone(stats));
+    compute()
+}
+
+/// The correct shape: the budget goes in first, then the meter; every
+/// morsel and storage retry under this frame observes the token.
+pub fn budgeted_compute(job: &Job, stats: &Arc<IoStats>) -> Result<Payload> {
+    let _budget = BudgetScope::enter(job.token.clone());
+    let _scope = IoScope::enter(Arc::clone(stats));
+    compute()
+}
+
+/// A budget in a *different* function does not cover this one: the
+/// thread-local is installed per entry point, not per module.
+pub fn sibling_leak(stats: &Arc<IoStats>) -> Result<Payload> {
+    let _scope = IoScope::enter(Arc::clone(stats));
+    compute()
+}
+
+/// Repair deliberately runs unbounded (half-finished recovery is worse
+/// than slow recovery), so its metering carries a justified allow.
+// lint: allow(deadline-bypass): repair runs with an unbounded token by design
+pub fn repair_pass(stats: &Arc<IoStats>) -> Result<()> {
+    let _scope = IoScope::enter(Arc::clone(stats));
+    repair()
+}

@@ -54,6 +54,21 @@ pub enum ViewHealth {
     Unrecoverable,
 }
 
+impl ViewHealth {
+    /// Whether a read against this view should be served in degraded
+    /// mode — recomputed from the raw archive as a
+    /// `ComputeSource::Fallback` result, never cached — rather than
+    /// from the (possibly damaged) view itself. This is the health
+    /// states' half of the serving layer's lifecycle decision: a
+    /// fallback-eligible view bypasses the per-view circuit breaker
+    /// entirely, because the degraded path is already the safe,
+    /// engine-avoiding route (DESIGN.md §16).
+    #[must_use]
+    pub fn can_serve_fallback(self) -> bool {
+        matches!(self, ViewHealth::Degraded | ViewHealth::Repairing)
+    }
+}
+
 impl fmt::Display for ViewHealth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -333,5 +348,13 @@ mod tests {
         reg.repair_failed("v", 0, "ignored");
         reg.mark_degraded("v", "ignored");
         assert_eq!(reg.health("v"), ViewHealth::Unrecoverable);
+    }
+
+    #[test]
+    fn fallback_eligibility_covers_exactly_the_repairable_damage_states() {
+        assert!(!ViewHealth::Healthy.can_serve_fallback());
+        assert!(ViewHealth::Degraded.can_serve_fallback());
+        assert!(ViewHealth::Repairing.can_serve_fallback());
+        assert!(!ViewHealth::Unrecoverable.can_serve_fallback());
     }
 }

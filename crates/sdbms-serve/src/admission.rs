@@ -132,6 +132,9 @@ impl AdmissionController {
             return Err(ServeError::QuotaExceeded {
                 tenant: tenant.to_string(),
                 balance_milli: b.balance_milli,
+                // Ticks-to-positive is known here; the server rescales
+                // it to wall milliseconds with its service-time EMA.
+                retry_after_ms: Self::ticks_until_positive_from(&quota, b.balance_milli),
             });
         }
         b.usage.admitted += 1;
@@ -147,6 +150,28 @@ impl AdmissionController {
             .saturating_sub(cost_milli.min(i64::MAX as u64) as i64);
         b.usage.io.merge(io);
         b.usage.charged_milli += cost_milli;
+    }
+
+    /// Logical ticks of refill needed to bring `balance_milli` back
+    /// above zero: `ceil((1 - balance) / refill)`. Saturates at a
+    /// large bound when refill is zero (the bucket will never refill —
+    /// "retry much later" is the honest hint).
+    fn ticks_until_positive_from(quota: &QuotaConfig, balance_milli: i64) -> u64 {
+        if balance_milli > 0 {
+            return 0;
+        }
+        let deficit = 1u64.saturating_add(balance_milli.unsigned_abs());
+        if quota.refill_per_tick_milli == 0 {
+            return u64::MAX / 2;
+        }
+        deficit.div_ceil(quota.refill_per_tick_milli)
+    }
+
+    /// Logical ticks until `tenant`'s bucket refills past zero (0 for
+    /// a positive balance or a never-seen tenant).
+    #[must_use]
+    pub fn ticks_until_positive(&self, tenant: &str) -> u64 {
+        Self::ticks_until_positive_from(&self.quota, self.balance_milli(tenant))
     }
 
     /// A tenant's ledger (zeroed default for a never-seen tenant).
@@ -227,6 +252,7 @@ mod tests {
             Err(ServeError::QuotaExceeded {
                 tenant,
                 balance_milli,
+                ..
             }) => {
                 assert_eq!(tenant, "t");
                 assert_eq!(balance_milli, -500);
@@ -283,6 +309,33 @@ mod tests {
         assert!(ac.try_admit("calm", 1).is_ok(), "another tenant unaffected");
         assert_eq!(ac.usage("calm").rejected, 0);
         assert_eq!(ac.tenants(), vec!["calm".to_string(), "hot".to_string()]);
+    }
+
+    #[test]
+    fn retry_hint_counts_refill_ticks_to_positive() {
+        let mut ac = AdmissionController::new(QuotaConfig {
+            capacity_milli: 1_000,
+            refill_per_tick_milli: 100,
+            min_charge_milli: 0,
+        });
+        assert_eq!(ac.ticks_until_positive("t"), 0, "full bucket needs none");
+        assert!(ac.try_admit("t", 0).is_ok());
+        ac.charge("t", &io(1), 1_500); // balance -500
+                                       // Needs 501 milli-units → ceil(501/100) = 6 ticks.
+        assert_eq!(ac.ticks_until_positive("t"), 6);
+        match ac.try_admit("t", 0) {
+            Err(ServeError::QuotaExceeded { retry_after_ms, .. }) => {
+                assert_eq!(retry_after_ms, 6, "try_admit carries the tick count");
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // Zero refill: an honest "much later", not a divide-by-zero.
+        let ac = AdmissionController::new(QuotaConfig {
+            capacity_milli: 10,
+            refill_per_tick_milli: 0,
+            min_charge_milli: 0,
+        });
+        assert_eq!(ac.ticks_until_positive("never"), 0);
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Per-view circuit breakers for the serving layer.
+//!
+//! A view whose engine computes keep failing (deadline trips, storage
+//! faults) stops being asked: after `failure_threshold` *consecutive*
+//! failures the view's breaker opens and compute requests fast-fail
+//! with a typed [`crate::ServeError::BreakerOpen`] carrying a
+//! retry-after hint — the queue and workers stay free for views that
+//! still answer. After `open_ticks` logical ticks the breaker moves to
+//! half-open and admits `half_open_probes` probe requests: if they all
+//! succeed the breaker closes; one failure re-opens it for another
+//! full window.
+//!
+//! ```text
+//!            failure × threshold                 open_ticks elapse
+//!   Closed ───────────────────────► Open ───────────────────────► HalfOpen
+//!     ▲                              ▲                               │
+//!     │  probes × half_open_probes   │          any failure          │
+//!     └──────────────────────────────┴───────────────────────────────┘
+//! ```
+//!
+//! Time is the server's **logical tick** (one per submitted request),
+//! so every transition is deterministic and replayable — no wall
+//! clock. What counts as a failure is the *server's* decision (see
+//! `process_query`): deadline trips and engine faults do, client
+//! cancellations and client mistakes (bad attribute names) do not, and
+//! front-cache hits never touch the breaker at all — a hit proves
+//! nothing about the engine, and closing a breaker on one would let an
+//! unprobed engine back into rotation.
+
+use std::collections::HashMap;
+
+/// Breaker sizing. [`BreakerConfig::disabled`] (threshold 0) turns the
+/// mechanism off entirely — every admit is `Allow`, nothing is
+/// recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker; `0` disables it.
+    pub failure_threshold: u32,
+    /// Logical ticks an open breaker fast-fails before probing.
+    pub open_ticks: u64,
+    /// Successful probes required to close from half-open.
+    pub half_open_probes: u32,
+}
+
+impl BreakerConfig {
+    /// No breaker: every request is admitted, nothing is tracked.
+    #[must_use]
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            failure_threshold: 0,
+            open_ticks: 0,
+            half_open_probes: 0,
+        }
+    }
+}
+
+impl Default for BreakerConfig {
+    /// Disabled. The breaker changes which requests reach the engine,
+    /// so turning it on is an explicit serving-policy decision
+    /// (`ServeConfig::breaker`); the engine-correctness suites run
+    /// without it.
+    fn default() -> Self {
+        BreakerConfig::disabled()
+    }
+}
+
+/// A view's breaker state, for observability ([`crate::Server`]
+/// exposes it per view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; tracks consecutive failures.
+    Closed,
+    /// Fast-failing until the reopen tick.
+    Open,
+    /// Admitting a limited number of probe requests.
+    HalfOpen,
+}
+
+/// What the breaker says about one compute request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerAdmit {
+    /// Closed (or disabled): run it.
+    Allow,
+    /// Half-open: run it, and its outcome decides the breaker's fate.
+    Probe,
+    /// Open: do not run it; retry after this many logical ticks.
+    FastFail {
+        /// Ticks until the breaker will go half-open.
+        retry_after_ticks: u64,
+    },
+}
+
+/// Transition counters, folded into [`crate::ServerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Closed → Open transitions (threshold reached).
+    pub opened: u64,
+    /// HalfOpen → Open transitions (a probe failed).
+    pub reopened: u64,
+    /// HalfOpen → Closed transitions (probes succeeded).
+    pub closed: u64,
+    /// Requests fast-failed while open.
+    pub fast_fails: u64,
+    /// Probe requests admitted while half-open.
+    pub probes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until_tick: u64 },
+    HalfOpen { successes: u32 },
+}
+
+/// One breaker per view, keyed lazily on first sight.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    views: HashMap<String, State>,
+    stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    /// A breaker bank applying `cfg` to every view.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            views: HashMap::new(),
+            stats: BreakerStats::default(),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.cfg.failure_threshold > 0
+    }
+
+    fn state_mut(&mut self, view: &str) -> &mut State {
+        self.views.entry(view.to_string()).or_insert(State::Closed {
+            consecutive_failures: 0,
+        })
+    }
+
+    /// Should a compute request against `view` run at logical time
+    /// `now`? An open breaker whose window has elapsed transitions to
+    /// half-open here and admits the caller as its first probe.
+    pub fn admit(&mut self, view: &str, now: u64) -> BreakerAdmit {
+        if !self.enabled() {
+            return BreakerAdmit::Allow;
+        }
+        let st = self.state_mut(view);
+        match *st {
+            State::Closed { .. } => BreakerAdmit::Allow,
+            State::Open { until_tick } if now >= until_tick => {
+                *st = State::HalfOpen { successes: 0 };
+                self.stats.probes += 1;
+                BreakerAdmit::Probe
+            }
+            State::Open { until_tick } => {
+                self.stats.fast_fails += 1;
+                BreakerAdmit::FastFail {
+                    retry_after_ticks: until_tick - now,
+                }
+            }
+            State::HalfOpen { .. } => {
+                self.stats.probes += 1;
+                BreakerAdmit::Probe
+            }
+        }
+    }
+
+    /// Record a successful compute against `view`.
+    pub fn record_success(&mut self, view: &str, _now: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let probes_needed = self.cfg.half_open_probes;
+        let st = self.state_mut(view);
+        match st {
+            State::Closed {
+                consecutive_failures,
+            } => *consecutive_failures = 0,
+            State::HalfOpen { successes } => {
+                *successes += 1;
+                if *successes >= probes_needed.max(1) {
+                    *st = State::Closed {
+                        consecutive_failures: 0,
+                    };
+                    self.stats.closed += 1;
+                }
+            }
+            // A success racing the transition to Open (another worker
+            // tripped the threshold first) does not close the window:
+            // the view just proved flaky.
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Record a failed compute (deadline trip or engine fault) against
+    /// `view` at logical time `now`.
+    pub fn record_failure(&mut self, view: &str, now: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let threshold = self.cfg.failure_threshold;
+        let open_until = now.saturating_add(self.cfg.open_ticks.max(1));
+        let st = self.state_mut(view);
+        match st {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= threshold {
+                    *st = State::Open {
+                        until_tick: open_until,
+                    };
+                    self.stats.opened += 1;
+                }
+            }
+            State::HalfOpen { .. } => {
+                *st = State::Open {
+                    until_tick: open_until,
+                };
+                self.stats.reopened += 1;
+            }
+            State::Open { .. } => {}
+        }
+    }
+
+    /// The view's current state (Closed for a never-seen view).
+    #[must_use]
+    pub fn state(&self, view: &str) -> BreakerState {
+        match self.views.get(view) {
+            None | Some(State::Closed { .. }) => BreakerState::Closed,
+            Some(State::Open { .. }) => BreakerState::Open,
+            Some(State::HalfOpen { .. }) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Transition counters so far.
+    #[must_use]
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ticks: 10,
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn stays_closed_below_threshold_and_success_resets() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_failure("v", 0);
+        b.record_failure("v", 1);
+        assert_eq!(b.state("v"), BreakerState::Closed);
+        b.record_success("v", 2); // resets the consecutive count
+        b.record_failure("v", 3);
+        b.record_failure("v", 4);
+        assert_eq!(b.state("v"), BreakerState::Closed);
+        assert_eq!(b.admit("v", 5), BreakerAdmit::Allow);
+        assert_eq!(b.stats().opened, 0);
+    }
+
+    #[test]
+    fn opens_on_consecutive_failures_and_fast_fails_with_hint() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure("v", t);
+        }
+        assert_eq!(b.state("v"), BreakerState::Open);
+        assert_eq!(b.stats().opened, 1);
+        // Opened at tick 2, window 10 → fast-fail until tick 12.
+        assert_eq!(
+            b.admit("v", 5),
+            BreakerAdmit::FastFail {
+                retry_after_ticks: 7
+            }
+        );
+        assert_eq!(b.stats().fast_fails, 1);
+    }
+
+    #[test]
+    fn half_open_after_window_then_closes_on_enough_probes() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure("v", t);
+        }
+        assert_eq!(b.admit("v", 12), BreakerAdmit::Probe);
+        assert_eq!(b.state("v"), BreakerState::HalfOpen);
+        b.record_success("v", 12);
+        assert_eq!(b.state("v"), BreakerState::HalfOpen, "needs 2 probes");
+        assert_eq!(b.admit("v", 13), BreakerAdmit::Probe);
+        b.record_success("v", 13);
+        assert_eq!(b.state("v"), BreakerState::Closed);
+        assert_eq!(b.stats().closed, 1);
+        assert_eq!(b.stats().probes, 2);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_for_a_full_window() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure("v", t);
+        }
+        assert_eq!(b.admit("v", 12), BreakerAdmit::Probe);
+        b.record_failure("v", 12);
+        assert_eq!(b.state("v"), BreakerState::Open);
+        assert_eq!(b.stats().reopened, 1);
+        assert_eq!(
+            b.admit("v", 13),
+            BreakerAdmit::FastFail {
+                retry_after_ticks: 9
+            }
+        );
+    }
+
+    #[test]
+    fn views_are_independent() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure("sick", t);
+        }
+        assert_eq!(b.state("sick"), BreakerState::Open);
+        assert_eq!(b.state("well"), BreakerState::Closed);
+        assert_eq!(b.admit("well", 4), BreakerAdmit::Allow);
+    }
+
+    #[test]
+    fn disabled_breaker_is_inert() {
+        let mut b = CircuitBreaker::new(BreakerConfig::disabled());
+        for t in 0..100 {
+            b.record_failure("v", t);
+        }
+        assert_eq!(b.admit("v", 100), BreakerAdmit::Allow);
+        assert_eq!(b.state("v"), BreakerState::Closed);
+        assert_eq!(b.stats(), BreakerStats::default());
+    }
+
+    #[test]
+    fn success_while_open_does_not_close_the_window() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure("v", t);
+        }
+        b.record_success("v", 5); // raced in after the open
+        assert_eq!(b.state("v"), BreakerState::Open);
+    }
+}

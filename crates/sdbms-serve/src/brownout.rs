@@ -1,0 +1,256 @@
+//! Brownout load-shedding: tiered degradation under sustained queue
+//! pressure.
+//!
+//! When the server's in-flight count (queued + executing requests)
+//! climbs past configured watermarks, the door starts shedding the
+//! *least valuable* work first instead of letting every request queue
+//! until the hard [`crate::ServeError::Overloaded`] wall:
+//!
+//! | tier | entered at            | sheds                                   |
+//! |------|-----------------------|-----------------------------------------|
+//! | 0    | —                     | nothing (normal operation)               |
+//! | 1    | `tier1_inflight`      | cold reads: queries unlikely to hit the  |
+//! |      |                       | front cache, from non-priority tenants   |
+//! | 2    | `tier2_inflight`      | everything from non-priority tenants     |
+//! |      |                       | except likely front-cache hits           |
+//!
+//! Likely front-cache hits are **always admitted** in every tier —
+//! they cost no engine work and keep well-behaved analysts productive
+//! through the brownout. Priority tenants are never shed.
+//!
+//! Transitions have hysteresis: a tier entered at watermark *W* is
+//! left only when the in-flight count falls to `W - hysteresis`, so
+//! the controller cannot flap on every enqueue/dequeue. All state is
+//! driven by the observed in-flight count — deterministic given a
+//! request interleaving, no wall clock.
+
+/// Brownout watermarks. [`Default`] disables shedding entirely
+/// (watermarks at `usize::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// In-flight count that enters tier 1 (shed cold reads).
+    pub tier1_inflight: usize,
+    /// In-flight count that enters tier 2 (shed non-priority tenants).
+    pub tier2_inflight: usize,
+    /// How far below a tier's watermark the in-flight count must fall
+    /// before the tier is left.
+    pub hysteresis: usize,
+}
+
+impl BrownoutConfig {
+    /// No shedding at any load.
+    #[must_use]
+    pub fn disabled() -> Self {
+        BrownoutConfig {
+            tier1_inflight: usize::MAX,
+            tier2_inflight: usize::MAX,
+            hysteresis: 0,
+        }
+    }
+}
+
+impl Default for BrownoutConfig {
+    /// Disabled: shedding work is a serving-policy decision
+    /// (`ServeConfig::brownout`), never a silent default.
+    fn default() -> Self {
+        BrownoutConfig::disabled()
+    }
+}
+
+/// The controller's current degradation tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutTier {
+    /// Admit everything (modulo quota and queue bounds).
+    Normal,
+    /// Shed cold uncached reads from non-priority tenants.
+    SheddingCold,
+    /// Shed all non-priority work except likely front-cache hits.
+    SheddingTenants,
+}
+
+/// Shed counters, folded into [`crate::ServerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrownoutStats {
+    /// Requests shed at tier 1 (cold uncached reads).
+    pub shed_cold: u64,
+    /// Requests shed at tier 2 (non-priority tenants).
+    pub shed_tenant: u64,
+    /// Normal → tier-1 (or higher) transitions.
+    pub entered: u64,
+    /// Transitions back to Normal.
+    pub recovered: u64,
+}
+
+/// The watermark-with-hysteresis state machine. One per server, fed
+/// the in-flight count at every admission decision.
+#[derive(Debug)]
+pub struct BrownoutController {
+    cfg: BrownoutConfig,
+    tier: BrownoutTier,
+    stats: BrownoutStats,
+}
+
+impl BrownoutController {
+    /// A controller applying `cfg`.
+    #[must_use]
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        BrownoutController {
+            cfg,
+            tier: BrownoutTier::Normal,
+            stats: BrownoutStats::default(),
+        }
+    }
+
+    /// Feed the current in-flight count; returns the tier that governs
+    /// this admission decision. Upgrades happen at the watermarks,
+    /// downgrades only `hysteresis` below them.
+    pub fn observe(&mut self, in_flight: usize) -> BrownoutTier {
+        let was = self.tier;
+        let exit1 = self.cfg.tier1_inflight.saturating_sub(self.cfg.hysteresis);
+        let exit2 = self.cfg.tier2_inflight.saturating_sub(self.cfg.hysteresis);
+        self.tier = match self.tier {
+            BrownoutTier::Normal if in_flight >= self.cfg.tier2_inflight => {
+                BrownoutTier::SheddingTenants
+            }
+            BrownoutTier::Normal if in_flight >= self.cfg.tier1_inflight => {
+                BrownoutTier::SheddingCold
+            }
+            BrownoutTier::SheddingCold if in_flight >= self.cfg.tier2_inflight => {
+                BrownoutTier::SheddingTenants
+            }
+            BrownoutTier::SheddingCold if in_flight < exit1 => BrownoutTier::Normal,
+            BrownoutTier::SheddingTenants if in_flight < exit1 => BrownoutTier::Normal,
+            BrownoutTier::SheddingTenants if in_flight < exit2 => BrownoutTier::SheddingCold,
+            t => t,
+        };
+        if was == BrownoutTier::Normal && self.tier > BrownoutTier::Normal {
+            self.stats.entered += 1;
+        }
+        if was > BrownoutTier::Normal && self.tier == BrownoutTier::Normal {
+            self.stats.recovered += 1;
+        }
+        self.tier
+    }
+
+    /// Count one shed decision made under the current tier.
+    pub fn count_shed(&mut self, tier: BrownoutTier) {
+        match tier {
+            BrownoutTier::Normal => {}
+            BrownoutTier::SheddingCold => self.stats.shed_cold += 1,
+            BrownoutTier::SheddingTenants => self.stats.shed_tenant += 1,
+        }
+    }
+
+    /// The tier as of the last observation.
+    #[must_use]
+    pub fn tier(&self) -> BrownoutTier {
+        self.tier
+    }
+
+    /// Shed and transition counters so far.
+    #[must_use]
+    pub fn stats(&self) -> BrownoutStats {
+        self.stats
+    }
+}
+
+/// The per-request shed decision, pure so it can be unit-tested
+/// exhaustively: given the governing tier, whether the tenant is
+/// priority, whether the request is a read query, and whether that
+/// query is likely already in the front cache — shed it?
+#[must_use]
+pub fn should_shed(
+    tier: BrownoutTier,
+    priority_tenant: bool,
+    is_query: bool,
+    likely_cached: bool,
+) -> bool {
+    if priority_tenant || (is_query && likely_cached) {
+        return false;
+    }
+    match tier {
+        BrownoutTier::Normal => false,
+        // Tier 1 sheds only cold reads; writes still land (they carry
+        // analyst state the read path cannot reconstruct).
+        BrownoutTier::SheddingCold => is_query,
+        BrownoutTier::SheddingTenants => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BrownoutConfig {
+        BrownoutConfig {
+            tier1_inflight: 10,
+            tier2_inflight: 20,
+            hysteresis: 4,
+        }
+    }
+
+    #[test]
+    fn disabled_never_leaves_normal() {
+        let mut c = BrownoutController::new(BrownoutConfig::disabled());
+        assert_eq!(c.observe(usize::MAX - 1), BrownoutTier::Normal);
+        assert_eq!(c.stats().entered, 0);
+    }
+
+    #[test]
+    fn tiers_enter_at_watermarks_and_exit_with_hysteresis() {
+        let mut c = BrownoutController::new(cfg());
+        assert_eq!(c.observe(9), BrownoutTier::Normal);
+        assert_eq!(c.observe(10), BrownoutTier::SheddingCold);
+        // Dropping just below the watermark is NOT enough to exit.
+        assert_eq!(c.observe(8), BrownoutTier::SheddingCold);
+        assert_eq!(c.observe(6), BrownoutTier::SheddingCold, "10-4=6 still in");
+        assert_eq!(c.observe(5), BrownoutTier::Normal);
+        assert_eq!(c.stats().entered, 1);
+        assert_eq!(c.stats().recovered, 1);
+    }
+
+    #[test]
+    fn tier2_escalates_and_de_escalates_stepwise() {
+        let mut c = BrownoutController::new(cfg());
+        assert_eq!(c.observe(12), BrownoutTier::SheddingCold);
+        assert_eq!(c.observe(20), BrownoutTier::SheddingTenants);
+        assert_eq!(c.observe(17), BrownoutTier::SheddingTenants, "20-4=16");
+        assert_eq!(c.observe(15), BrownoutTier::SheddingCold);
+        assert_eq!(c.observe(5), BrownoutTier::Normal);
+    }
+
+    #[test]
+    fn normal_jumps_straight_to_tier2_under_a_spike() {
+        let mut c = BrownoutController::new(cfg());
+        assert_eq!(c.observe(25), BrownoutTier::SheddingTenants);
+        assert_eq!(c.stats().entered, 1);
+    }
+
+    #[test]
+    fn shed_decision_table() {
+        use BrownoutTier::*;
+        // Normal sheds nothing.
+        assert!(!should_shed(Normal, false, true, false));
+        // Tier 1: cold reads shed, cached reads and writes admitted.
+        assert!(should_shed(SheddingCold, false, true, false));
+        assert!(!should_shed(SheddingCold, false, true, true));
+        assert!(!should_shed(SheddingCold, false, false, false));
+        // Tier 2: everything non-priority except cached reads.
+        assert!(should_shed(SheddingTenants, false, true, false));
+        assert!(should_shed(SheddingTenants, false, false, false));
+        assert!(!should_shed(SheddingTenants, false, true, true));
+        // Priority tenants are never shed at any tier.
+        assert!(!should_shed(SheddingTenants, true, true, false));
+        assert!(!should_shed(SheddingCold, true, true, false));
+    }
+
+    #[test]
+    fn count_shed_routes_to_the_right_counter() {
+        let mut c = BrownoutController::new(cfg());
+        c.count_shed(BrownoutTier::SheddingCold);
+        c.count_shed(BrownoutTier::SheddingTenants);
+        c.count_shed(BrownoutTier::SheddingTenants);
+        assert_eq!(c.stats().shed_cold, 1);
+        assert_eq!(c.stats().shed_tenant, 2);
+    }
+}

@@ -164,6 +164,22 @@ impl ResultCache {
         None
     }
 
+    /// Would a query over `view` rendered as `query` *likely* hit at
+    /// logical time `now`? True when any unexpired entry matches the
+    /// view and query string at **any** (version, generation) — the
+    /// door's brownout check cannot know the pinned version without
+    /// taking the engine lock, so this is deliberately a conservative
+    /// over-approximation: a probe may admit a query that then misses
+    /// (the version moved), never the reverse kind of harm. Touches no
+    /// recency state and counts no stats — it is an admission
+    /// heuristic, not a lookup.
+    #[must_use]
+    pub fn probe_fresh(&self, view: &str, query: &str, now: u64) -> bool {
+        self.map
+            .iter()
+            .any(|(k, slot)| k.view == view && k.query == query && now < slot.expires)
+    }
+
     /// Admit a freshly computed result at logical time `now`,
     /// evicting the least-recently-used entry if the cache is full.
     /// No-op when the cache is disabled (`capacity == 0`).
@@ -316,6 +332,21 @@ mod tests {
             "other views keep entries"
         );
         assert_eq!(c.stats().purged, 2);
+    }
+
+    #[test]
+    fn probe_fresh_matches_any_version_without_touching_stats() {
+        let mut c = ResultCache::new(8, 10);
+        c.insert(key("v", 3, 2, "mean(INCOME)"), payload(1.0), 100);
+        let before = c.stats();
+        assert!(
+            c.probe_fresh("v", "mean(INCOME)", 105),
+            "any version matches"
+        );
+        assert!(!c.probe_fresh("v", "mean(INCOME)", 110), "expired");
+        assert!(!c.probe_fresh("w", "mean(INCOME)", 105), "other view");
+        assert!(!c.probe_fresh("v", "max(INCOME)", 105), "other query");
+        assert_eq!(c.stats(), before, "probing is invisible to the counters");
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!   milli-units and debited with each request's *actual* metered
 //!   I/O, with typed back-pressure ([`ServeError::Overloaded`],
 //!   [`ServeError::QuotaExceeded`]) issued before any work happens.
+//! - **Request lifecycle** ([`server::Server`] + [`breaker`] +
+//!   [`brownout`]): every request carries a cooperative
+//!   deadline/cancellation budget threaded down to the storage layer;
+//!   per-view circuit breakers fast-fail compute against failing
+//!   views; a tiered brownout controller sheds cold reads, then
+//!   non-priority tenants, under sustained pressure. Load rejections
+//!   carry computed `retry_after_ms` hints (DESIGN.md §16).
 //! - **Deterministic traffic** ([`run_traffic`]): a closed-loop
 //!   seeded-Zipfian analyst mix with occasional update batches, the
 //!   workload behind the serving experiment and the differential /
@@ -27,12 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod breaker;
+pub mod brownout;
 pub mod cache;
 pub mod error;
 pub mod server;
 pub mod traffic;
 
 pub use admission::{default_cost_milli, AdmissionController, QuotaConfig, TenantUsage};
+pub use breaker::{BreakerAdmit, BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+pub use brownout::{should_shed, BrownoutConfig, BrownoutController, BrownoutStats, BrownoutTier};
 pub use cache::{FrontCacheStats, QueryKey, ResultCache};
 pub use error::{Result, ServeError};
 pub use server::{

@@ -44,12 +44,29 @@
 //! ledger to the unit — the quota tests assert this under an 8-thread
 //! hammer. Failed requests are not billed (the client never saw a
 //! result).
+//!
+//! **Every request carries a budget.** A [`CancelToken`] is minted at
+//! the door (the configured default op-budget deadline, or a
+//! caller-supplied token via [`Server::query_with_token`]) and made
+//! ambient inside the worker with a [`BudgetScope`], so every device
+//! operation the engine performs charges it. A trip surfaces as
+//! [`ServeError::DeadlineExceeded`] / [`ServeError::Cancelled`] —
+//! never a partial result, never a cache entry, and a tripped commit
+//! aborts to its exact pre-batch state. Around the budget sit the
+//! lifecycle guards: a per-view **circuit breaker** (consecutive
+//! deadline trips or engine faults open it; compute requests then
+//! fast-fail with a `retry_after_ms` hint while cache hits and
+//! degraded fallbacks keep serving) and a **brownout controller**
+//! (sustained in-flight pressure sheds cold uncached reads first,
+//! then non-priority tenants, never likely cache hits). DESIGN.md §16
+//! has the full state diagrams.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use sdbms_core::{
@@ -57,9 +74,13 @@ use sdbms_core::{
     SummaryValue, ViewHealth,
 };
 use sdbms_data::Value;
-use sdbms_storage::{CostModel, IoScope, IoSnapshot, IoStats};
+use sdbms_storage::{BudgetScope, CancelToken, CostModel, IoScope, IoSnapshot, IoStats};
 
 use crate::admission::{AdmissionController, QuotaConfig, TenantUsage};
+use crate::breaker::{BreakerAdmit, BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+use crate::brownout::{
+    should_shed, BrownoutConfig, BrownoutController, BrownoutStats, BrownoutTier,
+};
 use crate::cache::{FrontCacheStats, QueryKey, ResultCache};
 use crate::error::{Result, ServeError};
 
@@ -82,6 +103,17 @@ pub struct ServeConfig {
     pub cache_ttl: u64,
     /// Per-tenant admission quota.
     pub quota: QuotaConfig,
+    /// Default per-request deadline as an **op budget** (deterministic
+    /// device-operation units, see `sdbms_storage::budget`); `None`
+    /// runs requests unbounded. Individual requests override via
+    /// [`Server::query_with_token`].
+    pub deadline_ops: Option<u64>,
+    /// Tenants exempt from brownout shedding at every tier.
+    pub priority_tenants: Vec<String>,
+    /// Per-view circuit-breaker sizing (disabled by default).
+    pub breaker: BreakerConfig,
+    /// Brownout shed watermarks (disabled by default).
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +124,10 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             cache_ttl: 50_000,
             quota: QuotaConfig::default(),
+            deadline_ops: None,
+            priority_tenants: Vec::new(),
+            breaker: BreakerConfig::default(),
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -114,6 +150,34 @@ impl ServeConfig {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&w| w > 0)
             .unwrap_or(default);
+        self
+    }
+
+    /// Set the default per-request deadline, in op-budget units.
+    #[must_use]
+    pub fn deadline_ops(mut self, ops: u64) -> Self {
+        self.deadline_ops = Some(ops);
+        self
+    }
+
+    /// Set the per-view circuit-breaker sizing.
+    #[must_use]
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Set the brownout shed watermarks.
+    #[must_use]
+    pub fn brownout(mut self, brownout: BrownoutConfig) -> Self {
+        self.brownout = brownout;
+        self
+    }
+
+    /// Set the tenants brownout never sheds.
+    #[must_use]
+    pub fn priority_tenants(mut self, tenants: &[&str]) -> Self {
+        self.priority_tenants = tenants.iter().map(|t| (*t).to_string()).collect();
         self
     }
 }
@@ -275,6 +339,18 @@ pub struct ServerMetrics {
     pub overload_rejections: u64,
     /// Requests rejected at admission (all tenants).
     pub quota_rejections: u64,
+    /// Requests that tripped their deadline budget mid-execution.
+    pub deadline_trips: u64,
+    /// Requests cancelled by their caller mid-execution.
+    pub cancelled: u64,
+    /// Requests fast-failed by an open circuit breaker.
+    pub breaker_fast_fails: u64,
+    /// Circuit-breaker transition counters across all views.
+    pub breaker: BreakerStats,
+    /// Brownout shed and transition counters.
+    pub brownout: BrownoutStats,
+    /// Requests currently queued or executing.
+    pub in_flight: u64,
     /// Currently open sessions.
     pub open_sessions: usize,
 }
@@ -291,6 +367,9 @@ struct Job {
     view: String,
     tick: u64,
     kind: JobKind,
+    /// The request's cooperative budget: carried from the door through
+    /// the worker into every engine/storage operation the job runs.
+    token: CancelToken,
     reply: SyncSender<Result<Response>>,
 }
 
@@ -312,6 +391,9 @@ struct MetricCounters {
     repairs: AtomicU64,
     overloaded: AtomicU64,
     quota_rejected: AtomicU64,
+    deadline_trips: AtomicU64,
+    cancelled: AtomicU64,
+    breaker_fast_fails: AtomicU64,
 }
 
 struct Inner {
@@ -320,15 +402,29 @@ struct Inner {
     admission: Mutex<AdmissionController>,
     sessions: Mutex<HashMap<SessionId, SessionState>>,
     commit_log: Mutex<Vec<CommitRecord>>,
+    breaker: Mutex<CircuitBreaker>,
+    brownout: Mutex<BrownoutController>,
     /// Logical clock: one tick per submitted request (including
     /// rejected ones — offered load drives quota refill).
     clock: AtomicU64,
     next_session: AtomicU64,
+    /// Requests queued or executing right now — the brownout
+    /// controller's pressure signal (the mpsc queue's depth is not
+    /// observable directly).
+    in_flight: AtomicU64,
+    /// Exponential moving average of per-request service time in
+    /// microseconds; feeds the advisory `retry_after_ms` hints. A
+    /// hint, not a behavior input: responses are identical whatever
+    /// this reads.
+    ema_service_us: AtomicU64,
     cost_model: CostModel,
     /// Minimum debit for an engine-executed request (see
     /// [`QuotaConfig::min_charge_milli`]).
     min_charge_milli: u64,
     queue_capacity: usize,
+    workers: usize,
+    deadline_ops: Option<u64>,
+    priority_tenants: Vec<String>,
     metrics: MetricCounters,
 }
 
@@ -355,11 +451,18 @@ impl Server {
             admission: Mutex::new(AdmissionController::new(config.quota)),
             sessions: Mutex::new(HashMap::new()),
             commit_log: Mutex::new(Vec::new()),
+            breaker: Mutex::new(CircuitBreaker::new(config.breaker)),
+            brownout: Mutex::new(BrownoutController::new(config.brownout)),
             clock: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
+            in_flight: AtomicU64::new(0),
+            ema_service_us: AtomicU64::new(0),
             cost_model: CostModel::default(),
             min_charge_milli: config.quota.min_charge_milli,
             queue_capacity,
+            workers: config.workers.max(1),
+            deadline_ops: config.deadline_ops,
+            priority_tenants: config.priority_tenants.clone(),
             metrics: MetricCounters::default(),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_capacity);
@@ -424,26 +527,63 @@ impl Server {
 
     // ---- requests --------------------------------------------------------
 
-    /// Run a read query on the session's view.
+    /// Run a read query on the session's view, under the server's
+    /// default deadline (if one is configured).
     pub fn query(&self, session: SessionId, query: Query) -> Result<Response> {
-        self.request(session, JobKind::Query(query))
+        self.request(session, JobKind::Query(query), self.default_token())
+    }
+
+    /// Run a read query under a caller-supplied budget. The caller
+    /// keeps a clone of `token` and may `cancel()` it at any point —
+    /// the worker observes the trip at the next morsel / device
+    /// operation and returns [`ServeError::Cancelled`] instead of a
+    /// partial result.
+    pub fn query_with_token(
+        &self,
+        session: SessionId,
+        query: Query,
+        token: CancelToken,
+    ) -> Result<Response> {
+        self.request(session, JobKind::Query(query), token)
     }
 
     /// Commit an update batch on the session's view: the staged ops
     /// are applied transactionally (all or nothing) and the commit is
     /// appended to the server's commit log in version order.
     pub fn commit(&self, session: SessionId, ops: Vec<BatchOp>) -> Result<Response> {
-        self.request(session, JobKind::Commit(ops))
+        self.request(session, JobKind::Commit(ops), self.default_token())
+    }
+
+    /// Commit under a caller-supplied budget. A trip at any point
+    /// before the install swap aborts the batch cleanly — the view
+    /// keeps its exact pre-batch state and the lock is released; a
+    /// cancelled commit is indistinguishable from an aborted one.
+    pub fn commit_with_token(
+        &self,
+        session: SessionId,
+        ops: Vec<BatchOp>,
+        token: CancelToken,
+    ) -> Result<Response> {
+        self.request(session, JobKind::Commit(ops), token)
     }
 
     /// Repair the session's view and purge its front-cache entries
     /// (repair may reset the Summary-DB generation, the one transition
-    /// the monotone cache key cannot express).
+    /// the monotone cache key cannot express). Repairs always run
+    /// unbounded: half-finished recovery work is the one thing a
+    /// deadline must not create.
     pub fn repair(&self, session: SessionId) -> Result<Response> {
-        self.request(session, JobKind::Repair)
+        self.request(session, JobKind::Repair, CancelToken::unbounded())
     }
 
-    fn request(&self, session: SessionId, kind: JobKind) -> Result<Response> {
+    fn default_token(&self) -> CancelToken {
+        match self.inner.deadline_ops {
+            Some(ops) => CancelToken::with_op_budget(ops),
+            None => CancelToken::unbounded(),
+        }
+    }
+
+    fn request(&self, session: SessionId, kind: JobKind, token: CancelToken) -> Result<Response> {
         let tick = self.inner.clock.fetch_add(1, Ordering::SeqCst);
         let (tenant, view) = {
             let sessions = self.inner.sessions.lock();
@@ -455,12 +595,46 @@ impl Server {
         // Admission happens BEFORE a queue slot is taken: an
         // out-of-quota tenant is turned away at the door and cannot
         // crowd the queue other tenants share.
-        if let Err(e) = self.inner.admission.lock().try_admit(&tenant, tick) {
+        if let Err(mut e) = self.inner.admission.lock().try_admit(&tenant, tick) {
             self.inner
                 .metrics
                 .quota_rejected
                 .fetch_add(1, Ordering::SeqCst);
+            if let ServeError::QuotaExceeded { retry_after_ms, .. } = &mut e {
+                // try_admit filled the field with refill *ticks*;
+                // rescale to wall milliseconds with the service EMA.
+                *retry_after_ms = self.ticks_to_ms_hint(*retry_after_ms);
+            }
             return Err(e);
+        }
+        // Brownout: under sustained pressure, shed the least valuable
+        // work at the door. Likely cache hits always pass (they cost
+        // no engine work); priority tenants always pass.
+        let in_flight = self.inner.in_flight.load(Ordering::SeqCst);
+        let tier = self.inner.brownout.lock().observe(in_flight as usize);
+        if tier != BrownoutTier::Normal {
+            let priority = self.inner.priority_tenants.contains(&tenant);
+            let (is_query, likely_cached) = match &kind {
+                JobKind::Query(q) => (
+                    true,
+                    self.inner
+                        .cache
+                        .lock()
+                        .probe_fresh(&view, &q.canonical(), tick),
+                ),
+                _ => (false, false),
+            };
+            if should_shed(tier, priority, is_query, likely_cached) {
+                self.inner.brownout.lock().count_shed(tier);
+                return Err(ServeError::Brownout {
+                    tier: match tier {
+                        BrownoutTier::Normal => 0,
+                        BrownoutTier::SheddingCold => 1,
+                        BrownoutTier::SheddingTenants => 2,
+                    },
+                    retry_after_ms: self.drain_ms_hint(),
+                });
+            }
         }
         let tx = self.tx.lock().clone().ok_or(ServeError::ShuttingDown)?;
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
@@ -470,19 +644,47 @@ impl Server {
             view,
             tick,
             kind,
+            token,
             reply: reply_tx,
         };
+        // Reserve the in-flight slot BEFORE the job is visible to a
+        // worker: if the increment came after `try_send`, a worker
+        // could finish the job and decrement first, wrapping the
+        // counter to u64::MAX and tripping the brownout watermarks.
+        self.inner.in_flight.fetch_add(1, Ordering::SeqCst);
         match tx.try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
+                self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
                 self.inner.metrics.overloaded.fetch_add(1, Ordering::SeqCst);
                 return Err(ServeError::Overloaded {
                     capacity: self.inner.queue_capacity,
+                    retry_after_ms: self.drain_ms_hint(),
                 });
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+            Err(TrySendError::Disconnected(_)) => {
+                self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(ServeError::ShuttingDown);
+            }
         }
         reply_rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Advisory wall-clock estimate for draining the current backlog:
+    /// `in_flight × EMA service time ÷ workers`, floored at 1 ms.
+    fn drain_ms_hint(&self) -> u64 {
+        let in_flight = self.inner.in_flight.load(Ordering::SeqCst).max(1);
+        let ema_us = self.inner.ema_service_us.load(Ordering::SeqCst).max(1);
+        (in_flight.saturating_mul(ema_us) / self.inner.workers as u64 / 1_000).max(1)
+    }
+
+    /// Advisory conversion of logical refill ticks to wall
+    /// milliseconds. One tick advances roughly once per served request,
+    /// so the EMA service time divided by the worker count approximates
+    /// the tick interval.
+    fn ticks_to_ms_hint(&self, ticks: u64) -> u64 {
+        let ema_us = self.inner.ema_service_us.load(Ordering::SeqCst).max(1);
+        (ticks.saturating_mul(ema_us / self.inner.workers as u64) / 1_000).max(1)
     }
 
     // ---- observation -----------------------------------------------------
@@ -499,8 +701,27 @@ impl Server {
             repairs: m.repairs.load(Ordering::SeqCst),
             overload_rejections: m.overloaded.load(Ordering::SeqCst),
             quota_rejections: m.quota_rejected.load(Ordering::SeqCst),
+            deadline_trips: m.deadline_trips.load(Ordering::SeqCst),
+            cancelled: m.cancelled.load(Ordering::SeqCst),
+            breaker_fast_fails: m.breaker_fast_fails.load(Ordering::SeqCst),
+            breaker: self.inner.breaker.lock().stats(),
+            brownout: self.inner.brownout.lock().stats(),
+            in_flight: self.inner.in_flight.load(Ordering::SeqCst),
             open_sessions: self.inner.sessions.lock().len(),
         }
+    }
+
+    /// The circuit breaker's current state for `view`.
+    #[must_use]
+    pub fn breaker_state(&self, view: &str) -> BreakerState {
+        self.inner.breaker.lock().state(view)
+    }
+
+    /// The brownout controller's tier as of its last admission
+    /// decision.
+    #[must_use]
+    pub fn brownout_tier(&self) -> BrownoutTier {
+        self.inner.brownout.lock().tier()
     }
 
     /// The engine's current reclamation epoch and the oldest epoch a
@@ -604,15 +825,45 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Mutex<Receiver<Job>>) {
         let Ok(job) = job else {
             return; // channel disconnected: shutdown
         };
+        let started = Instant::now();
         let result = match &job.kind {
             JobKind::Query(q) => process_query(inner, &job, q),
             JobKind::Commit(ops) => process_commit(inner, &job, ops),
             JobKind::Repair => process_repair(inner, &job),
         };
+        // Service-time EMA feeds the retry_after hints only — the
+        // wall clock never influences what a response contains.
+        update_ema(
+            &inner.ema_service_us,
+            started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+        match &result {
+            Err(ServeError::DeadlineExceeded) => {
+                inner.metrics.deadline_trips.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(ServeError::Cancelled) => {
+                inner.metrics.cancelled.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
         // A caller that gave up waiting just drops the receiver; the
         // send failure is not an error for the server.
         let _ = job.reply.send(result);
     }
+}
+
+/// Fold one service-time sample into the EMA (α = 1/8). Load/store
+/// rather than CAS: a lost sample under a race skews a hint by
+/// microseconds, which is cheaper than contending on the hot path.
+fn update_ema(cell: &AtomicU64, sample_us: u64) {
+    let old = cell.load(Ordering::SeqCst);
+    let new = if old == 0 {
+        sample_us.max(1)
+    } else {
+        old - old / 8 + sample_us / 8
+    };
+    cell.store(new.max(1), Ordering::SeqCst);
 }
 
 /// Finish a successful request: price its I/O, debit the tenant, fold
@@ -679,8 +930,20 @@ fn refresh_snapshot(inner: &Inner, job: &Job) -> Result<Arc<Snapshot>> {
 }
 
 fn process_query(inner: &Inner, job: &Job, query: &Query) -> Result<Response> {
-    let healthy = inner.dbms.lock().health(&job.view)? == ViewHealth::Healthy;
-    if !healthy {
+    // The request budget governs everything this job does: the scope
+    // makes the token ambient, so every device operation the engine
+    // performs on this thread charges it.
+    let _budget = BudgetScope::enter(job.token.clone());
+    // A request that spent its whole budget waiting in the queue stops
+    // here, before touching the engine.
+    job.token.check().map_err(CoreError::from)?;
+    // A fallback-eligible (degraded/repairing) view takes the archive
+    // recompute path, which never consults the circuit breaker: the
+    // degraded route *is* the safe fallback the breaker would other-
+    // wise be protecting us toward. Unrecoverable views go the same
+    // way so the engine can surface its typed error.
+    let health = inner.dbms.lock().health(&job.view)?;
+    if health.can_serve_fallback() || health == ViewHealth::Unrecoverable {
         return process_degraded_query(inner, job, query);
     }
     let snap = refresh_snapshot(inner, job)?;
@@ -692,6 +955,8 @@ fn process_query(inner: &Inner, job: &Job, query: &Query) -> Result<Response> {
     };
     if let Some(payload) = inner.cache.lock().get(&key, job.tick) {
         // A front-cache hit does zero engine I/O and is billed zero.
+        // It also never touches the breaker: a hit proves nothing
+        // about the engine's health.
         return finish(
             inner,
             job,
@@ -702,25 +967,49 @@ fn process_query(inner: &Inner, job: &Job, query: &Query) -> Result<Response> {
             IoSnapshot::default(),
         );
     }
+    // The breaker guards exactly the engine-compute path: cache hits
+    // were served above, and an unhealthy view already branched to the
+    // degraded path (which keeps serving — ComputeSource::Fallback is
+    // the breaker-open answer when health is impaired).
+    match inner.breaker.lock().admit(&job.view, job.tick) {
+        BreakerAdmit::FastFail { retry_after_ticks } => {
+            inner
+                .metrics
+                .breaker_fast_fails
+                .fetch_add(1, Ordering::SeqCst);
+            let ema_us = inner.ema_service_us.load(Ordering::SeqCst).max(1);
+            return Err(ServeError::BreakerOpen {
+                view: job.view.clone(),
+                retry_after_ms: (retry_after_ticks.saturating_mul(ema_us / inner.workers as u64)
+                    / 1_000)
+                    .max(1),
+            });
+        }
+        BreakerAdmit::Allow | BreakerAdmit::Probe => {}
+    }
     // Miss: compute against the pinned snapshot inside a per-request
     // I/O scope. The snapshot's raw column/row reads are used (not its
     // memo) so the uncached baseline does the real work every time —
     // the front cache above is what this layer measures.
     let stats = Arc::new(IoStats::default());
-    let payload = {
+    let computed: Result<Payload> = {
         let _scope = IoScope::enter(Arc::clone(&stats));
-        match query {
-            Query::Summary {
-                attribute,
-                function,
-            } => {
-                let col = snap.column(attribute)?;
-                Payload::Summary(function.compute(&col).map_err(CoreError::from)?)
-            }
-            Query::Column { attribute } => Payload::Column(snap.column(attribute)?),
-            Query::Row { index } => Payload::Row(snap.row(*index)?),
-        }
+        compute_payload(&snap, query)
     };
+    // The compute's outcome drives the breaker: deadline trips and
+    // engine faults count against the view, client cancellations and
+    // client mistakes are neutral (see ServeError::is_breaker_failure).
+    match &computed {
+        Ok(_) => inner.breaker.lock().record_success(&job.view, job.tick),
+        Err(e) if e.is_breaker_failure() => {
+            inner.breaker.lock().record_failure(&job.view, job.tick);
+        }
+        Err(_) => {}
+    }
+    // A budget-tripped compute propagates here: the cache insert below
+    // is never reached, so a cancelled request can never poison the
+    // front cache with a partial result.
+    let payload = computed?;
     inner.cache.lock().insert(key, payload.clone(), job.tick);
     finish(
         inner,
@@ -733,11 +1022,36 @@ fn process_query(inner: &Inner, job: &Job, query: &Query) -> Result<Response> {
     )
 }
 
+/// The engine compute for one query against a pinned snapshot, run
+/// inside the caller's budget and I/O scopes. Split out as a function
+/// so its `Result` comes back whole: a `?` inline in `process_query`
+/// would return before the breaker could record the outcome.
+fn compute_payload(snap: &Snapshot, query: &Query) -> Result<Payload> {
+    match query {
+        Query::Summary {
+            attribute,
+            function,
+        } => {
+            let col = snap.column(attribute)?;
+            Ok(Payload::Summary(
+                function.compute(&col).map_err(CoreError::from)?,
+            ))
+        }
+        Query::Column { attribute } => Ok(Payload::Column(snap.column(attribute)?)),
+        Query::Row { index } => Ok(Payload::Row(snap.row(*index)?)),
+    }
+}
+
 /// The impaired-view path: route through the engine's own degraded
 /// read machinery under the write lock. Whatever comes back is never
 /// admitted to the front cache — a fallback answer is correct *now*
 /// but not tied to a store version.
 fn process_degraded_query(inner: &Inner, job: &Job, query: &Query) -> Result<Response> {
+    // Usually entered from process_query with the budget scope already
+    // installed; re-entering with the same token is a harmless shadow,
+    // and it keeps this function honest if it is ever called directly.
+    let _budget = BudgetScope::enter(job.token.clone());
+    job.token.check().map_err(CoreError::from)?;
     let stats = Arc::new(IoStats::default());
     let (payload, source, version, generation) = {
         let mut dbms = inner.dbms.lock();
@@ -785,6 +1099,12 @@ fn process_degraded_query(inner: &Inner, job: &Job, query: &Query) -> Result<Res
 }
 
 fn process_commit(inner: &Inner, job: &Job, ops: &[BatchOp]) -> Result<Response> {
+    // The budget covers staging and the shadow apply. A trip anywhere
+    // before the install swap surfaces as a typed error from
+    // commit_batch's clean-abort path: pre-batch state intact, lock
+    // released, nothing recorded in the commit log.
+    let _budget = BudgetScope::enter(job.token.clone());
+    job.token.check().map_err(CoreError::from)?;
     let stats = Arc::new(IoStats::default());
     let (report, version_after, generation) = {
         let mut dbms = inner.dbms.lock();
@@ -830,6 +1150,11 @@ fn process_commit(inner: &Inner, job: &Job, ops: &[BatchOp]) -> Result<Response>
 }
 
 fn process_repair(inner: &Inner, job: &Job) -> Result<Response> {
+    // Repairs carry an unbounded token (see Server::repair), so the
+    // scope is installed for uniformity — and for the deadline-bypass
+    // lint, which wants every IoScope paired with a BudgetScope.
+    let _budget = BudgetScope::enter(job.token.clone());
+    job.token.check().map_err(CoreError::from)?;
     let stats = Arc::new(IoStats::default());
     let (report, version, generation) = {
         let mut dbms = inner.dbms.lock();

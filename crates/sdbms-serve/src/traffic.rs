@@ -44,7 +44,16 @@ pub struct TrafficConfig {
     /// One tenant name per analyst, cycled — `analysts` beyond the
     /// list reuse it modulo its length.
     pub tenants: Vec<String>,
+    /// Honor the server's `retry_after_ms` hints: after a load-shaped
+    /// rejection the analyst sleeps the hinted backoff (capped at
+    /// [`MAX_HONORED_BACKOFF_MS`]) before its next request, instead of
+    /// hammering the door in a tight loop.
+    pub honor_retry_hints: bool,
 }
+
+/// Cap on one honored backoff, so a pathological hint cannot stall a
+/// test run.
+pub const MAX_HONORED_BACKOFF_MS: u64 = 20;
 
 impl TrafficConfig {
     /// A small deterministic default over view `view`.
@@ -58,6 +67,7 @@ impl TrafficConfig {
             update_every: 10,
             view: view.to_string(),
             tenants: vec!["tenant".to_string()],
+            honor_retry_hints: false,
         }
     }
 
@@ -96,6 +106,13 @@ impl TrafficConfig {
         self
     }
 
+    /// Enable or disable honoring the server's retry hints.
+    #[must_use]
+    pub fn honor_retry_hints(mut self, honor: bool) -> Self {
+        self.honor_retry_hints = honor;
+        self
+    }
+
     fn tenant_for(&self, analyst: usize) -> &str {
         if self.tenants.is_empty() {
             "tenant"
@@ -126,8 +143,15 @@ pub fn census_query_universe() -> Vec<Query> {
 pub enum Outcome {
     /// A successful response plus its latency in microseconds.
     Ok(Box<Response>, u64),
-    /// A typed rejection (by display string, so the record is `Clone`).
-    Rejected(String),
+    /// A typed rejection (by display string, so the record is `Clone`)
+    /// plus the server's advisory backoff hint, captured **before**
+    /// the error is stringified — `None` for non-load rejections.
+    Rejected {
+        /// The error's display rendering.
+        error: String,
+        /// The `retry_after_ms` hint, if the rejection carried one.
+        retry_after_ms: Option<u64>,
+    },
 }
 
 /// What one traffic run produced, per analyst and in aggregate.
@@ -144,6 +168,13 @@ pub struct TrafficReport {
     pub overloaded: u64,
     /// Requests rejected with [`ServeError::QuotaExceeded`].
     pub quota_rejected: u64,
+    /// Requests shed by brownout or a fast-failing circuit breaker.
+    pub shed: u64,
+    /// Requests that tripped their deadline or were cancelled.
+    pub budget_tripped: u64,
+    /// Backoffs the analysts actually honored (always 0 unless
+    /// [`TrafficConfig::honor_retry_hints`] is set).
+    pub backoffs_honored: u64,
     /// Responses served from the front cache.
     pub front_cache_hits: u64,
     /// Wall-clock duration of the whole run, microseconds.
@@ -227,7 +258,10 @@ pub fn run_traffic(server: &Server, cfg: &TrafficConfig) -> TrafficReport {
                 let session = match server.open_session(cfg.tenant_for(analyst), &cfg.view) {
                     Ok(s) => s,
                     Err(e) => {
-                        outcomes.push(Outcome::Rejected(e.to_string()));
+                        outcomes.push(Outcome::Rejected {
+                            error: e.to_string(),
+                            retry_after_ms: e.retry_after_ms(),
+                        });
                         return (analyst, outcomes);
                     }
                 };
@@ -240,7 +274,21 @@ pub fn run_traffic(server: &Server, cfg: &TrafficConfig) -> TrafficReport {
                     let latency_us = issued.elapsed().as_micros() as u64;
                     match result {
                         Ok(resp) => outcomes.push(Outcome::Ok(Box::new(resp), latency_us)),
-                        Err(e) => outcomes.push(Outcome::Rejected(e.to_string())),
+                        Err(e) => {
+                            // Capture the typed hint before stringifying.
+                            let retry_after_ms = e.retry_after_ms();
+                            if cfg.honor_retry_hints {
+                                if let Some(ms) = retry_after_ms {
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        ms.min(MAX_HONORED_BACKOFF_MS),
+                                    ));
+                                }
+                            }
+                            outcomes.push(Outcome::Rejected {
+                                error: e.to_string(),
+                                retry_after_ms,
+                            });
+                        }
                     }
                 }
                 let _ = server.close_session(session);
@@ -259,14 +307,17 @@ pub fn run_traffic(server: &Server, cfg: &TrafficConfig) -> TrafficReport {
     for analyst in 0..cfg.analysts {
         outcomes.push(per_analyst.remove(&analyst).unwrap_or_default());
     }
-    summarize(outcomes, wall_us)
+    summarize(outcomes, wall_us, cfg.honor_retry_hints)
 }
 
-fn summarize(outcomes: Vec<Vec<Outcome>>, wall_us: u64) -> TrafficReport {
+fn summarize(outcomes: Vec<Vec<Outcome>>, wall_us: u64, honored_hints: bool) -> TrafficReport {
     let mut latencies_us = Vec::new();
     let mut completed = 0u64;
     let mut overloaded = 0u64;
     let mut quota_rejected = 0u64;
+    let mut shed = 0u64;
+    let mut budget_tripped = 0u64;
+    let mut backoffs_honored = 0u64;
     let mut front_cache_hits = 0u64;
     for outcome in outcomes.iter().flatten() {
         match outcome {
@@ -280,11 +331,21 @@ fn summarize(outcomes: Vec<Vec<Outcome>>, wall_us: u64) -> TrafficReport {
             // Rejections are recorded by display string (the error is
             // not Clone); these fragments are fixed by the Display
             // impls in `error.rs`, which has tests pinning them.
-            Outcome::Rejected(msg) => {
-                if msg.contains("queue full") {
+            Outcome::Rejected {
+                error,
+                retry_after_ms,
+            } => {
+                if error.contains("queue full") {
                     overloaded += 1;
-                } else if msg.contains("out of quota") {
+                } else if error.contains("out of quota") {
                     quota_rejected += 1;
+                } else if error.contains("brownout") || error.contains("circuit breaker") {
+                    shed += 1;
+                } else if error.contains("deadline exceeded") || error.contains("cancelled") {
+                    budget_tripped += 1;
+                }
+                if honored_hints && retry_after_ms.is_some() {
+                    backoffs_honored += 1;
                 }
             }
         }
@@ -301,6 +362,9 @@ fn summarize(outcomes: Vec<Vec<Outcome>>, wall_us: u64) -> TrafficReport {
         completed,
         overloaded,
         quota_rejected,
+        shed,
+        budget_tripped,
+        backoffs_honored,
         front_cache_hits,
         wall_us,
         throughput_rps,
@@ -339,9 +403,41 @@ mod tests {
 
     #[test]
     fn report_percentiles_and_hit_rate() {
-        let report = summarize(Vec::new(), 1);
+        let report = summarize(Vec::new(), 1, false);
         assert_eq!(report.completed, 0);
         assert_eq!(report.hit_rate(), 0.0);
         assert_eq!(report.latency_us(99.0), 0);
+    }
+
+    #[test]
+    fn summarize_classifies_rejections_and_counts_honored_backoffs() {
+        let rejected = |error: &str, hint: Option<u64>| Outcome::Rejected {
+            error: error.to_string(),
+            retry_after_ms: hint,
+        };
+        let outcomes = vec![vec![
+            rejected("request queue full (4 slots); retry in ~2ms", Some(2)),
+            rejected(
+                "tenant \"t\" out of quota (balance -1 milli-units)",
+                Some(7),
+            ),
+            rejected("shedding load (brownout tier 1); retry in ~3ms", Some(3)),
+            rejected(
+                "circuit breaker open for view \"v\"; retry in ~5ms",
+                Some(5),
+            ),
+            rejected("deadline exceeded", None),
+            rejected("request cancelled", None),
+        ]];
+        let honoring = summarize(outcomes.clone(), 1, true);
+        assert_eq!(honoring.overloaded, 1);
+        assert_eq!(honoring.quota_rejected, 1);
+        assert_eq!(honoring.shed, 2);
+        assert_eq!(honoring.budget_tripped, 2);
+        assert_eq!(honoring.backoffs_honored, 4, "every hinted rejection");
+
+        let ignoring = summarize(outcomes, 1, false);
+        assert_eq!(ignoring.backoffs_honored, 0);
+        assert_eq!(ignoring.shed, 2);
     }
 }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::budget::charge_ambient_ops;
 use crate::checksum::crc32;
 use crate::cost::Tracker;
 use crate::error::{Result, StorageError};
@@ -118,6 +119,7 @@ impl ArchiveStore {
     }
 
     fn append_attempt(&self, name: &str, block: &[u8]) -> Result<()> {
+        charge_ambient_ops(1)?;
         let mut reels = self.reels.lock();
         let reel = reels
             .get_mut(name)
@@ -139,6 +141,12 @@ impl ArchiveStore {
                     device: "archive",
                     id: index,
                 })
+            }
+            Some(InjectedFault::Delay { units }) => {
+                // Slow-but-correct I/O: charge the stall as backoff and
+                // spend it from the ambient request budget.
+                self.tracker.count_backoff(units);
+                charge_ambient_ops(units)?;
             }
             Some(InjectedFault::Corrupt { .. }) | None => {}
         }
@@ -270,6 +278,7 @@ impl ReelReader {
     }
 
     fn read_attempt(&mut self) -> Result<Arc<[u8]>> {
+        charge_ambient_ops(1)?;
         let index = self.position as u64;
         let len = self.blocks.get(self.position).map_or(0, |b| b.data.len());
         match self
@@ -290,6 +299,11 @@ impl ReelReader {
                     device: "archive",
                     id: index,
                 });
+            }
+            Some(InjectedFault::Delay { units }) => {
+                // Slow-but-correct I/O, as on the disk read path.
+                self.tracker.count_backoff(units);
+                charge_ambient_ops(units)?;
             }
             Some(InjectedFault::Corrupt { .. }) | None => {}
         }

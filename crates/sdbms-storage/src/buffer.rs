@@ -154,6 +154,10 @@ impl BufferPool {
             if self.disk.injector().on_cache_op().is_some() {
                 return Err(StorageError::Crashed);
             }
+            // Budget checkpoint only — hits consume no budget (cache
+            // reads cost ~0 in the cost model), but a cancelled or
+            // expired request must still stop a long fully-cached scan.
+            crate::budget::charge_ambient_ops(0)?;
             let meta = &mut state.meta[frame];
             meta.pin_count += 1;
             meta.referenced = true;

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::budget::charge_ambient_ops;
 use crate::cost::Tracker;
 use crate::error::{Result, StorageError};
 use crate::fault::{Device, FaultInjector, InjectedFault, IoOp};
@@ -158,6 +159,7 @@ impl DiskManager {
     }
 
     fn read_attempt(&self, pid: PageId, out: &mut Page) -> Result<()> {
+        charge_ambient_ops(1)?;
         let mut inner = self.inner.lock();
         match self
             .injector
@@ -179,6 +181,13 @@ impl DiskManager {
                     device: "disk",
                     id: u64::from(pid),
                 });
+            }
+            Some(InjectedFault::Delay { units }) => {
+                // Slow-but-correct I/O: the stall is charged as backoff
+                // and spent from the ambient request budget, so a slow
+                // fault eats a deadline without corrupting anything.
+                self.tracker.count_backoff(units);
+                charge_ambient_ops(units)?;
             }
             Some(InjectedFault::Corrupt { .. }) | None => {}
         }
@@ -209,6 +218,7 @@ impl DiskManager {
     }
 
     fn write_attempt(&self, pid: PageId, src: &Page) -> Result<()> {
+        charge_ambient_ops(1)?;
         let mut inner = self.inner.lock();
         let fault =
             self.injector
@@ -230,6 +240,11 @@ impl DiskManager {
                     device: "disk",
                     id: u64::from(pid),
                 });
+            }
+            Some(InjectedFault::Delay { units }) => {
+                // Slow-but-correct I/O, as on the read path.
+                self.tracker.count_backoff(units);
+                charge_ambient_ops(units)?;
             }
             Some(InjectedFault::Corrupt { .. }) | None => {}
         }

@@ -167,6 +167,16 @@ pub enum StorageError {
     /// The simulated storage hierarchy has crashed; every operation
     /// fails until the environment is restarted.
     Crashed,
+    /// The request driving this I/O was cancelled (see
+    /// [`crate::budget::CancelToken`]). Not a fault and not a crash:
+    /// the storage state is intact, the caller just stopped wanting
+    /// the answer. Upper layers abort cleanly and surface the typed
+    /// error instead of a partial result.
+    Cancelled,
+    /// The request driving this I/O ran out of deadline budget (see
+    /// [`crate::budget::CancelToken`]). Like [`StorageError::Cancelled`],
+    /// a clean cooperative stop — not a fault, not a crash.
+    DeadlineExceeded,
     /// A lock guarding shared storage state was poisoned by a panic in
     /// another thread.
     LockPoisoned(&'static str),
@@ -236,6 +246,22 @@ impl StorageError {
     pub fn is_crash(&self) -> bool {
         matches!(self, StorageError::Crashed)
     }
+
+    /// True for the cooperative-stop errors raised when a request's
+    /// budget trips ([`StorageError::Cancelled`] /
+    /// [`StorageError::DeadlineExceeded`]). Deliberately *not* part of
+    /// [`StorageError::is_fault`]: nothing is wrong with the storage,
+    /// so quarantine, repair, and circuit-breaker machinery must not
+    /// react to them — and not part of [`StorageError::is_crash`], so
+    /// a cancelled batch commit takes the clean-abort path rather than
+    /// leaving a pending intent.
+    #[must_use]
+    pub fn is_budget(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Cancelled | StorageError::DeadlineExceeded
+        )
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -283,6 +309,8 @@ impl fmt::Display for StorageError {
                 write!(f, "checksum mismatch on {device} block {id}")
             }
             StorageError::Crashed => write!(f, "simulated storage crash in effect"),
+            StorageError::Cancelled => write!(f, "request cancelled"),
+            StorageError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             StorageError::LockPoisoned(what) => {
                 write!(f, "lock poisoned: {what}")
             }

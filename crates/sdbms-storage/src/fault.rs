@@ -66,6 +66,15 @@ pub enum InjectedFault {
         /// Bit index into the stored data.
         bit: usize,
     },
+    /// The operation *succeeds* but takes `units` extra simulated time
+    /// units (a stuck actuator, a re-read revolution): the device
+    /// charges the delay as backoff and spends it from the ambient
+    /// request budget, which is how slow-but-correct I/O eats a
+    /// deadline without ever producing a wrong answer.
+    Delay {
+        /// Extra simulated time units the operation takes.
+        units: u64,
+    },
     /// The whole hierarchy crashes; everything fails until restart.
     Crash,
 }
@@ -79,6 +88,12 @@ pub enum FaultKind {
     Permanent,
     /// Flip one bit of the stored data (write path).
     Corrupt,
+    /// Stall the operation for `units` simulated time units; it then
+    /// succeeds.
+    Delay {
+        /// Extra simulated time units the operation takes.
+        units: u64,
+    },
     /// Crash the hierarchy.
     Crash,
 }
@@ -94,6 +109,13 @@ pub struct DeviceFaults {
     pub corrupt_write: f64,
     /// Probability a read permanently loses the target block.
     pub permanent_read: f64,
+    /// Probability a read *succeeds slowly*, charging
+    /// [`DeviceFaults::slow_read_units`] extra simulated time units.
+    pub slow_read: f64,
+    /// Extra time units a slow read takes (ignored while
+    /// [`DeviceFaults::slow_read`] is zero; a firing slow read always
+    /// charges at least one unit).
+    pub slow_read_units: u64,
 }
 
 /// A complete, deterministic fault schedule.
@@ -187,6 +209,8 @@ pub struct FaultStats {
     pub permanent: u64,
     /// Silent corruptions injected.
     pub corrupt: u64,
+    /// Slow-but-successful operations injected.
+    pub delayed: u64,
     /// Crashes triggered.
     pub crashes: u64,
 }
@@ -248,6 +272,12 @@ impl InjectorState {
                 let bits = (len.max(1)) * 8;
                 InjectedFault::Corrupt {
                     bit: (self.next_u64() % bits as u64) as usize,
+                }
+            }
+            FaultKind::Delay { units } => {
+                self.stats.delayed += 1;
+                InjectedFault::Delay {
+                    units: units.max(1),
                 }
             }
             FaultKind::Crash => {
@@ -360,6 +390,9 @@ impl FaultInjector {
                     Some(st.fire(FaultKind::Permanent, device, target, len))
                 } else if st.chance(faults.transient_read) {
                     Some(st.fire(FaultKind::Transient, device, target, len))
+                } else if st.chance(faults.slow_read) {
+                    let units = faults.slow_read_units;
+                    Some(st.fire(FaultKind::Delay { units }, device, target, len))
                 } else {
                     None
                 }
@@ -530,6 +563,44 @@ mod tests {
             Some(InjectedFault::Transient)
         );
         assert_eq!(inj.decide(Device::Archive, IoOp::Read, 3, 10), None);
+    }
+
+    #[test]
+    fn scripted_delay_succeeds_slowly_and_is_counted() {
+        let inj = FaultInjector::disabled();
+        inj.script(ScriptedFault::new(Device::Disk, FaultKind::Delay { units: 7 }).on(IoOp::Read));
+        assert_eq!(
+            inj.decide(Device::Disk, IoOp::Read, 0, 4096),
+            Some(InjectedFault::Delay { units: 7 })
+        );
+        assert_eq!(inj.decide(Device::Disk, IoOp::Read, 0, 4096), None);
+        assert_eq!(inj.stats().delayed, 1);
+    }
+
+    #[test]
+    fn slow_read_probability_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 11,
+            disk: DeviceFaults {
+                slow_read: 0.3,
+                slow_read_units: 5,
+                ..DeviceFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::new(plan);
+        let b = FaultInjector::new(plan);
+        let mut fired = 0;
+        for i in 0..400 {
+            let fa = a.decide(Device::Disk, IoOp::Read, i, 4096);
+            assert_eq!(fa, b.decide(Device::Disk, IoOp::Read, i, 4096), "op {i}");
+            if let Some(InjectedFault::Delay { units }) = fa {
+                assert_eq!(units, 5);
+                fired += 1;
+            }
+        }
+        assert!(fired > 0, "0.3 over 400 reads must fire");
+        assert_eq!(a.stats().delayed, fired);
     }
 
     #[test]

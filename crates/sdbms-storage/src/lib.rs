@@ -9,6 +9,9 @@
 //!
 //! - [`cost`] — shared I/O counters ([`cost::Tracker`]) and an abstract
 //!   [`cost::CostModel`] mirroring the 1982 disk/tape balance.
+//! - [`budget`] — per-request deadlines and cooperative cancellation:
+//!   a [`budget::CancelToken`] flows ambiently through a
+//!   [`budget::BudgetScope`] and every device attempt below checks it.
 //! - [`page`] — fixed 4 KiB pages with little-endian field access.
 //! - [`disk`] — an in-memory disk that charges reads, writes, and
 //!   seeks (non-sequential accesses).
@@ -49,6 +52,7 @@
 
 pub mod archive;
 pub mod btree;
+pub mod budget;
 pub mod buffer;
 pub mod checksum;
 pub mod cost;
@@ -64,6 +68,7 @@ pub mod retry;
 
 pub use archive::{ArchiveStore, ReelReader};
 pub use btree::BTree;
+pub use budget::{ambient_token, charge_ambient_ops, BudgetScope, CancelError, CancelToken};
 pub use buffer::{BufferPool, PageGuard};
 pub use checksum::crc32;
 pub use cost::{CostModel, IoScope, IoSnapshot, IoStats, Tracker};

@@ -11,6 +11,7 @@
 //! [`StorageError::RetriesExhausted`], which upper layers treat like a
 //! permanent fault.
 
+use crate::budget::charge_ambient_ops;
 use crate::cost::Tracker;
 use crate::error::{Result, StorageError};
 
@@ -63,6 +64,13 @@ impl RetryPolicy {
 /// Run `op`, retrying transient faults under `policy` and charging each
 /// retry (and its backoff) to `tracker`. Non-transient errors pass
 /// through untouched.
+///
+/// The retry loop is also a deadline checkpoint: each backoff spends
+/// its units from the ambient request budget (see [`crate::budget`]),
+/// so the *remaining deadline* caps the retry budget — a dying disk
+/// can burn at most what the request has left, never more, and the
+/// caller gets a typed [`StorageError::DeadlineExceeded`] /
+/// [`StorageError::Cancelled`] instead of waiting out every attempt.
 pub fn with_retries<T>(
     policy: &RetryPolicy,
     tracker: &Tracker,
@@ -79,8 +87,10 @@ pub fn with_retries<T>(
                         attempts: attempt,
                     });
                 }
+                let backoff = policy.backoff_units(attempt);
                 tracker.count_retry();
-                tracker.count_backoff(policy.backoff_units(attempt));
+                tracker.count_backoff(backoff);
+                charge_ambient_ops(backoff)?;
                 attempt += 1;
             }
             other => return other,
@@ -149,6 +159,48 @@ mod tests {
         });
         assert_eq!(r, Err(StorageError::InvalidPageId(3)));
         assert_eq!(t.snapshot().retries, 0);
+    }
+
+    #[test]
+    fn remaining_deadline_caps_the_retry_budget() {
+        use crate::budget::{BudgetScope, CancelToken};
+        let t = Tracker::new();
+        // Budget of 2 units: the first backoff (1 unit) fits, the
+        // second (2 units) spends the rest, and the check before the
+        // third retry trips — well before max_attempts would.
+        let token = CancelToken::with_op_budget(2);
+        let _scope = BudgetScope::enter(token);
+        let mut calls = 0;
+        let r: Result<()> = with_retries(
+            &RetryPolicy {
+                max_attempts: 100,
+                backoff_base: 1,
+                backoff_multiplier: 2,
+            },
+            &t,
+            || {
+                calls += 1;
+                Err(transient())
+            },
+        );
+        assert_eq!(r, Err(StorageError::DeadlineExceeded));
+        assert!(calls < 100, "deadline cut retries short (made {calls})");
+    }
+
+    #[test]
+    fn cancellation_stops_retries_with_typed_error() {
+        use crate::budget::{BudgetScope, CancelToken};
+        let t = Tracker::new();
+        let token = CancelToken::unbounded();
+        let _scope = BudgetScope::enter(token.clone());
+        let mut calls = 0;
+        let r: Result<()> = with_retries(&RetryPolicy::default(), &t, || {
+            calls += 1;
+            token.cancel();
+            Err(transient())
+        });
+        assert_eq!(r, Err(StorageError::Cancelled));
+        assert_eq!(calls, 1, "cancelled before the first retry");
     }
 
     #[test]

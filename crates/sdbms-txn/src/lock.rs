@@ -18,6 +18,15 @@
 //!    that library code goes through [`LockTable::acquire`] (which
 //!    checks the order) rather than [`LockTable::acquire_raw`] (which
 //!    does not).
+//!
+//! A third property matters to the request-lifecycle work (DESIGN.md
+//! §16): locks release on **drop**, not on an explicit unlock call, so
+//! a cooperative deadline/cancellation trip — which surfaces as an
+//! ordinary `Err` unwinding out of the batch — releases every view
+//! lock through the same [`LockGuard`] destructor a successful commit
+//! uses. Budget errors are deliberately *not* treated as crashes
+//! anywhere in the stack, so a cancelled batch can never strand a
+//! view lock or require recovery to free it.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -312,6 +321,26 @@ mod tests {
         assert_eq!(t.holder("b"), None);
         // With nothing held, the order check resets.
         let _g = t.acquire(a, &["a"]).unwrap();
+    }
+
+    #[test]
+    fn cancelled_batch_releases_locks_through_normal_unwind() {
+        // Stand-in for a deadline/cancellation trip mid-batch: the
+        // budget error is an ordinary `Err`, so the guard's drop runs
+        // exactly as it would on success and nothing stays locked.
+        let t = table();
+        let a = t.session();
+        let cancelled_batch = |t: &Arc<LockTable>| -> Result<(), &'static str> {
+            let _guard = t.acquire(a, &["u", "v"]).unwrap();
+            Err("deadline exceeded")
+        };
+        assert!(cancelled_batch(&t).is_err());
+        assert_eq!(t.holder("u"), None, "cancellation released the locks");
+        assert_eq!(t.holder("v"), None);
+        // A fresh session can take the views immediately: no repair or
+        // recovery step is needed to clear a cancelled batch.
+        let b = t.session();
+        let _g = t.acquire(b, &["u", "v"]).unwrap();
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! write-ahead intent log on recovery, and finally a view that
 //! *self-heals*: bit flips found by the background scrubber, triaged,
 //! and repaired from the raw archive with the analyst's edit history
-//! replayed back on top.
+//! replayed back on top. The finale puts the front-line server on top
+//! of the same faulty hardware: a slow fault eats a request deadline
+//! (typed, never partial), consecutive engine failures open the
+//! view's circuit breaker, cached reads keep serving while it is
+//! open, and a half-open probe closes it once the disk heals
+//! (DESIGN.md §16).
 //!
 //! Run with: `cargo run --example fault_tolerance`
 
@@ -220,6 +225,109 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!fresh_mean.approx_eq(&alice_mean_before, 1e-9));
     drop(alice);
     drop(alice2);
+
+    // ---- 7. The front door: deadlines, a breaker, and cached reads ---------
+    // Put the serving layer on top of the same engine: every request
+    // now carries a 60-unit op budget, and two consecutive engine
+    // failures open the view's circuit breaker.
+    use sdbms::serve::{
+        BreakerConfig, BreakerState, Query, ServeConfig, ServeError, Served, Server,
+    };
+
+    let server = Server::start(
+        dbms,
+        ServeConfig {
+            deadline_ops: Some(60),
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                open_ticks: 4,
+                half_open_probes: 1,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let session = server.open_session("alice", "v")?;
+    let warm = server.query(session, Query::summary("INCOME", StatFunction::Mean))?;
+    println!(
+        "\nserver: mean(INCOME) computed and cached (served: {:?})",
+        warm.served
+    );
+
+    // A slow fault: reads succeed but stall 100 simulated units each,
+    // and the second stall finds the 60-unit budget already overdrawn —
+    // a typed deadline error, never a partial result.
+    server.with_dbms_mut(|d| {
+        d.env().pool.flush_all().expect("flush");
+        d.env().pool.discard_frames().expect("discard");
+        d.env().injector.set_plan(FaultPlan {
+            seed: 16,
+            disk: DeviceFaults {
+                slow_read: 1.0,
+                slow_read_units: 100,
+                ..DeviceFaults::default()
+            },
+            ..FaultPlan::none()
+        });
+    });
+    let tripped = server
+        .query(session, Query::summary("AGE", StatFunction::Max))
+        .expect_err("a slow scan cannot beat a 60-unit deadline");
+    println!("slow disk vs the deadline: {tripped}");
+    assert!(matches!(tripped, ServeError::DeadlineExceeded));
+
+    // Now the disk goes fully dark. The deadline trip was failure one;
+    // this engine failure is the second consecutive one — the breaker
+    // opens and fast-fails further work without touching the engine.
+    server.with_dbms_mut(|d| {
+        d.env().pool.discard_frames().expect("discard");
+        d.env().injector.set_plan(FaultPlan {
+            seed: 17,
+            disk: DeviceFaults {
+                transient_read: 1.0,
+                ..DeviceFaults::default()
+            },
+            ..FaultPlan::none()
+        });
+    });
+    let dead = server
+        .query(session, Query::summary("AGE", StatFunction::Max))
+        .expect_err("retries exhaust against a dead disk");
+    println!("dead disk: {dead}");
+    let open = server
+        .query(session, Query::summary("AGE", StatFunction::Max))
+        .expect_err("the breaker is open");
+    println!("breaker: {open}");
+    assert!(matches!(open, ServeError::BreakerOpen { .. }));
+    assert!(open.retry_after_ms().is_some(), "fast-fails carry a hint");
+    assert!(matches!(server.breaker_state("v"), BreakerState::Open));
+
+    // The front cache bypasses the broken disk entirely: the warmed
+    // query keeps serving while the breaker holds the engine safe.
+    let hit = server.query(session, Query::summary("INCOME", StatFunction::Mean))?;
+    assert_eq!(hit.served, Served::FrontCache);
+    println!("cached mean(INCOME) still serves while the breaker is open");
+
+    // Heal the disk. The open window elapses as requests arrive; the
+    // first half-open probe succeeds and closes the breaker.
+    server.with_dbms_mut(|d| d.env().injector.set_plan(FaultPlan::none()));
+    let mut healed = None;
+    for _ in 0..8 {
+        match server.query(session, Query::summary("AGE", StatFunction::Max)) {
+            Ok(resp) => {
+                healed = Some(resp);
+                break;
+            }
+            Err(ServeError::BreakerOpen { .. }) => {}
+            Err(other) => return Err(other.into()),
+        }
+    }
+    let healed = healed.expect("a probe must get through within the window");
+    assert_eq!(server.breaker_state("v"), BreakerState::Closed);
+    println!(
+        "healed: max(AGE) recomputed (served: {:?}), breaker closed again",
+        healed.served
+    );
+    let _dbms = server.shutdown().expect("engine handed back");
 
     println!("\ninvariant held: no fault made the cache lie.");
     Ok(())

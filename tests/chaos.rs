@@ -46,6 +46,7 @@ fn plan_for(seed: u64, base_ops: u64) -> FaultPlan {
             transient_write: 0.02 + unit(&mut s) * 0.05,
             corrupt_write: unit(&mut s) * 0.01,
             permanent_read: unit(&mut s) * 0.002,
+            ..DeviceFaults::default()
         },
         archive: DeviceFaults {
             transient_read: 0.02 + unit(&mut s) * 0.03,
@@ -677,6 +678,7 @@ fn sealed_mmap_scans_are_excluded_from_fault_schedules_by_construction() {
                 transient_write: 0.9,
                 corrupt_write: 0.5,
                 permanent_read: 0.5,
+                ..DeviceFaults::default()
             },
             ..FaultPlan::none()
         });
@@ -697,6 +699,75 @@ fn sealed_mmap_scans_are_excluded_from_fault_schedules_by_construction() {
             "schedule {seed}: a sealed scan performed disk operations"
         );
         env.injector.set_plan(FaultPlan::none());
+    }
+}
+
+/// Seeded slow-device schedules against the engine-level budget seam:
+/// every read succeeds but stalls, charging simulated time units
+/// against the ambient [`sdbms::storage::BudgetScope`]. A budget
+/// smaller than the scan's slow cost must trip the **typed**
+/// [`sdbms::core::CoreError::DeadlineExceeded`] — never a partial
+/// column and never damage: health stays `Healthy`, and an unbounded
+/// read through the same slow disk returns bit-identical bytes.
+#[test]
+fn slow_fault_schedules_trip_deadlines_but_never_change_served_bytes() {
+    use sdbms::core::CoreError;
+    use sdbms::storage::{BudgetScope, CancelToken};
+
+    let n = (schedules() / 10).max(8);
+    for seed in 0..n {
+        // 1200 rows = five 256-row segments per column, so a cold scan
+        // needs five device reads and a mid-scan trip is reachable
+        // (budgets are check-then-consume: a single admitted read may
+        // overshoot, but the next read's charge finds the debt).
+        let mut dbms = CensusFixture::new()
+            .rows(1200)
+            .owner("chaos")
+            .build()
+            .expect("fixture");
+        let want = dbms.column("v", "INCOME").expect("baseline column");
+
+        // Cold pool, then a plan where every read stalls for
+        // `units` simulated time units but still returns good bytes.
+        dbms.env().pool.flush_all().expect("flush");
+        dbms.env().pool.discard_frames().expect("discard");
+        let units = 25 + seed % 50;
+        dbms.env().injector.set_plan(FaultPlan {
+            seed,
+            disk: DeviceFaults {
+                slow_read: 1.0,
+                slow_read_units: units,
+                ..DeviceFaults::default()
+            },
+            ..FaultPlan::none()
+        });
+
+        // A budget of exactly `units`: the first slow read is admitted
+        // and overdraws it, the second read's charge trips — typed.
+        let err = {
+            let _budget = BudgetScope::enter(CancelToken::with_op_budget(units));
+            dbms.column("v", "INCOME")
+                .expect_err("a slow five-read scan must out-run its budget")
+        };
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded),
+            "schedule {seed}: want the typed deadline error, got {err:?}"
+        );
+        assert!(
+            dbms.env().injector.stats().delayed >= 1,
+            "schedule {seed}: the slow fault actually fired"
+        );
+        // Slowness is not damage: no degraded health, no quarantine.
+        assert_eq!(dbms.health("v").expect("health"), ViewHealth::Healthy);
+
+        // Unbounded through the *still-slow* disk: the same bytes,
+        // just late — a slow fault may cost time, never correctness.
+        let slow = dbms.column("v", "INCOME").expect("unbounded slow read");
+        assert_eq!(
+            slow, want,
+            "schedule {seed}: a slow read changed the served bytes"
+        );
+        dbms.env().injector.set_plan(FaultPlan::none());
     }
 }
 

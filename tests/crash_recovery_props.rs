@@ -243,6 +243,89 @@ proptest! {
         assert_consistent(&mut primary)?;
     }
 
+    /// The cancellation twin of the batch-commit crash property: a
+    /// commit running under *any* op budget either completes exactly
+    /// (the fault-free twin's post state) or fails with the **typed**
+    /// cooperative-stop error and leaves the exact pre-batch state —
+    /// no torn columns, no stranded locks, and a subsequent recovery
+    /// still lands on one of the two committed states.
+    #[test]
+    fn budget_tripped_batch_commits_abort_cleanly_and_recover_all_or_nothing(
+        budget in 0u64..220,
+        threshold in 18i64..60,
+        bump in 1i64..400,
+        row in 0usize..60,
+    ) {
+        use sdbms::core::CoreError;
+        use sdbms::data::Value;
+        use sdbms::storage::{BudgetScope, CancelToken};
+
+        let mut primary = setup();
+        let mut twin = setup();
+        let pre = primary.column("v", "INCOME").expect("pre-batch column");
+        prop_assert_eq!(&pre, &twin.column("v", "INCOME").expect("twin pre"));
+        let template = primary.snapshot("v").expect("snapshot").row(0).expect("row");
+        let poke = match &pre[row] {
+            Value::Int(i) => Value::Int(i + 13),
+            Value::Float(f) => Value::Float(f + 13.0),
+            other => other.clone(),
+        };
+        let pred = Predicate::cmp(Expr::col("AGE"), CmpOp::Gt, Expr::lit(threshold));
+        let assign = Expr::col("INCOME").binary(BinOp::Add, Expr::lit(bump));
+
+        // The fault-free twin computes the exact post-batch state.
+        let tb = twin.begin_batch("v").expect("twin batch");
+        twin.batch_update_where(tb, &pred, &[("INCOME", assign.clone())]).expect("stage");
+        twin.batch_set_cell(tb, row, "INCOME", poke.clone()).expect("stage");
+        twin.batch_append_row(tb, template.clone()).expect("stage");
+        twin.commit_batch(tb).expect("fault-free commit");
+        let post = twin.column("v", "INCOME").expect("post-batch column");
+
+        // The primary stages the identical batch (staging does no I/O)
+        // and commits under an ambient op budget that may trip at any
+        // durable step — intent write, cell writes, flush, or retire.
+        let b = primary.begin_batch("v").expect("begin does no I/O");
+        primary.batch_update_where(b, &pred, &[("INCOME", assign)]).expect("stage");
+        primary.batch_set_cell(b, row, "INCOME", poke).expect("stage");
+        primary.batch_append_row(b, template).expect("stage");
+        let outcome = {
+            let _scope = BudgetScope::enter(CancelToken::with_op_budget(budget));
+            primary.commit_batch(b)
+        };
+        match outcome {
+            Ok(_) => {
+                prop_assert_eq!(
+                    &primary.column("v", "INCOME").expect("column"), &post,
+                    "a commit the budget admitted must equal the twin's post state"
+                );
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, CoreError::DeadlineExceeded | CoreError::Cancelled),
+                    "budget {} tripped with a non-cooperative error: {:?}", budget, e
+                );
+                prop_assert_eq!(
+                    &primary.column("v", "INCOME").expect("column"), &pre,
+                    "a tripped commit must leave the exact pre-batch state"
+                );
+                // No stranded lock: the view accepts a new batch at once.
+                let nb = primary.begin_batch("v").expect("view stays lockable");
+                primary.abort_batch(nb).expect("abort");
+            }
+        }
+
+        // Recovery replays or retires whatever intent survived the
+        // trip; either way it lands on a committed state, never a mix.
+        primary.recover().expect("recovery on healthy hardware");
+        let after = primary.column("v", "INCOME").expect("post-recovery column");
+        prop_assert!(
+            after == pre || after == post,
+            "budget {} left a torn batch after recovery: {} rows (pre {}, post {})",
+            budget, after.len(), pre.len(), post.len()
+        );
+        assert_consistent(&mut primary)?;
+    }
+
     /// Repairing a healthy view is an observable no-op: no findings, no
     /// actions, no store or summary churn, cache counters untouched —
     /// and running it twice returns the identical (empty) report.

@@ -183,7 +183,7 @@ fn overload_backpressure_is_typed_and_bounded() {
                     );
                     ok += 1;
                 }
-                Err(ServeError::Overloaded { capacity }) => {
+                Err(ServeError::Overloaded { capacity, .. }) => {
                     assert_eq!(capacity, 2);
                     overloaded += 1;
                 }
